@@ -1,0 +1,87 @@
+// Ablation: host engine comparison. The paper implements its optimizer on
+// two systems (gStore and Jena); this harness contrasts our re-implemented
+// hosts — the WCO vertex-extension engine vs the binary hash-join engine —
+// on characteristic BGP shapes and on the full paper workload, all under
+// the `full` optimization level.
+//
+// Expected shape: WCO wins on selective path/triangle shapes (it never
+// materializes a full pattern), hash join wins on unselective star scans
+// (bulk scans + single hash build beat per-binding adjacency lookups); the
+// SPARQL-UO optimizations help on both hosts.
+#include "util/timer.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+double MedianMs(Database& db, const std::string& query, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    RunResult r = RunQuery(db, query, ExecOptions::Full());
+    if (!r.ok) return -1.0;
+    best = std::min(best, r.total_ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sparqluo;
+  using namespace sparqluo::bench;
+
+  size_t universities = LubmUniversities();
+  auto wco = MakeLubm(universities, EngineKind::kWco);
+  auto hash = MakeLubm(universities, EngineKind::kHashJoin);
+  std::printf("Host-engine ablation (LUBM, %zu triples), full mode\n\n",
+              wco->size());
+
+  struct Shape {
+    const char* name;
+    const char* query;
+  };
+  const char* prefix =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  Shape shapes[] = {
+      {"selective-path",
+       "SELECT * WHERE { <http://www.Department0.University0.edu/"
+       "UndergraduateStudent91> ub:takesCourse ?c . ?t ub:teacherOf ?c . "
+       "?t ub:worksFor ?d . }"},
+      {"unselective-star",
+       "SELECT * WHERE { ?x ub:emailAddress ?e . ?x ub:telephone ?t . "
+       "?x ub:name ?n . }"},
+      {"triangle",
+       "SELECT * WHERE { ?s ub:advisor ?p . ?p ub:teacherOf ?c . "
+       "?s ub:takesCourse ?c . }"},
+      {"degree-join",
+       "SELECT * WHERE { ?a ub:undergraduateDegreeFrom ?u . "
+       "?b ub:doctoralDegreeFrom ?u . ?a ub:worksFor "
+       "<http://www.Department0.University0.edu> . }"},
+  };
+
+  std::printf("%-18s %14s %16s\n", "shape", "gStore-WCO(ms)",
+              "Jena-HashJoin(ms)");
+  for (const Shape& s : shapes) {
+    std::string q = std::string(prefix) + s.query;
+    std::printf("%-18s %14.1f %16.1f\n", s.name, MedianMs(*wco, q),
+                MedianMs(*hash, q));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n%-10s %14s %16s\n", "query", "gStore-WCO(ms)",
+              "Jena-HashJoin(ms)");
+  for (const PaperQuery& pq : LubmPaperQueries()) {
+    if (pq.id.rfind("q1.", 0) != 0) continue;
+    std::printf("%-10s %14.1f %16.1f\n", pq.id.c_str(),
+                MedianMs(*wco, pq.sparql, 1), MedianMs(*hash, pq.sparql, 1));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: WCO ahead on selective path/triangle shapes; hash "
+      "join ahead on\nunselective star scans; both hosts benefit from the "
+      "SPARQL-UO optimizations.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 11: execution time and join space JS of q1.1-q1.6 under all four
+// approaches, on LUBM and DBpedia (gStore-WCO host).
+//
+// JS(P) estimates the largest materialized intermediate result (§7.1):
+// BGP -> actual result size, AND/OPTIONAL -> product, UNION -> sum.
+//
+// Expected shape: time and JS trend together; JS(TT), JS(CP) <= JS(base);
+// full has the smallest join space overall.
+#include "bench_common.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+void Grid(Database& db, const std::vector<PaperQuery>& queries,
+          const char* dataset) {
+  std::printf("--- %s ---\n", dataset);
+  std::printf("%-7s %-6s %12s %16s\n", "query", "mode", "time(ms)", "JS");
+  for (const PaperQuery& pq : queries) {
+    if (pq.id.rfind("q1.", 0) != 0) continue;
+    struct {
+      const char* name;
+      ExecOptions opts;
+    } modes[] = {{"base", ExecOptions::Base()},
+                 {"TT", ExecOptions::TT()},
+                 {"CP", ExecOptions::CP()},
+                 {"full", ExecOptions::Full()}};
+    for (auto& mode : modes) {
+      RunResult r = RunQuery(db, pq.sparql, mode.opts);
+      if (r.ok) {
+        std::printf("%-7s %-6s %12s %16.3e\n", pq.id.c_str(), mode.name,
+                    TimeCell(r).c_str(), r.join_space);
+      } else {
+        std::printf("%-7s %-6s %12s %16s\n", pq.id.c_str(), mode.name,
+                    TimeCell(r).c_str(), "-");
+      }
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sparqluo;
+  using namespace sparqluo::bench;
+
+  std::printf("Figure 11: Execution time and join space (JS) per approach\n\n");
+  {
+    auto db = MakeLubm(LubmUniversities(), EngineKind::kWco);
+    Grid(*db, LubmPaperQueries(), "LUBM");
+  }
+  {
+    auto db = MakeDbpedia(DbpediaArticles(), EngineKind::kWco);
+    Grid(*db, DbpediaPaperQueries(), "DBpedia");
+  }
+  std::printf(
+      "Expected shape: JS(full) <= JS(TT), JS(CP) <= JS(base) on every "
+      "query, and\nexecution time tracks join space.\n");
+  return 0;
+}

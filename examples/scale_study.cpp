@@ -1,0 +1,49 @@
+// Miniature of the paper's scalability study (Figure 12): runs the `full`
+// approach on q1.1-q1.6 while sweeping the LUBM scale factor, printing the
+// execution-time growth with dataset size.
+#include <cstdio>
+#include <vector>
+
+#include "engine/database.h"
+#include "workload/lubm_generator.h"
+#include "workload/paper_queries.h"
+
+int main(int argc, char** argv) {
+  using namespace sparqluo;
+
+  // Scale factors (numbers of universities); override via argv.
+  std::vector<size_t> scales = {1, 2, 4};
+  if (argc > 1) {
+    scales.clear();
+    for (int i = 1; i < argc; ++i)
+      scales.push_back(static_cast<size_t>(std::atol(argv[i])));
+  }
+
+  std::printf("%-8s %-12s", "scale", "triples");
+  for (const PaperQuery& pq : LubmPaperQueries()) {
+    if (pq.id.rfind("q1.", 0) == 0) std::printf(" %10s", pq.id.c_str());
+  }
+  std::printf("\n");
+
+  for (size_t scale : scales) {
+    Database db;
+    LubmConfig cfg;
+    cfg.universities = scale;
+    GenerateLubm(cfg, &db);
+    db.Finalize(EngineKind::kWco);
+    std::printf("%-8zu %-12zu", scale, db.size());
+    for (const PaperQuery& pq : LubmPaperQueries()) {
+      if (pq.id.rfind("q1.", 0) != 0) continue;
+      ExecMetrics m;
+      auto r = db.Query(pq.sparql, ExecOptions::Full(), &m);
+      if (r.ok()) {
+        std::printf(" %8.1fms", m.transform_ms + m.exec_ms);
+      } else {
+        std::printf(" %10s", "err");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Bag-semantics operators over BindingSets (Section 3, Definition 7).
+//
+// All operators preserve duplicates. Compatibility (µ1 ~ µ2) is
+// domain-aware: variables absent from dom(µ) — unbound cells — are
+// compatible with anything, which is what makes OPTIONAL-produced partial
+// mappings join correctly.
+#pragma once
+
+#include "algebra/binding_set.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// Ω1 ⋈ Ω2 = { µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ~ µ2 }.
+BindingSet Join(const BindingSet& a, const BindingSet& b);
+
+/// Ω1 ∪_bag Ω2 over the union schema (missing columns padded unbound).
+BindingSet UnionBag(const BindingSet& a, const BindingSet& b);
+
+/// Ω1 ▷ Ω2 = { µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2 }.
+BindingSet Minus(const BindingSet& a, const BindingSet& b);
+
+/// Left outer join: (Ω1 ⋈ Ω2) ∪_bag (Ω1 ▷ Ω2). Single-pass implementation.
+BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b);
+
+/// Keeps the mappings for which `filter` evaluates to true. Mappings on
+/// which the expression errors (e.g. comparison over an unbound variable)
+/// are dropped, per SPARQL error semantics.
+BindingSet ApplyFilter(const BindingSet& a, const FilterExpr& filter,
+                       const Dictionary& dict);
+
+namespace internal {
+/// True iff the two rows agree on every shared variable that is bound in
+/// both. `cols` lists (column in a, column in b) pairs of shared variables.
+bool RowsCompatible(const TermId* ra, const TermId* rb,
+                    const std::vector<std::pair<size_t, size_t>>& cols);
+}  // namespace internal
+
+}  // namespace sparqluo

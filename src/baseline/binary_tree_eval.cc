@@ -1,0 +1,71 @@
+#include "baseline/binary_tree_eval.h"
+
+#include "algebra/operators.h"
+#include "bgp/cardinality.h"
+
+namespace sparqluo {
+
+BindingSet BinaryTreeEvaluator::EvalTriple(const TriplePattern& t) const {
+  std::vector<VarId> schema = t.Variables();
+  BindingSet out(schema);
+  ResolvedPattern r = Resolve(t, dict_);
+  if (r.missing_const) return out;
+  TriplePatternIds q;
+  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+  if (schema.empty()) {
+    if (store_.Contains(Triple(r.s, r.p, r.o))) out.AppendEmptyMappings(1);
+    return out;
+  }
+  std::vector<TermId> row(schema.size());
+  store_.Scan(q, [&](const Triple& tr) {
+    if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
+    if (r.sv != kInvalidVarId && r.sv == r.pv && tr.s != tr.p) return true;
+    if (r.pv != kInvalidVarId && r.pv == r.ov && tr.p != tr.o) return true;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      VarId v = schema[i];
+      row[i] = v == r.sv ? tr.s : (v == r.pv ? tr.p : tr.o);
+    }
+    out.AppendRow(row);
+    return true;
+  });
+  return out;
+}
+
+BindingSet BinaryTreeEvaluator::EvalGroup(const GroupGraphPattern& group) const {
+  BindingSet acc = BindingSet::Unit();
+  for (const PatternElement& e : group.elements) {
+    switch (e.kind) {
+      case PatternElement::Kind::kTriple:
+        acc = Join(acc, EvalTriple(e.triple));
+        break;
+      case PatternElement::Kind::kGroup:
+        acc = Join(acc, EvalGroup(e.groups[0]));
+        break;
+      case PatternElement::Kind::kUnion: {
+        BindingSet u = EvalGroup(e.groups[0]);
+        for (size_t i = 1; i < e.groups.size(); ++i)
+          u = UnionBag(u, EvalGroup(e.groups[i]));
+        acc = Join(acc, u);
+        break;
+      }
+      case PatternElement::Kind::kOptional:
+        acc = LeftOuterJoin(acc, EvalGroup(e.groups[0]));
+        break;
+      case PatternElement::Kind::kFilter:
+        acc = ApplyFilter(acc, e.filter, dict_);
+        break;
+    }
+  }
+  return acc;
+}
+
+Result<BindingSet> BinaryTreeEvaluator::Execute(const Query& query) const {
+  BindingSet rows = EvalGroup(query.where);
+  if (!query.projection.empty()) rows = rows.Project(query.projection);
+  if (query.distinct) rows = rows.Distinct();
+  return rows;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,38 @@
+// Naive binary-tree-expression evaluation (Section 4's motivating strawman).
+//
+// Every triple pattern is materialized independently and results are
+// combined bottom-up with binary AND / UNION / OPTIONAL operators, strictly
+// following Definition 7. No BGP-level join optimization, no pruning.
+//
+// This doubles as the correctness oracle for the whole engine: it is a
+// direct transliteration of the SPARQL semantics.
+#pragma once
+
+#include "algebra/binding_set.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+class BinaryTreeEvaluator {
+ public:
+  BinaryTreeEvaluator(const TripleStore& store, const Dictionary& dict)
+      : store_(store), dict_(dict) {}
+
+  /// Evaluates a full query (projection + DISTINCT applied).
+  Result<BindingSet> Execute(const Query& query) const;
+
+  /// Evaluates a group graph pattern per Definition 7.
+  BindingSet EvalGroup(const GroupGraphPattern& group) const;
+
+  /// Materializes a single triple pattern.
+  BindingSet EvalTriple(const TriplePattern& t) const;
+
+ private:
+  const TripleStore& store_;
+  const Dictionary& dict_;
+};
+
+}  // namespace sparqluo

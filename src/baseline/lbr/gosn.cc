@@ -1,0 +1,43 @@
+#include "baseline/lbr/gosn.h"
+
+#include <algorithm>
+
+namespace sparqluo {
+
+std::vector<VarId> GosnNode::Variables() const {
+  std::vector<VarId> out;
+  for (const TriplePattern& t : patterns)
+    for (VarId v : t.Variables())
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  return out;
+}
+
+Result<std::unique_ptr<GosnNode>> BuildGoSN(const GroupGraphPattern& group) {
+  auto node = std::make_unique<GosnNode>();
+  for (const PatternElement& e : group.elements) {
+    switch (e.kind) {
+      case PatternElement::Kind::kTriple:
+        node->patterns.push_back(e.triple);
+        break;
+      case PatternElement::Kind::kGroup: {
+        auto child = BuildGoSN(e.groups[0]);
+        if (!child.ok()) return child.status();
+        node->and_children.push_back(std::move(*child));
+        break;
+      }
+      case PatternElement::Kind::kOptional: {
+        auto child = BuildGoSN(e.groups[0]);
+        if (!child.ok()) return child.status();
+        node->opt_children.push_back(std::move(*child));
+        break;
+      }
+      case PatternElement::Kind::kUnion:
+        return Status::Unsupported("LBR does not handle UNION");
+      case PatternElement::Kind::kFilter:
+        return Status::Unsupported("LBR baseline does not handle FILTER");
+    }
+  }
+  return node;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,37 @@
+// GoSN (Graph of SuperNodes) — the plan structure of LBR [Atre, SIGMOD'15].
+//
+// A supernode groups the triple patterns appearing together at one OPTIONAL
+// nesting position. Master-slave edges follow OPTIONAL nesting: a master's
+// bindings may prune its slaves' candidates, but never the reverse —
+// exactly the asymmetry of the left-outer join.
+//
+// LBR targets SPARQL with OPTIONAL (no UNION); BuildGoSN reports
+// Unsupported for queries containing UNION, matching the scope of the
+// original system.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+struct GosnNode {
+  /// Triple patterns at this nesting position (in query order; LBR does
+  /// not reorder them with a cost model).
+  std::vector<TriplePattern> patterns;
+  /// Inner-join (AND) sub-supernodes: nested plain groups.
+  std::vector<std::unique_ptr<GosnNode>> and_children;
+  /// Slave supernodes: OPTIONAL-right groups.
+  std::vector<std::unique_ptr<GosnNode>> opt_children;
+
+  /// Variables bound by this supernode's own patterns.
+  std::vector<VarId> Variables() const;
+};
+
+/// Builds the GoSN of a group graph pattern.
+Result<std::unique_ptr<GosnNode>> BuildGoSN(const GroupGraphPattern& group);
+
+}  // namespace sparqluo

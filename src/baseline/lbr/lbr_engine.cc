@@ -1,0 +1,204 @@
+#include "baseline/lbr/lbr_engine.h"
+
+#include <unordered_set>
+
+#include "algebra/operators.h"
+#include "bgp/cardinality.h"
+
+namespace sparqluo {
+
+namespace {
+
+/// One materialized triple pattern with its owning supernode.
+struct PatternTable {
+  const GosnNode* node = nullptr;
+  BindingSet rows;
+};
+
+struct VecHash {
+  size_t operator()(const std::vector<TermId>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (TermId x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Semijoin-reduces `target` by `reducer` on their shared variables:
+/// keeps target rows whose shared-variable values occur in reducer.
+/// Returns the number of rows pruned; no-op when no variables are shared.
+uint64_t SemijoinReduce(BindingSet* target, const BindingSet& reducer,
+                        LbrMetrics* metrics) {
+  std::vector<std::pair<size_t, size_t>> shared;
+  for (size_t i = 0; i < target->schema().size(); ++i) {
+    size_t j = reducer.ColumnOf(target->schema()[i]);
+    if (j != SIZE_MAX) shared.emplace_back(i, j);
+  }
+  if (shared.empty() || target->empty()) return 0;
+
+  std::unordered_set<std::vector<TermId>, VecHash> keys;
+  std::vector<TermId> key(shared.size());
+  for (size_t r = 0; r < reducer.size(); ++r) {
+    for (size_t k = 0; k < shared.size(); ++k)
+      key[k] = reducer.At(r, shared[k].second);
+    keys.insert(key);
+  }
+  if (metrics) metrics->rows_scanned += reducer.size() + target->size();
+
+  BindingSet kept(target->schema());
+  std::vector<TermId> row(target->width());
+  uint64_t pruned = 0;
+  for (size_t r = 0; r < target->size(); ++r) {
+    for (size_t k = 0; k < shared.size(); ++k)
+      key[k] = target->At(r, shared[k].first);
+    if (keys.count(key) > 0) {
+      row.assign(target->Row(r), target->Row(r) + target->width());
+      kept.AppendRow(row);
+    } else {
+      ++pruned;
+    }
+  }
+  *target = std::move(kept);
+  return pruned;
+}
+
+class LbrRun {
+ public:
+  LbrRun(const TripleStore& store, const Dictionary& dict, LbrMetrics* metrics)
+      : store_(store), dict_(dict), metrics_(metrics) {}
+
+  /// Materializes all pattern tables of the GoSN, depth-first.
+  void Materialize(const GosnNode& node) {
+    node_tables_[&node] = {};
+    for (const TriplePattern& t : node.patterns) {
+      node_tables_[&node].push_back(ScanPattern(t));
+    }
+    for (const auto& c : node.and_children) Materialize(*c);
+    for (const auto& c : node.opt_children) Materialize(*c);
+  }
+
+  /// Pass 1: top-down / forward. Earlier patterns reduce later ones within
+  /// a supernode; a master's patterns reduce every pattern of its slaves
+  /// and AND-children.
+  void ForwardPass(const GosnNode& node) {
+    if (metrics_) ++metrics_->semijoin_passes;
+    auto& tables = node_tables_[&node];
+    for (size_t i = 0; i < tables.size(); ++i)
+      for (size_t j = 0; j < i; ++j)
+        Prune(&tables[i], tables[j]);
+    for (const auto& c : node.and_children) {
+      ReduceChildByParent(node, *c);
+      ForwardPass(*c);
+    }
+    for (const auto& c : node.opt_children) {
+      ReduceChildByParent(node, *c);
+      ForwardPass(*c);
+    }
+  }
+
+  /// Pass 2: bottom-up / backward. Later patterns reduce earlier ones;
+  /// AND-children (inner joins) reduce their parents; slaves do NOT.
+  void BackwardPass(const GosnNode& node) {
+    if (metrics_) ++metrics_->semijoin_passes;
+    for (const auto& c : node.opt_children) BackwardPass(*c);
+    for (const auto& c : node.and_children) {
+      BackwardPass(*c);
+      ReduceParentByChild(node, *c);
+    }
+    auto& tables = node_tables_[&node];
+    for (size_t i = tables.size(); i-- > 0;)
+      for (size_t j = tables.size(); j-- > i + 1;)
+        Prune(&tables[i], tables[j]);
+  }
+
+  /// Final combination: inner joins in query order, AND-children joined,
+  /// slave supernodes attached with left-outer joins.
+  BindingSet Combine(const GosnNode& node) {
+    BindingSet acc = BindingSet::Unit();
+    auto& tables = node_tables_[&node];
+    for (auto& table : tables) acc = Join(acc, table.rows);
+    for (const auto& c : node.and_children) acc = Join(acc, Combine(*c));
+    for (const auto& c : node.opt_children)
+      acc = LeftOuterJoin(acc, Combine(*c));
+    return acc;
+  }
+
+ private:
+  struct Table {
+    BindingSet rows;
+  };
+
+  void Prune(PatternTable* target, const PatternTable& reducer) {
+    uint64_t pruned = SemijoinReduce(&target->rows, reducer.rows, metrics_);
+    if (metrics_) metrics_->rows_pruned += pruned;
+  }
+
+  void ReduceChildByParent(const GosnNode& parent, const GosnNode& child) {
+    for (auto& child_table : node_tables_[&child])
+      for (const auto& parent_table : node_tables_[&parent])
+        Prune(&child_table, parent_table);
+  }
+
+  void ReduceParentByChild(const GosnNode& parent, const GosnNode& child) {
+    for (auto& parent_table : node_tables_[&parent])
+      for (const auto& child_table : node_tables_[&child])
+        Prune(&parent_table, child_table);
+  }
+
+  PatternTable ScanPattern(const TriplePattern& t) {
+    PatternTable table;
+    std::vector<VarId> schema = t.Variables();
+    table.rows = BindingSet(schema);
+    ResolvedPattern r = Resolve(t, dict_);
+    if (r.missing_const) return table;
+    TriplePatternIds q;
+    q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+    q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+    q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+    if (schema.empty()) {
+      if (store_.Contains(Triple(r.s, r.p, r.o)))
+        table.rows.AppendEmptyMappings(1);
+      return table;
+    }
+    std::vector<TermId> row(schema.size());
+    store_.Scan(q, [&](const Triple& tr) {
+      if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
+      if (r.sv != kInvalidVarId && r.sv == r.pv && tr.s != tr.p) return true;
+      if (r.pv != kInvalidVarId && r.pv == r.ov && tr.p != tr.o) return true;
+      for (size_t i = 0; i < schema.size(); ++i) {
+        VarId v = schema[i];
+        row[i] = v == r.sv ? tr.s : (v == r.pv ? tr.p : tr.o);
+      }
+      table.rows.AppendRow(row);
+      return true;
+    });
+    return table;
+  }
+
+  const TripleStore& store_;
+  const Dictionary& dict_;
+  LbrMetrics* metrics_;
+  std::unordered_map<const GosnNode*, std::vector<PatternTable>> node_tables_;
+};
+
+}  // namespace
+
+Result<BindingSet> LbrEngine::Execute(const Query& query,
+                                      LbrMetrics* metrics) const {
+  auto gosn = BuildGoSN(query.where);
+  if (!gosn.ok()) return gosn.status();
+
+  LbrRun run(store_, dict_, metrics);
+  run.Materialize(**gosn);
+  run.ForwardPass(**gosn);
+  run.BackwardPass(**gosn);
+  BindingSet rows = run.Combine(**gosn);
+
+  if (!query.projection.empty()) rows = rows.Project(query.projection);
+  if (query.distinct) rows = rows.Distinct();
+  return rows;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,110 @@
+#include "betree/builder.h"
+
+#include <numeric>
+
+namespace sparqluo {
+
+namespace {
+
+/// Union-find over triple-pattern element indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+std::unique_ptr<BeNode> BuildGroup(const GroupGraphPattern& pattern);
+
+std::unique_ptr<BeNode> BuildElement(const PatternElement& e) {
+  switch (e.kind) {
+    case PatternElement::Kind::kGroup:
+      return BuildGroup(e.groups[0]);
+    case PatternElement::Kind::kUnion: {
+      auto node = std::make_unique<BeNode>(BeNode::Type::kUnion);
+      for (const GroupGraphPattern& g : e.groups)
+        node->children.push_back(BuildGroup(g));
+      return node;
+    }
+    case PatternElement::Kind::kOptional: {
+      auto node = std::make_unique<BeNode>(BeNode::Type::kOptional);
+      node->children.push_back(BuildGroup(e.groups[0]));
+      return node;
+    }
+    case PatternElement::Kind::kFilter: {
+      auto node = std::make_unique<BeNode>(BeNode::Type::kFilter);
+      node->filter = e.filter;
+      return node;
+    }
+    case PatternElement::Kind::kTriple:
+      break;  // handled by the caller's coalescing pass
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BeNode> BuildGroup(const GroupGraphPattern& pattern) {
+  auto group = std::make_unique<BeNode>(BeNode::Type::kGroup);
+  const auto& elems = pattern.elements;
+
+  // Coalesce sibling triple patterns into maximal BGPs: connected
+  // components of the pairwise coalescability relation.
+  std::vector<size_t> triple_idx;
+  for (size_t i = 0; i < elems.size(); ++i)
+    if (elems[i].kind == PatternElement::Kind::kTriple) triple_idx.push_back(i);
+
+  UnionFind uf(triple_idx.size());
+  for (size_t a = 0; a < triple_idx.size(); ++a)
+    for (size_t b = a + 1; b < triple_idx.size(); ++b)
+      if (Coalescable(elems[triple_idx[a]].triple, elems[triple_idx[b]].triple))
+        uf.Union(a, b);
+
+  // Leader = leftmost member of each component; the BGP node sits there.
+  std::vector<size_t> leader_of(elems.size(), SIZE_MAX);
+  std::vector<Bgp> bgp_at(elems.size());
+  for (size_t a = 0; a < triple_idx.size(); ++a) {
+    size_t root = uf.Find(a);
+    // Leftmost member of the component has the smallest element index; since
+    // we iterate a ascending, the first time we see `root` fixes the leader.
+    size_t leader = SIZE_MAX;
+    for (size_t b = 0; b <= a; ++b) {
+      if (uf.Find(b) == root) {
+        leader = triple_idx[b];
+        break;
+      }
+    }
+    leader_of[triple_idx[a]] = leader;
+    bgp_at[leader].triples.push_back(elems[triple_idx[a]].triple);
+  }
+
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (elems[i].kind == PatternElement::Kind::kTriple) {
+      if (leader_of[i] == i) {
+        auto node = std::make_unique<BeNode>(BeNode::Type::kBgp);
+        node->bgp = std::move(bgp_at[i]);
+        group->children.push_back(std::move(node));
+      }
+      continue;
+    }
+    group->children.push_back(BuildElement(elems[i]));
+  }
+  return group;
+}
+
+}  // namespace
+
+BeTree BuildBeTree(const GroupGraphPattern& pattern) {
+  return BeTree(BuildGroup(pattern));
+}
+
+}  // namespace sparqluo

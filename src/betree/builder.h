@@ -1,0 +1,22 @@
+// BE-tree construction from a parsed query (Section 4.1).
+//
+// Sibling triple patterns are coalesced into maximal BGP nodes: the
+// connected components of the coalescability relation (Definitions 3-5).
+// Each BGP node is placed where its leftmost constituent triple pattern
+// originally resided, preserving the one-to-one query <-> BE-tree mapping.
+#pragma once
+
+#include "betree/be_tree.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// Builds the BE-tree of a group graph pattern.
+BeTree BuildBeTree(const GroupGraphPattern& pattern);
+
+/// Builds the BE-tree of a query's WHERE clause.
+inline BeTree BuildBeTree(const Query& query) {
+  return BuildBeTree(query.where);
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,96 @@
+#include "betree/serializer.h"
+
+namespace sparqluo {
+
+namespace {
+
+void RenderTerm(const PatternSlot& slot, const VarTable& vars,
+                std::string* out) {
+  if (slot.is_var) {
+    *out += "?" + vars.Name(slot.var);
+  } else {
+    *out += slot.term.ToString();
+  }
+}
+
+void RenderBgp(const Bgp& bgp, const VarTable& vars, const std::string& pad,
+               std::string* out) {
+  for (const TriplePattern& t : bgp.triples) {
+    *out += pad;
+    RenderTerm(t.s, vars, out);
+    *out += " ";
+    RenderTerm(t.p, vars, out);
+    *out += " ";
+    RenderTerm(t.o, vars, out);
+    *out += " .\n";
+  }
+}
+
+void RenderNode(const BeNode& node, const VarTable& vars, int indent,
+                std::string* out);
+
+void RenderGroup(const BeNode& group, const VarTable& vars, int indent,
+                 std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  *out += "{\n";
+  for (const auto& c : group.children) RenderNode(*c, vars, indent + 1, out);
+  *out += pad + "}";
+}
+
+void RenderNode(const BeNode& node, const VarTable& vars, int indent,
+                std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (node.type) {
+    case BeNode::Type::kBgp:
+      RenderBgp(node.bgp, vars, pad, out);
+      break;
+    case BeNode::Type::kGroup:
+      *out += pad;
+      RenderGroup(node, vars, indent, out);
+      *out += "\n";
+      break;
+    case BeNode::Type::kUnion: {
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        *out += pad;
+        if (i > 0) *out += "UNION ";
+        RenderGroup(*node.children[i], vars, indent, out);
+        *out += "\n";
+      }
+      break;
+    }
+    case BeNode::Type::kOptional:
+      *out += pad + "OPTIONAL ";
+      RenderGroup(*node.children[0], vars, indent, out);
+      *out += "\n";
+      break;
+    case BeNode::Type::kFilter: {
+      // Re-use the AST printer by wrapping into a one-element group pattern.
+      GroupGraphPattern g;
+      PatternElement e;
+      e.kind = PatternElement::Kind::kFilter;
+      e.filter = node.filter;
+      g.elements.push_back(std::move(e));
+      std::string body = ToString(g, vars, indent);
+      // Strip the outer braces the group printer adds.
+      size_t open = body.find('\n');
+      size_t close = body.rfind('}');
+      if (open != std::string::npos && close != std::string::npos)
+        *out += body.substr(open + 1, close - open - 1);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string SerializeToSparql(const BeTree& tree, const VarTable& vars) {
+  std::string out;
+  RenderGroup(*tree.root, vars, 0, &out);
+  return out;
+}
+
+std::string SerializeToQuery(const BeTree& tree, const VarTable& vars) {
+  return "SELECT * WHERE " + SerializeToSparql(tree, vars);
+}
+
+}  // namespace sparqluo

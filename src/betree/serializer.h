@@ -1,0 +1,22 @@
+// BE-tree -> SPARQL surface syntax (the inverse of betree/builder.h).
+//
+// Together with the builder this realizes the one-to-one mapping between
+// BE-trees and syntactically valid SPARQL queries that the transformation
+// validity goal (Section 4.2.1) requires.
+#pragma once
+
+#include <string>
+
+#include "betree/be_tree.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// Serializes the tree to the body of a WHERE clause (a brace-enclosed
+/// group graph pattern).
+std::string SerializeToSparql(const BeTree& tree, const VarTable& vars);
+
+/// Serializes to a full `SELECT * WHERE { ... }` query string.
+std::string SerializeToQuery(const BeTree& tree, const VarTable& vars);
+
+}  // namespace sparqluo

@@ -1,0 +1,52 @@
+#include "bgp/bgp.h"
+
+#include <algorithm>
+
+namespace sparqluo {
+
+std::vector<VarId> Bgp::Variables() const {
+  std::vector<VarId> out;
+  for (const TriplePattern& t : triples)
+    for (VarId v : t.Variables())
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  return out;
+}
+
+std::vector<VarId> Bgp::SubjectObjectVariables() const {
+  std::vector<VarId> out;
+  for (const TriplePattern& t : triples)
+    for (VarId v : t.SubjectObjectVariables())
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  return out;
+}
+
+bool Bgp::CoalescableWith(const Bgp& other) const {
+  for (const TriplePattern& t1 : triples)
+    for (const TriplePattern& t2 : other.triples)
+      if (Coalescable(t1, t2)) return true;
+  return false;
+}
+
+bool Bgp::CoalescableWith(const TriplePattern& t) const {
+  for (const TriplePattern& mine : triples)
+    if (Coalescable(mine, t)) return true;
+  return false;
+}
+
+void Bgp::Absorb(const Bgp& other) {
+  for (const TriplePattern& t : other.triples) {
+    if (std::find(triples.begin(), triples.end(), t) == triples.end())
+      triples.push_back(t);
+  }
+}
+
+std::string Bgp::ToString(const VarTable& vars) const {
+  std::string out;
+  for (const TriplePattern& t : triples) {
+    if (!out.empty()) out += " ";
+    out += sparqluo::ToString(t, vars);
+  }
+  return out;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,41 @@
+// Basic graph patterns (Definition 5) and coalescability (Definitions 3-4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// A BGP: a set of triple patterns connected through coalescable chains.
+struct Bgp {
+  std::vector<TriplePattern> triples;
+
+  bool empty() const { return triples.empty(); }
+  size_t size() const { return triples.size(); }
+
+  /// All variables appearing in the BGP, in first-occurrence order.
+  std::vector<VarId> Variables() const;
+
+  /// Variables at subject/object positions (the coalescability positions).
+  std::vector<VarId> SubjectObjectVariables() const;
+
+  /// Definition 4: true iff some constituent triple pattern of each side is
+  /// coalescable with one of the other.
+  bool CoalescableWith(const Bgp& other) const;
+
+  /// True iff `t` is coalescable with some triple pattern in this BGP.
+  bool CoalescableWith(const TriplePattern& t) const;
+
+  /// Appends the triples of `other` (the coalescing step of merge/inject).
+  /// Duplicate triple patterns are kept only once: under set-based BGP join
+  /// semantics a repeated pattern is a no-op but would skew cost estimates.
+  void Absorb(const Bgp& other);
+
+  std::string ToString(const VarTable& vars) const;
+
+  bool operator==(const Bgp& other) const { return triples == other.triples; }
+};
+
+}  // namespace sparqluo

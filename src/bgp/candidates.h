@@ -1,0 +1,43 @@
+// Per-variable candidate sets for the candidate pruning optimization (§6).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// Maps a variable to the set of term ids it may still take. A variable
+/// absent from the map is unconstrained.
+class CandidateMap {
+ public:
+  using Set = std::unordered_set<TermId>;
+
+  bool Has(VarId v) const { return sets_.count(v) > 0; }
+
+  const Set* Get(VarId v) const {
+    auto it = sets_.find(v);
+    return it == sets_.end() ? nullptr : &it->second;
+  }
+
+  /// Installs (replacing) the candidate set for `v`.
+  void Set_(VarId v, Set s) { sets_[v] = std::move(s); }
+
+  /// True iff `v` is unconstrained or `id` is among its candidates.
+  bool Admits(VarId v, TermId id) const {
+    auto it = sets_.find(v);
+    return it == sets_.end() || it->second.count(id) > 0;
+  }
+
+  bool empty() const { return sets_.empty(); }
+  size_t size() const { return sets_.size(); }
+
+  const std::unordered_map<VarId, Set>& sets() const { return sets_; }
+
+ private:
+  std::unordered_map<VarId, Set> sets_;
+};
+
+}  // namespace sparqluo

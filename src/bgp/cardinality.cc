@@ -1,0 +1,177 @@
+#include "bgp/cardinality.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace sparqluo {
+
+ResolvedPattern Resolve(const TriplePattern& t, const Dictionary& dict) {
+  ResolvedPattern r;
+  r.src = &t;
+  auto fill = [&](const PatternSlot& slot, TermId* id, VarId* var) {
+    if (slot.is_var) {
+      *var = slot.var;
+    } else {
+      *id = dict.Lookup(slot.term);
+      if (*id == kInvalidTermId) r.missing_const = true;
+    }
+  };
+  fill(t.s, &r.s, &r.sv);
+  fill(t.p, &r.p, &r.pv);
+  fill(t.o, &r.o, &r.ov);
+  return r;
+}
+
+double CardinalityEstimator::EstimateTriple(const TriplePattern& t) const {
+  ResolvedPattern r = Resolve(t, dict_);
+  if (r.missing_const) return 0.0;
+  TriplePatternIds q;
+  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+  return static_cast<double>(store_.Count(q));
+}
+
+std::vector<size_t> CardinalityEstimator::GreedyOrder(const Bgp& bgp) const {
+  const size_t n = bgp.triples.size();
+  std::vector<double> counts(n);
+  for (size_t i = 0; i < n; ++i) counts[i] = EstimateTriple(bgp.triples[i]);
+
+  std::vector<size_t> order;
+  std::vector<bool> used(n, false);
+  std::vector<VarId> bound;
+  auto binds_with = [&](size_t i) {
+    for (VarId v : bgp.triples[i].Variables())
+      if (std::find(bound.begin(), bound.end(), v) != bound.end()) return true;
+    return false;
+  };
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = SIZE_MAX;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = step == 0 || binds_with(i);
+      if (best == SIZE_MAX || (connected && !best_connected) ||
+          (connected == best_connected && counts[i] < counts[best])) {
+        best = i;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (VarId v : bgp.triples[best].Variables())
+      if (std::find(bound.begin(), bound.end(), v) == bound.end())
+        bound.push_back(v);
+  }
+  return order;
+}
+
+double CardinalityEstimator::EstimateBgp(const Bgp& bgp) const {
+  if (bgp.triples.empty()) return 1.0;
+  if (bgp.triples.size() == 1) return EstimateTriple(bgp.triples[0]);
+
+  std::vector<size_t> order = GreedyOrder(bgp);
+
+  // Pilot evaluation: a bounded sample of partial bindings per step.
+  // Each binding is a map VarId -> TermId, kept as parallel vectors.
+  std::vector<VarId> schema;
+  std::vector<std::vector<TermId>> sample;
+  double card = 0.0;
+  Random rng(0xC0FFEE ^ bgp.triples.size());
+
+  for (size_t step = 0; step < order.size(); ++step) {
+    const TriplePattern& t = bgp.triples[order[step]];
+    ResolvedPattern r = Resolve(t, dict_);
+    if (r.missing_const) return 0.0;
+
+    // Positions of this pattern's variables in the current schema
+    // (SIZE_MAX when new).
+    auto col_of = [&](VarId v) -> size_t {
+      for (size_t i = 0; i < schema.size(); ++i)
+        if (schema[i] == v) return i;
+      return SIZE_MAX;
+    };
+    size_t cs = r.sv == kInvalidVarId ? SIZE_MAX : col_of(r.sv);
+    size_t cp = r.pv == kInvalidVarId ? SIZE_MAX : col_of(r.pv);
+    size_t co = r.ov == kInvalidVarId ? SIZE_MAX : col_of(r.ov);
+
+    std::vector<VarId> new_vars;
+    auto add_new = [&](VarId v, size_t existing) {
+      if (v != kInvalidVarId && existing == SIZE_MAX &&
+          std::find(new_vars.begin(), new_vars.end(), v) == new_vars.end())
+        new_vars.push_back(v);
+    };
+    add_new(r.sv, cs);
+    add_new(r.pv, cp);
+    add_new(r.ov, co);
+
+    if (step == 0) {
+      // Seed: scan the pattern, cap the retained sample.
+      TriplePatternIds q{r.sv == kInvalidVarId ? r.s : kInvalidTermId,
+                         r.pv == kInvalidVarId ? r.p : kInvalidTermId,
+                         r.ov == kInvalidVarId ? r.o : kInvalidTermId};
+      card = static_cast<double>(store_.Count(q));
+      schema = new_vars;
+      size_t seen = 0;
+      store_.Scan(q, [&](const Triple& tr) {
+        // Same-variable repetition (e.g. ?x p ?x) must self-agree.
+        if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
+        ++seen;
+        if (sample.size() < sample_size_) {
+          std::vector<TermId> row;
+          for (VarId v : schema) {
+            if (v == r.sv) row.push_back(tr.s);
+            else if (v == r.pv) row.push_back(tr.p);
+            else row.push_back(tr.o);
+          }
+          sample.push_back(std::move(row));
+        }
+        return seen < sample_size_ * 8;  // bounded pilot scan
+      });
+      if (sample.empty()) return 0.0;
+      continue;
+    }
+
+    // Extension: count matches of the pattern per sampled partial binding.
+    size_t extend = 0;
+    std::vector<std::vector<TermId>> next_sample;
+    for (const auto& row : sample) {
+      TriplePatternIds q;
+      q.s = r.sv == kInvalidVarId ? r.s
+                                  : (cs == SIZE_MAX ? kInvalidTermId : row[cs]);
+      q.p = r.pv == kInvalidVarId ? r.p
+                                  : (cp == SIZE_MAX ? kInvalidTermId : row[cp]);
+      q.o = r.ov == kInvalidVarId ? r.o
+                                  : (co == SIZE_MAX ? kInvalidTermId : row[co]);
+      store_.Scan(q, [&](const Triple& tr) {
+        if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
+        ++extend;
+        if (next_sample.size() < sample_size_ &&
+            rng.Bernoulli(0.5) /* thin the retained sample */) {
+          std::vector<TermId> nrow = row;
+          for (VarId v : new_vars) {
+            if (v == r.sv) nrow.push_back(tr.s);
+            else if (v == r.pv) nrow.push_back(tr.p);
+            else nrow.push_back(tr.o);
+          }
+          next_sample.push_back(std::move(nrow));
+        }
+        return extend < sample_size_ * 16;
+      });
+    }
+    if (extend == 0) return 0.0;
+    card = std::max(static_cast<double>(extend) /
+                        static_cast<double>(sample.size()) * card,
+                    1.0);
+    for (VarId v : new_vars) schema.push_back(v);
+    if (next_sample.empty()) {
+      // Keep at least one representative binding so later steps can extend.
+      return card;
+    }
+    sample = std::move(next_sample);
+  }
+  return card;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,68 @@
+// Sampling-based cardinality estimation (Section 5.1.2).
+//
+// Single triple patterns are answered exactly from the store's indexes.
+// Multi-pattern BGPs chain the paper's scale-up rule:
+//
+//   card(V_k) = max(#extend / #sample * card(V_{k-1}), 1)
+//
+// where the sample is an actual pilot evaluation capped at `sample_size`
+// partial results per step.
+#pragma once
+
+#include <vector>
+
+#include "bgp/bgp.h"
+#include "rdf/dictionary.h"
+#include "rdf/statistics.h"
+#include "rdf/triple_store.h"
+
+namespace sparqluo {
+
+/// Resolved view of a triple pattern: constants mapped to TermIds.
+/// `missing_const` is set when a constant does not occur in the dictionary,
+/// in which case the pattern can have no matches.
+struct ResolvedPattern {
+  const TriplePattern* src = nullptr;
+  // For each position: kInvalidTermId when the position is a variable.
+  TermId s = kInvalidTermId, p = kInvalidTermId, o = kInvalidTermId;
+  // Variable ids (kInvalidVarId when the position is a constant).
+  VarId sv = kInvalidVarId, pv = kInvalidVarId, ov = kInvalidVarId;
+  bool missing_const = false;
+};
+
+/// Resolves a pattern's constants through `dict`.
+ResolvedPattern Resolve(const TriplePattern& t, const Dictionary& dict);
+
+/// Cardinality estimator shared by both BGP engines and the SPARQL-UO cost
+/// model.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const TripleStore& store, const Dictionary& dict,
+                       const Statistics& stats, size_t sample_size = 32)
+      : store_(store), dict_(dict), stats_(stats), sample_size_(sample_size) {}
+
+  /// Exact match count of a single triple pattern (index lookup).
+  double EstimateTriple(const TriplePattern& t) const;
+
+  /// Estimated result size of a BGP via the sampling chain. Returns the
+  /// exact count for single-pattern BGPs and 1 for empty BGPs (the unit).
+  double EstimateBgp(const Bgp& bgp) const;
+
+  const Statistics& stats() const { return stats_; }
+  const TripleStore& store() const { return store_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Greedy pattern order: start from the smallest exact-count pattern,
+  /// then repeatedly append the connected pattern with the smallest count
+  /// (falling back to disconnected ones when none connects). Both engines
+  /// and the cost models use this order.
+  std::vector<size_t> GreedyOrder(const Bgp& bgp) const;
+
+ private:
+  const TripleStore& store_;
+  const Dictionary& dict_;
+  const Statistics& stats_;
+  size_t sample_size_;
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,76 @@
+// BGP evaluation engine interface.
+//
+// The SPARQL-UO layer (src/engine, src/optimizer) treats BGP evaluation as a
+// black box with a cost model, exactly as the paper prescribes: "our
+// proposed optimization techniques operate on a higher level than BGP
+// evaluation techniques". Two engines are provided, mirroring the paper's
+// two host systems:
+//   - WcoEngine       (gStore-style worst-case-optimal vertex extension)
+//   - HashJoinEngine  (Jena-style binary hash joins)
+#pragma once
+
+#include <memory>
+
+#include "algebra/binding_set.h"
+#include "bgp/bgp.h"
+#include "bgp/candidates.h"
+#include "bgp/cardinality.h"
+
+namespace sparqluo {
+
+/// Instrumentation counters filled during evaluation.
+struct BgpEvalCounters {
+  uint64_t rows_materialized = 0;  ///< Partial + final bindings produced.
+  uint64_t index_probes = 0;       ///< Store scans issued.
+  uint64_t candidates_pruned = 0;  ///< Extensions rejected by candidate sets.
+
+  void Merge(const BgpEvalCounters& other) {
+    rows_materialized += other.rows_materialized;
+    index_probes += other.index_probes;
+    candidates_pruned += other.candidates_pruned;
+  }
+};
+
+/// Abstract BGP evaluator with the engine-specific cost model of §5.1.2.
+class BgpEngine {
+ public:
+  virtual ~BgpEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Evaluates `bgp` to a BindingSet whose schema is bgp.Variables().
+  /// `cands` (nullable) carries candidate pruning sets; variables with a
+  /// candidate set only take values from it. `counters` (nullable) collects
+  /// instrumentation.
+  virtual BindingSet Evaluate(const Bgp& bgp, const CandidateMap* cands,
+                              BgpEvalCounters* counters) const = 0;
+
+  BindingSet Evaluate(const Bgp& bgp) const {
+    return Evaluate(bgp, nullptr, nullptr);
+  }
+
+  /// cost(P): estimated evaluation cost of the BGP under this engine's join
+  /// strategy (WCO join cost or binary join cost).
+  virtual double EstimateCost(const Bgp& bgp) const = 0;
+
+  /// |res(P)| estimate, shared across engines.
+  double EstimateCardinality(const Bgp& bgp) const {
+    return estimator().EstimateBgp(bgp);
+  }
+
+  virtual const CardinalityEstimator& estimator() const = 0;
+};
+
+/// Which host system's BGP engine to instantiate.
+enum class EngineKind { kWco, kHashJoin };
+
+/// Human-readable engine name ("gStore-WCO" / "Jena-HashJoin").
+const char* EngineKindName(EngineKind kind);
+
+/// Creates an engine bound to the given store/dictionary/statistics. All
+/// referenced objects must outlive the engine.
+std::unique_ptr<BgpEngine> MakeEngine(EngineKind kind, const TripleStore& store,
+                                      const Dictionary& dict,
+                                      const Statistics& stats);
+
+}  // namespace sparqluo

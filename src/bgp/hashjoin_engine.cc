@@ -1,0 +1,85 @@
+#include "bgp/hashjoin_engine.h"
+
+#include <algorithm>
+
+#include "algebra/operators.h"
+
+namespace sparqluo {
+
+BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
+                                       const CandidateMap* cands,
+                                       BgpEvalCounters* counters) const {
+  std::vector<VarId> schema = t.Variables();
+  BindingSet out(schema);
+  ResolvedPattern r = Resolve(t, dict_);
+  if (r.missing_const) return out;
+  TriplePatternIds q;
+  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+  if (counters) ++counters->index_probes;
+  std::vector<TermId> row(schema.size());
+  store_.Scan(q, [&](const Triple& tr) {
+    // Repeated-variable consistency.
+    if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
+    if (r.sv != kInvalidVarId && r.sv == r.pv && tr.s != tr.p) return true;
+    if (r.pv != kInvalidVarId && r.pv == r.ov && tr.p != tr.o) return true;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      VarId v = schema[i];
+      TermId val = v == r.sv ? tr.s : (v == r.pv ? tr.p : tr.o);
+      if (cands != nullptr) {
+        const auto* cs = cands->Get(v);
+        if (cs != nullptr && cs->count(val) == 0) {
+          if (counters) ++counters->candidates_pruned;
+          return true;
+        }
+      }
+      row[i] = val;
+    }
+    out.AppendRow(row);
+    return true;
+  });
+  if (counters) counters->rows_materialized += out.size();
+  return out;
+}
+
+BindingSet HashJoinEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
+                                    BgpEvalCounters* counters) const {
+  std::vector<VarId> all_vars = bgp.Variables();
+  if (bgp.triples.empty()) {
+    BindingSet unit(all_vars);
+    unit.AppendEmptyMappings(1);
+    return unit;
+  }
+  std::vector<size_t> order = estimator_.GreedyOrder(bgp);
+  BindingSet acc = ScanPattern(bgp.triples[order[0]], cands, counters);
+  for (size_t k = 1; k < order.size(); ++k) {
+    if (acc.empty()) break;
+    BindingSet next = ScanPattern(bgp.triples[order[k]], cands, counters);
+    acc = Join(acc, next);
+    if (counters) counters->rows_materialized += acc.size();
+  }
+  // Normalize the schema to bgp.Variables() order. All variables are bound
+  // by construction (every pattern's table carries its own variables).
+  if (acc.schema() != all_vars) acc = acc.Project(all_vars);
+  return acc;
+}
+
+double HashJoinEngine::EstimateCost(const Bgp& bgp) const {
+  if (bgp.triples.empty()) return 0.0;
+  std::vector<size_t> order = estimator_.GreedyOrder(bgp);
+  // Cost of the initial scan plus each binary join per Equation 9.
+  double cost = estimator_.EstimateTriple(bgp.triples[order[0]]);
+  Bgp prefix;
+  prefix.triples.push_back(bgp.triples[order[0]]);
+  double card_acc = estimator_.EstimateBgp(prefix);
+  for (size_t k = 1; k < order.size(); ++k) {
+    double card_next = estimator_.EstimateTriple(bgp.triples[order[k]]);
+    cost += 2.0 * std::min(card_acc, card_next) + std::max(card_acc, card_next);
+    prefix.triples.push_back(bgp.triples[order[k]]);
+    card_acc = estimator_.EstimateBgp(prefix);
+  }
+  return cost;
+}
+
+}  // namespace sparqluo

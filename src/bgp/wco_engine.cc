@@ -1,0 +1,402 @@
+#include "bgp/wco_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sparqluo {
+
+namespace {
+
+/// Internal view of one resolved core pattern (constant predicate, at least
+/// one subject/object variable).
+struct CoreEdge {
+  ResolvedPattern r;
+  bool applied = false;
+};
+
+/// Collects the sorted, distinct values the variable `v` can take according
+/// to edge `e` given the values of the other positions in `fixed`, where
+/// kInvalidTermId in fixed means "that position is not yet bound".
+/// Returns the list through `out` (sorted ascending).
+void AdjacencyList(const TripleStore& store, const CoreEdge& e, bool v_is_subj,
+                   TermId other_value, std::vector<TermId>* out,
+                   BgpEvalCounters* counters) {
+  TriplePatternIds q;
+  q.p = e.r.p;  // core edges have constant predicates
+  if (v_is_subj) {
+    q.o = other_value;
+  } else {
+    q.s = other_value;
+  }
+  if (counters) ++counters->index_probes;
+  const bool self_loop = e.r.sv != kInvalidVarId && e.r.sv == e.r.ov;
+  TermId last = kInvalidTermId;
+  store.Scan(q, [&](const Triple& t) {
+    if (self_loop && t.s != t.o) return true;
+    TermId val = v_is_subj ? t.s : t.o;
+    // POS/SPO range scans yield the free position in ascending order, so
+    // dedup needs only the previous value.
+    if (val != last) {
+      out->push_back(val);
+      last = val;
+    }
+    return true;
+  });
+  // Scans through OSP (v subject, other=object bound) yield s sorted; scans
+  // through SPO with s bound yield o sorted; seed scans over POS(p) yield
+  // (o, s) pairs, so the projection may be unsorted. Normalize.
+  if (!std::is_sorted(out->begin(), out->end())) {
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  }
+}
+
+void IntersectSorted(std::vector<TermId>* a, const std::vector<TermId>& b) {
+  std::vector<TermId> out;
+  out.reserve(std::min(a->size(), b.size()));
+  std::set_intersection(a->begin(), a->end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  *a = std::move(out);
+}
+
+}  // namespace
+
+BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
+                               BgpEvalCounters* counters) const {
+  std::vector<VarId> all_vars = bgp.Variables();
+  BindingSet result(all_vars);
+  if (bgp.triples.empty()) {
+    result.AppendEmptyMappings(1);  // the unit bag
+    return result;
+  }
+
+  // Resolve constants; a missing constant means zero matches.
+  std::vector<ResolvedPattern> resolved;
+  resolved.reserve(bgp.triples.size());
+  for (const TriplePattern& t : bgp.triples) {
+    ResolvedPattern r = Resolve(t, dict_);
+    if (r.missing_const) return result;
+    resolved.push_back(r);
+  }
+
+  // Partition into ground checks, core edges and residual patterns.
+  std::vector<CoreEdge> core;
+  std::vector<ResolvedPattern> residual;
+  for (const ResolvedPattern& r : resolved) {
+    bool has_so_var = r.sv != kInvalidVarId || r.ov != kInvalidVarId;
+    if (!has_so_var && r.pv == kInvalidVarId) {
+      if (!store_.Contains(Triple(r.s, r.p, r.o))) return result;
+      continue;  // ground triple: multiplicative identity
+    }
+    if (r.pv == kInvalidVarId && has_so_var) {
+      core.push_back(CoreEdge{r, false});
+    } else {
+      residual.push_back(r);
+    }
+  }
+
+  // The set of variables handled by the core phase.
+  std::vector<VarId> core_vars;
+  for (const CoreEdge& e : core) {
+    for (VarId v : {e.r.sv, e.r.ov})
+      if (v != kInvalidVarId &&
+          std::find(core_vars.begin(), core_vars.end(), v) == core_vars.end())
+        core_vars.push_back(v);
+  }
+
+  // --- Vertex-at-a-time core evaluation -------------------------------
+  // rows: partial bindings over `bound_vars` (parallel to row layout).
+  std::vector<VarId> bound_vars;
+  std::vector<std::vector<TermId>> rows{{}};  // one empty partial binding
+
+  auto col_of = [&](VarId v) -> size_t {
+    for (size_t i = 0; i < bound_vars.size(); ++i)
+      if (bound_vars[i] == v) return i;
+    return SIZE_MAX;
+  };
+
+  // Estimated seed size of a variable: min over incident edges of the edge's
+  // match count with constants bound (cheap index counts).
+  auto seed_count = [&](VarId v) -> double {
+    double best = 1e300;
+    for (const CoreEdge& e : core) {
+      if (e.r.sv != v && e.r.ov != v) continue;
+      TriplePatternIds q;
+      q.p = e.r.p;
+      if (e.r.sv == kInvalidVarId) q.s = e.r.s;
+      if (e.r.ov == kInvalidVarId) q.o = e.r.o;
+      best = std::min(best, static_cast<double>(store_.Count(q)));
+    }
+    return best;
+  };
+
+  while (bound_vars.size() < core_vars.size()) {
+    // Pick the next variable: prefer ones adjacent to already-bound vars,
+    // break ties by seed selectivity.
+    VarId next = kInvalidVarId;
+    bool next_adjacent = false;
+    double next_score = 1e300;
+    for (VarId v : core_vars) {
+      if (col_of(v) != SIZE_MAX) continue;
+      // v is "adjacent" if some incident edge has a constant or already
+      // bound other endpoint — its extension can use an indexed adjacency
+      // list instead of a projection seed.
+      bool adjacent = false;
+      for (const CoreEdge& e : core) {
+        if (e.r.sv != v && e.r.ov != v) continue;
+        VarId other = e.r.sv == v ? e.r.ov : e.r.sv;
+        if (other == kInvalidVarId || col_of(other) != SIZE_MAX) {
+          adjacent = true;
+          break;
+        }
+      }
+      double score = seed_count(v);
+      if (next == kInvalidVarId || (adjacent && !next_adjacent) ||
+          (adjacent == next_adjacent && score < next_score)) {
+        next = v;
+        next_adjacent = adjacent;
+        next_score = score;
+      }
+    }
+
+    // Extend every partial binding with candidates for `next`.
+    const CandidateMap::Set* cand_set =
+        cands != nullptr ? cands->Get(next) : nullptr;
+    std::vector<std::vector<TermId>> next_rows;
+    std::vector<TermId> cand_list;
+    std::vector<TermId> edge_list;
+    for (const auto& row : rows) {
+      cand_list.clear();
+      bool first_edge = true;
+      bool dead = false;
+      // Edges incident to `next` whose other endpoint is bound or constant
+      // contribute an adjacency list; intersect them all.
+      for (CoreEdge& e : core) {
+        bool v_is_subj;
+        if (e.r.sv == next && e.r.ov == next) {
+          v_is_subj = true;  // self-loop handled inside AdjacencyList
+        } else if (e.r.sv == next) {
+          v_is_subj = true;
+        } else if (e.r.ov == next) {
+          v_is_subj = false;
+        } else {
+          continue;
+        }
+        // Resolve the other endpoint.
+        TermId other;
+        if (e.r.sv == next && e.r.ov == next) {
+          other = kInvalidTermId;
+        } else if (v_is_subj) {
+          other = e.r.ov == kInvalidVarId
+                      ? e.r.o
+                      : (col_of(e.r.ov) == SIZE_MAX ? kInvalidTermId
+                                                    : row[col_of(e.r.ov)]);
+        } else {
+          other = e.r.sv == kInvalidVarId
+                      ? e.r.s
+                      : (col_of(e.r.sv) == SIZE_MAX ? kInvalidTermId
+                                                    : row[col_of(e.r.sv)]);
+        }
+        bool other_is_unbound_var =
+            (v_is_subj ? e.r.ov != kInvalidVarId && col_of(e.r.ov) == SIZE_MAX
+                       : e.r.sv != kInvalidVarId && col_of(e.r.sv) == SIZE_MAX) &&
+            !(e.r.sv == next && e.r.ov == next);
+        if (other_is_unbound_var && !first_edge) {
+          // Defer: this edge will constrain when its other endpoint binds.
+          continue;
+        }
+        if (other_is_unbound_var && first_edge) {
+          // Use the projection as a (sound) seed only if no better edge
+          // exists; check whether any other incident edge has a bound
+          // endpoint — if so, skip this one.
+          bool better_exists = false;
+          for (const CoreEdge& e2 : core) {
+            if (&e2 == &e) continue;
+            if (e2.r.sv != next && e2.r.ov != next) continue;
+            bool e2_subj = e2.r.sv == next;
+            bool e2_other_unbound =
+                (e2_subj ? e2.r.ov != kInvalidVarId && col_of(e2.r.ov) == SIZE_MAX
+                         : e2.r.sv != kInvalidVarId && col_of(e2.r.sv) == SIZE_MAX);
+            if (!e2_other_unbound) {
+              better_exists = true;
+              break;
+            }
+          }
+          if (better_exists) continue;
+        }
+        edge_list.clear();
+        AdjacencyList(store_, e, v_is_subj, other, &edge_list, counters);
+        if (first_edge) {
+          cand_list = edge_list;
+          first_edge = false;
+        } else {
+          IntersectSorted(&cand_list, edge_list);
+        }
+        if (cand_list.empty()) {
+          dead = true;
+          break;
+        }
+        if (other_is_unbound_var) break;  // projection seed: one edge only
+      }
+      if (dead || first_edge) {
+        // first_edge still true means no incident edge could seed this
+        // variable for this row: disconnected from current bindings. Seed
+        // from the globally cheapest incident edge projection.
+        if (first_edge && !dead) {
+          for (CoreEdge& e : core) {
+            if (e.r.sv != next && e.r.ov != next) continue;
+            edge_list.clear();
+            AdjacencyList(store_, e, e.r.sv == next, kInvalidTermId, &edge_list,
+                          counters);
+            if (cand_list.empty()) {
+              cand_list = edge_list;
+            } else {
+              IntersectSorted(&cand_list, edge_list);
+            }
+            break;
+          }
+        } else if (dead) {
+          continue;
+        }
+      }
+      for (TermId val : cand_list) {
+        if (cand_set != nullptr && cand_set->count(val) == 0) {
+          if (counters) ++counters->candidates_pruned;
+          continue;
+        }
+        std::vector<TermId> nrow = row;
+        nrow.push_back(val);
+        next_rows.push_back(std::move(nrow));
+      }
+    }
+    bound_vars.push_back(next);
+    rows = std::move(next_rows);
+    if (counters) counters->rows_materialized += rows.size();
+    if (rows.empty()) return result;
+  }
+
+  // --- Verification of core edges not enforced during extension -------
+  // Every core edge with both endpoints in bound_vars (or constants) must
+  // hold; extensions enforced edges incident to the newly added variable
+  // with a bound other endpoint, which covers all of them inductively —
+  // except edges whose adjacency was skipped as "deferred". Re-check all.
+  {
+    std::vector<std::vector<TermId>> verified;
+    verified.reserve(rows.size());
+    for (const auto& row : rows) {
+      bool ok = true;
+      for (const CoreEdge& e : core) {
+        TermId s = e.r.sv == kInvalidVarId ? e.r.s : row[col_of(e.r.sv)];
+        TermId o = e.r.ov == kInvalidVarId ? e.r.o : row[col_of(e.r.ov)];
+        if (!store_.Contains(Triple(s, e.r.p, o))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) verified.push_back(row);
+    }
+    rows = std::move(verified);
+  }
+
+  // --- Residual patterns (variable predicates) -------------------------
+  for (const ResolvedPattern& r : residual) {
+    std::vector<VarId> new_vars;
+    auto is_bound = [&](VarId v) { return col_of(v) != SIZE_MAX; };
+    for (VarId v : {r.sv, r.pv, r.ov})
+      if (v != kInvalidVarId && !is_bound(v) &&
+          std::find(new_vars.begin(), new_vars.end(), v) == new_vars.end())
+        new_vars.push_back(v);
+
+    std::vector<std::vector<TermId>> next_rows;
+    for (const auto& row : rows) {
+      TriplePatternIds q;
+      q.s = r.sv == kInvalidVarId ? r.s
+                                  : (is_bound(r.sv) ? row[col_of(r.sv)]
+                                                    : kInvalidTermId);
+      q.p = r.pv == kInvalidVarId ? r.p
+                                  : (is_bound(r.pv) ? row[col_of(r.pv)]
+                                                    : kInvalidTermId);
+      q.o = r.ov == kInvalidVarId ? r.o
+                                  : (is_bound(r.ov) ? row[col_of(r.ov)]
+                                                    : kInvalidTermId);
+      if (counters) ++counters->index_probes;
+      store_.Scan(q, [&](const Triple& t) {
+        // Repeated-variable consistency within the pattern.
+        if (r.sv != kInvalidVarId && r.sv == r.ov && t.s != t.o) return true;
+        if (r.sv != kInvalidVarId && r.sv == r.pv && t.s != t.p) return true;
+        if (r.pv != kInvalidVarId && r.pv == r.ov && t.p != t.o) return true;
+        std::vector<TermId> nrow = row;
+        for (VarId v : new_vars) {
+          TermId val = v == r.sv ? t.s : (v == r.pv ? t.p : t.o);
+          if (cands != nullptr) {
+            const auto* cs = cands->Get(v);
+            if (cs != nullptr && cs->count(val) == 0) {
+              if (counters) ++counters->candidates_pruned;
+              return true;
+            }
+          }
+          nrow.push_back(val);
+        }
+        next_rows.push_back(std::move(nrow));
+        return true;
+      });
+    }
+    for (VarId v : new_vars) bound_vars.push_back(v);
+    rows = std::move(next_rows);
+    if (counters) counters->rows_materialized += rows.size();
+    if (rows.empty()) return result;
+  }
+
+  // --- Deduplicate (set semantics of BGP matching) ---------------------
+  // Vertex-at-a-time extension can reach the same full binding through
+  // projection-seeded steps; normalize to distinct rows.
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  // --- Emit over the canonical schema ---------------------------------
+  std::vector<size_t> out_cols;
+  out_cols.reserve(all_vars.size());
+  for (VarId v : all_vars) out_cols.push_back(col_of(v));
+  std::vector<TermId> out_row(all_vars.size());
+  result.Reserve(rows.size());
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < out_cols.size(); ++i)
+      out_row[i] = out_cols[i] == SIZE_MAX ? kUnboundTerm : row[out_cols[i]];
+    result.AppendRow(out_row);
+  }
+  return result;
+}
+
+double WcoEngine::EstimateCost(const Bgp& bgp) const {
+  if (bgp.triples.empty()) return 0.0;
+  // cost(WCOJoin({v1..vk-1}, vk)) = card({v1..vk-1}) * min_i avg_size(vi, p).
+  // Follow the same greedy pattern order the evaluation uses, accumulating
+  // cardinalities with the sampling estimator.
+  std::vector<size_t> order = estimator_.GreedyOrder(bgp);
+  double cost = 0.0;
+  Bgp prefix;
+  double card_prev = 1.0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const TriplePattern& t = bgp.triples[order[k]];
+    if (k == 0) {
+      cost += estimator_.EstimateTriple(t);
+      prefix.triples.push_back(t);
+      card_prev = estimator_.EstimateBgp(prefix);
+      continue;
+    }
+    // Extension fan: the predicate's average adjacency size.
+    double fan = 1.0;
+    if (!t.p.is_var) {
+      TermId p = dict_.Lookup(t.p.term);
+      const PredicateStats& ps = stats_.ForPredicate(p);
+      // min over the bound endpoints; approximate with the smaller fanout.
+      fan = std::max(1.0, std::min(ps.avg_out(), ps.avg_in()));
+    }
+    cost += card_prev * fan;
+    prefix.triples.push_back(t);
+    card_prev = estimator_.EstimateBgp(prefix);
+  }
+  return cost;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,50 @@
+#include "engine/database.h"
+
+#include "rdf/turtle.h"
+
+#include "sparql/parser.h"
+
+namespace sparqluo {
+
+void Database::AddTriple(const Term& s, const Term& p, const Term& o) {
+  store_.Add(Triple(dict_.Encode(s), dict_.Encode(p), dict_.Encode(o)));
+}
+
+Status Database::LoadNTriplesFile(const std::string& path) {
+  return sparqluo::LoadNTriplesFile(path, &dict_, &store_);
+}
+
+Status Database::LoadNTriplesString(const std::string& text) {
+  return sparqluo::ParseNTriplesString(text, &dict_, &store_);
+}
+
+Status Database::LoadTurtleFile(const std::string& path) {
+  return sparqluo::LoadTurtleFile(path, &dict_, &store_);
+}
+
+Status Database::LoadTurtleString(const std::string& text) {
+  return sparqluo::ParseTurtleString(text, &dict_, &store_);
+}
+
+void Database::Finalize(EngineKind kind) {
+  if (!store_.built()) store_.Build();
+  stats_ = Statistics::Compute(store_, dict_);
+  engine_ = MakeEngine(kind, store_, dict_, stats_);
+  executor_ = std::make_unique<Executor>(*engine_, dict_, store_);
+}
+
+Result<BindingSet> Database::Query(const std::string& text,
+                                   const ExecOptions& options,
+                                   ExecMetrics* metrics) const {
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  auto query = ParseQuery(text);
+  if (!query.ok()) return query.status();
+  return executor_->Execute(*query, options, metrics);
+}
+
+Result<Query> Database::Parse(const std::string& text) const {
+  return ParseQuery(text);
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,62 @@
+// Convenience facade bundling dictionary, store, statistics, engine and
+// executor — the entry point examples and benchmarks use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/executor.h"
+#include "rdf/ntriples.h"
+#include "rdf/statistics.h"
+
+namespace sparqluo {
+
+/// An in-memory RDF database with a SPARQL-UO front end.
+///
+/// Usage:
+///   Database db;
+///   db.AddTriple(...); or db.LoadNTriples*(...);
+///   db.Finalize(EngineKind::kWco);
+///   auto result = db.Query("SELECT * WHERE { ... }", ExecOptions::Full());
+class Database {
+ public:
+  Database() = default;
+
+  // Loading (before Finalize).
+  void AddTriple(const Term& s, const Term& p, const Term& o);
+  Status LoadNTriplesFile(const std::string& path);
+  Status LoadNTriplesString(const std::string& text);
+  Status LoadTurtleFile(const std::string& path);
+  Status LoadTurtleString(const std::string& text);
+
+  /// Builds indexes and statistics and instantiates the BGP engine.
+  void Finalize(EngineKind kind = EngineKind::kWco);
+
+  /// Parses and executes a query.
+  Result<BindingSet> Query(const std::string& text,
+                           const ExecOptions& options = ExecOptions::Full(),
+                           ExecMetrics* metrics = nullptr) const;
+
+  /// Parses a query without executing it (for planning / inspection).
+  Result<sparqluo::Query> Parse(const std::string& text) const;
+
+  // Accessors (valid after Finalize unless noted).
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+  TripleStore& store() { return store_; }
+  const TripleStore& store() const { return store_; }
+  const Statistics& stats() const { return stats_; }
+  const BgpEngine& engine() const { return *engine_; }
+  const Executor& executor() const { return *executor_; }
+  bool finalized() const { return executor_ != nullptr; }
+  size_t size() const { return store_.size(); }
+
+ private:
+  Dictionary dict_;
+  TripleStore store_;
+  Statistics stats_;
+  std::unique_ptr<BgpEngine> engine_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,289 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "algebra/operators.h"
+#include "betree/builder.h"
+#include "util/timer.h"
+
+namespace sparqluo {
+
+namespace {
+
+/// Internal control-flow signal for the max_intermediate_rows guard; never
+/// escapes this translation unit.
+struct RowLimitExceeded {};
+
+/// Result of evaluating one BE-tree node: the bindings plus the node's join
+/// space JS (§7.1): BGP -> actual result size; AND/OPTIONAL -> product;
+/// UNION -> sum.
+struct EvalResult {
+  BindingSet rows;
+  double js = 1.0;
+};
+
+class TreeEvaluator {
+ public:
+  TreeEvaluator(const BgpEngine& engine, const Dictionary& dict,
+                const TripleStore& store, const ExecOptions& options,
+                ExecMetrics* metrics)
+      : engine_(engine), dict_(dict), store_(store), options_(options),
+        metrics_(metrics) {}
+
+  /// Algorithm 1 over a group node. `inherited` is the modified algorithm's
+  /// third argument `cand`: the caller's current bindings, used to prune
+  /// this level's BGP children and forwarded to subtrees until this level
+  /// produces bindings of its own (which is what lets the pruning effect of
+  /// small results travel across levels, §6).
+  EvalResult EvalGroup(const BeNode& group, const BindingSet* inherited) {
+    EvalResult acc;
+    acc.rows = BindingSet::Unit();
+    acc.js = 1.0;
+    bool first = true;
+    auto cand_source = [&]() -> const BindingSet* {
+      if (!options_.candidate_pruning) return nullptr;
+      return first ? inherited : &acc.rows;
+    };
+    for (const auto& child : group.children) {
+      switch (child->type) {
+        case BeNode::Type::kBgp: {
+          // §6: BGP children are pruned by the function's `cand` argument.
+          BindingSet res =
+              EvaluateBgp(child->bgp,
+                          options_.candidate_pruning ? inherited : nullptr);
+          acc.js *= static_cast<double>(std::max<size_t>(res.size(), 1));
+          acc.rows = first ? std::move(res) : Join(acc.rows, res);
+          break;
+        }
+        case BeNode::Type::kGroup: {
+          EvalResult sub = EvalGroup(*child, cand_source());
+          acc.js *= std::max(sub.js, 1.0);
+          acc.rows = first ? std::move(sub.rows) : Join(acc.rows, sub.rows);
+          break;
+        }
+        case BeNode::Type::kUnion: {
+          BindingSet u;
+          double js_sum = 0.0;
+          bool ufirst = true;
+          const BindingSet* cand = cand_source();
+          for (const auto& branch : child->children) {
+            EvalResult sub = EvalGroup(*branch, cand);
+            js_sum += sub.js;
+            u = ufirst ? std::move(sub.rows) : UnionBag(u, sub.rows);
+            ufirst = false;
+          }
+          acc.js *= std::max(js_sum, 1.0);
+          acc.rows = first ? std::move(u) : Join(acc.rows, u);
+          break;
+        }
+        case BeNode::Type::kOptional: {
+          // An OPTIONAL's padding decision depends on its right side's
+          // emptiness relative to the CURRENT base (acc). Forwarding the
+          // caller's candidates when nothing has been evaluated yet (base =
+          // unit bag) could prune away rows that must suppress padding, so
+          // inherited candidates stop at a leading OPTIONAL.
+          const BindingSet* cand =
+              options_.candidate_pruning && !first ? &acc.rows : nullptr;
+          EvalResult sub = EvalGroup(*child->children[0], cand);
+          acc.js *= std::max(sub.js, 1.0);
+          acc.rows = LeftOuterJoin(acc.rows, sub.rows);
+          break;
+        }
+        case BeNode::Type::kFilter: {
+          acc.rows = ApplyFilter(acc.rows, child->filter, dict_);
+          break;
+        }
+      }
+      first = false;
+      if (acc.rows.size() > options_.max_intermediate_rows)
+        throw RowLimitExceeded{};
+    }
+    return acc;
+  }
+
+ private:
+
+  BindingSet EvaluateBgp(const Bgp& bgp, const BindingSet* cand_source) {
+    CandidateMap cands;
+    const CandidateMap* cands_ptr = nullptr;
+    if (options_.candidate_pruning && cand_source != nullptr &&
+        !cand_source->schema().empty() && !cand_source->empty()) {
+      // Adaptive mode: the threshold is the estimated BGP result size,
+      // floored by the dataset-size-based default — a small *estimated
+      // result* does not mean the BGP is cheap to evaluate unpruned, so
+      // the floor keeps pruning engaged for selective candidate sets
+      // (§6's fallback rule).
+      double fixed = options_.fixed_threshold_fraction *
+                     static_cast<double>(store_.size());
+      double threshold =
+          options_.adaptive_threshold
+              ? std::max(engine_.EstimateCardinality(bgp), fixed)
+              : fixed;
+      BuildCandidates(*cand_source, bgp, threshold, &cands);
+      if (!cands.empty()) cands_ptr = &cands;
+    }
+    BgpEvalCounters counters;
+    BindingSet res = engine_.Evaluate(bgp, cands_ptr, &counters);
+    if (metrics_) metrics_->bgp.Merge(counters);
+    return res;
+  }
+
+  /// Converts the current bindings into per-variable candidate sets for the
+  /// variables shared with `bgp`. The threshold gates each variable's
+  /// DISTINCT value count (a large binding table over few distinct values
+  /// is still an excellent pruning source); collection aborts early once a
+  /// set exceeds it. A variable left unbound by any mapping is
+  /// unconstrained and gets no set.
+  void BuildCandidates(const BindingSet& source, const Bgp& bgp,
+                       double threshold, CandidateMap* out) const {
+    std::vector<VarId> bgp_vars = bgp.Variables();
+    for (VarId v : bgp_vars) {
+      size_t col = source.ColumnOf(v);
+      if (col == SIZE_MAX) continue;
+      CandidateMap::Set values;
+      bool usable = true;
+      for (size_t r = 0; r < source.size(); ++r) {
+        TermId val = source.At(r, col);
+        if (val == kUnboundTerm ||
+            static_cast<double>(values.size()) >= threshold) {
+          usable = false;
+          break;
+        }
+        values.insert(val);
+      }
+      if (usable) out->Set_(v, std::move(values));
+    }
+  }
+
+  const BgpEngine& engine_;
+  const Dictionary& dict_;
+  const TripleStore& store_;
+  const ExecOptions& options_;
+  ExecMetrics* metrics_;
+};
+
+}  // namespace
+
+BeTree Executor::Plan(const Query& query, const ExecOptions& options,
+                      ExecMetrics* metrics) const {
+  Timer timer;
+  BeTree tree = BuildBeTree(query);
+  if (options.tree_transform) {
+    CostModel cost(engine_);
+    TransformOptions topt;
+    topt.skip_cp_equivalent_levels = options.candidate_pruning;
+    TransformStats tstats;
+    MultiLevelTransform(&tree, cost, topt, &tstats);
+    if (metrics) metrics->transform = tstats;
+  }
+  if (metrics) metrics->transform_ms = timer.ElapsedMillis();
+  return tree;
+}
+
+BindingSet Executor::EvaluateTree(const BeTree& tree, const ExecOptions& options,
+                                  ExecMetrics* metrics) const {
+  Timer timer;
+  TreeEvaluator eval(engine_, dict_, store_, options, metrics);
+  EvalResult res;
+  try {
+    res = eval.EvalGroup(*tree.root, nullptr);
+  } catch (const RowLimitExceeded&) {
+    if (metrics) {
+      metrics->aborted = true;
+      metrics->exec_ms = timer.ElapsedMillis();
+    }
+    return BindingSet();
+  }
+  if (metrics) {
+    metrics->exec_ms = timer.ElapsedMillis();
+    metrics->join_space = res.js;
+    metrics->result_rows = res.rows.size();
+  }
+  return std::move(res.rows);
+}
+
+BindingSet Executor::OrderRows(const BindingSet& rows,
+                               const std::vector<OrderKey>& keys) const {
+  if (rows.width() == 0) return rows;  // only empty mappings: order is moot
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> cols;
+  cols.reserve(keys.size());
+  for (const OrderKey& k : keys) cols.push_back(rows.ColumnOf(k.var));
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (cols[k] == SIZE_MAX) continue;
+      TermId vx = rows.At(x, cols[k]);
+      TermId vy = rows.At(y, cols[k]);
+      if (vx == vy) continue;
+      int c;
+      if (vx == kUnboundTerm) {
+        c = -1;  // unbound < bound
+      } else if (vy == kUnboundTerm) {
+        c = 1;
+      } else {
+        c = CompareTermsForOrdering(dict_.Decode(vx), dict_.Decode(vy));
+      }
+      if (c == 0) continue;
+      return keys[k].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  BindingSet out(rows.schema());
+  out.Reserve(rows.size());
+  std::vector<TermId> row(rows.width());
+  for (size_t i : order) {
+    row.assign(rows.Row(i), rows.Row(i) + rows.width());
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+BindingSet Executor::Slice(const BindingSet& rows, size_t offset,
+                           size_t limit) {
+  BindingSet out(rows.schema());
+  if (offset >= rows.size()) return out;
+  size_t end = rows.size() - offset;
+  if (limit != SIZE_MAX) end = std::min(end, limit);
+  if (rows.width() == 0) {
+    out.AppendEmptyMappings(end);
+    return out;
+  }
+  std::vector<TermId> row(rows.width());
+  for (size_t i = 0; i < end; ++i) {
+    size_t r = offset + i;
+    row.assign(rows.Row(r), rows.Row(r) + rows.width());
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<BindingSet> Executor::Execute(const Query& query,
+                                     const ExecOptions& options,
+                                     ExecMetrics* metrics) const {
+  ExecMetrics local;
+  ExecMetrics* m = metrics != nullptr ? metrics : &local;
+  BeTree tree = Plan(query, options, m);
+  SPARQLUO_RETURN_NOT_OK(tree.Validate());
+  BindingSet rows = EvaluateTree(tree, options, m);
+  if (m->aborted)
+    return Status::ResourceExhausted(
+        "intermediate result exceeded max_intermediate_rows");
+  if (query.form == QueryForm::kAsk) {
+    // ASK reduces to solution existence: a zero-width bag holding one empty
+    // mapping for "yes", none for "no".
+    BindingSet ask;
+    if (!rows.empty()) ask.AppendEmptyMappings(1);
+    m->result_rows = ask.size();
+    return ask;
+  }
+  if (!query.order_by.empty()) rows = OrderRows(rows, query.order_by);
+  if (!query.projection.empty()) rows = rows.Project(query.projection);
+  if (query.distinct) rows = rows.Distinct();
+  if (query.offset > 0 || query.limit != SIZE_MAX)
+    rows = Slice(rows, query.offset, query.limit);
+  m->result_rows = rows.size();
+  return rows;
+}
+
+}  // namespace sparqluo

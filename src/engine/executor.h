@@ -1,0 +1,105 @@
+// SPARQL-UO query execution (Algorithm 1) with candidate pruning (§6).
+//
+// The four approaches evaluated in the paper map to ExecOptions:
+//   base: tree_transform = false, candidate_pruning = false
+//   TT:   tree_transform = true,  candidate_pruning = false
+//   CP:   tree_transform = false, candidate_pruning = true  (fixed 1%)
+//   full: tree_transform = true,  candidate_pruning = true  (adaptive)
+#pragma once
+
+#include "algebra/binding_set.h"
+#include "betree/be_tree.h"
+#include "bgp/engine.h"
+#include "optimizer/transformer.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+struct ExecOptions {
+  bool tree_transform = false;
+  bool candidate_pruning = false;
+  /// Fixed CP threshold as a fraction of the store's triple count
+  /// (the paper's CP mode uses 1%).
+  double fixed_threshold_fraction = 0.01;
+  /// Adaptive threshold (full mode): prune only when the candidate bag is
+  /// smaller than the estimated BGP result size.
+  bool adaptive_threshold = false;
+  /// Cooperative guard: evaluation aborts with ResourceExhausted once an
+  /// intermediate binding table exceeds this many rows (the benchmark
+  /// harness's stand-in for the paper's out-of-memory condition).
+  size_t max_intermediate_rows = SIZE_MAX;
+
+  static ExecOptions Base() { return {}; }
+  static ExecOptions TT() {
+    ExecOptions o;
+    o.tree_transform = true;
+    return o;
+  }
+  static ExecOptions CP() {
+    ExecOptions o;
+    o.candidate_pruning = true;
+    return o;
+  }
+  static ExecOptions Full() {
+    ExecOptions o;
+    o.tree_transform = true;
+    o.candidate_pruning = true;
+    o.adaptive_threshold = true;
+    return o;
+  }
+  const char* Name() const {
+    if (tree_transform && candidate_pruning) return "full";
+    if (tree_transform) return "TT";
+    if (candidate_pruning) return "CP";
+    return "base";
+  }
+};
+
+/// Per-query instrumentation.
+struct ExecMetrics {
+  double transform_ms = 0.0;  ///< Time spent deciding/applying transformations.
+  double exec_ms = 0.0;       ///< Evaluation time (Algorithm 1).
+  double join_space = 0.0;    ///< JS metric (§7.1) from actual BGP result sizes.
+  size_t result_rows = 0;
+  bool aborted = false;       ///< True when max_intermediate_rows was hit.
+  BgpEvalCounters bgp;
+  TransformStats transform;
+};
+
+/// Evaluates queries against one store/engine pair.
+class Executor {
+ public:
+  Executor(const BgpEngine& engine, const Dictionary& dict,
+           const TripleStore& store)
+      : engine_(engine), dict_(dict), store_(store) {}
+
+  /// Parses nothing: takes a parsed query, builds + (optionally) transforms
+  /// the BE-tree, evaluates it, applies projection/DISTINCT.
+  Result<BindingSet> Execute(const Query& query, const ExecOptions& options,
+                             ExecMetrics* metrics = nullptr) const;
+
+  /// Evaluates an already-built BE-tree (no transformation). Used by tests
+  /// and by Execute after transformation.
+  BindingSet EvaluateTree(const BeTree& tree, const ExecOptions& options,
+                          ExecMetrics* metrics = nullptr) const;
+
+  /// Builds and transforms the BE-tree per `options`, without evaluating.
+  BeTree Plan(const Query& query, const ExecOptions& options,
+              ExecMetrics* metrics = nullptr) const;
+
+ private:
+  /// ORDER BY: stable sort by the decoded term order of each key
+  /// (unbound sorts first, per the SPARQL ordering of unbound < bound).
+  BindingSet OrderRows(const BindingSet& rows,
+                       const std::vector<OrderKey>& keys) const;
+
+  /// OFFSET/LIMIT slice.
+  static BindingSet Slice(const BindingSet& rows, size_t offset, size_t limit);
+
+  const BgpEngine& engine_;
+  const Dictionary& dict_;
+  const TripleStore& store_;
+};
+
+}  // namespace sparqluo

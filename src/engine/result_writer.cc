@@ -1,0 +1,149 @@
+#include "engine/result_writer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+/// CSV field escaping: quote when the value contains comma, quote or
+/// newline; double embedded quotes.
+void WriteCsvField(const std::string& value, std::ostream& out) {
+  bool needs_quoting = value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) {
+    out << value;
+    return;
+  }
+  out << '"';
+  for (char c : value) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// CSV plain rendering: IRIs and literal values bare, blanks as _:label.
+std::string CsvValue(const Term& term) {
+  switch (term.kind) {
+    case TermKind::kIri: return term.lexical;
+    case TermKind::kLiteral: return term.lexical;
+    case TermKind::kBlank: return "_:" + term.lexical;
+  }
+  return "";
+}
+
+void WriteJsonString(const std::string& s, std::ostream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteCsv(const BindingSet& rows, const VarTable& vars,
+              const Dictionary& dict, std::ostream& out) {
+  for (size_t c = 0; c < rows.schema().size(); ++c) {
+    if (c > 0) out << ',';
+    out << vars.Name(rows.schema()[c]);
+  }
+  out << "\r\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows.width(); ++c) {
+      if (c > 0) out << ',';
+      TermId id = rows.At(r, c);
+      if (id != kUnboundTerm) WriteCsvField(CsvValue(dict.Decode(id)), out);
+    }
+    out << "\r\n";
+  }
+}
+
+void WriteTsv(const BindingSet& rows, const VarTable& vars,
+              const Dictionary& dict, std::ostream& out) {
+  for (size_t c = 0; c < rows.schema().size(); ++c) {
+    if (c > 0) out << '\t';
+    out << '?' << vars.Name(rows.schema()[c]);
+  }
+  out << '\n';
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows.width(); ++c) {
+      if (c > 0) out << '\t';
+      TermId id = rows.At(r, c);
+      if (id != kUnboundTerm) out << dict.Decode(id).ToString();
+    }
+    out << '\n';
+  }
+}
+
+void WriteJson(const BindingSet& rows, const VarTable& vars,
+               const Dictionary& dict, std::ostream& out) {
+  out << "{\"head\":{\"vars\":[";
+  for (size_t c = 0; c < rows.schema().size(); ++c) {
+    if (c > 0) out << ',';
+    WriteJsonString(vars.Name(rows.schema()[c]), out);
+  }
+  out << "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out << ',';
+    out << '{';
+    bool first = true;
+    for (size_t c = 0; c < rows.width(); ++c) {
+      TermId id = rows.At(r, c);
+      if (id == kUnboundTerm) continue;  // unbound vars are omitted
+      if (!first) out << ',';
+      first = false;
+      const Term& term = dict.Decode(id);
+      WriteJsonString(vars.Name(rows.schema()[c]), out);
+      out << ":{\"type\":";
+      switch (term.kind) {
+        case TermKind::kIri: out << "\"uri\""; break;
+        case TermKind::kLiteral: out << "\"literal\""; break;
+        case TermKind::kBlank: out << "\"bnode\""; break;
+      }
+      out << ",\"value\":";
+      WriteJsonString(term.lexical, out);
+      if (term.is_literal() && !term.qualifier.empty()) {
+        if (term.qualifier_is_lang) {
+          out << ",\"xml:lang\":";
+        } else {
+          out << ",\"datatype\":";
+        }
+        WriteJsonString(term.qualifier, out);
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "]}}";
+}
+
+std::string FormatResults(const BindingSet& rows, const VarTable& vars,
+                          const Dictionary& dict, ResultFormat format) {
+  std::ostringstream out;
+  switch (format) {
+    case ResultFormat::kCsv: WriteCsv(rows, vars, dict, out); break;
+    case ResultFormat::kTsv: WriteTsv(rows, vars, dict, out); break;
+    case ResultFormat::kJson: WriteJson(rows, vars, dict, out); break;
+  }
+  return out.str();
+}
+
+}  // namespace sparqluo

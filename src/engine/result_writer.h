@@ -1,0 +1,34 @@
+// Query-result serialization in the W3C SPARQL 1.1 results formats:
+// CSV, TSV (https://www.w3.org/TR/sparql11-results-csv-tsv/) and the JSON
+// results format (https://www.w3.org/TR/sparql11-results-json/).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "algebra/binding_set.h"
+
+namespace sparqluo {
+
+/// Writes `rows` as SPARQL 1.1 CSV: header of variable names, values in
+/// plain form (IRIs bare, literals unquoted unless they need escaping),
+/// unbound cells empty.
+void WriteCsv(const BindingSet& rows, const VarTable& vars,
+              const Dictionary& dict, std::ostream& out);
+
+/// Writes `rows` as SPARQL 1.1 TSV: header of ?-prefixed variables, values
+/// in their N-Triples surface form, unbound cells empty.
+void WriteTsv(const BindingSet& rows, const VarTable& vars,
+              const Dictionary& dict, std::ostream& out);
+
+/// Writes `rows` in the SPARQL 1.1 JSON results format
+/// ({"head":{"vars":[...]},"results":{"bindings":[...]}}).
+void WriteJson(const BindingSet& rows, const VarTable& vars,
+               const Dictionary& dict, std::ostream& out);
+
+/// Convenience: renders with the chosen writer into a string.
+enum class ResultFormat { kCsv, kTsv, kJson };
+std::string FormatResults(const BindingSet& rows, const VarTable& vars,
+                          const Dictionary& dict, ResultFormat format);
+
+}  // namespace sparqluo

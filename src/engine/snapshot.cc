@@ -1,0 +1,119 @@
+#include "engine/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace sparqluo {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'Q', 'L', 'U', 'O', '1', '\n'};
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(buf, 4);
+}
+void WriteU64(std::ostream& out, uint64_t v) {
+  WriteU32(out, static_cast<uint32_t>(v));
+  WriteU32(out, static_cast<uint32_t>(v >> 32));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = static_cast<uint32_t>(buf[0]) | static_cast<uint32_t>(buf[1]) << 8 |
+       static_cast<uint32_t>(buf[2]) << 16 | static_cast<uint32_t>(buf[3]) << 24;
+  return true;
+}
+bool ReadU64(std::istream& in, uint64_t* v) {
+  uint32_t lo, hi;
+  if (!ReadU32(in, &lo) || !ReadU32(in, &hi)) return false;
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len;
+  if (!ReadU32(in, &len)) return false;
+  // Sanity cap: no single term should exceed 16 MiB.
+  if (len > (16u << 20)) return false;
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(), len));
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::NotFound("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+
+  const Dictionary& dict = db.dict();
+  WriteU64(out, dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    const Term& t = dict.Decode(id);
+    out.put(static_cast<char>(t.kind));
+    out.put(t.qualifier_is_lang ? 1 : 0);
+    WriteString(out, t.lexical);
+    WriteString(out, t.qualifier);
+  }
+
+  auto triples = db.store().triples();
+  WriteU64(out, triples.size());
+  for (const Triple& t : triples) {
+    WriteU32(out, t.s);
+    WriteU32(out, t.p);
+    WriteU32(out, t.o);
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadSnapshot(const std::string& path, Database* db) {
+  if (db->size() != 0 || db->dict().size() != 0)
+    return Status::InvalidArgument("LoadSnapshot requires an empty database");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  if (!in.read(magic, 8) || std::memcmp(magic, kMagic, 8) != 0)
+    return Status::ParseError("not a sparqluo snapshot: " + path);
+
+  uint64_t term_count;
+  if (!ReadU64(in, &term_count))
+    return Status::ParseError("truncated snapshot header");
+  // Ids are dense and assigned in order, so re-encoding reproduces them.
+  for (uint64_t i = 0; i < term_count; ++i) {
+    int kind = in.get();
+    int is_lang = in.get();
+    Term t;
+    if (kind < 0 || kind > 2 || is_lang < 0)
+      return Status::ParseError("corrupt term record");
+    t.kind = static_cast<TermKind>(kind);
+    t.qualifier_is_lang = is_lang != 0;
+    if (!ReadString(in, &t.lexical) || !ReadString(in, &t.qualifier))
+      return Status::ParseError("truncated term record");
+    TermId id = db->dict().Encode(t);
+    if (id != i) return Status::ParseError("duplicate term in snapshot");
+  }
+
+  uint64_t triple_count;
+  if (!ReadU64(in, &triple_count))
+    return Status::ParseError("truncated triple header");
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    uint32_t s, p, o;
+    if (!ReadU32(in, &s) || !ReadU32(in, &p) || !ReadU32(in, &o))
+      return Status::ParseError("truncated triple record");
+    if (s >= term_count || p >= term_count || o >= term_count)
+      return Status::ParseError("triple references unknown term");
+    db->store().Add(Triple(s, p, o));
+  }
+  return Status::OK();
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,28 @@
+// Binary database snapshots.
+//
+// Serializes a loaded (pre- or post-Finalize) database — dictionary and
+// triples — to a compact binary file, so large generated datasets can be
+// reloaded without re-running the generator or re-parsing N-Triples.
+//
+// Format (little-endian):
+//   magic "SPQLUO1\n" | u64 term_count | terms | u64 triple_count | triples
+//   term   := u8 kind | u8 qualifier_is_lang | u32 len lexical bytes
+//             | u32 len qualifier bytes
+//   triple := u32 s | u32 p | u32 o
+#pragma once
+
+#include <string>
+
+#include "engine/database.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Writes the database's dictionary and triple set to `path`.
+Status SaveSnapshot(const Database& db, const std::string& path);
+
+/// Loads a snapshot into an empty database. The caller still runs
+/// db->Finalize() afterwards to build indexes and pick an engine.
+Status LoadSnapshot(const std::string& path, Database* db);
+
+}  // namespace sparqluo

@@ -1,0 +1,74 @@
+#include "optimizer/cost_model.h"
+
+namespace sparqluo {
+
+double CostModel::EstimateResultSize(const BeNode& node) const {
+  switch (node.type) {
+    case BeNode::Type::kBgp:
+      if (node.bgp.empty()) return 1.0;
+      return engine_.EstimateCardinality(node.bgp);
+    case BeNode::Type::kGroup: {
+      // Children combine by joins (AND / left-outer-join): product rule.
+      double size = 1.0;
+      for (const auto& c : node.children) {
+        if (c->is_filter()) continue;  // treated as selectivity 1
+        size *= EstimateResultSize(*c);
+      }
+      return size;
+    }
+    case BeNode::Type::kUnion: {
+      double size = 0.0;
+      for (const auto& c : node.children) size += EstimateResultSize(*c);
+      return size;
+    }
+    case BeNode::Type::kOptional:
+      return EstimateResultSize(*node.children[0]);
+    case BeNode::Type::kFilter:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double CostModel::LevelBgpCost(const BeNode& group, size_t skip_idx) const {
+  const auto& kids = group.children;
+  // Precompute each child's result size once.
+  std::vector<double> sizes(kids.size(), 1.0);
+  for (size_t i = 0; i < kids.size(); ++i)
+    sizes[i] = kids[i]->is_filter() || i == skip_idx
+                   ? 1.0
+                   : EstimateResultSize(*kids[i]);
+
+  double cost = 0.0;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (!kids[i]->is_bgp()) continue;
+    double left = 1.0, right = 1.0;
+    for (size_t j = 0; j < i; ++j) left *= sizes[j];
+    for (size_t j = i + 1; j < kids.size(); ++j) right *= sizes[j];
+    // f_AND(|res(X)|, |res(l(X))|, |res(r(X))|) with f_AND = product.
+    cost += BgpCost(kids[i]->bgp) + sizes[i] * left * right;
+  }
+  return cost;
+}
+
+double CostModel::MergeSiteCost(const BeNode& group, size_t union_idx) const {
+  const BeNode& u = *group.children[union_idx];
+  double cost = LevelBgpCost(group, union_idx);
+  double f_union = 0.0;
+  for (const auto& branch : u.children) {
+    cost += LevelBgpCost(*branch);
+    f_union += EstimateResultSize(*branch);
+  }
+  return cost + f_union;
+}
+
+double CostModel::InjectSiteCost(const BeNode& group, size_t opt_idx,
+                                 double res_p1) const {
+  const BeNode& opt = *group.children[opt_idx];
+  const BeNode& right = *opt.children[0];
+  double cost = LevelBgpCost(group, opt_idx) + LevelBgpCost(right);
+  // f_OPTIONAL(|res(P1)|, |res(P2)|) with product semantics.
+  cost += res_p1 * EstimateResultSize(right);
+  return cost;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,37 @@
+// The merge and inject BE-tree transformations (Definitions 9 and 10).
+//
+// Both preserve query semantics (Theorems 1 and 2):
+//   merge:  P1 AND (P2 UNION P3)  ==  (P1 AND P2) UNION (P1 AND P3)
+//   inject: P1 OPTIONAL P2        ==  P1 OPTIONAL (P1 AND P2)
+#pragma once
+
+#include "betree/be_tree.h"
+
+namespace sparqluo {
+
+/// Re-coalesces the BGP children of `group` to maximality: connected
+/// components of the coalescability relation collapse into their leftmost
+/// member (step 2 of Definitions 9-10).
+void CoalesceGroupBgps(BeNode* group);
+
+/// Definition 9 preconditions: children[bgp_idx] is a non-empty BGP node,
+/// children[union_idx] is a UNION node, and at least one UNION branch has a
+/// BGP child coalescable with it.
+bool CanMerge(const BeNode& group, size_t bgp_idx, size_t union_idx);
+
+/// Performs merge in place: inserts a copy of the BGP as the leftmost child
+/// of every UNION branch, re-coalesces each branch, and removes the BGP
+/// from its original position. Requires CanMerge.
+void ApplyMerge(BeNode* group, size_t bgp_idx, size_t union_idx);
+
+/// Definition 10 preconditions: children[bgp_idx] is a non-empty BGP node,
+/// children[opt_idx] is an OPTIONAL node to its right, and the
+/// OPTIONAL-right group has a BGP child coalescable with it.
+bool CanInject(const BeNode& group, size_t bgp_idx, size_t opt_idx);
+
+/// Performs inject in place: inserts a copy of the BGP as the leftmost
+/// child of the OPTIONAL-right group and re-coalesces it. The original BGP
+/// node keeps its position. Requires CanInject.
+void ApplyInject(BeNode* group, size_t bgp_idx, size_t opt_idx);
+
+}  // namespace sparqluo

@@ -1,0 +1,138 @@
+#include "optimizer/transformer.h"
+
+#include "optimizer/transformations.h"
+
+namespace sparqluo {
+
+namespace {
+
+/// Clones only what a site evaluation needs: the parent group node (whose
+/// children are cloned shallowly enough for cost computation — i.e., fully,
+/// since cost estimation walks subtrees).
+std::unique_ptr<BeNode> CloneGroup(const BeNode& group) { return group.Clone(); }
+
+/// §6: a level shaped as [BGP, (UNION|OPTIONAL|FILTER)...] — one leading
+/// BGP followed only by operator nodes — is exactly the case where the
+/// transformation duplicates what candidate pruning achieves at query time.
+bool LevelIsCpEquivalent(const BeNode& group) {
+  size_t bgp_count = 0;
+  for (size_t i = 0; i < group.children.size(); ++i) {
+    const BeNode& c = *group.children[i];
+    if (c.is_bgp()) {
+      ++bgp_count;
+      if (i != 0) return false;
+    } else if (!c.is_union() && !c.is_optional() && !c.is_filter()) {
+      return false;  // nested group: transformation can still help
+    }
+  }
+  return bgp_count == 1 && group.children.size() > 1;
+}
+
+}  // namespace
+
+double DecideMergeDelta(const BeNode& group, size_t bgp_idx, size_t union_idx,
+                        const CostModel& cost) {
+  if (!CanMerge(group, bgp_idx, union_idx)) return 0.0;
+  double before = cost.MergeSiteCost(group, union_idx);
+  std::unique_ptr<BeNode> clone = CloneGroup(group);
+  ApplyMerge(clone.get(), bgp_idx, union_idx);
+  // After the merge the BGP node is gone, shifting the UNION one slot left
+  // when it was to the right of the BGP.
+  size_t union_after = union_idx > bgp_idx ? union_idx - 1 : union_idx;
+  double after = cost.MergeSiteCost(*clone, union_after);
+  return after - before;
+}
+
+double DecideInjectDelta(const BeNode& group, size_t bgp_idx, size_t opt_idx,
+                         const CostModel& cost) {
+  if (!CanInject(group, bgp_idx, opt_idx)) return 0.0;
+  double res_p1 = cost.EstimateResultSize(*group.children[bgp_idx]);
+  double before = cost.InjectSiteCost(group, opt_idx, res_p1);
+  std::unique_ptr<BeNode> clone = CloneGroup(group);
+  ApplyInject(clone.get(), bgp_idx, opt_idx);
+  double after = cost.InjectSiteCost(*clone, opt_idx, res_p1);
+  return after - before;
+}
+
+void SingleLevelTransform(BeNode* group, const CostModel& cost,
+                          const TransformOptions& options,
+                          TransformStats* stats) {
+  if (options.skip_cp_equivalent_levels && LevelIsCpEquivalent(*group)) {
+    if (stats) ++stats->levels_skipped_cp;
+    return;
+  }
+  // Iterate over BGP children. Indices shift when a merge removes a node,
+  // so the loop re-scans from the current position after each merge.
+  for (size_t i = 0; i < group->children.size(); ++i) {
+    if (!group->children[i]->is_bgp() || group->children[i]->bgp.empty())
+      continue;
+
+    // A BGP can be merged into at most one sibling UNION: pick the most
+    // negative Δ-cost across all of them (Algorithm 2, lines 4-12).
+    double min_union_cost = 0.0;
+    size_t target_union = SIZE_MAX;
+    for (size_t j = 0; j < group->children.size(); ++j) {
+      if (!group->children[j]->is_union()) continue;
+      if (stats) ++stats->decide_calls;
+      double delta = DecideMergeDelta(*group, i, j, cost);
+      if (delta < min_union_cost) {
+        min_union_cost = delta;
+        target_union = j;
+      }
+    }
+    if (target_union != SIZE_MAX) {
+      ApplyMerge(group, i, target_union);
+      if (stats) ++stats->merges;
+      // The BGP at position i was consumed; the element now at i has not
+      // been examined yet.
+      --i;
+      continue;
+    }
+
+    // Injects are mutually independent: decide each sibling OPTIONAL to the
+    // right individually (Algorithm 2, lines 13-14).
+    for (size_t j = i + 1; j < group->children.size(); ++j) {
+      if (!group->children[j]->is_optional()) continue;
+      if (stats) ++stats->decide_calls;
+      double delta = DecideInjectDelta(*group, i, j, cost);
+      if (delta < 0.0) {
+        ApplyInject(group, i, j);
+        if (stats) ++stats->injects;
+      }
+    }
+  }
+}
+
+namespace {
+
+void PostOrderTraverse(BeNode* node, const CostModel& cost,
+                       const TransformOptions& options,
+                       TransformStats* stats) {
+  for (auto& child : node->children) {
+    switch (child->type) {
+      case BeNode::Type::kGroup:
+        PostOrderTraverse(child.get(), cost, options, stats);
+        break;
+      case BeNode::Type::kUnion:
+        for (auto& branch : child->children)
+          PostOrderTraverse(branch.get(), cost, options, stats);
+        break;
+      case BeNode::Type::kOptional:
+        PostOrderTraverse(child->children[0].get(), cost, options, stats);
+        break;
+      default:
+        break;
+    }
+  }
+  SingleLevelTransform(node, cost, options, stats);
+}
+
+}  // namespace
+
+void MultiLevelTransform(BeTree* tree, const CostModel& cost,
+                         const TransformOptions& options,
+                         TransformStats* stats) {
+  PostOrderTraverse(tree->root.get(), cost, options, stats);
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,48 @@
+// Cost-driven BE-tree transformation (Section 5.2, Algorithms 2-4).
+//
+// Transformations are decided greedily, level by level, in a post-order
+// traversal: lower levels are fully transformed before their parents are
+// considered, bounding the exponential plan space without backtracking.
+#pragma once
+
+#include "betree/be_tree.h"
+#include "optimizer/cost_model.h"
+
+namespace sparqluo {
+
+struct TransformOptions {
+  /// §6 special case: when candidate pruning is active and a level consists
+  /// of a single BGP followed only by UNION/OPTIONAL nodes, transformation
+  /// is equivalent to pruning; skip it to evade the overhead.
+  bool skip_cp_equivalent_levels = false;
+};
+
+struct TransformStats {
+  size_t merges = 0;
+  size_t injects = 0;
+  size_t levels_skipped_cp = 0;
+  double decide_calls = 0;  ///< Δ-cost evaluations performed.
+};
+
+/// Algorithm 2: decides and applies transformations among the children of
+/// `group` only.
+void SingleLevelTransform(BeNode* group, const CostModel& cost,
+                          const TransformOptions& options,
+                          TransformStats* stats);
+
+/// Algorithm 4: post-order traversal applying SingleLevelTransform at every
+/// group graph pattern node.
+void MultiLevelTransform(BeTree* tree, const CostModel& cost,
+                         const TransformOptions& options,
+                         TransformStats* stats);
+
+/// Δ-cost of merging children[bgp_idx] into children[union_idx] (evaluated
+/// on a clone; the input tree is not modified). Positive when unprofitable.
+double DecideMergeDelta(const BeNode& group, size_t bgp_idx, size_t union_idx,
+                        const CostModel& cost);
+
+/// Δ-cost of injecting children[bgp_idx] into children[opt_idx].
+double DecideInjectDelta(const BeNode& group, size_t bgp_idx, size_t opt_idx,
+                         const CostModel& cost);
+
+}  // namespace sparqluo

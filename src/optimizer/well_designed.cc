@@ -1,0 +1,96 @@
+#include "optimizer/well_designed.h"
+
+#include <algorithm>
+
+namespace sparqluo {
+
+namespace {
+
+void AddVar(std::vector<VarId>* out, VarId v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+void CollectElementVars(const PatternElement& e, std::vector<VarId>* out);
+
+void CollectGroupVars(const GroupGraphPattern& g, std::vector<VarId>* out) {
+  for (const PatternElement& e : g.elements) CollectElementVars(e, out);
+}
+
+void CollectElementVars(const PatternElement& e, std::vector<VarId>* out) {
+  switch (e.kind) {
+    case PatternElement::Kind::kTriple:
+      for (VarId v : e.triple.Variables()) AddVar(out, v);
+      break;
+    case PatternElement::Kind::kFilter:
+      break;  // FILTER mentions but does not bind variables
+    default:
+      for (const GroupGraphPattern& g : e.groups) CollectGroupVars(g, out);
+  }
+}
+
+/// Walks the pattern; at each OPTIONAL checks the well-designedness
+/// condition against (a) the variables bound to its left within the same
+/// group ("P1") and (b) the variables occurring anywhere else in the query
+/// ("outside"). `outside_minus_here` holds the variable multiset of the
+/// whole query minus this subtree — recomputed along the recursion.
+void Walk(const GroupGraphPattern& group, size_t depth,
+          std::vector<VarId> outside,
+          std::vector<WellDesignedViolation>* out) {
+  // Variables bound by elements preceding the current position.
+  std::vector<VarId> left;
+  for (size_t i = 0; i < group.elements.size(); ++i) {
+    const PatternElement& e = group.elements[i];
+    if (e.kind == PatternElement::Kind::kOptional) {
+      std::vector<VarId> right_vars;
+      CollectGroupVars(e.groups[0], &right_vars);
+      // "Outside" of this OPTIONAL: everything in `outside`, plus the
+      // left siblings, plus the right siblings.
+      std::vector<VarId> context = outside;
+      for (VarId v : left) AddVar(&context, v);
+      for (size_t j = i + 1; j < group.elements.size(); ++j)
+        CollectElementVars(group.elements[j], &context);
+      for (VarId v : right_vars) {
+        bool occurs_outside =
+            std::find(context.begin(), context.end(), v) != context.end();
+        bool bound_left =
+            std::find(left.begin(), left.end(), v) != left.end();
+        if (occurs_outside && !bound_left)
+          out->push_back(WellDesignedViolation{v, depth});
+      }
+      // Recurse: the OPTIONAL-right subtree sees the whole remaining query
+      // as its outside context.
+      Walk(e.groups[0], depth + 1, context, out);
+      // OPTIONAL variables are only optionally bound; they do not join the
+      // certain left part.
+      continue;
+    }
+    if (e.kind == PatternElement::Kind::kGroup) {
+      std::vector<VarId> context = outside;
+      for (VarId v : left) AddVar(&context, v);
+      for (size_t j = i + 1; j < group.elements.size(); ++j)
+        CollectElementVars(group.elements[j], &context);
+      Walk(e.groups[0], depth + 1, context, out);
+    } else if (e.kind == PatternElement::Kind::kUnion) {
+      for (size_t b = 0; b < e.groups.size(); ++b) {
+        std::vector<VarId> context = outside;
+        for (VarId v : left) AddVar(&context, v);
+        for (size_t j = i + 1; j < group.elements.size(); ++j)
+          CollectElementVars(group.elements[j], &context);
+        // Sibling UNION branches are alternatives, not context.
+        Walk(e.groups[b], depth + 1, context, out);
+      }
+    }
+    CollectElementVars(e, &left);
+  }
+}
+
+}  // namespace
+
+std::vector<WellDesignedViolation> FindWellDesignedViolations(
+    const GroupGraphPattern& pattern) {
+  std::vector<WellDesignedViolation> out;
+  Walk(pattern, 0, {}, &out);
+  return out;
+}
+
+}  // namespace sparqluo

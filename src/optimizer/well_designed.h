@@ -1,0 +1,39 @@
+// Well-designed pattern analysis (Pérez et al., TODS 2009; the WDPT work of
+// Letelier et al. the paper discusses as related).
+//
+// A graph pattern is *well-designed* when for every OPTIONAL sub-pattern
+// (P1 OPTIONAL P2), each variable of P2 that also occurs elsewhere in the
+// query outside the OPTIONAL already occurs in P1. Well-designed queries
+// are the class on which OPTIONAL behaves "intuitively" — and the class
+// where merge/inject insertion positions never re-base a left join, i.e.
+// where the local safety guards of optimizer/transformations.cc always
+// pass. The analyzer is useful for diagnostics and for workload studies.
+#pragma once
+
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// One well-designedness violation: an OPTIONAL whose right side shares
+/// `variable` with the outside without it being bound on the left.
+struct WellDesignedViolation {
+  VarId variable = kInvalidVarId;
+  /// Depth of the offending OPTIONAL (root group = 0).
+  size_t depth = 0;
+};
+
+/// Analyzes the pattern; returns all violations (empty = well-designed).
+std::vector<WellDesignedViolation> FindWellDesignedViolations(
+    const GroupGraphPattern& pattern);
+
+/// Convenience predicate.
+inline bool IsWellDesigned(const GroupGraphPattern& pattern) {
+  return FindWellDesignedViolations(pattern).empty();
+}
+inline bool IsWellDesigned(const Query& query) {
+  return IsWellDesigned(query.where);
+}
+
+}  // namespace sparqluo

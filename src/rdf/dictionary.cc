@@ -1,0 +1,21 @@
+#include "rdf/dictionary.h"
+
+namespace sparqluo {
+
+TermId Dictionary::Encode(const Term& term) {
+  std::string key = term.CanonicalKey();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(std::move(key), id);
+  terms_.push_back(term);
+  if (term.is_literal()) ++literal_count_;
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.CanonicalKey());
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace sparqluo

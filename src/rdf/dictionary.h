@@ -1,0 +1,45 @@
+// Bidirectional term <-> id dictionary.
+//
+// All query processing operates on dense TermIds; strings only appear at
+// load time and when printing results.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Append-only dictionary assigning dense ids to RDF terms.
+class Dictionary {
+ public:
+  /// Returns the id of `term`, inserting it if new.
+  TermId Encode(const Term& term);
+
+  /// Returns the id of `term` or kInvalidTermId when absent. Never inserts.
+  TermId Lookup(const Term& term) const;
+
+  /// Returns the term for a valid id. Precondition: id < size().
+  const Term& Decode(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Number of literal terms seen so far (Table 2 statistic).
+  size_t literal_count() const { return literal_count_; }
+
+  /// Surface form of an id; "UNBOUND" for kInvalidTermId.
+  std::string ToString(TermId id) const {
+    if (id == kInvalidTermId) return "UNBOUND";
+    return terms_[id].ToString();
+  }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_;
+  size_t literal_count_ = 0;
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,123 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+// Splits one N-Triples statement into its three term texts. Returns false on
+// malformed input. Handles quotes/escapes inside literals.
+bool SplitStatement(std::string_view line, std::string_view* s,
+                    std::string_view* p, std::string_view* o) {
+  auto skip_ws = [&](size_t i) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    return i;
+  };
+  auto read_term = [&](size_t i, std::string_view* out) -> size_t {
+    if (i >= line.size()) return std::string_view::npos;
+    size_t start = i;
+    if (line[i] == '<') {
+      size_t end = line.find('>', i);
+      if (end == std::string_view::npos) return std::string_view::npos;
+      *out = line.substr(start, end - start + 1);
+      return end + 1;
+    }
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == '"') break;
+        ++i;
+      }
+      if (i >= line.size()) return std::string_view::npos;
+      ++i;  // past closing quote
+      if (i < line.size() && line[i] == '@') {
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+               line[i] != '.')
+          ++i;
+      } else if (i + 1 < line.size() && line[i] == '^' && line[i + 1] == '^') {
+        i += 2;
+        if (i < line.size() && line[i] == '<') {
+          size_t end = line.find('>', i);
+          if (end == std::string_view::npos) return std::string_view::npos;
+          i = end + 1;
+        }
+      }
+      *out = line.substr(start, i - start);
+      return i;
+    }
+    // Blank node or other token: read until whitespace.
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    *out = line.substr(start, i - start);
+    return i;
+  };
+
+  size_t i = skip_ws(0);
+  i = read_term(i, s);
+  if (i == std::string_view::npos) return false;
+  i = skip_ws(i);
+  i = read_term(i, p);
+  if (i == std::string_view::npos) return false;
+  i = skip_ws(i);
+  i = read_term(i, o);
+  if (i == std::string_view::npos) return false;
+  i = skip_ws(i);
+  return i < line.size() && line[i] == '.';
+}
+
+}  // namespace
+
+Status ParseNTriples(std::istream& in, Dictionary* dict, TripleStore* store) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view v = TrimString(line);
+    if (v.empty() || v.front() == '#') continue;
+    std::string_view st, pt, ot;
+    if (!SplitStatement(v, &st, &pt, &ot)) {
+      return Status::ParseError("malformed N-Triples statement at line " +
+                                std::to_string(line_no) + ": " + line);
+    }
+    auto s = Term::Parse(st);
+    auto p = Term::Parse(pt);
+    auto o = Term::Parse(ot);
+    if (!s.ok()) return s.status();
+    if (!p.ok()) return p.status();
+    if (!o.ok()) return o.status();
+    store->Add(Triple(dict->Encode(*s), dict->Encode(*p), dict->Encode(*o)));
+  }
+  return Status::OK();
+}
+
+Status ParseNTriplesString(const std::string& text, Dictionary* dict,
+                           TripleStore* store) {
+  std::istringstream in(text);
+  return ParseNTriples(in, dict, store);
+}
+
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open file: " + path);
+  return ParseNTriples(in, dict, store);
+}
+
+void WriteNTriples(const TripleStore& store, const Dictionary& dict,
+                   std::ostream& out) {
+  for (const Triple& t : store.triples()) {
+    out << dict.ToString(t.s) << " " << dict.ToString(t.p) << " "
+        << dict.ToString(t.o) << " .\n";
+  }
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,31 @@
+// N-Triples reader/writer for loading real RDF files into the store.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Parses N-Triples text (one `<s> <p> <o> .` statement per line; `#`
+/// comments and blank lines allowed) and appends the triples to `store`,
+/// encoding terms through `dict`. The store is NOT built; call
+/// store->Build() after all loads.
+Status ParseNTriples(std::istream& in, Dictionary* dict, TripleStore* store);
+
+/// Convenience overload over a string buffer.
+Status ParseNTriplesString(const std::string& text, Dictionary* dict,
+                           TripleStore* store);
+
+/// Loads a .nt file from disk.
+Status LoadNTriplesFile(const std::string& path, Dictionary* dict,
+                        TripleStore* store);
+
+/// Serializes the full store to N-Triples.
+void WriteNTriples(const TripleStore& store, const Dictionary& dict,
+                   std::ostream& out);
+
+}  // namespace sparqluo

@@ -1,0 +1,41 @@
+#include "rdf/statistics.h"
+
+#include <unordered_set>
+
+namespace sparqluo {
+
+Statistics Statistics::Compute(const TripleStore& store,
+                               const Dictionary& dict) {
+  Statistics st;
+  st.num_triples_ = store.size();
+
+  std::unordered_set<TermId> entities;
+  std::unordered_set<TermId> literals;
+  // Per-predicate distinct subject/object counting exploits POS order: the
+  // store's triples() span is SPO-sorted, so we instead collect into hash
+  // sets per predicate, which is fine at our scales.
+  std::unordered_map<TermId, std::unordered_set<TermId>> subj_of, obj_of;
+
+  for (const Triple& t : store.triples()) {
+    entities.insert(t.s);
+    if (dict.Decode(t.o).is_literal()) {
+      literals.insert(t.o);
+    } else {
+      entities.insert(t.o);
+    }
+    PredicateStats& ps = st.per_predicate_[t.p];
+    ++ps.count;
+    subj_of[t.p].insert(t.s);
+    obj_of[t.p].insert(t.o);
+  }
+  for (auto& [p, ps] : st.per_predicate_) {
+    ps.distinct_subjects = subj_of[p].size();
+    ps.distinct_objects = obj_of[p].size();
+  }
+  st.num_entities_ = entities.size();
+  st.num_predicates_ = st.per_predicate_.size();
+  st.num_literals_ = literals.size();
+  return st;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,58 @@
+// Dataset statistics backing the cost models (Section 5.1.2) and Table 2.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace sparqluo {
+
+/// Per-predicate aggregates.
+struct PredicateStats {
+  uint64_t count = 0;              ///< Triples with this predicate.
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+
+  /// average_size(v, p) of the WCO cost model when v is at the subject end
+  /// of the edge (average out-fanout of the predicate).
+  double avg_out() const {
+    return distinct_subjects == 0
+               ? 0.0
+               : static_cast<double>(count) / distinct_subjects;
+  }
+  /// average_size(v, p) when v is at the object end (average in-fanout).
+  double avg_in() const {
+    return distinct_objects == 0 ? 0.0
+                                 : static_cast<double>(count) / distinct_objects;
+  }
+};
+
+/// Whole-dataset statistics (Table 2 columns) plus per-predicate aggregates.
+class Statistics {
+ public:
+  /// Scans a built store once and fills all aggregates.
+  static Statistics Compute(const TripleStore& store, const Dictionary& dict);
+
+  uint64_t num_triples() const { return num_triples_; }
+  uint64_t num_entities() const { return num_entities_; }
+  uint64_t num_predicates() const { return num_predicates_; }
+  uint64_t num_literals() const { return num_literals_; }
+
+  /// Stats for a predicate id; zeros for unknown predicates.
+  const PredicateStats& ForPredicate(TermId p) const {
+    static const PredicateStats kEmpty;
+    auto it = per_predicate_.find(p);
+    return it == per_predicate_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  uint64_t num_triples_ = 0;
+  uint64_t num_entities_ = 0;
+  uint64_t num_predicates_ = 0;
+  uint64_t num_literals_ = 0;
+  std::unordered_map<TermId, PredicateStats> per_predicate_;
+};
+
+}  // namespace sparqluo

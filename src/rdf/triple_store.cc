@@ -1,0 +1,135 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparqluo {
+
+namespace {
+
+struct OrderSPO {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct OrderPOS {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OrderOSP {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+template <typename Cmp>
+std::span<const Triple> RangeOf(const std::vector<Triple>& v, const Triple& lo,
+                                const Triple& hi, Cmp cmp) {
+  auto first = std::lower_bound(v.begin(), v.end(), lo, cmp);
+  auto last = std::upper_bound(first, v.end(), hi, cmp);
+  return {&*first, static_cast<size_t>(last - first)};
+}
+
+}  // namespace
+
+void TripleStore::Add(const Triple& t) {
+  assert(!built_ && "Add after Build");
+  spo_.push_back(t);
+}
+
+void TripleStore::Build() {
+  std::sort(spo_.begin(), spo_.end(), OrderSPO{});
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), OrderPOS{});
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OrderOSP{});
+  built_ = true;
+}
+
+std::span<const Triple> TripleStore::EqualRangeSPO(TermId s) const {
+  return RangeOf(spo_, Triple(s, 0, 0), Triple(s, kInvalidTermId, kInvalidTermId),
+                 OrderSPO{});
+}
+std::span<const Triple> TripleStore::EqualRangeSPO(TermId s, TermId p) const {
+  return RangeOf(spo_, Triple(s, p, 0), Triple(s, p, kInvalidTermId),
+                 OrderSPO{});
+}
+std::span<const Triple> TripleStore::EqualRangePOS(TermId p) const {
+  return RangeOf(pos_, Triple(0, p, 0), Triple(kInvalidTermId, p, kInvalidTermId),
+                 OrderPOS{});
+}
+std::span<const Triple> TripleStore::EqualRangePOS(TermId p, TermId o) const {
+  return RangeOf(pos_, Triple(0, p, o), Triple(kInvalidTermId, p, o),
+                 OrderPOS{});
+}
+std::span<const Triple> TripleStore::EqualRangeOSP(TermId o) const {
+  return RangeOf(osp_, Triple(0, 0, o), Triple(kInvalidTermId, kInvalidTermId, o),
+                 OrderOSP{});
+}
+std::span<const Triple> TripleStore::EqualRangeOSP(TermId o, TermId s) const {
+  return RangeOf(osp_, Triple(s, 0, o), Triple(s, kInvalidTermId, o),
+                 OrderOSP{});
+}
+
+void TripleStore::Scan(const TriplePatternIds& q,
+                       const std::function<bool(const Triple&)>& fn) const {
+  assert(built_ && "Scan before Build");
+  // Each bound-position combination maps to an index whose prefix covers all
+  // bound positions, except the fully-bound case where o is filtered on top
+  // of the (s, p) prefix.
+  std::span<const Triple> range;
+  bool filter_o = false;
+  if (q.s_bound() && q.p_bound()) {
+    range = EqualRangeSPO(q.s, q.p);
+    filter_o = q.o_bound();
+  } else if (q.s_bound() && q.o_bound()) {
+    range = EqualRangeOSP(q.o, q.s);
+  } else if (q.s_bound()) {
+    range = EqualRangeSPO(q.s);
+  } else if (q.p_bound()) {
+    range = q.o_bound() ? EqualRangePOS(q.p, q.o) : EqualRangePOS(q.p);
+  } else if (q.o_bound()) {
+    range = EqualRangeOSP(q.o);
+  } else {
+    range = {spo_.data(), spo_.size()};
+  }
+  for (const Triple& t : range) {
+    if (filter_o && t.o != q.o) continue;
+    if (!fn(t)) return;
+  }
+}
+
+size_t TripleStore::Count(const TriplePatternIds& q) const {
+  assert(built_);
+  if (q.s_bound() && q.p_bound() && q.o_bound())
+    return Contains(Triple(q.s, q.p, q.o)) ? 1 : 0;
+  if (q.s_bound() && q.o_bound()) {
+    // OSP range on (o, s), residual filter on p.
+    size_t n = 0;
+    for (const Triple& t : EqualRangeOSP(q.o, q.s)) {
+      if (!q.p_bound() || t.p == q.p) ++n;
+    }
+    return n;
+  }
+  if (q.s_bound() && q.p_bound()) return EqualRangeSPO(q.s, q.p).size();
+  if (q.s_bound()) return EqualRangeSPO(q.s).size();
+  if (q.p_bound() && q.o_bound()) return EqualRangePOS(q.p, q.o).size();
+  if (q.p_bound()) return EqualRangePOS(q.p).size();
+  if (q.o_bound()) return EqualRangeOSP(q.o).size();
+  return spo_.size();
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  auto range = EqualRangeSPO(t.s, t.p);
+  return std::binary_search(range.begin(), range.end(), t, OrderSPO{});
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,81 @@
+// In-memory dictionary-encoded triple store with permutation indexes.
+//
+// The store keeps three sorted copies of the triple set — SPO, POS and OSP —
+// which together answer every bound/unbound combination of a triple pattern
+// with a binary-searched prefix scan:
+//
+//   bound (s) / (s,p) / (s,p,o)  -> SPO
+//   bound (p) / (p,o)            -> POS
+//   bound (o) / (o,s)            -> OSP
+//   nothing bound                -> SPO full scan
+//
+// This mirrors the "single table exhaustive indexing" organization used by
+// RDF-3x-style stores, reduced to the three orders that suffice for prefix
+// lookups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace sparqluo {
+
+/// A triple pattern over ids; kInvalidTermId marks an unbound position.
+struct TriplePatternIds {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool s_bound() const { return s != kInvalidTermId; }
+  bool p_bound() const { return p != kInvalidTermId; }
+  bool o_bound() const { return o != kInvalidTermId; }
+};
+
+/// Append-then-freeze triple store. Add() all triples, call Build(), then
+/// query. Duplicate triples inserted via Add are deduplicated by Build
+/// (RDF graphs are sets of triples).
+class TripleStore {
+ public:
+  /// Appends a triple. Only valid before Build().
+  void Add(const Triple& t);
+
+  /// Sorts and deduplicates the data and constructs the three indexes.
+  void Build();
+
+  bool built() const { return built_; }
+  size_t size() const { return spo_.size(); }
+
+  /// Invokes `fn` for every triple matching `pattern`. `fn` may return false
+  /// to stop the scan early.
+  void Scan(const TriplePatternIds& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+
+  /// Exact number of triples matching `pattern` (uses index ranges; O(log n)
+  /// for prefix-shaped patterns, O(n) only for s+o bound without p).
+  size_t Count(const TriplePatternIds& pattern) const;
+
+  /// True if the fully-bound triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// All triples in SPO order (for iteration and testing).
+  std::span<const Triple> triples() const { return spo_; }
+
+ private:
+  std::span<const Triple> EqualRangeSPO(TermId s) const;
+  std::span<const Triple> EqualRangeSPO(TermId s, TermId p) const;
+  std::span<const Triple> EqualRangePOS(TermId p) const;
+  std::span<const Triple> EqualRangePOS(TermId p, TermId o) const;
+  std::span<const Triple> EqualRangeOSP(TermId o) const;
+  std::span<const Triple> EqualRangeOSP(TermId o, TermId s) const;
+
+  std::vector<Triple> spo_;
+  std::vector<Triple> pos_;
+  std::vector<Triple> osp_;
+  bool built_ = false;
+};
+
+}  // namespace sparqluo

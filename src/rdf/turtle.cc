@@ -1,0 +1,220 @@
+#include "rdf/turtle.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "sparql/lexer.h"
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+constexpr const char* kRdfTypeIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr const char* kXsdIntegerIri =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr const char* kXsdDecimalIri =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+
+class TurtleParser {
+ public:
+  TurtleParser(std::vector<Token> tokens, Dictionary* dict, TripleStore* store)
+      : tokens_(std::move(tokens)), dict_(dict), store_(store) {}
+
+  Status Parse() {
+    while (!CurIs(TokenType::kEof)) {
+      // Directives.
+      if (Cur().type == TokenType::kLangTag && Cur().text == "prefix") {
+        Advance();
+        SPARQLUO_RETURN_NOT_OK(ParsePrefixDecl(/*sparql_style=*/false));
+        continue;
+      }
+      if (Cur().type == TokenType::kLangTag && Cur().text == "base") {
+        Advance();
+        SPARQLUO_RETURN_NOT_OK(ParseBaseDecl(/*sparql_style=*/false));
+        continue;
+      }
+      if (CurIs(TokenType::kKeyword, "PREFIX")) {
+        Advance();
+        SPARQLUO_RETURN_NOT_OK(ParsePrefixDecl(/*sparql_style=*/true));
+        continue;
+      }
+      if (CurIs(TokenType::kKeyword, "BASE")) {
+        Advance();
+        SPARQLUO_RETURN_NOT_OK(ParseBaseDecl(/*sparql_style=*/true));
+        continue;
+      }
+      SPARQLUO_RETURN_NOT_OK(ParseTriples());
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool CurIs(TokenType t) const { return Cur().type == t; }
+  bool CurIs(TokenType t, std::string_view text) const {
+    return Cur().type == t && Cur().text == text;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (line " + std::to_string(Cur().line) +
+                              ")");
+  }
+
+  Status ParsePrefixDecl(bool sparql_style) {
+    if (Cur().type != TokenType::kPrefixedName || Cur().text.empty() ||
+        Cur().text.back() != ':')
+      return Err("expected 'ns:' after @prefix");
+    std::string ns = Cur().text.substr(0, Cur().text.size() - 1);
+    Advance();
+    if (Cur().type != TokenType::kIriRef)
+      return Err("expected IRI in prefix declaration");
+    prefixes_[ns] = ResolveIri(Cur().text);
+    Advance();
+    if (!sparql_style) {
+      if (!CurIs(TokenType::kDot)) return Err("expected '.' after @prefix");
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseBaseDecl(bool sparql_style) {
+    if (Cur().type != TokenType::kIriRef)
+      return Err("expected IRI in base declaration");
+    base_ = Cur().text;
+    Advance();
+    if (!sparql_style) {
+      if (!CurIs(TokenType::kDot)) return Err("expected '.' after @base");
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// Relative IRIs are resolved by simple concatenation with the base.
+  std::string ResolveIri(const std::string& iri) const {
+    if (iri.find("://") != std::string::npos || base_.empty()) return iri;
+    return base_ + iri;
+  }
+
+  Result<Term> ParseTerm(bool predicate_position) {
+    switch (Cur().type) {
+      case TokenType::kIriRef: {
+        Term t = Term::Iri(ResolveIri(Cur().text));
+        Advance();
+        return t;
+      }
+      case TokenType::kPrefixedName: {
+        const std::string& qname = Cur().text;
+        size_t colon = qname.find(':');
+        std::string prefix = qname.substr(0, colon);
+        // _:label blank nodes lex as prefixed names with prefix "_".
+        if (qname.rfind("_:", 0) == 0) {
+          Term t = Term::Blank(qname.substr(2));
+          Advance();
+          return t;
+        }
+        auto it = prefixes_.find(prefix);
+        if (it == prefixes_.end())
+          return Err("undeclared prefix '" + prefix + ":'");
+        Term t = Term::Iri(it->second + qname.substr(colon + 1));
+        Advance();
+        return t;
+      }
+      case TokenType::kA:
+        if (!predicate_position) return Err("'a' only allowed as predicate");
+        Advance();
+        return Term::Iri(kRdfTypeIri);
+      case TokenType::kString: {
+        std::string value = Cur().text;
+        Advance();
+        if (Cur().type == TokenType::kLangTag) {
+          std::string lang = Cur().text;
+          Advance();
+          return Term::LangLiteral(value, lang);
+        }
+        if (Cur().type == TokenType::kDoubleCaret) {
+          Advance();
+          auto dt = ParseTerm(false);
+          if (!dt.ok()) return dt;
+          if (!dt->is_iri()) return Err("datatype must be an IRI");
+          return Term::TypedLiteral(value, dt->lexical);
+        }
+        return Term::Literal(value);
+      }
+      case TokenType::kNumber: {
+        std::string text = Cur().text;
+        Advance();
+        return Term::TypedLiteral(
+            text, text.find('.') == std::string::npos ? kXsdIntegerIri
+                                                      : kXsdDecimalIri);
+      }
+      default:
+        return Err(std::string("unexpected token '") + Cur().text +
+                   "' in triple term");
+    }
+  }
+
+  Status ParseTriples() {
+    auto subject = ParseTerm(false);
+    if (!subject.ok()) return subject.status();
+    if (subject->is_literal()) return Err("literal subject not allowed");
+    while (true) {
+      auto predicate = ParseTerm(true);
+      if (!predicate.ok()) return predicate.status();
+      if (!predicate->is_iri()) return Err("predicate must be an IRI");
+      while (true) {
+        auto object = ParseTerm(false);
+        if (!object.ok()) return object.status();
+        store_->Add(Triple(dict_->Encode(*subject), dict_->Encode(*predicate),
+                           dict_->Encode(*object)));
+        if (CurIs(TokenType::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (CurIs(TokenType::kSemicolon)) {
+        Advance();
+        // A trailing ';' before '.' is legal Turtle.
+        if (CurIs(TokenType::kDot)) break;
+        continue;
+      }
+      break;
+    }
+    if (!CurIs(TokenType::kDot)) return Err("expected '.' after triples");
+    Advance();
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Dictionary* dict_;
+  TripleStore* store_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+Status ParseTurtleString(const std::string& text, Dictionary* dict,
+                         TripleStore* store) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TurtleParser parser(std::move(*tokens), dict, store);
+  return parser.Parse();
+}
+
+Status LoadTurtleFile(const std::string& path, Dictionary* dict,
+                      TripleStore* store) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTurtleString(buf.str(), dict, store);
+}
+
+}  // namespace sparqluo

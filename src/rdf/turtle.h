@@ -1,0 +1,29 @@
+// Turtle (subset) reader.
+//
+// Supports the Turtle constructs used by common dataset dumps:
+//   @prefix / PREFIX and @base / BASE directives, prefixed names, the `a`
+//   shorthand, predicate lists (;), object lists (,), IRIs, blank node
+//   labels (_:b), and plain / language-tagged / datatyped literals and
+//   numbers. Collections `(...)`, anonymous blank nodes `[...]` and
+//   multi-line literals are not supported and are rejected with a parse
+//   error.
+#pragma once
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Parses Turtle text, appending triples to `store` via `dict`. The store
+/// is NOT built; call store->Build() after all loads.
+Status ParseTurtleString(const std::string& text, Dictionary* dict,
+                         TripleStore* store);
+
+/// Loads a .ttl file from disk.
+Status LoadTurtleFile(const std::string& path, Dictionary* dict,
+                      TripleStore* store);
+
+}  // namespace sparqluo

@@ -1,0 +1,143 @@
+#include "sparql/ast.h"
+
+#include <algorithm>
+
+namespace sparqluo {
+
+std::vector<VarId> TriplePattern::Variables() const {
+  std::vector<VarId> out;
+  for (const PatternSlot* slot : {&s, &p, &o}) {
+    if (slot->is_var &&
+        std::find(out.begin(), out.end(), slot->var) == out.end())
+      out.push_back(slot->var);
+  }
+  return out;
+}
+
+std::vector<VarId> TriplePattern::SubjectObjectVariables() const {
+  std::vector<VarId> out;
+  for (const PatternSlot* slot : {&s, &o}) {
+    if (slot->is_var &&
+        std::find(out.begin(), out.end(), slot->var) == out.end())
+      out.push_back(slot->var);
+  }
+  return out;
+}
+
+bool Coalescable(const TriplePattern& t1, const TriplePattern& t2) {
+  auto v1 = t1.SubjectObjectVariables();
+  auto v2 = t2.SubjectObjectVariables();
+  for (VarId a : v1)
+    for (VarId b : v2)
+      if (a == b) return true;
+  return false;
+}
+
+namespace {
+
+void CollectFromElement(const PatternElement& e, std::vector<VarId>* out) {
+  auto add = [out](VarId v) {
+    if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+  };
+  switch (e.kind) {
+    case PatternElement::Kind::kTriple:
+      for (VarId v : e.triple.Variables()) add(v);
+      break;
+    case PatternElement::Kind::kFilter:
+      // FILTER does not bind variables.
+      break;
+    default:
+      for (const GroupGraphPattern& g : e.groups) CollectVariables(g, out);
+  }
+}
+
+std::string SlotToString(const PatternSlot& s, const VarTable& vars) {
+  if (s.is_var) return "?" + vars.Name(s.var);
+  return s.term.ToString();
+}
+
+std::string FilterToString(const FilterExpr& f, const VarTable& vars) {
+  using Op = FilterExpr::Op;
+  auto cmp = [&](const char* op) {
+    return SlotToString(f.lhs, vars) + " " + op + " " +
+           SlotToString(f.rhs, vars);
+  };
+  switch (f.op) {
+    case Op::kEq: return cmp("=");
+    case Op::kNeq: return cmp("!=");
+    case Op::kLt: return cmp("<");
+    case Op::kGt: return cmp(">");
+    case Op::kLe: return cmp("<=");
+    case Op::kGe: return cmp(">=");
+    case Op::kAnd:
+      return "(" + FilterToString(f.children[0], vars) + " && " +
+             FilterToString(f.children[1], vars) + ")";
+    case Op::kOr:
+      return "(" + FilterToString(f.children[0], vars) + " || " +
+             FilterToString(f.children[1], vars) + ")";
+    case Op::kNot:
+      return "(!" + FilterToString(f.children[0], vars) + ")";
+    case Op::kBound:
+      return "BOUND(" + SlotToString(f.lhs, vars) + ")";
+  }
+  return "";
+}
+
+}  // namespace
+
+void CollectVariables(const GroupGraphPattern& g, std::vector<VarId>* out) {
+  for (const PatternElement& e : g.elements) CollectFromElement(e, out);
+}
+
+std::string ToString(const TriplePattern& t, const VarTable& vars) {
+  return SlotToString(t.s, vars) + " " + SlotToString(t.p, vars) + " " +
+         SlotToString(t.o, vars) + " .";
+}
+
+std::string ToString(const GroupGraphPattern& g, const VarTable& vars,
+                     int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string inner_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  std::string out = "{\n";
+  for (const PatternElement& e : g.elements) {
+    switch (e.kind) {
+      case PatternElement::Kind::kTriple:
+        out += inner_pad + ToString(e.triple, vars) + "\n";
+        break;
+      case PatternElement::Kind::kGroup:
+        out += inner_pad + ToString(e.groups[0], vars, indent + 1) + "\n";
+        break;
+      case PatternElement::Kind::kUnion: {
+        for (size_t i = 0; i < e.groups.size(); ++i) {
+          if (i > 0) out += inner_pad + "UNION\n";
+          out += inner_pad + ToString(e.groups[i], vars, indent + 1) + "\n";
+        }
+        break;
+      }
+      case PatternElement::Kind::kOptional:
+        out += inner_pad + "OPTIONAL " +
+               ToString(e.groups[0], vars, indent + 1) + "\n";
+        break;
+      case PatternElement::Kind::kFilter:
+        out += inner_pad + "FILTER(" + FilterToString(e.filter, vars) + ")\n";
+        break;
+    }
+  }
+  out += pad + "}";
+  return out;
+}
+
+std::string ToString(const Query& q) {
+  std::string out = "SELECT";
+  if (q.distinct) out += " DISTINCT";
+  if (q.projection.empty()) {
+    out += " *";
+  } else {
+    for (VarId v : q.projection) out += " ?" + q.vars.Name(v);
+  }
+  out += " WHERE ";
+  out += ToString(q.where, q.vars, 0);
+  return out;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,267 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+const char* kKeywords[] = {"SELECT", "WHERE",  "UNION",    "OPTIONAL",
+                           "FILTER", "PREFIX", "DISTINCT", "REDUCED",
+                           "BOUND",  "ASK",    "LIMIT",    "OFFSET",
+                           "BASE",   "ORDER",  "BY",       "ASC",
+                           "DESC"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords)
+    if (upper == k) return true;
+  return false;
+}
+
+bool IsPnChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "EOF";
+    case TokenType::kIriRef: return "IRI";
+    case TokenType::kPrefixedName: return "PrefixedName";
+    case TokenType::kVariable: return "Variable";
+    case TokenType::kString: return "String";
+    case TokenType::kLangTag: return "LangTag";
+    case TokenType::kDoubleCaret: return "^^";
+    case TokenType::kNumber: return "Number";
+    case TokenType::kKeyword: return "Keyword";
+    case TokenType::kA: return "a";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kDot: return ".";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kComma: return ",";
+    case TokenType::kStar: return "*";
+    case TokenType::kEq: return "=";
+    case TokenType::kNeq: return "!=";
+    case TokenType::kLt: return "<";
+    case TokenType::kGt: return ">";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGe: return ">=";
+    case TokenType::kAndAnd: return "&&";
+    case TokenType::kOrOr: return "||";
+    case TokenType::kBang: return "!";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0, line = 1, col = 1;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < in.size(); ++k, ++i) {
+      if (in[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto make = [&](TokenType t, std::string text) {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.line = line;
+    tok.column = col;
+    out.push_back(std::move(tok));
+  };
+
+  while (i < in.size()) {
+    char c = in[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < in.size() && in[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '<') {
+      // IRI ref if it closes with '>' before any whitespace; else operator.
+      size_t j = i + 1;
+      bool iri = false;
+      while (j < in.size()) {
+        char d = in[j];
+        if (d == '>') {
+          iri = true;
+          break;
+        }
+        if (d == ' ' || d == '\t' || d == '\n' || d == '\r' || d == '"' ||
+            d == '{' || d == '}')
+          break;
+        ++j;
+      }
+      if (iri) {
+        make(TokenType::kIriRef, std::string(in.substr(i + 1, j - i - 1)));
+        advance(j - i + 1);
+      } else if (i + 1 < in.size() && in[i + 1] == '=') {
+        make(TokenType::kLe, "<=");
+        advance(2);
+      } else {
+        make(TokenType::kLt, "<");
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      std::string value;
+      bool closed = false;
+      while (j < in.size()) {
+        if (in[j] == '\\' && j + 1 < in.size()) {
+          value += in[j];
+          value += in[j + 1];
+          j += 2;
+          continue;
+        }
+        if (in[j] == '"') {
+          closed = true;
+          break;
+        }
+        value += in[j];
+        ++j;
+      }
+      if (!closed)
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      make(TokenType::kString, UnescapeLiteral(value));
+      advance(j - i + 1);
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      while (j < in.size() &&
+             (std::isalnum(static_cast<unsigned char>(in[j])) || in[j] == '-'))
+        ++j;
+      make(TokenType::kLangTag, std::string(in.substr(i + 1, j - i - 1)));
+      advance(j - i);
+      continue;
+    }
+    if (c == '^' && i + 1 < in.size() && in[i + 1] == '^') {
+      make(TokenType::kDoubleCaret, "^^");
+      advance(2);
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t j = i + 1;
+      while (j < in.size() && (std::isalnum(static_cast<unsigned char>(in[j])) ||
+                               in[j] == '_'))
+        ++j;
+      if (j == i + 1)
+        return Status::ParseError("empty variable name at line " +
+                                  std::to_string(line));
+      make(TokenType::kVariable, std::string(in.substr(i + 1, j - i - 1)));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t j = i + 1;
+      while (j < in.size() && (std::isdigit(static_cast<unsigned char>(in[j])) ||
+                               in[j] == '.'))
+        ++j;
+      make(TokenType::kNumber, std::string(in.substr(i, j - i)));
+      advance(j - i);
+      continue;
+    }
+    switch (c) {
+      case '{': make(TokenType::kLBrace, "{"); advance(1); continue;
+      case '}': make(TokenType::kRBrace, "}"); advance(1); continue;
+      case '(': make(TokenType::kLParen, "("); advance(1); continue;
+      case ')': make(TokenType::kRParen, ")"); advance(1); continue;
+      case '.': make(TokenType::kDot, "."); advance(1); continue;
+      case ';': make(TokenType::kSemicolon, ";"); advance(1); continue;
+      case ',': make(TokenType::kComma, ","); advance(1); continue;
+      case '*': make(TokenType::kStar, "*"); advance(1); continue;
+      case '=': make(TokenType::kEq, "="); advance(1); continue;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          make(TokenType::kGe, ">=");
+          advance(2);
+        } else {
+          make(TokenType::kGt, ">");
+          advance(1);
+        }
+        continue;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          make(TokenType::kNeq, "!=");
+          advance(2);
+        } else {
+          make(TokenType::kBang, "!");
+          advance(1);
+        }
+        continue;
+      case '&':
+        if (i + 1 < in.size() && in[i + 1] == '&') {
+          make(TokenType::kAndAnd, "&&");
+          advance(2);
+          continue;
+        }
+        return Status::ParseError("stray '&' at line " + std::to_string(line));
+      case '|':
+        if (i + 1 < in.size() && in[i + 1] == '|') {
+          make(TokenType::kOrOr, "||");
+          advance(2);
+          continue;
+        }
+        return Status::ParseError("stray '|' at line " + std::to_string(line));
+      default: break;
+    }
+    // Bare word: keyword, 'a', or prefixed name (possibly with empty prefix).
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      size_t j = i;
+      bool has_colon = false;
+      while (j < in.size() && (IsPnChar(in[j]) || in[j] == ':')) {
+        if (in[j] == ':') has_colon = true;
+        ++j;
+      }
+      // A trailing dot is a statement terminator, not part of the name.
+      size_t end = j;
+      while (end > i && in[end - 1] == '.') --end;
+      if (end > i && in[end - 1] == ':' && end - i > 1) {
+        // e.g. "foo:" followed by separate local part is unusual; keep as-is.
+      }
+      std::string word(in.substr(i, end - i));
+      if (has_colon && word.find(':') < word.size()) {
+        make(TokenType::kPrefixedName, word);
+      } else {
+        std::string upper = word;
+        for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+        if (word == "a") {
+          make(TokenType::kA, "a");
+        } else if (IsKeyword(upper)) {
+          make(TokenType::kKeyword, upper);
+        } else {
+          return Status::ParseError("unexpected token '" + word +
+                                    "' at line " + std::to_string(line));
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at line " + std::to_string(line));
+  }
+  make(TokenType::kEof, "");
+  return out;
+}
+
+}  // namespace sparqluo

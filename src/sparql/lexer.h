@@ -1,0 +1,42 @@
+// SPARQL tokenizer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sparqluo {
+
+enum class TokenType {
+  kEof,
+  kIriRef,      ///< <http://...> — text excludes the angle brackets.
+  kPrefixedName,///< foo:bar or :bar — text is the raw qname.
+  kVariable,    ///< ?x or $x — text excludes the sigil.
+  kString,      ///< "..." — text is the unescaped value.
+  kLangTag,     ///< @en — text excludes '@'.
+  kDoubleCaret, ///< ^^
+  kNumber,      ///< integer or decimal literal — raw text.
+  kKeyword,     ///< SELECT/WHERE/UNION/OPTIONAL/... — text uppercased.
+  kA,           ///< the 'a' abbreviation for rdf:type.
+  kLBrace, kRBrace, kLParen, kRParen,
+  kDot, kSemicolon, kComma, kStar,
+  kEq, kNeq, kLt, kGt, kLe, kGe,
+  kAndAnd, kOrOr, kBang,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  size_t line = 0;
+  size_t column = 0;
+};
+
+/// Tokenizes a full SPARQL query string. `#` comments run to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Debug name of a token type.
+const char* TokenTypeName(TokenType type);
+
+}  // namespace sparqluo

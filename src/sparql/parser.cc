@@ -1,0 +1,414 @@
+#include "sparql/parser.h"
+
+#include <unordered_map>
+
+#include "sparql/lexer.h"
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+constexpr const char* kRdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr const char* kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+constexpr const char* kXsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal";
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, VarTable* vars)
+      : tokens_(std::move(tokens)), vars_(vars) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    owned_vars_ = &q.vars;
+    vars_ = &q.vars;
+    SPARQLUO_RETURN_NOT_OK(ParsePrologue());
+    if (CurIs(TokenType::kKeyword, "ASK")) {
+      q.form = QueryForm::kAsk;
+      Advance();
+      if (CurIs(TokenType::kKeyword, "WHERE")) Advance();  // WHERE optional
+    } else {
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kKeyword, "SELECT"));
+      if (CurIs(TokenType::kKeyword, "DISTINCT")) {
+        q.distinct = true;
+        Advance();
+      }
+      if (CurIs(TokenType::kStar)) {
+        Advance();
+      } else {
+        while (Cur().type == TokenType::kVariable) {
+          q.projection.push_back(vars_->Intern(Cur().text));
+          Advance();
+        }
+      }
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kKeyword, "WHERE"));
+    }
+    auto ggp = ParseGroup();
+    if (!ggp.ok()) return ggp.status();
+    q.where = std::move(*ggp);
+    SPARQLUO_RETURN_NOT_OK(ParseSolutionModifiers(&q));
+    if (Cur().type != TokenType::kEof)
+      return Err("trailing tokens after query body");
+    return q;
+  }
+
+  /// ORDER BY (ASC(?v)|DESC(?v)|?v)+, LIMIT n, OFFSET n — in any of the
+  /// standard orders (ORDER BY before LIMIT/OFFSET; LIMIT/OFFSET commute).
+  Status ParseSolutionModifiers(Query* q) {
+    if (CurIs(TokenType::kKeyword, "ORDER")) {
+      Advance();
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kKeyword, "BY"));
+      bool any = false;
+      while (true) {
+        OrderKey key;
+        if (CurIs(TokenType::kKeyword, "ASC") ||
+            CurIs(TokenType::kKeyword, "DESC")) {
+          key.ascending = Cur().text == "ASC";
+          Advance();
+          SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kLParen));
+          if (Cur().type != TokenType::kVariable)
+            return Err("expected variable in ORDER BY");
+          key.var = vars_->Intern(Cur().text);
+          Advance();
+          SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        } else if (Cur().type == TokenType::kVariable) {
+          key.var = vars_->Intern(Cur().text);
+          Advance();
+        } else {
+          break;
+        }
+        q->order_by.push_back(key);
+        any = true;
+      }
+      if (!any) return Err("ORDER BY requires at least one key");
+    }
+    while (CurIs(TokenType::kKeyword, "LIMIT") ||
+           CurIs(TokenType::kKeyword, "OFFSET")) {
+      bool is_limit = Cur().text == "LIMIT";
+      Advance();
+      if (Cur().type != TokenType::kNumber)
+        return Err("expected integer after LIMIT/OFFSET");
+      long value = std::atol(Cur().text.c_str());
+      if (value < 0) return Err("LIMIT/OFFSET must be non-negative");
+      if (is_limit) {
+        q->limit = static_cast<size_t>(value);
+      } else {
+        q->offset = static_cast<size_t>(value);
+      }
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<GroupGraphPattern> ParseGroupOnly() {
+    auto g = ParseGroup();
+    if (!g.ok()) return g.status();
+    if (Cur().type != TokenType::kEof) return Err("trailing tokens");
+    return g;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool CurIs(TokenType t) const { return Cur().type == t; }
+  bool CurIs(TokenType t, std::string_view text) const {
+    return Cur().type == t && Cur().text == text;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (line " + std::to_string(Cur().line) +
+                              ", near '" + Cur().text + "')");
+  }
+  Status Expect(TokenType t, std::string_view text = {}) {
+    if (Cur().type != t || (!text.empty() && Cur().text != text))
+      return Err("expected " + std::string(text.empty() ? TokenTypeName(t)
+                                                        : std::string(text)));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParsePrologue() {
+    while (CurIs(TokenType::kKeyword, "PREFIX")) {
+      Advance();
+      if (Cur().type != TokenType::kPrefixedName)
+        return Err("expected prefix name after PREFIX");
+      std::string pname = Cur().text;
+      if (pname.empty() || pname.back() != ':')
+        return Err("prefix declaration must end with ':'");
+      Advance();
+      if (Cur().type != TokenType::kIriRef)
+        return Err("expected IRI after prefix name");
+      prefixes_[pname.substr(0, pname.size() - 1)] = Cur().text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ExpandPrefixedName(const std::string& qname) {
+    size_t colon = qname.find(':');
+    std::string prefix = qname.substr(0, colon);
+    std::string local = qname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end())
+      return Status::ParseError("undeclared prefix '" + prefix + ":'");
+    return Term::Iri(it->second + local);
+  }
+
+  /// Parses one subject/predicate/object slot.
+  Result<PatternSlot> ParseSlot(bool predicate_position) {
+    switch (Cur().type) {
+      case TokenType::kVariable: {
+        PatternSlot s = PatternSlot::Var(vars_->Intern(Cur().text));
+        Advance();
+        return s;
+      }
+      case TokenType::kIriRef: {
+        PatternSlot s = PatternSlot::Const(Term::Iri(Cur().text));
+        Advance();
+        return s;
+      }
+      case TokenType::kPrefixedName: {
+        auto t = ExpandPrefixedName(Cur().text);
+        if (!t.ok()) return t.status();
+        Advance();
+        return PatternSlot::Const(std::move(*t));
+      }
+      case TokenType::kA:
+        if (!predicate_position) return Err("'a' only allowed as predicate");
+        Advance();
+        return PatternSlot::Const(Term::Iri(kRdfType));
+      case TokenType::kString: {
+        std::string value = Cur().text;
+        Advance();
+        if (Cur().type == TokenType::kLangTag) {
+          std::string lang = Cur().text;
+          Advance();
+          return PatternSlot::Const(Term::LangLiteral(value, lang));
+        }
+        if (Cur().type == TokenType::kDoubleCaret) {
+          Advance();
+          if (Cur().type == TokenType::kIriRef) {
+            std::string dt = Cur().text;
+            Advance();
+            return PatternSlot::Const(Term::TypedLiteral(value, dt));
+          }
+          if (Cur().type == TokenType::kPrefixedName) {
+            auto t = ExpandPrefixedName(Cur().text);
+            if (!t.ok()) return t.status();
+            Advance();
+            return PatternSlot::Const(Term::TypedLiteral(value, t->lexical));
+          }
+          return Err("expected datatype IRI after ^^");
+        }
+        return PatternSlot::Const(Term::Literal(value));
+      }
+      case TokenType::kNumber: {
+        std::string text = Cur().text;
+        Advance();
+        const char* dt = text.find('.') == std::string::npos ? kXsdInteger
+                                                             : kXsdDecimal;
+        return PatternSlot::Const(Term::TypedLiteral(text, dt));
+      }
+      default:
+        return Err("expected term or variable");
+    }
+  }
+
+  /// TriplesBlock starting at the current subject token. Appends kTriple
+  /// elements (expanding ';' and ',' lists).
+  Status ParseTriplesBlock(GroupGraphPattern* out) {
+    auto subject = ParseSlot(/*predicate_position=*/false);
+    if (!subject.ok()) return subject.status();
+    while (true) {
+      auto pred = ParseSlot(/*predicate_position=*/true);
+      if (!pred.ok()) return pred.status();
+      while (true) {
+        auto obj = ParseSlot(/*predicate_position=*/false);
+        if (!obj.ok()) return obj.status();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kTriple;
+        e.triple = TriplePattern{*subject, *pred, *obj};
+        out->elements.push_back(std::move(e));
+        if (CurIs(TokenType::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (CurIs(TokenType::kSemicolon)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (CurIs(TokenType::kDot)) Advance();
+    return Status::OK();
+  }
+
+  Result<GroupGraphPattern> ParseGroup() {
+    SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kLBrace));
+    GroupGraphPattern g;
+    while (!CurIs(TokenType::kRBrace)) {
+      if (CurIs(TokenType::kEof)) return Err("unterminated group pattern");
+      if (CurIs(TokenType::kLBrace)) {
+        // GroupOrUnionGraphPattern.
+        std::vector<GroupGraphPattern> branches;
+        auto first = ParseGroup();
+        if (!first.ok()) return first.status();
+        branches.push_back(std::move(*first));
+        while (CurIs(TokenType::kKeyword, "UNION")) {
+          Advance();
+          auto next = ParseGroup();
+          if (!next.ok()) return next.status();
+          branches.push_back(std::move(*next));
+        }
+        PatternElement e;
+        e.kind = branches.size() == 1 ? PatternElement::Kind::kGroup
+                                      : PatternElement::Kind::kUnion;
+        e.groups = std::move(branches);
+        g.elements.push_back(std::move(e));
+        if (CurIs(TokenType::kDot)) Advance();
+        continue;
+      }
+      if (CurIs(TokenType::kKeyword, "OPTIONAL")) {
+        Advance();
+        auto inner = ParseGroup();
+        if (!inner.ok()) return inner.status();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kOptional;
+        e.groups.push_back(std::move(*inner));
+        g.elements.push_back(std::move(e));
+        if (CurIs(TokenType::kDot)) Advance();
+        continue;
+      }
+      if (CurIs(TokenType::kKeyword, "FILTER")) {
+        Advance();
+        SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        auto f = ParseOrExpr();
+        if (!f.ok()) return f.status();
+        SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        PatternElement e;
+        e.kind = PatternElement::Kind::kFilter;
+        e.filter = std::move(*f);
+        g.elements.push_back(std::move(e));
+        if (CurIs(TokenType::kDot)) Advance();
+        continue;
+      }
+      SPARQLUO_RETURN_NOT_OK(ParseTriplesBlock(&g));
+    }
+    Advance();  // consume '}'
+    return g;
+  }
+
+  Result<FilterExpr> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs;
+    while (CurIs(TokenType::kOrOr)) {
+      Advance();
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs;
+      FilterExpr e;
+      e.op = FilterExpr::Op::kOr;
+      e.children.push_back(std::move(*lhs));
+      e.children.push_back(std::move(*rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<FilterExpr> ParseAndExpr() {
+    auto lhs = ParseUnaryExpr();
+    if (!lhs.ok()) return lhs;
+    while (CurIs(TokenType::kAndAnd)) {
+      Advance();
+      auto rhs = ParseUnaryExpr();
+      if (!rhs.ok()) return rhs;
+      FilterExpr e;
+      e.op = FilterExpr::Op::kAnd;
+      e.children.push_back(std::move(*lhs));
+      e.children.push_back(std::move(*rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<FilterExpr> ParseUnaryExpr() {
+    if (CurIs(TokenType::kBang)) {
+      Advance();
+      auto inner = ParseUnaryExpr();
+      if (!inner.ok()) return inner;
+      FilterExpr e;
+      e.op = FilterExpr::Op::kNot;
+      e.children.push_back(std::move(*inner));
+      return e;
+    }
+    if (CurIs(TokenType::kLParen)) {
+      Advance();
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner;
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return inner;
+    }
+    if (CurIs(TokenType::kKeyword, "BOUND")) {
+      Advance();
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kLParen));
+      auto slot = ParseSlot(false);
+      if (!slot.ok()) return slot.status();
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      FilterExpr e;
+      e.op = FilterExpr::Op::kBound;
+      e.lhs = std::move(*slot);
+      return e;
+    }
+    // Comparison: slot op slot.
+    auto lhs = ParseSlot(false);
+    if (!lhs.ok()) return lhs.status();
+    FilterExpr e;
+    switch (Cur().type) {
+      case TokenType::kEq: e.op = FilterExpr::Op::kEq; break;
+      case TokenType::kNeq: e.op = FilterExpr::Op::kNeq; break;
+      case TokenType::kLt: e.op = FilterExpr::Op::kLt; break;
+      case TokenType::kGt: e.op = FilterExpr::Op::kGt; break;
+      case TokenType::kLe: e.op = FilterExpr::Op::kLe; break;
+      case TokenType::kGe: e.op = FilterExpr::Op::kGe; break;
+      default:
+        return Err("expected comparison operator in FILTER");
+    }
+    Advance();
+    auto rhs = ParseSlot(false);
+    if (!rhs.ok()) return rhs.status();
+    e.lhs = std::move(*lhs);
+    e.rhs = std::move(*rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  VarTable* vars_;
+  VarTable* owned_vars_ = nullptr;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(*tokens), nullptr);
+  return p.ParseQuery();
+}
+
+Result<GroupGraphPattern> ParseGroupGraphPattern(std::string_view text,
+                                                 VarTable* vars) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(*tokens), vars);
+  return p.ParseGroupOnly();
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,35 @@
+// Recursive-descent SPARQL parser producing the AST of sparql/ast.h.
+//
+// Supported grammar (the SPARQL-UO fragment of the paper plus conveniences):
+//   Query        := Prologue SelectQuery
+//   Prologue     := (PREFIX pname: <iri>)*
+//   SelectQuery  := SELECT [DISTINCT] (Var* | '*')? WHERE GroupGraphPattern
+//   GroupGraphPattern := '{' ( TriplesBlock
+//                            | GroupOrUnion
+//                            | OPTIONAL GroupGraphPattern
+//                            | FILTER '(' Expr ')' )* '}'
+//   GroupOrUnion := GroupGraphPattern (UNION GroupGraphPattern)*
+//   TriplesBlock := Subject PropertyList ('.' | &'}' )
+//   PropertyList := Verb ObjectList (';' Verb ObjectList)*
+//   ObjectList   := Object (',' Object)*
+//
+// The bare `SELECT WHERE { ... }` form used by the paper's appendix is
+// accepted and treated as SELECT *.
+#pragma once
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Parses a complete SELECT query.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses just a group graph pattern `{ ... }` against a caller-provided
+/// variable table (useful in tests and for building patterns directly).
+Result<GroupGraphPattern> ParseGroupGraphPattern(std::string_view text,
+                                                 VarTable* vars);
+
+}  // namespace sparqluo

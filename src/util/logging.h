@@ -1,0 +1,37 @@
+// Minimal leveled logging used across the library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sparqluo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace sparqluo
+
+#define SPARQLUO_LOG(level) \
+  ::sparqluo::internal::LogStream(::sparqluo::LogLevel::level)

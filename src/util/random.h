@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator for data generation and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace sparqluo {
+
+/// SplitMix64-seeded xorshift128+ generator. Deterministic across platforms,
+/// so benchmark datasets regenerate identically everywhere.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 to fill the state from the seed.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Approximate Zipf-distributed value in [0, n): rank-skewed sampling used
+  /// by the DBpedia-like generator to model hub entities.
+  uint64_t Zipf(uint64_t n, double alpha = 1.0) {
+    // Inverse-CDF on a power-law; coarse but fast and deterministic.
+    double u = NextDouble();
+    double x = (alpha == 1.0)
+                   ? (static_cast<double>(n) - 1.0) * u * u
+                   : (static_cast<double>(n) - 1.0) * u * u * u;
+    auto v = static_cast<uint64_t>(x);
+    return v >= n ? n - 1 : v;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace sparqluo

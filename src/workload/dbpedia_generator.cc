@@ -1,0 +1,319 @@
+#include "workload/dbpedia_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sparqluo {
+
+namespace {
+
+constexpr const char* kRdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+constexpr const char* kRdfs = "http://www.w3.org/2000/01/rdf-schema#";
+constexpr const char* kFoaf = "http://xmlns.com/foaf/0.1/";
+constexpr const char* kPurl = "http://purl.org/dc/terms/";
+constexpr const char* kSkos = "http://www.w3.org/2004/02/skos/core#";
+constexpr const char* kProv = "http://www.w3.org/ns/prov#";
+constexpr const char* kOwl = "http://www.w3.org/2002/07/owl#";
+constexpr const char* kDbo = "http://dbpedia.org/ontology/";
+constexpr const char* kDbr = "http://dbpedia.org/resource/";
+constexpr const char* kDbp = "http://dbpedia.org/property/";
+constexpr const char* kGeo = "http://www.w3.org/2003/01/geo/wgs84_pos#";
+constexpr const char* kGeorss = "http://www.georss.org/georss/";
+
+class DbpediaBuilder {
+ public:
+  DbpediaBuilder(const DbpediaConfig& config, Database* db)
+      : config_(config), db_(db), rng_(config.seed) {}
+
+  void Generate() {
+    const size_t n = config_.articles;
+    n_categories_ = std::max<size_t>(n / 40, 8);
+    n_external_ = n / 3;
+
+    GenerateAnchors();
+    for (size_t i = 0; i < n; ++i) GenerateArticle(i);
+    GenerateCategories();
+    GenerateTypedPopulations();
+  }
+
+ private:
+  std::string Art(size_t i) const { return kDbr + ("Article_" + std::to_string(i)); }
+  std::string Page(size_t i) const {
+    return "http://en.wikipedia.org/wiki/Article_" + std::to_string(i);
+  }
+  std::string Cat(size_t i) const {
+    return kDbr + ("Category:Topic_" + std::to_string(i));
+  }
+  std::string Ext(size_t i) const {
+    return "http://external.org/entity/" + std::to_string(i);
+  }
+
+  void Add(const std::string& s, const std::string& p, const std::string& o) {
+    db_->AddTriple(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+  }
+  void AddLit(const std::string& s, const std::string& p,
+              const std::string& lit, const char* lang = "en") {
+    db_->AddTriple(Term::Iri(s), Term::Iri(p), Term::LangLiteral(lit, lang));
+  }
+  void AddPlain(const std::string& s, const std::string& p,
+                const std::string& lit) {
+    db_->AddTriple(Term::Iri(s), Term::Iri(p), Term::Literal(lit));
+  }
+
+  /// The concrete entities the paper's queries anchor on. Each receives a
+  /// selective population of in-links so anchor patterns bind a small
+  /// fraction of the graph (mirroring the paper's selectivity analysis).
+  void GenerateAnchors() {
+    anchors_ = {std::string(kDbr) + "Economic_system",
+                std::string(kDbr) + "Air_masses",
+                std::string(kDbr) + "Functional_neuroimaging",
+                std::string(kDbr) + "Abdul_Rahim_Wardak",
+                std::string(kDbr) + "Category:Cell_biology"};
+    for (const std::string& a : anchors_) {
+      AddLit(a, std::string(kRdfs) + "label", a.substr(std::string(kDbr).size()));
+      Add(a, std::string(kProv) + "wasDerivedFrom",
+          "http://en.wikipedia.org/wiki/" + a.substr(std::string(kDbr).size()));
+    }
+    // Air_masses participates in the primary-topic cluster used by q1.3.
+    Add(anchors_[1], std::string(kFoaf) + "isPrimaryTopicOf",
+        "http://en.wikipedia.org/wiki/Air_masses");
+    Add("http://en.wikipedia.org/wiki/Air_masses",
+        std::string(kFoaf) + "primaryTopic", anchors_[1]);
+  }
+
+  void GenerateArticle(size_t i) {
+    const size_t n = config_.articles;
+    std::string art = Art(i);
+    std::string name = "Article " + std::to_string(i);
+
+    // Universal attributes (low selectivity).
+    AddLit(art, std::string(kRdfs) + "label", name);
+    if (rng_.Bernoulli(0.7)) AddLit(art, std::string(kFoaf) + "name", name);
+    Add(art, std::string(kProv) + "wasDerivedFrom", Page(i));
+    Add(art, std::string(kFoaf) + "isPrimaryTopicOf", Page(i));
+    Add(Page(i), std::string(kFoaf) + "primaryTopic", art);
+
+    // Categories: purl:subject is the modern predicate, skos:subject the
+    // legacy one — both appear in the data (and in the queries' UNIONs).
+    size_t n_cats = rng_.Range(1, 3);
+    for (size_t c = 0; c < n_cats; ++c) {
+      std::string cat = Cat(rng_.Zipf(n_categories_));
+      if (rng_.Bernoulli(0.7)) {
+        Add(art, std::string(kPurl) + "subject", cat);
+      } else {
+        Add(art, std::string(kSkos) + "subject", cat);
+      }
+    }
+
+    // Wiki links with Zipf-skewed targets: hubs receive many in-links.
+    size_t n_links = rng_.Range(3, 12);
+    for (size_t l = 0; l < n_links; ++l) {
+      Add(art, std::string(kDbo) + "wikiPageWikiLink", Art(rng_.Zipf(n)));
+    }
+    // A small selective population links to each anchor (~0.5%).
+    if (rng_.Bernoulli(0.005))
+      Add(art, std::string(kDbo) + "wikiPageWikiLink", anchors_[0]);
+    if (rng_.Bernoulli(0.005))
+      Add(art, std::string(kDbo) + "wikiPageWikiLink", anchors_[3]);
+    if (rng_.Bernoulli(0.005))
+      Add(art, std::string(kDbo) + "wikiPageWikiLink", anchors_[4]);
+
+    // owl:sameAs to external references (abundant, as in the intro example).
+    if (rng_.Bernoulli(0.35))
+      Add(art, std::string(kOwl) + "sameAs", Ext(rng_.Uniform(n_external_)));
+    if (rng_.Bernoulli(0.05))
+      Add(Ext(rng_.Uniform(n_external_)), std::string(kOwl) + "sameAs", art);
+
+    // Redirect chains. A redirect article shares the target's wiki page,
+    // so pages can carry several primary topics (as in real DBpedia, where
+    // q1.6-style queries traverse page<->article both ways).
+    if (rng_.Bernoulli(0.06)) {
+      size_t target = rng_.Zipf(n);
+      Add(art, std::string(kDbo) + "wikiPageRedirects", Art(target));
+      Add(art, std::string(kDbo) + "wikiPageWikiLink", Art(target));
+      Add(art, std::string(kFoaf) + "isPrimaryTopicOf", Page(target));
+      Add(Page(target), std::string(kFoaf) + "primaryTopic", art);
+    }
+    if (rng_.Bernoulli(0.3))
+      AddPlain(art, std::string(kDbo) + "wikiPageLength",
+               std::to_string(rng_.Range(500, 150000)));
+    if (rng_.Bernoulli(0.4))
+      AddLit(art, std::string(kSkos) + "prefLabel", name);
+    if (rng_.Bernoulli(0.5))
+      AddLit(art, std::string(kRdfs) + "comment", "About " + name);
+    if (rng_.Bernoulli(0.3)) Add(art, std::string(kFoaf) + "page", Page(i));
+  }
+
+  void GenerateCategories() {
+    for (size_t c = 0; c < n_categories_; ++c) {
+      std::string cat = Cat(c);
+      AddLit(cat, std::string(kRdfs) + "label", "Topic " + std::to_string(c));
+      if (rng_.Bernoulli(0.6))
+        AddLit(cat, std::string(kFoaf) + "name", "Topic " + std::to_string(c));
+      // skos:related links between categories (used by q1.4).
+      size_t n_rel = rng_.Range(1, 4);
+      for (size_t r = 0; r < n_rel; ++r)
+        Add(cat, std::string(kSkos) + "related", Cat(rng_.Zipf(n_categories_)));
+      if (rng_.Bernoulli(0.5))
+        Add(cat, std::string(kOwl) + "sameAs", Ext(rng_.Uniform(n_external_)));
+      if (rng_.Bernoulli(0.5))
+        Add(cat, std::string(kRdf) + "type", std::string(kSkos) + "Concept");
+    }
+    // Functional_neuroimaging's categories (anchor of q1.4): a handful.
+    for (size_t c = 0; c < 3; ++c) {
+      std::string cat = Cat(rng_.Uniform(n_categories_));
+      Add(anchors_[2], std::string(kPurl) + "subject", cat);
+      Add(cat, std::string(kOwl) + "sameAs", Ext(rng_.Uniform(n_external_)));
+      Add(cat, std::string(kRdf) + "type", std::string(kSkos) + "Concept");
+    }
+  }
+
+  /// Typed subpopulations with their attribute clusters, used by q2.x.
+  void GenerateTypedPopulations() {
+    const size_t n = config_.articles;
+    const std::string type = std::string(kRdf) + "type";
+
+    // Populated places / settlements (q2.1, q2.4).
+    size_t n_places = n / 20;
+    std::vector<std::string> settlements;
+    for (size_t i = 0; i < n_places; ++i) {
+      std::string place = kDbr + ("Place_" + std::to_string(i));
+      Add(place, type, std::string(kDbo) + "PopulatedPlace");
+      AddLit(place, std::string(kDbo) + "abstract", "A place.");
+      AddLit(place, std::string(kRdfs) + "label", "Place " + std::to_string(i));
+      AddPlain(place, std::string(kGeo) + "lat", std::to_string(rng_.Uniform(90)));
+      AddPlain(place, std::string(kGeo) + "long", std::to_string(rng_.Uniform(180)));
+      if (rng_.Bernoulli(0.4))
+        Add(place, std::string(kFoaf) + "depiction",
+            "http://img.org/" + std::to_string(i));
+      if (rng_.Bernoulli(0.25))
+        Add(place, std::string(kFoaf) + "homepage",
+            "http://place" + std::to_string(i) + ".example.org");
+      if (rng_.Bernoulli(0.6))
+        AddPlain(place, std::string(kDbo) + "populationTotal",
+                 std::to_string(rng_.Range(100, 10000000)));
+      if (rng_.Bernoulli(0.5))
+        Add(place, std::string(kDbo) + "thumbnail",
+            "http://img.org/thumb/" + std::to_string(i));
+      if (rng_.Bernoulli(0.5)) {
+        Add(place, type, std::string(kDbo) + "Settlement");
+        settlements.push_back(place);
+      }
+    }
+
+    // Airports serving settlements (q2.4).
+    size_t n_airports = std::max<size_t>(n / 200, 4);
+    for (size_t i = 0; i < n_airports && !settlements.empty(); ++i) {
+      std::string ap = kDbr + ("Airport_" + std::to_string(i));
+      Add(ap, type, std::string(kDbo) + "Airport");
+      Add(ap, std::string(kDbo) + "city",
+          settlements[rng_.Uniform(settlements.size())]);
+      AddPlain(ap, std::string(kDbp) + "iata", "A" + std::to_string(i));
+      if (rng_.Bernoulli(0.5))
+        Add(ap, std::string(kFoaf) + "homepage",
+            "http://airport" + std::to_string(i) + ".example.org");
+      if (rng_.Bernoulli(0.4))
+        AddLit(ap, std::string(kDbp) + "nativename", "Airport " + std::to_string(i));
+    }
+
+    // Soccer players and their clubs (q2.2).
+    size_t n_clubs = std::max<size_t>(n / 400, 4);
+    for (size_t i = 0; i < n_clubs; ++i) {
+      std::string club = kDbr + ("Club_" + std::to_string(i));
+      AddPlain(club, std::string(kDbo) + "capacity",
+               std::to_string(rng_.Range(5000, 90000)));
+    }
+    size_t n_players = n / 40;
+    for (size_t i = 0; i < n_players; ++i) {
+      std::string pl = kDbr + ("Player_" + std::to_string(i));
+      Add(pl, type, std::string(kDbo) + "SoccerPlayer");
+      if (rng_.Bernoulli(0.3))
+        Add(pl, std::string(kFoaf) + "homepage",
+            "http://player" + std::to_string(i) + ".example.org");
+      AddLit(pl, std::string(kDbp) + "position", "Forward");
+      Add(pl, std::string(kDbp) + "clubs", kDbr + ("Club_" + std::to_string(rng_.Uniform(n_clubs))));
+      Add(pl, std::string(kDbo) + "birthPlace",
+          kDbr + ("Place_" + std::to_string(rng_.Uniform(std::max<size_t>(n_places, 1)))));
+      if (rng_.Bernoulli(0.5))
+        AddPlain(pl, std::string(kDbo) + "number", std::to_string(rng_.Range(1, 30)));
+    }
+
+    // Persons (q2.3, q2.5).
+    size_t n_persons = n / 10;
+    for (size_t i = 0; i < n_persons; ++i) {
+      std::string person = kDbr + ("Person_" + std::to_string(i));
+      Add(person, type, std::string(kDbo) + "Person");
+      AddLit(person, std::string(kRdfs) + "label", "Person " + std::to_string(i));
+      AddLit(person, std::string(kFoaf) + "name", "Person " + std::to_string(i));
+      if (rng_.Bernoulli(0.3))
+        Add(person, std::string(kDbo) + "thumbnail",
+            "http://img.org/person/" + std::to_string(i));
+      if (rng_.Bernoulli(0.15))
+        Add(person, std::string(kFoaf) + "homepage",
+            "http://person" + std::to_string(i) + ".example.org");
+      if (rng_.Bernoulli(0.4))
+        AddLit(person, std::string(kRdfs) + "comment", "A person.");
+      Add(person, std::string(kSkos) + "subject", Cat(rng_.Zipf(n_categories_)));
+    }
+
+    // Companies (q2.6).
+    size_t n_companies = n / 50;
+    for (size_t i = 0; i < n_companies; ++i) {
+      std::string co = kDbr + ("Company_" + std::to_string(i));
+      AddLit(co, std::string(kRdfs) + "comment", "A company.");
+      Add(co, std::string(kFoaf) + "page",
+          "http://company" + std::to_string(i) + ".example.org");
+      if (rng_.Bernoulli(0.6))
+        Add(co, std::string(kSkos) + "subject", Cat(rng_.Zipf(n_categories_)));
+      if (rng_.Bernoulli(0.5))
+        AddLit(co, std::string(kDbp) + "industry", "Industry" + std::to_string(rng_.Uniform(12)));
+      if (rng_.Bernoulli(0.5))
+        Add(co, std::string(kDbp) + "location",
+            kDbr + ("Place_" + std::to_string(rng_.Uniform(std::max<size_t>(n_places, 1)))));
+      if (rng_.Bernoulli(0.4))
+        AddLit(co, std::string(kDbp) + "locationCountry", "Country" + std::to_string(rng_.Uniform(40)));
+      if (rng_.Bernoulli(0.3))
+        Add(co, std::string(kDbp) + "locationCity",
+            kDbr + ("Place_" + std::to_string(rng_.Uniform(std::max<size_t>(n_places, 1)))));
+      if (rng_.Bernoulli(0.3)) {
+        std::string product = kDbr + ("Product_" + std::to_string(i));
+        AddLit(co, std::string(kDbp) + "products", "Product" + std::to_string(i));
+        Add(product, std::string(kDbp) + "manufacturer", co);
+        Add(product, std::string(kDbp) + "model", co);
+      }
+      if (rng_.Bernoulli(0.4))
+        AddPlain(co, std::string(kGeorss) + "point", "0.0 0.0");
+      if (rng_.Bernoulli(0.5))
+        Add(co, type, std::string(kDbo) + "Company");
+    }
+
+    // Phylum links for the biology cluster (q1.6).
+    size_t n_species = n / 100;
+    for (size_t i = 0; i < n_species; ++i) {
+      std::string sp = kDbr + ("Species_" + std::to_string(i));
+      Add(sp, std::string(kDbo) + "phylum", Art(rng_.Zipf(n)));
+      Add(sp, std::string(kFoaf) + "isPrimaryTopicOf",
+          "http://en.wikipedia.org/wiki/Species_" + std::to_string(i));
+      Add("http://en.wikipedia.org/wiki/Species_" + std::to_string(i),
+          std::string(kFoaf) + "primaryTopic", sp);
+    }
+  }
+
+  const DbpediaConfig& config_;
+  Database* db_;
+  Random rng_;
+  size_t n_categories_ = 0;
+  size_t n_external_ = 0;
+  std::vector<std::string> anchors_;
+};
+
+}  // namespace
+
+void GenerateDbpedia(const DbpediaConfig& config, Database* db) {
+  DbpediaBuilder builder(config, db);
+  builder.Generate();
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,215 @@
+#include "workload/lubm_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/random.h"
+
+namespace sparqluo {
+
+namespace {
+
+/// Builder wrapper caching the ub: predicate terms.
+class LubmBuilder {
+ public:
+  LubmBuilder(const LubmConfig& config, Database* db)
+      : config_(config), db_(db), rng_(config.seed) {}
+
+  void Generate() {
+    const size_t n_univ = config_.universities;
+    for (size_t u = 0; u < n_univ; ++u) GenerateUniversity(u);
+  }
+
+ private:
+  // --- IRI naming, matching the official LUBM data generator -----------
+  std::string UnivIri(size_t u) const {
+    return "http://www.University" + std::to_string(u) + ".edu";
+  }
+  std::string DeptIri(size_t u, size_t d) const {
+    return "http://www.Department" + std::to_string(d) + ".University" +
+           std::to_string(u) + ".edu";
+  }
+  std::string Entity(size_t u, size_t d, const std::string& kind,
+                     size_t k) const {
+    return DeptIri(u, d) + "/" + kind + std::to_string(k);
+  }
+
+  Term Ub(const std::string& local) const { return Term::Iri(kUbPrefix + local); }
+  Term TypeTerm() const { return Term::Iri(kRdfType); }
+
+  void Add(const std::string& s, const std::string& p_local,
+           const std::string& o_iri) {
+    db_->AddTriple(Term::Iri(s), Ub(p_local), Term::Iri(o_iri));
+  }
+  void AddLit(const std::string& s, const std::string& p_local,
+              const std::string& lit) {
+    db_->AddTriple(Term::Iri(s), Ub(p_local), Term::Literal(lit));
+  }
+  void AddType(const std::string& s, const std::string& class_local) {
+    db_->AddTriple(Term::Iri(s), TypeTerm(), Ub(class_local));
+  }
+
+  size_t DegreePool() const {
+    return std::max(config_.degree_pool, config_.universities);
+  }
+
+  /// DegreeFrom target: 5% from the materialized universities (so joins
+  /// against real departments/faculty bind at any scale), 95% from the
+  /// fixed reference pool (so degree-degree joins keep ~1/pool selectivity
+  /// instead of cross-multiplying at small scale factors).
+  std::string DegreeUniv() {
+    if (rng_.Bernoulli(0.05)) return UnivIri(rng_.Uniform(config_.universities));
+    return UnivIri(rng_.Uniform(DegreePool()));
+  }
+
+  size_t Scaled(size_t lo, size_t hi) {
+    double f = config_.density;
+    auto v = rng_.Range(lo, hi);
+    auto scaled = static_cast<size_t>(static_cast<double>(v) * f);
+    return scaled == 0 ? 1 : scaled;
+  }
+
+  void GenerateUniversity(size_t u) {
+    const std::string univ = UnivIri(u);
+    AddType(univ, "University");
+    AddLit(univ, "name", "University" + std::to_string(u));
+
+    size_t n_dept = Scaled(15, 20);
+    for (size_t d = 0; d < n_dept; ++d) GenerateDepartment(u, d);
+  }
+
+  void GenerateDepartment(size_t u, size_t d) {
+    const std::string dept = DeptIri(u, d);
+    const std::string univ = UnivIri(u);
+    AddType(dept, "Department");
+    Add(dept, "subOrganizationOf", univ);
+    AddLit(dept, "name", "Department" + std::to_string(d));
+
+    // Research groups (sub-organizations of the department).
+    size_t n_groups = Scaled(10, 15);
+    for (size_t g = 0; g < n_groups; ++g) {
+      std::string group = Entity(u, d, "ResearchGroup", g);
+      AddType(group, "ResearchGroup");
+      Add(group, "subOrganizationOf", dept);
+    }
+
+    // Faculty.
+    struct FacultyKind {
+      const char* class_name;
+      const char* iri_kind;
+      size_t lo, hi;
+    };
+    const FacultyKind kinds[] = {
+        {"FullProfessor", "FullProfessor", 7, 10},
+        {"AssociateProfessor", "AssociateProfessor", 10, 14},
+        {"AssistantProfessor", "AssistantProfessor", 8, 11},
+        {"Lecturer", "Lecturer", 5, 7},
+    };
+    std::vector<std::string> faculty;
+    std::vector<std::string> courses, grad_courses;
+    size_t course_seq = 0, grad_course_seq = 0, pub_seq = 0;
+    for (const FacultyKind& kind : kinds) {
+      size_t n = Scaled(kind.lo, kind.hi);
+      for (size_t k = 0; k < n; ++k) {
+        std::string prof = Entity(u, d, kind.iri_kind, k);
+        faculty.push_back(prof);
+        AddType(prof, kind.class_name);
+        Add(prof, "worksFor", dept);
+        AddLit(prof, "name", std::string(kind.iri_kind) + std::to_string(k));
+        AddLit(prof, "emailAddress",
+               std::string(kind.iri_kind) + std::to_string(k) + "@" +
+                   dept.substr(11));  // strip "http://www."
+        AddLit(prof, "telephone", "xxx-xxx-xxxx");
+        Add(prof, "undergraduateDegreeFrom", DegreeUniv());
+        Add(prof, "mastersDegreeFrom", DegreeUniv());
+        Add(prof, "doctoralDegreeFrom", DegreeUniv());
+        AddLit(prof, "researchInterest", "Research" + std::to_string(rng_.Uniform(30)));
+
+        // Courses taught (1 undergrad + 1 grad on average).
+        size_t n_courses = rng_.Range(1, 2);
+        for (size_t c = 0; c < n_courses; ++c) {
+          std::string course = Entity(u, d, "Course", course_seq++);
+          AddType(course, "Course");
+          AddLit(course, "name", "Course" + std::to_string(course_seq));
+          Add(prof, "teacherOf", course);
+          courses.push_back(course);
+        }
+        size_t n_gcourses = rng_.Range(1, 2);
+        for (size_t c = 0; c < n_gcourses; ++c) {
+          std::string course = Entity(u, d, "GraduateCourse", grad_course_seq++);
+          AddType(course, "GraduateCourse");
+          AddLit(course, "name", "GraduateCourse" + std::to_string(grad_course_seq));
+          Add(prof, "teacherOf", course);
+          grad_courses.push_back(course);
+        }
+
+        // Publications authored by this faculty member.
+        size_t n_pubs = rng_.Range(1, 6);
+        for (size_t m = 0; m < n_pubs; ++m) {
+          std::string pub = prof + "/Publication" + std::to_string(m);
+          AddType(pub, "Publication");
+          AddLit(pub, "name", "Publication" + std::to_string(pub_seq++));
+          Add(pub, "publicationAuthor", prof);
+        }
+      }
+    }
+    // Department head: the first full professor.
+    Add(Entity(u, d, "FullProfessor", 0), "headOf", dept);
+
+    // Undergraduate students (the bulk of the data).
+    size_t n_ug = Scaled(380, 460);
+    for (size_t k = 0; k < n_ug; ++k) {
+      std::string st = Entity(u, d, "UndergraduateStudent", k);
+      AddType(st, "UndergraduateStudent");
+      Add(st, "memberOf", dept);
+      AddLit(st, "name", "UndergraduateStudent" + std::to_string(k));
+      AddLit(st, "emailAddress", "UndergraduateStudent" + std::to_string(k) +
+                                     "@" + dept.substr(11));
+      AddLit(st, "telephone", "xxx-xxx-xxxx");
+      size_t n_take = rng_.Range(2, 4);
+      for (size_t c = 0; c < n_take && !courses.empty(); ++c)
+        Add(st, "takesCourse", courses[rng_.Uniform(courses.size())]);
+      if (rng_.Bernoulli(0.2) && !faculty.empty())
+        Add(st, "advisor", faculty[rng_.Uniform(faculty.size())]);
+    }
+
+    // Graduate students.
+    size_t n_grad = Scaled(95, 125);
+    for (size_t k = 0; k < n_grad; ++k) {
+      std::string st = Entity(u, d, "GraduateStudent", k);
+      AddType(st, "GraduateStudent");
+      Add(st, "memberOf", dept);
+      AddLit(st, "name", "GraduateStudent" + std::to_string(k));
+      AddLit(st, "emailAddress",
+             "GraduateStudent" + std::to_string(k) + "@" + dept.substr(11));
+      AddLit(st, "telephone", "xxx-xxx-xxxx");
+      Add(st, "undergraduateDegreeFrom", DegreeUniv());
+      size_t n_take = rng_.Range(1, 3);
+      for (size_t c = 0; c < n_take && !grad_courses.empty(); ++c)
+        Add(st, "takesCourse", grad_courses[rng_.Uniform(grad_courses.size())]);
+      if (!faculty.empty()) Add(st, "advisor", faculty[rng_.Uniform(faculty.size())]);
+      // Teaching assistants for undergraduate courses.
+      if (rng_.Bernoulli(0.25) && !courses.empty())
+        Add(st, "teachingAssistantOf", courses[rng_.Uniform(courses.size())]);
+      // Some graduate students co-author publications.
+      if (rng_.Bernoulli(0.15) && !faculty.empty()) {
+        std::string prof = faculty[rng_.Uniform(faculty.size())];
+        std::string pub = prof + "/Publication0";
+        Add(pub, "publicationAuthor", st);
+      }
+    }
+  }
+
+  const LubmConfig& config_;
+  Database* db_;
+  Random rng_;
+};
+
+}  // namespace
+
+void GenerateLubm(const LubmConfig& config, Database* db) {
+  LubmBuilder builder(config, db);
+  builder.Generate();
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,247 @@
+#include "workload/paper_queries.h"
+
+namespace sparqluo {
+
+namespace {
+
+const char* kLubmPrefixes = R"(
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+)";
+
+const char* kDbpediaPrefixes = R"(
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX purl: <http://purl.org/dc/terms/>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+PREFIX nsprov: <http://www.w3.org/ns/prov#>
+PREFIX owl: <http://www.w3.org/2002/07/owl#>
+PREFIX dbo: <http://dbpedia.org/ontology/>
+PREFIX dbr: <http://dbpedia.org/resource/>
+PREFIX dbp: <http://dbpedia.org/property/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+PREFIX georss: <http://www.georss.org/georss/>
+)";
+
+std::vector<PaperQuery> MakeLubm() {
+  std::vector<PaperQuery> qs;
+  auto add = [&](const char* id, const char* type, const std::string& body) {
+    qs.push_back({id, type, std::string(kLubmPrefixes) + body});
+  };
+
+  add("q1.1", "U", R"(SELECT * WHERE {
+  { ?v2 ub:headOf ?v1 . } UNION { ?v2 ub:worksFor ?v1 . }
+  ?v2 ub:undergraduateDegreeFrom ?v3 .
+  ?v4 ub:doctoralDegreeFrom ?v3 .
+  ?v5 ub:publicationAuthor ?v2 .
+  { ?v6 ub:headOf ?v1 . } UNION { ?v6 ub:worksFor ?v1 . }
+  { ?v2 ub:headOf ?v7 . } UNION { ?v2 ub:worksFor ?v7 . }
+  <http://www.Department0.University0.edu/UndergraduateStudent91> ub:memberOf ?v1 .
+  ?v7 ub:name ?v8 . })");
+
+  add("q1.2", "O", R"(SELECT * WHERE {
+  ?v3 ub:emailAddress "UndergraduateStudent91@Department0.University0.edu" .
+  ?v2 ub:emailAddress ?v1 .
+  OPTIONAL { ?v2 ub:teacherOf ?v4 . ?v3 ub:takesCourse ?v4 . } })");
+
+  add("q1.3", "O", R"(SELECT * WHERE {
+  <http://www.Department1.University0.edu/UndergraduateStudent363> ub:takesCourse ?v1 .
+  OPTIONAL { ?v2 ub:teachingAssistantOf ?v1 .
+    OPTIONAL { ?v2 ub:memberOf ?v3 .
+      ?v4 ub:subOrganizationOf ?v3 .
+      ?v4 ub:subOrganizationOf ?v5 .
+      ?v4 rdf:type ?v6 .
+      OPTIONAL { ?v5 ub:subOrganizationOf ?v7 . } } } })");
+
+  add("q1.4", "O", R"(SELECT * WHERE {
+  ?v1 ub:emailAddress "UndergraduateStudent309@Department12.University0.edu" .
+  OPTIONAL { ?v1 ub:memberOf ?v2 . ?v2 ub:name ?v3 .
+    OPTIONAL { ?v5 ub:publicationAuthor ?v4 . ?v4 ub:worksFor ?v2 .
+      OPTIONAL { ?v6 ub:publicationAuthor ?v4 . } } } })");
+
+  add("q1.5", "UO", R"(SELECT * WHERE {
+  { ?v2 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?v3 . }
+  UNION
+  { ?v2 ub:name ?v4 . }
+  <http://www.Department0.University0.edu/UndergraduateStudent356> ub:memberOf ?v1 .
+  ?v2 ub:worksFor ?v1 .
+  OPTIONAL { ?v5 ub:advisor ?v2 .
+    OPTIONAL { ?v5 ub:teachingAssistantOf ?v6 . } }
+  OPTIONAL { ?v7 ub:advisor ?v2 . } })");
+
+  add("q1.6", "UO", R"(SELECT * WHERE {
+  ?v4 ub:headOf ?v1 .
+  <http://www.Department1.University0.edu/UndergraduateStudent256> ub:memberOf ?v1 .
+  ?v3 ub:subOrganizationOf ?v5 .
+  { ?v2 ub:worksFor ?v1 . } UNION { ?v2 ub:headOf ?v1 . }
+  { ?v2 ub:worksFor ?v3 . } UNION { ?v2 ub:headOf ?v3 . }
+  OPTIONAL { ?v6 ub:publicationAuthor ?v2 . }
+  OPTIONAL { { ?v7 ub:headOf ?v1 . } UNION { ?v7 ub:worksFor ?v1 . } } })");
+
+  add("q2.1", "O", R"(SELECT * WHERE {
+  { ?st ub:teachingAssistantOf ?course .
+    OPTIONAL { ?st ub:takesCourse ?course2 . ?pub1 ub:publicationAuthor ?st . } }
+  { ?prof ub:teacherOf ?course . ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:researchInterest ?resint . ?pub2 ub:publicationAuthor ?prof . } } })");
+
+  add("q2.2", "O", R"(SELECT * WHERE {
+  { ?pub rdf:type ub:Publication . ?pub ub:publicationAuthor ?st . ?pub ub:publicationAuthor ?prof .
+    OPTIONAL { ?st ub:emailAddress ?ste . ?st ub:telephone ?sttel . } }
+  { ?st ub:undergraduateDegreeFrom ?univ . ?dept ub:subOrganizationOf ?univ .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }
+  { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1 . ?prof ub:researchInterest ?resint1 . } } })");
+
+  add("q2.3", "O", R"(SELECT * WHERE {
+  { ?pub ub:publicationAuthor ?st . ?pub ub:publicationAuthor ?prof .
+    ?st rdf:type ub:GraduateStudent .
+    OPTIONAL { ?st ub:undergraduateDegreeFrom ?univ1 . ?st ub:telephone ?sttel . } }
+  { ?st ub:advisor ?prof .
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ . ?prof ub:researchInterest ?resint . } }
+  { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept . ?prof rdf:type ub:FullProfessor .
+    OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } } })");
+
+  add("q2.4", "O", R"(SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University0.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } })");
+
+  add("q2.5", "O", R"(SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } })");
+
+  add("q2.6", "O", R"(SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu> .
+  ?x rdf:type ub:FullProfessor .
+  OPTIONAL { ?x ub:emailAddress ?y1 . ?x ub:telephone ?y2 . ?x ub:name ?y3 . } })");
+
+  return qs;
+}
+
+std::vector<PaperQuery> MakeDbpedia() {
+  std::vector<PaperQuery> qs;
+  auto add = [&](const char* id, const char* type, const std::string& body) {
+    qs.push_back({id, type, std::string(kDbpediaPrefixes) + body});
+  };
+
+  add("q1.1", "U", R"(SELECT * WHERE {
+  { ?v3 rdfs:label ?v7 . } UNION { ?v3 foaf:name ?v7 . }
+  { ?v1 purl:subject ?v3 . } UNION { ?v3 skos:subject ?v1 . }
+  ?v3 rdfs:label ?v4 .
+  ?v5 nsprov:wasDerivedFrom ?v2 .
+  ?v1 owl:sameAs ?v6 .
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system .
+  ?v1 nsprov:wasDerivedFrom ?v2 . })");
+
+  add("q1.2", "UO", R"(SELECT * WHERE {
+  { ?v3 purl:subject ?v5 . OPTIONAL { ?v5 rdfs:label ?v6 } }
+  UNION
+  { ?v5 skos:subject ?v3 . OPTIONAL { ?v5 foaf:name ?v6 } }
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system .
+  ?v1 nsprov:wasDerivedFrom ?v2 .
+  ?v3 dbo:wikiPageWikiLink ?v4 .
+  ?v3 nsprov:wasDerivedFrom ?v2 . })");
+
+  add("q1.3", "O", R"(SELECT * WHERE {
+  dbr:Air_masses foaf:isPrimaryTopicOf ?v1 .
+  ?v2 foaf:isPrimaryTopicOf ?v1 .
+  OPTIONAL {
+    ?v2 dbo:wikiPageRedirects ?v3 . ?v4 foaf:primaryTopic ?v2 .
+    OPTIONAL {
+      ?v5 dbo:wikiPageWikiLink ?v3 .
+      OPTIONAL { ?v6 dbo:wikiPageRedirects ?v5 .
+        OPTIONAL { ?v6 dbo:wikiPageWikiLink ?v7 . } } } } })");
+
+  add("q1.4", "UO", R"(SELECT * WHERE {
+  dbr:Functional_neuroimaging purl:subject ?v1 .
+  OPTIONAL {
+    ?v1 owl:sameAs ?v2 . ?v1 rdf:type ?v3 . ?v4 owl:sameAs ?v2 . ?v5 skos:related ?v4 .
+    OPTIONAL { ?v6 skos:related ?v4 . }
+    OPTIONAL {
+      { ?v7 purl:subject ?v1 . } UNION { ?v1 skos:subject ?v7 . }
+      OPTIONAL {
+        { ?v7 purl:subject ?v8 . } UNION { ?v8 skos:subject ?v7 . } } } } })");
+
+  add("q1.5", "UO", R"(SELECT * WHERE {
+  { ?v2 purl:subject ?v3 . } UNION { ?v2 dbo:wikiPageWikiLink ?v4 . }
+  ?v1 dbo:wikiPageWikiLink dbr:Abdul_Rahim_Wardak .
+  ?v2 dbo:wikiPageWikiLink ?v1 .
+  OPTIONAL { ?v5 owl:sameAs ?v2 .
+    OPTIONAL { ?v5 dbo:wikiPageLength ?v6 . } }
+  OPTIONAL { ?v2 skos:prefLabel ?v7 . } })");
+
+  add("q1.6", "UO", R"(SELECT * WHERE {
+  { ?v2 foaf:primaryTopic ?v1 . } UNION { ?v1 foaf:isPrimaryTopicOf ?v2 . }
+  { ?v2 foaf:primaryTopic ?v3 . } UNION { ?v3 foaf:isPrimaryTopicOf ?v2 . }
+  ?v1 dbo:wikiPageWikiLink dbr:Category:Cell_biology .
+  ?v3 dbo:wikiPageWikiLink ?v1 .
+  OPTIONAL {
+    { ?v2 foaf:primaryTopic ?v4 . } UNION { ?v4 foaf:isPrimaryTopicOf ?v2 . } }
+  OPTIONAL { ?v5 dbo:phylum ?v3 . ?v6 dbo:phylum ?v3 .
+    OPTIONAL {
+      { ?v7 foaf:primaryTopic ?v5 . } UNION { ?v5 foaf:isPrimaryTopicOf ?v7 . } } } })");
+
+  add("q2.1", "O", R"(SELECT * WHERE {
+  { ?v6 a dbo:PopulatedPlace . ?v6 dbo:abstract ?v1 .
+    ?v6 rdfs:label ?v2 . ?v6 geo:lat ?v3 . ?v6 geo:long ?v4 .
+    OPTIONAL { ?v6 foaf:depiction ?v8 . } }
+  OPTIONAL { ?v6 foaf:homepage ?v10 . }
+  OPTIONAL { ?v6 dbo:populationTotal ?v12 . }
+  OPTIONAL { ?v6 dbo:thumbnail ?v14 . } })");
+
+  add("q2.2", "O", R"(SELECT * WHERE {
+  ?v3 foaf:homepage ?v0 . ?v3 a dbo:SoccerPlayer . ?v3 dbp:position ?v6 .
+  ?v3 dbp:clubs ?v8 . ?v8 dbo:capacity ?v1 . ?v3 dbo:birthPlace ?v5 .
+  OPTIONAL { ?v3 dbo:number ?v9 . } })");
+
+  add("q2.3", "O", R"(SELECT * WHERE {
+  ?v5 dbo:thumbnail ?v4 . ?v5 rdf:type dbo:Person . ?v5 rdfs:label ?v .
+  ?v5 foaf:homepage ?v8 .
+  OPTIONAL { ?v5 foaf:homepage ?v10 . } })");
+
+  add("q2.4", "O", R"(SELECT * WHERE {
+  { ?v2 a dbo:Settlement . ?v2 rdfs:label ?v . ?v6 a dbo:Airport .
+    ?v6 dbo:city ?v2 . ?v6 dbp:iata ?v5 .
+    OPTIONAL { ?v6 foaf:homepage ?v7 . } }
+  OPTIONAL { ?v6 dbp:nativename ?v8 . } })");
+
+  add("q2.5", "O", R"(SELECT * WHERE {
+  ?v4 skos:subject ?v . ?v4 foaf:name ?v6 .
+  OPTIONAL { ?v4 rdfs:comment ?v8 . } })");
+
+  add("q2.6", "O", R"(SELECT * WHERE {
+  ?v0 rdfs:comment ?v1 . ?v0 foaf:page ?v .
+  OPTIONAL { ?v0 skos:subject ?v6 . }
+  OPTIONAL { ?v0 dbp:industry ?v5 . }
+  OPTIONAL { ?v0 dbp:location ?v2 . }
+  OPTIONAL { ?v0 dbp:locationCountry ?v3 . }
+  OPTIONAL { ?v0 dbp:locationCity ?v9 . ?a dbp:manufacturer ?v0 . }
+  OPTIONAL { ?v0 dbp:products ?v11 . ?b dbp:model ?v0 . }
+  OPTIONAL { ?v0 georss:point ?v10 . }
+  OPTIONAL { ?v0 rdf:type ?v7 . } })");
+
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<PaperQuery>& LubmPaperQueries() {
+  static const std::vector<PaperQuery> kQueries = MakeLubm();
+  return kQueries;
+}
+
+const std::vector<PaperQuery>& DbpediaPaperQueries() {
+  static const std::vector<PaperQuery> kQueries = MakeDbpedia();
+  return kQueries;
+}
+
+const PaperQuery* FindQuery(const std::vector<PaperQuery>& queries,
+                            const std::string& id) {
+  for (const PaperQuery& q : queries)
+    if (q.id == id) return &q;
+  return nullptr;
+}
+
+}  // namespace sparqluo

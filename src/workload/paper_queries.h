@@ -1,0 +1,29 @@
+// The benchmark queries of the paper's Appendix A.
+//
+// Group 1 (q1.1-q1.6): the SPARQL-UO mini-benchmark used in §7.1 (Fig. 10,
+// Fig. 11, Fig. 12). Group 2 (q2.1-q2.6): the LBR comparison queries of
+// §7.2 (Fig. 13), which contain OPTIONAL only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparqluo {
+
+struct PaperQuery {
+  std::string id;    ///< "q1.1" ... "q2.6"
+  std::string type;  ///< "U", "O" or "UO" (Table 3/4 Type column)
+  std::string sparql;
+};
+
+/// All 12 LUBM queries (Listings 2-13).
+const std::vector<PaperQuery>& LubmPaperQueries();
+
+/// All 12 DBpedia queries (Listings 15-26).
+const std::vector<PaperQuery>& DbpediaPaperQueries();
+
+/// Convenience: the query with the given id, or nullptr.
+const PaperQuery* FindQuery(const std::vector<PaperQuery>& queries,
+                            const std::string& id);
+
+}  // namespace sparqluo

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "baseline/binary_tree_eval.h"
+#include "baseline/lbr/gosn.h"
+#include "baseline/lbr/lbr_engine.h"
+#include "engine/database.h"
+
+namespace sparqluo {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto iri = [](const std::string& s) {
+      return Term::Iri("http://u.edu/" + s);
+    };
+    Term works_for = iri("worksFor");
+    Term type = Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    Term full_prof = iri("FullProfessor");
+    Term advisor = iri("advisor");
+    Term teacher_of = iri("teacherOf");
+    Term takes = iri("takesCourse");
+    Term dept = iri("Department0");
+    // 20 professors, 5 full; students advised by professors; courses.
+    for (int p = 0; p < 20; ++p) {
+      Term prof = iri("prof" + std::to_string(p));
+      db_.AddTriple(prof, works_for, dept);
+      if (p < 5) db_.AddTriple(prof, type, full_prof);
+      Term course = iri("course" + std::to_string(p));
+      db_.AddTriple(prof, teacher_of, course);
+      for (int s = 0; s < 6; ++s) {
+        Term student = iri("student" + std::to_string(p) + "_" + std::to_string(s));
+        db_.AddTriple(student, advisor, prof);
+        if (s % 2 == 0) db_.AddTriple(student, takes, course);
+      }
+    }
+    db_.Finalize(EngineKind::kWco);
+  }
+
+  static std::string Prefixes() {
+    return "PREFIX u: <http://u.edu/>\n"
+           "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  }
+
+  Database db_;
+};
+
+// ------------------------------------------------- BinaryTreeEvaluator ---
+
+TEST_F(BaselineTest, BinaryTreeMatchesEngineOnBgp) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+                     "?x rdf:type u:FullProfessor . }");
+  ASSERT_TRUE(q.ok());
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto r1 = oracle.Execute(*q);
+  auto r2 = db_.Query(Prefixes() +
+                          "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+                          "?x rdf:type u:FullProfessor . }",
+                      ExecOptions::Base());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+  EXPECT_EQ(r1->size(), 5u);
+}
+
+TEST_F(BaselineTest, BinaryTreeHandlesUnionAndOptional) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { ?x rdf:type u:FullProfessor . "
+                     "OPTIONAL { ?y u:advisor ?x . } }");
+  ASSERT_TRUE(q.ok());
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto r = oracle.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 30u);  // 5 full professors x 6 advisees
+}
+
+// --------------------------------------------------------------- GoSN ---
+
+TEST_F(BaselineTest, GosnStructure) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+                     "OPTIONAL { ?y u:advisor ?x . ?x u:teacherOf ?z . } }");
+  ASSERT_TRUE(q.ok());
+  auto gosn = BuildGoSN(q->where);
+  ASSERT_TRUE(gosn.ok());
+  EXPECT_EQ((*gosn)->patterns.size(), 1u);
+  ASSERT_EQ((*gosn)->opt_children.size(), 1u);
+  EXPECT_EQ((*gosn)->opt_children[0]->patterns.size(), 2u);
+  EXPECT_TRUE((*gosn)->and_children.empty());
+}
+
+TEST_F(BaselineTest, GosnRejectsUnion) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { { ?x u:worksFor u:Department0 . } UNION "
+                     "{ ?x rdf:type u:FullProfessor . } }");
+  ASSERT_TRUE(q.ok());
+  auto gosn = BuildGoSN(q->where);
+  ASSERT_FALSE(gosn.ok());
+  EXPECT_EQ(gosn.status().code(), StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------- LBR ----
+
+TEST_F(BaselineTest, LbrMatchesOracleOnSimpleOptional) {
+  const std::string text =
+      Prefixes() +
+      "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+      "?x rdf:type u:FullProfessor . "
+      "OPTIONAL { ?y u:advisor ?x . ?x u:teacherOf ?z . ?y u:takesCourse ?z . } }";
+  auto q = db_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  auto r1 = lbr.Execute(*q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto r2 = oracle.Execute(*q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+TEST_F(BaselineTest, LbrMatchesOracleOnNestedGroups) {
+  const std::string text =
+      Prefixes() +
+      "SELECT * WHERE { "
+      "{ ?st u:advisor ?prof . OPTIONAL { ?st u:takesCourse ?c . } } "
+      "{ ?prof u:teacherOf ?c2 . OPTIONAL { ?prof u:worksFor ?d . } } }";
+  auto q = db_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  auto r1 = lbr.Execute(*q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto r2 = oracle.Execute(*q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+TEST_F(BaselineTest, LbrMatchesFullApproach) {
+  const std::string text =
+      Prefixes() +
+      "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+      "?x rdf:type u:FullProfessor . "
+      "OPTIONAL { ?y u:advisor ?x . ?x u:teacherOf ?z . ?y u:takesCourse ?z . } }";
+  auto q = db_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  auto r1 = lbr.Execute(*q);
+  auto r2 = db_.Query(text, ExecOptions::Full());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+TEST_F(BaselineTest, LbrSemijoinPassesRun) {
+  const std::string text =
+      Prefixes() +
+      "SELECT * WHERE { ?x u:worksFor u:Department0 . "
+      "OPTIONAL { ?y u:advisor ?x . } }";
+  auto q = db_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  LbrMetrics m;
+  auto r = lbr.Execute(*q, &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(m.semijoin_passes, 2u);  // forward + backward at least
+  EXPECT_GT(m.rows_scanned, 0u);
+}
+
+TEST_F(BaselineTest, LbrSlaveDoesNotPruneMaster) {
+  // Professors without advisees must survive the left join even though the
+  // semijoin passes prune the slave side.
+  const std::string text =
+      Prefixes() +
+      "SELECT * WHERE { ?x rdf:type u:FullProfessor . "
+      "OPTIONAL { ?y u:advisor ?x . ?y u:takesCourse ?nope . "
+      "?nope u:worksFor ?x . } }";  // slave can never match
+  auto q = db_.Parse(text);
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  auto r = lbr.Execute(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);  // all full professors retained, unbound slaves
+}
+
+TEST_F(BaselineTest, LbrRejectsUnionQueries) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { { ?x u:worksFor ?d . } UNION "
+                     "{ ?x rdf:type u:FullProfessor . } }");
+  ASSERT_TRUE(q.ok());
+  LbrEngine lbr(db_.store(), db_.dict());
+  EXPECT_FALSE(lbr.Execute(*q).ok());
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algebra/operators.h"
+#include "bgp/cardinality.h"
+#include "bgp/engine.h"
+#include "engine/database.h"
+#include "sparql/parser.h"
+
+namespace sparqluo {
+namespace {
+
+/// Fixture with a small social graph loaded under both engines.
+class BgpEngineTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override {
+    // People a..e, knows edges, names, ages, one hub city.
+    std::string nt;
+    auto iri = [](const std::string& s) { return "<http://ex.org/" + s + ">"; };
+    auto triple = [&](const std::string& s, const std::string& p,
+                      const std::string& o) {
+      nt += iri(s) + " " + iri(p) + " " + o + " .\n";
+    };
+    triple("a", "knows", iri("b"));
+    triple("a", "knows", iri("c"));
+    triple("b", "knows", iri("c"));
+    triple("c", "knows", iri("d"));
+    triple("d", "knows", iri("e"));
+    triple("e", "knows", iri("a"));
+    for (const char* person : {"a", "b", "c", "d", "e"}) {
+      triple(person, "name", "\"" + std::string(person) + "\"");
+      triple(person, "livesIn", iri("city"));
+    }
+    triple("a", "age", "\"30\"");
+    triple("b", "age", "\"40\"");
+    ASSERT_TRUE(db_.LoadNTriplesString(nt).ok());
+    db_.Finalize(GetParam());
+  }
+
+  /// Parses the body of a BGP (triple patterns only) and returns it.
+  Bgp ParseBgp(const std::string& body) {
+    auto g = ParseGroupGraphPattern("{" + body + "}", &vars_);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    Bgp bgp;
+    for (const auto& e : g->elements) {
+      EXPECT_EQ(e.kind, PatternElement::Kind::kTriple);
+      bgp.triples.push_back(e.triple);
+    }
+    return bgp;
+  }
+
+  BindingSet Eval(const std::string& body, const CandidateMap* cands = nullptr) {
+    Bgp bgp = ParseBgp(body);
+    return db_.engine().Evaluate(bgp, cands, nullptr);
+  }
+
+  Database db_;
+  VarTable vars_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, BgpEngineTest,
+                         ::testing::Values(EngineKind::kWco,
+                                           EngineKind::kHashJoin),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kWco ? "Wco"
+                                                                 : "HashJoin";
+                         });
+
+TEST_P(BgpEngineTest, SingleTriplePattern) {
+  BindingSet r = Eval("?x <http://ex.org/knows> ?y .");
+  EXPECT_EQ(r.size(), 6u);
+}
+
+TEST_P(BgpEngineTest, BoundSubject) {
+  BindingSet r = Eval("<http://ex.org/a> <http://ex.org/knows> ?y .");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_P(BgpEngineTest, BoundObject) {
+  BindingSet r = Eval("?x <http://ex.org/knows> <http://ex.org/c> .");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_P(BgpEngineTest, TwoHopPath) {
+  BindingSet r = Eval(
+      "?x <http://ex.org/knows> ?y . ?y <http://ex.org/knows> ?z .");
+  // Paths of length 2: a-b-c, a-c-d, b-c-d, c-d-e, d-e-a, e-a-b, e-a-c.
+  EXPECT_EQ(r.size(), 7u);
+}
+
+TEST_P(BgpEngineTest, TriangleQuery) {
+  BindingSet r = Eval(
+      "?x <http://ex.org/knows> ?y . ?y <http://ex.org/knows> ?z . "
+      "?x <http://ex.org/knows> ?z .");
+  // Only a->b->c with a->c.
+  EXPECT_EQ(r.size(), 1u);
+  VarId x = vars_.Lookup("x");
+  ASSERT_NE(x, kInvalidVarId);
+  EXPECT_EQ(db_.dict().Decode(r.Value(0, x)).lexical, "http://ex.org/a");
+}
+
+TEST_P(BgpEngineTest, StarQuery) {
+  BindingSet r = Eval(
+      "?x <http://ex.org/name> ?n . ?x <http://ex.org/age> ?a . "
+      "?x <http://ex.org/livesIn> ?c .");
+  EXPECT_EQ(r.size(), 2u);  // only a and b have ages
+}
+
+TEST_P(BgpEngineTest, EmptyResultOnMissingConstant) {
+  BindingSet r = Eval("?x <http://ex.org/nosuchpredicate> ?y .");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_P(BgpEngineTest, GroundTripleTrue) {
+  BindingSet r = Eval(
+      "<http://ex.org/a> <http://ex.org/knows> <http://ex.org/b> . "
+      "?x <http://ex.org/age> ?v .");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_P(BgpEngineTest, GroundTripleFalse) {
+  BindingSet r = Eval(
+      "<http://ex.org/b> <http://ex.org/knows> <http://ex.org/a> . "
+      "?x <http://ex.org/age> ?v .");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_P(BgpEngineTest, VariablePredicate) {
+  BindingSet r = Eval("<http://ex.org/a> ?p ?o .");
+  EXPECT_EQ(r.size(), 5u);  // 2 knows + name + livesIn + age
+}
+
+TEST_P(BgpEngineTest, VariablePredicateJoined) {
+  BindingSet r = Eval(
+      "?x <http://ex.org/age> ?a . ?x ?p <http://ex.org/city> .");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_P(BgpEngineTest, EmptyBgpIsUnit) {
+  Bgp empty;
+  BindingSet r = db_.engine().Evaluate(empty);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.width(), 0u);
+}
+
+TEST_P(BgpEngineTest, EnginesAgreeWithEachOther) {
+  Database other;
+  // Rebuild the same data under the other engine.
+  std::ostringstream nt;
+  WriteNTriples(db_.store(), db_.dict(), nt);
+  ASSERT_TRUE(other.LoadNTriplesString(nt.str()).ok());
+  other.Finalize(GetParam() == EngineKind::kWco ? EngineKind::kHashJoin
+                                                : EngineKind::kWco);
+  for (const char* body :
+       {"?x <http://ex.org/knows> ?y .",
+        "?x <http://ex.org/knows> ?y . ?y <http://ex.org/knows> ?z .",
+        "?x <http://ex.org/name> ?n . ?x <http://ex.org/age> ?a ."}) {
+    VarTable vars2;
+    auto g1 = ParseGroupGraphPattern(std::string("{") + body + "}", &vars_);
+    auto g2 = ParseGroupGraphPattern(std::string("{") + body + "}", &vars2);
+    ASSERT_TRUE(g1.ok() && g2.ok());
+    Bgp b1, b2;
+    for (const auto& e : g1->elements) b1.triples.push_back(e.triple);
+    for (const auto& e : g2->elements) b2.triples.push_back(e.triple);
+    BindingSet r1 = db_.engine().Evaluate(b1);
+    BindingSet r2 = other.engine().Evaluate(b2);
+    EXPECT_EQ(r1.size(), r2.size()) << body;
+  }
+}
+
+TEST_P(BgpEngineTest, CandidatePruningRestrictsValues) {
+  VarTable vars;
+  auto g = ParseGroupGraphPattern("{ ?x <http://ex.org/knows> ?y . }", &vars);
+  ASSERT_TRUE(g.ok());
+  Bgp bgp;
+  bgp.triples.push_back(g->elements[0].triple);
+  VarId x = vars.Lookup("x");
+
+  CandidateMap cands;
+  TermId a = db_.dict().Lookup(Term::Iri("http://ex.org/a"));
+  ASSERT_NE(a, kInvalidTermId);
+  cands.Set_(x, {a});
+  BgpEvalCounters counters;
+  BindingSet r = db_.engine().Evaluate(bgp, &cands, &counters);
+  EXPECT_EQ(r.size(), 2u);  // a knows b, c
+  for (size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r.Value(i, x), a);
+}
+
+TEST_P(BgpEngineTest, CandidatePruningNeverChangesResultsOnJoin) {
+  VarTable vars;
+  auto g = ParseGroupGraphPattern(
+      "{ ?x <http://ex.org/knows> ?y . ?y <http://ex.org/name> ?n . }", &vars);
+  ASSERT_TRUE(g.ok());
+  Bgp bgp;
+  for (const auto& e : g->elements) bgp.triples.push_back(e.triple);
+
+  BindingSet full = db_.engine().Evaluate(bgp);
+  // A candidate set containing every subject value must be a no-op.
+  CandidateMap cands;
+  CandidateMap::Set all;
+  VarId x = vars.Lookup("x");
+  size_t col = full.ColumnOf(x);
+  ASSERT_NE(col, SIZE_MAX);
+  for (size_t i = 0; i < full.size(); ++i) all.insert(full.At(i, col));
+  cands.Set_(x, all);
+  BindingSet pruned = db_.engine().Evaluate(bgp, &cands, nullptr);
+  EXPECT_TRUE(BagEquals(full, pruned));
+}
+
+TEST_P(BgpEngineTest, CostIsPositiveAndMonotonicInPatterns) {
+  Bgp one = ParseBgp("?x <http://ex.org/knows> ?y .");
+  Bgp two = ParseBgp(
+      "?x <http://ex.org/knows> ?y . ?y <http://ex.org/knows> ?z .");
+  EXPECT_GT(db_.engine().EstimateCost(one), 0.0);
+  EXPECT_GE(db_.engine().EstimateCost(two), db_.engine().EstimateCost(one));
+}
+
+// ------------------------------------------------ CardinalityEstimator ---
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string nt;
+    for (int i = 0; i < 100; ++i) {
+      nt += "<http://e/" + std::to_string(i) + "> <http://p/type> <http://c/T> .\n";
+      nt += "<http://e/" + std::to_string(i) + "> <http://p/val> \"" +
+            std::to_string(i % 10) + "\" .\n";
+    }
+    ASSERT_TRUE(db_.LoadNTriplesString(nt).ok());
+    db_.Finalize(EngineKind::kWco);
+  }
+  Database db_;
+  VarTable vars_;
+};
+
+TEST_F(EstimatorTest, SinglePatternIsExact) {
+  auto g = ParseGroupGraphPattern("{ ?x <http://p/type> ?t . }", &vars_);
+  ASSERT_TRUE(g.ok());
+  const CardinalityEstimator& est = db_.engine().estimator();
+  EXPECT_DOUBLE_EQ(est.EstimateTriple(g->elements[0].triple), 100.0);
+}
+
+TEST_F(EstimatorTest, MissingConstantIsZero) {
+  auto g = ParseGroupGraphPattern("{ ?x <http://p/none> ?t . }", &vars_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(db_.engine().estimator().EstimateTriple(g->elements[0].triple),
+                   0.0);
+}
+
+TEST_F(EstimatorTest, JoinEstimateInRightBallpark) {
+  auto g = ParseGroupGraphPattern(
+      "{ ?x <http://p/type> ?t . ?x <http://p/val> ?v . }", &vars_);
+  ASSERT_TRUE(g.ok());
+  Bgp bgp;
+  for (const auto& e : g->elements) bgp.triples.push_back(e.triple);
+  double est = db_.engine().estimator().EstimateBgp(bgp);
+  // The true join size is 100; the sampling estimate should land within 2x.
+  EXPECT_GE(est, 50.0);
+  EXPECT_LE(est, 200.0);
+}
+
+TEST_F(EstimatorTest, GreedyOrderStartsSelective) {
+  auto g = ParseGroupGraphPattern(
+      "{ ?x <http://p/type> ?t . ?x <http://p/val> \"3\" . }", &vars_);
+  ASSERT_TRUE(g.ok());
+  Bgp bgp;
+  for (const auto& e : g->elements) bgp.triples.push_back(e.triple);
+  auto order = db_.engine().estimator().GreedyOrder(bgp);
+  ASSERT_EQ(order.size(), 2u);
+  // Pattern 1 (val="3", 10 matches) is more selective than pattern 0 (100).
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST_F(EstimatorTest, EmptyBgpIsOne) {
+  Bgp empty;
+  EXPECT_DOUBLE_EQ(db_.engine().estimator().EstimateBgp(empty), 1.0);
+}
+
+}  // namespace
+}  // namespace sparqluo

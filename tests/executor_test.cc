@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "baseline/binary_tree_eval.h"
+#include "engine/database.h"
+
+namespace sparqluo {
+namespace {
+
+/// Presidents-of-the-US fixture (the paper's Figure 1 example data, scaled).
+class ExecutorTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override {
+    auto iri = [](const std::string& s) {
+      return Term::Iri("http://dbpedia.org/" + s);
+    };
+    Term wikilink = iri("ontology/wikiPageWikiLink");
+    Term potus = iri("resource/President_of_the_United_States");
+    Term same = Term::Iri("http://www.w3.org/2002/07/owl#sameAs");
+    Term foaf_name = Term::Iri("http://xmlns.com/foaf/0.1/name");
+    Term label = Term::Iri("http://www.w3.org/2000/01/rdf-schema#label");
+    // 500 persons; 8 presidents; names split between foaf:name and
+    // rdfs:label; sameAs for a third.
+    for (int i = 0; i < 500; ++i) {
+      Term person = iri("resource/person" + std::to_string(i));
+      if (i < 8) db_.AddTriple(person, wikilink, potus);
+      if (i % 2 == 0)
+        db_.AddTriple(person, foaf_name, Term::Literal("N" + std::to_string(i)));
+      if (i % 2 == 1)
+        db_.AddTriple(person, label, Term::Literal("N" + std::to_string(i)));
+      if (i % 3 == 0)
+        db_.AddTriple(person, same, iri("resource/ext" + std::to_string(i)));
+    }
+    db_.Finalize(GetParam());
+  }
+
+  BindingSet Run(const std::string& text, const ExecOptions& opts,
+                 ExecMetrics* metrics = nullptr) {
+    auto r = db_.Query(Prefixes() + text, opts, metrics);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : BindingSet();
+  }
+
+  static std::string Prefixes() {
+    return "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+           "PREFIX dbr: <http://dbpedia.org/resource/>\n"
+           "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+           "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+           "PREFIX owl: <http://www.w3.org/2002/07/owl#>\n";
+  }
+
+  /// Oracle comparison: every approach must agree with the naive
+  /// binary-tree evaluation.
+  void CheckAllApproachesAgree(const std::string& text) {
+    auto q = db_.Parse(Prefixes() + text);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+    auto expected = oracle.Execute(*q);
+    ASSERT_TRUE(expected.ok());
+    for (const ExecOptions& opts :
+         {ExecOptions::Base(), ExecOptions::TT(), ExecOptions::CP(),
+          ExecOptions::Full()}) {
+      auto got = db_.Query(Prefixes() + text, opts);
+      ASSERT_TRUE(got.ok()) << opts.Name() << ": " << got.status().ToString();
+      EXPECT_TRUE(BagEquals(*expected, *got))
+          << opts.Name() << " diverges from the oracle on: " << text;
+    }
+  }
+
+  Database db_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, ExecutorTest,
+                         ::testing::Values(EngineKind::kWco,
+                                           EngineKind::kHashJoin),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kWco ? "Wco"
+                                                                 : "HashJoin";
+                         });
+
+TEST_P(ExecutorTest, Figure1UnionQuery) {
+  // Names of presidents, via foaf:name or rdfs:label (Figure 1(a)).
+  BindingSet r = Run(
+      "SELECT ?x ?name WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "{ ?x foaf:name ?name } UNION { ?x rdfs:label ?name } }",
+      ExecOptions::Full());
+  EXPECT_EQ(r.size(), 8u);  // every president has exactly one name variant
+}
+
+TEST_P(ExecutorTest, Figure1OptionalQuery) {
+  // Presidents with optional sameAs (Figure 1(b)).
+  BindingSet r = Run(
+      "SELECT ?x ?same WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?same } }",
+      ExecOptions::Full());
+  EXPECT_EQ(r.size(), 8u);  // all retained; some with bound ?same
+  // Presidents 0, 3, 6 have sameAs (i % 3 == 0).
+  size_t bound = 0;
+  VarId same_var = 1;  // ?same is the second projected variable
+  for (size_t i = 0; i < r.size(); ++i)
+    if (r.At(i, r.ColumnOf(same_var)) != kUnboundTerm) ++bound;
+  EXPECT_EQ(bound, 3u);
+}
+
+TEST_P(ExecutorTest, AllApproachesAgreeOnUnionQuery) {
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "{ ?x foaf:name ?n } UNION { ?x rdfs:label ?n } }");
+}
+
+TEST_P(ExecutorTest, AllApproachesAgreeOnOptionalQuery) {
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s } }");
+}
+
+TEST_P(ExecutorTest, AllApproachesAgreeOnNestedOptionals) {
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s . OPTIONAL { ?x foaf:name ?n } } }");
+}
+
+TEST_P(ExecutorTest, AllApproachesAgreeOnUnionOfOptionals) {
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "{ ?x foaf:name ?n . OPTIONAL { ?x owl:sameAs ?s } } UNION "
+      "{ ?x rdfs:label ?n . OPTIONAL { ?x owl:sameAs ?s } } }");
+}
+
+TEST_P(ExecutorTest, AllApproachesAgreeOnOptionalContainingUnion) {
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { { ?x owl:sameAs ?s } UNION { ?s owl:sameAs ?x } } }");
+}
+
+TEST_P(ExecutorTest, OptionalFirstElementInGroup) {
+  // An OPTIONAL with nothing to its left: the left side is the unit bag.
+  CheckAllApproachesAgree(
+      "SELECT * WHERE { OPTIONAL { ?x owl:sameAs ?s } }");
+}
+
+TEST_P(ExecutorTest, EmptyAnchorYieldsEmpty) {
+  BindingSet r = Run(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink dbr:No_Such_Entity . "
+      "OPTIONAL { ?x owl:sameAs ?s } }",
+      ExecOptions::Full());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_P(ExecutorTest, ProjectionAndDistinct) {
+  BindingSet all = Run(
+      "SELECT ?x WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "{ ?x foaf:name ?n } UNION { ?x rdfs:label ?n } }",
+      ExecOptions::Full());
+  EXPECT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.width(), 1u);
+  BindingSet distinct = Run(
+      "SELECT DISTINCT ?x WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "{ ?x foaf:name ?n } UNION { ?x rdfs:label ?n } }",
+      ExecOptions::Full());
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST_P(ExecutorTest, MetricsArePopulated) {
+  ExecMetrics m;
+  Run("SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s } }",
+      ExecOptions::Full(), &m);
+  EXPECT_GT(m.join_space, 0.0);
+  EXPECT_EQ(m.result_rows, 8u);
+  EXPECT_GE(m.exec_ms, 0.0);
+}
+
+TEST_P(ExecutorTest, JoinSpaceShrinksWithOptimizations) {
+  const std::string q =
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s } }";
+  ExecMetrics base, full;
+  Run(q, ExecOptions::Base(), &base);
+  Run(q, ExecOptions::Full(), &full);
+  EXPECT_LE(full.join_space, base.join_space);
+  // The OPTIONAL side scans ~166 sameAs triples for base but only the
+  // presidents' for full: join space must shrink strictly.
+  EXPECT_LT(full.join_space, base.join_space);
+}
+
+TEST_P(ExecutorTest, CandidatePruningPrunesWork) {
+  const std::string q =
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s } }";
+  ExecMetrics base, cp;
+  Run(q, ExecOptions::Base(), &base);
+  // The store is tiny, so the paper's 1% fixed threshold would reject the
+  // 8-row candidate bag; widen it to match the benchmark-scale ratio.
+  ExecOptions cp_opts = ExecOptions::CP();
+  cp_opts.fixed_threshold_fraction = 0.05;
+  Run(q, cp_opts, &cp);
+  EXPECT_LT(cp.bgp.rows_materialized, base.bgp.rows_materialized);
+  EXPECT_GT(cp.bgp.candidates_pruned, 0u);
+}
+
+TEST_P(ExecutorTest, FixedThresholdDisablesPruningWhenTooLarge) {
+  // With a threshold of 0 the candidate bag can never be "small enough".
+  ExecOptions opts = ExecOptions::CP();
+  opts.fixed_threshold_fraction = 0.0;
+  ExecMetrics m;
+  Run("SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . "
+      "OPTIONAL { ?x owl:sameAs ?s } }",
+      opts, &m);
+  EXPECT_EQ(m.bgp.candidates_pruned, 0u);
+}
+
+TEST_P(ExecutorTest, PlanExposesTransformedTree) {
+  auto q = db_.Parse(Prefixes() +
+                     "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+                     "dbr:President_of_the_United_States . "
+                     "{ ?x foaf:name ?n } UNION { ?x rdfs:label ?n } }");
+  ASSERT_TRUE(q.ok());
+  ExecMetrics m;
+  BeTree plan = db_.executor().Plan(*q, ExecOptions::TT(), &m);
+  ASSERT_TRUE(plan.Validate().ok());
+  // The merge fires: the selective anchor is distributed into the UNION.
+  EXPECT_EQ(m.transform.merges, 1u);
+  ASSERT_EQ(plan.root->children.size(), 1u);
+  EXPECT_TRUE(plan.root->children[0]->is_union());
+}
+
+TEST_P(ExecutorTest, FilterInsideQuery) {
+  BindingSet r = Run(
+      "SELECT * WHERE { ?x dbo:wikiPageWikiLink "
+      "dbr:President_of_the_United_States . ?x foaf:name ?n . "
+      "FILTER(?n = \"N0\") }",
+      ExecOptions::Full());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_P(ExecutorTest, QueryOnUnfinalizedDatabaseFails) {
+  Database fresh;
+  auto r = fresh.Query("SELECT * WHERE { ?x ?p ?o . }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_P(ExecutorTest, ParseErrorPropagates) {
+  auto r = db_.Query("SELECT * WHERE { ?x ?p }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace sparqluo

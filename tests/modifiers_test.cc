@@ -1,0 +1,193 @@
+// Solution modifiers (ASK / ORDER BY / LIMIT / OFFSET) and result writers.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/result_writer.h"
+
+namespace sparqluo {
+namespace {
+
+class ModifiersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.LoadNTriplesString(R"(
+<http://e/a> <http://p/score> "30" .
+<http://e/b> <http://p/score> "7" .
+<http://e/c> <http://p/score> "100" .
+<http://e/d> <http://p/score> "7" .
+<http://e/a> <http://p/tag> "alpha"@en .
+<http://e/b> <http://p/tag> "beta, \"quoted\""@en .
+)")
+                    .ok());
+    db_.Finalize(EngineKind::kWco);
+  }
+
+  BindingSet Run(const std::string& text, Query* q = nullptr) {
+    auto parsed = db_.Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    if (q) *q = *parsed;
+    auto r = db_.executor().Execute(*parsed, ExecOptions::Full());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : BindingSet();
+  }
+
+  std::string Decode(const BindingSet& rows, size_t r, size_t c) {
+    return db_.dict().Decode(rows.At(r, c)).lexical;
+  }
+
+  Database db_;
+};
+
+TEST_F(ModifiersTest, AskTrueAndFalse) {
+  BindingSet yes = Run("ASK { ?x <http://p/score> ?s . }");
+  EXPECT_EQ(yes.size(), 1u);
+  EXPECT_EQ(yes.width(), 0u);
+  BindingSet no = Run("ASK { ?x <http://p/nothing> ?s . }");
+  EXPECT_TRUE(no.empty());
+}
+
+TEST_F(ModifiersTest, AskWithOptionalWhere) {
+  BindingSet yes = Run("ASK WHERE { ?x <http://p/score> \"7\" . }");
+  EXPECT_EQ(yes.size(), 1u);
+}
+
+TEST_F(ModifiersTest, OrderByNumericAscending) {
+  BindingSet r =
+      Run("SELECT ?x ?s WHERE { ?x <http://p/score> ?s . } ORDER BY ?s");
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(Decode(r, 0, 1), "7");
+  EXPECT_EQ(Decode(r, 1, 1), "7");
+  EXPECT_EQ(Decode(r, 2, 1), "30");
+  EXPECT_EQ(Decode(r, 3, 1), "100");
+}
+
+TEST_F(ModifiersTest, OrderByDescending) {
+  BindingSet r =
+      Run("SELECT ?x ?s WHERE { ?x <http://p/score> ?s . } ORDER BY DESC(?s)");
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(Decode(r, 0, 1), "100");
+  EXPECT_EQ(Decode(r, 3, 1), "7");
+}
+
+TEST_F(ModifiersTest, OrderBySecondaryKey) {
+  BindingSet r = Run(
+      "SELECT ?x ?s WHERE { ?x <http://p/score> ?s . } ORDER BY ?s DESC(?x)");
+  ASSERT_EQ(r.size(), 4u);
+  // The two score-7 rows are ordered by ?x descending: d before b.
+  EXPECT_EQ(Decode(r, 0, 0), "http://e/d");
+  EXPECT_EQ(Decode(r, 1, 0), "http://e/b");
+}
+
+TEST_F(ModifiersTest, OrderByUnboundSortsFirst) {
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/score> ?s . "
+      "OPTIONAL { ?x <http://p/tag> ?t . } } ORDER BY ?t");
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.At(0, 1), kUnboundTerm);
+  EXPECT_EQ(r.At(1, 1), kUnboundTerm);
+}
+
+TEST_F(ModifiersTest, LimitAndOffset) {
+  BindingSet all =
+      Run("SELECT ?x WHERE { ?x <http://p/score> ?s . } ORDER BY ?s");
+  BindingSet limited =
+      Run("SELECT ?x WHERE { ?x <http://p/score> ?s . } ORDER BY ?s LIMIT 2");
+  BindingSet offset = Run(
+      "SELECT ?x WHERE { ?x <http://p/score> ?s . } ORDER BY ?s LIMIT 2 "
+      "OFFSET 2");
+  ASSERT_EQ(limited.size(), 2u);
+  ASSERT_EQ(offset.size(), 2u);
+  EXPECT_EQ(limited.At(0, 0), all.At(0, 0));
+  EXPECT_EQ(offset.At(0, 0), all.At(2, 0));
+}
+
+TEST_F(ModifiersTest, OffsetPastEndIsEmpty) {
+  BindingSet r =
+      Run("SELECT ?x WHERE { ?x <http://p/score> ?s . } OFFSET 100");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST_F(ModifiersTest, ParseErrors) {
+  EXPECT_FALSE(db_.Parse("SELECT * WHERE { ?x <http://p/score> ?s . } ORDER BY").ok());
+  EXPECT_FALSE(db_.Parse("SELECT * WHERE { ?x <http://p/score> ?s . } LIMIT").ok());
+  EXPECT_FALSE(
+      db_.Parse("SELECT * WHERE { ?x <http://p/score> ?s . } LIMIT abc").ok());
+}
+
+// ------------------------------------------------------ Result writers ---
+
+class WriterTest : public ModifiersTest {};
+
+TEST_F(WriterTest, TsvRoundTripTerms) {
+  Query q;
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/tag> ?t . } ORDER BY ?x", &q);
+  std::string tsv = FormatResults(r, q.vars, db_.dict(), ResultFormat::kTsv);
+  EXPECT_NE(tsv.find("?x\t?t"), std::string::npos);
+  EXPECT_NE(tsv.find("<http://e/a>\t\"alpha\"@en"), std::string::npos);
+}
+
+TEST_F(WriterTest, CsvEscapesQuotesAndCommas) {
+  Query q;
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/tag> ?t . } ORDER BY ?x", &q);
+  std::string csv = FormatResults(r, q.vars, db_.dict(), ResultFormat::kCsv);
+  // "beta, "quoted"" must be quoted with doubled quotes.
+  EXPECT_NE(csv.find("\"beta, \"\"quoted\"\"\""), std::string::npos);
+  // IRIs are bare in CSV.
+  EXPECT_NE(csv.find("http://e/a,alpha"), std::string::npos);
+}
+
+TEST_F(WriterTest, CsvUnboundIsEmptyField) {
+  Query q;
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/score> ?s . "
+      "OPTIONAL { ?x <http://p/tag> ?t . } } ORDER BY ?x",
+      &q);
+  std::string csv = FormatResults(r, q.vars, db_.dict(), ResultFormat::kCsv);
+  // c and d have no tag: the line ends right after the comma.
+  EXPECT_NE(csv.find("http://e/c,\r\n"), std::string::npos);
+}
+
+TEST_F(WriterTest, JsonShapeAndEscaping) {
+  Query q;
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/tag> ?t . } ORDER BY ?x", &q);
+  std::string json = FormatResults(r, q.vars, db_.dict(), ResultFormat::kJson);
+  EXPECT_NE(json.find("{\"head\":{\"vars\":[\"x\",\"t\"]}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"uri\",\"value\":\"http://e/a\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"xml:lang\":\"en\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(WriterTest, JsonOmitsUnbound) {
+  Query q;
+  BindingSet r = Run(
+      "SELECT ?x ?t WHERE { ?x <http://p/score> ?s . "
+      "OPTIONAL { ?x <http://p/tag> ?t . } } ORDER BY ?x",
+      &q);
+  std::string json = FormatResults(r, q.vars, db_.dict(), ResultFormat::kJson);
+  // Rows without ?t contain only the ?x binding object.
+  EXPECT_NE(json.find("{\"x\":{\"type\":\"uri\",\"value\":\"http://e/c\"}}"),
+            std::string::npos);
+}
+
+TEST_F(WriterTest, TypedLiteralDatatypeInJson) {
+  Database db2;
+  ASSERT_TRUE(db2.LoadNTriplesString(
+                   "<http://e/x> <http://p/age> "
+                   "\"30\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n")
+                  .ok());
+  db2.Finalize();
+  auto q = db2.Parse("SELECT ?a WHERE { ?x <http://p/age> ?a . }");
+  ASSERT_TRUE(q.ok());
+  auto r = db2.executor().Execute(*q, ExecOptions::Full());
+  ASSERT_TRUE(r.ok());
+  std::string json = FormatResults(*r, q->vars, db2.dict(), ResultFormat::kJson);
+  EXPECT_NE(json.find("\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparqluo

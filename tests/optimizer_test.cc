@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "baseline/binary_tree_eval.h"
+#include "betree/builder.h"
+#include "engine/database.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/transformations.h"
+#include "optimizer/transformer.h"
+#include "sparql/parser.h"
+#include "workload/dbpedia_generator.h"
+
+namespace sparqluo {
+namespace {
+
+/// A presidents-style fixture matching the paper's running example: a small
+/// selective population (presidents) inside a large one (persons), where
+/// every entity carries owl:sameAs / foaf:name / rdfs:label attributes
+/// (the full-overlap regime of Figure 7, where pushing a low-selectivity
+/// BGP into a UNION cannot shrink the branch results).
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void Populate(Database* db) {
+    auto iri = [](const std::string& s) {
+      return Term::Iri("http://ex.org/" + s);
+    };
+    Term wikilink = iri("wikiPageWikiLink");
+    Term potus = iri("President_of_the_United_States");
+    Term same = iri("sameAs");
+    Term foaf_name = iri("foaf_name");
+    Term label = iri("label");
+    for (int i = 0; i < 2000; ++i) {
+      Term person = iri("person" + std::to_string(i));
+      if (i < 10) db->AddTriple(person, wikilink, potus);
+      db->AddTriple(person, same, iri("external" + std::to_string(i)));
+      db->AddTriple(person, foaf_name,
+                    Term::Literal("name" + std::to_string(i)));
+      db->AddTriple(person, label, Term::Literal("label" + std::to_string(i)));
+    }
+  }
+
+  void SetUp() override {
+    Populate(&db_);
+    db_.Finalize(EngineKind::kWco);
+  }
+
+  BeTree Build(const std::string& body, Query* out_q) {
+    auto q = ParseQuery("SELECT * WHERE " + body);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    *out_q = std::move(*q);
+    return BuildBeTree(*out_q);
+  }
+
+  Database db_;
+};
+
+constexpr const char* kOptionalQuery =
+    "{ ?x <http://ex.org/wikiPageWikiLink> "
+    "<http://ex.org/President_of_the_United_States> . "
+    "OPTIONAL { ?x <http://ex.org/sameAs> ?same . } }";
+
+constexpr const char* kUnionQuery =
+    "{ ?x <http://ex.org/wikiPageWikiLink> "
+    "<http://ex.org/President_of_the_United_States> . "
+    "{ ?x <http://ex.org/foaf_name> ?name . } UNION "
+    "{ ?x <http://ex.org/label> ?name . } }";
+
+// ----------------------------------------------------- Transformations ---
+
+TEST_F(OptimizerTest, CanInjectPreconditions) {
+  Query q;
+  BeTree t = Build(kOptionalQuery, &q);
+  ASSERT_EQ(t.root->children.size(), 2u);
+  EXPECT_TRUE(CanInject(*t.root, 0, 1));
+  EXPECT_FALSE(CanInject(*t.root, 1, 0));  // OPTIONAL must be to the right
+  EXPECT_FALSE(CanInject(*t.root, 0, 0));
+}
+
+TEST_F(OptimizerTest, ApplyInjectCopiesBgpIntoOptional) {
+  Query q;
+  BeTree t = Build(kOptionalQuery, &q);
+  ApplyInject(t.root.get(), 0, 1);
+  ASSERT_TRUE(t.Validate().ok());
+  // The original BGP node remains.
+  EXPECT_TRUE(t.root->children[0]->is_bgp());
+  EXPECT_EQ(t.root->children[0]->bgp.size(), 1u);
+  // The OPTIONAL-right group now holds the coalesced 2-pattern BGP.
+  const BeNode& right = *t.root->children[1]->children[0];
+  ASSERT_EQ(right.children.size(), 1u);
+  EXPECT_EQ(right.children[0]->bgp.size(), 2u);
+}
+
+TEST_F(OptimizerTest, InjectPreservesSemantics) {
+  Query q;
+  BeTree original = Build(kOptionalQuery, &q);
+  BeTree injected = original.Clone();
+  ApplyInject(injected.root.get(), 0, 1);
+
+  Executor exec(db_.engine(), db_.dict(), db_.store());
+  ExecOptions opts;  // no transform, no pruning: evaluate as-is
+  BindingSet r1 = exec.EvaluateTree(original, opts);
+  BindingSet r2 = exec.EvaluateTree(injected, opts);
+  EXPECT_TRUE(BagEquals(r1, r2));
+  EXPECT_EQ(r1.size(), 10u);  // every president, each with one sameAs
+}
+
+TEST_F(OptimizerTest, CanMergePreconditions) {
+  Query q;
+  BeTree t = Build(kUnionQuery, &q);
+  ASSERT_EQ(t.root->children.size(), 2u);
+  EXPECT_TRUE(t.root->children[1]->is_union());
+  EXPECT_TRUE(CanMerge(*t.root, 0, 1));
+  EXPECT_FALSE(CanMerge(*t.root, 1, 0));
+}
+
+TEST_F(OptimizerTest, ApplyMergeRemovesBgpAndDistributes) {
+  Query q;
+  BeTree t = Build(kUnionQuery, &q);
+  ApplyMerge(t.root.get(), 0, 1);
+  ASSERT_TRUE(t.Validate().ok());
+  // Only the UNION node remains at the top level.
+  ASSERT_EQ(t.root->children.size(), 1u);
+  ASSERT_TRUE(t.root->children[0]->is_union());
+  for (const auto& branch : t.root->children[0]->children) {
+    ASSERT_EQ(branch->children.size(), 1u);
+    EXPECT_EQ(branch->children[0]->bgp.size(), 2u);  // coalesced
+  }
+}
+
+TEST_F(OptimizerTest, MergePreservesSemantics) {
+  Query q;
+  BeTree original = Build(kUnionQuery, &q);
+  BeTree merged = original.Clone();
+  ApplyMerge(merged.root.get(), 0, 1);
+
+  Executor exec(db_.engine(), db_.dict(), db_.store());
+  ExecOptions opts;
+  BindingSet r1 = exec.EvaluateTree(original, opts);
+  BindingSet r2 = exec.EvaluateTree(merged, opts);
+  EXPECT_TRUE(BagEquals(r1, r2));
+}
+
+TEST_F(OptimizerTest, MergeRequiresCoalescableBranch) {
+  Query q;
+  BeTree t = Build(
+      "{ ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "{ ?a <http://ex.org/foaf_name> ?n . } UNION "
+      "{ ?b <http://ex.org/label> ?n . } }",
+      &q);
+  // Branch BGPs bind ?a / ?b, not ?x: not coalescable.
+  EXPECT_FALSE(CanMerge(*t.root, 0, 1));
+}
+
+TEST_F(OptimizerTest, CoalesceGroupBgpsMergesComponents) {
+  auto group = std::make_unique<BeNode>(BeNode::Type::kGroup);
+  VarTable vars;
+  auto mk = [&](const std::string& body) {
+    auto g = ParseGroupGraphPattern("{" + body + "}", &vars);
+    EXPECT_TRUE(g.ok());
+    auto node = std::make_unique<BeNode>(BeNode::Type::kBgp);
+    for (const auto& e : g->elements) node->bgp.triples.push_back(e.triple);
+    return node;
+  };
+  group->children.push_back(mk("?x <http://p/a> ?y ."));
+  group->children.push_back(mk("?z <http://p/b> ?w ."));
+  group->children.push_back(mk("?y <http://p/c> ?z ."));
+  CoalesceGroupBgps(group.get());
+  // The third BGP bridges the first two: all collapse into one.
+  ASSERT_EQ(group->children.size(), 1u);
+  EXPECT_EQ(group->children[0]->bgp.size(), 3u);
+}
+
+// --------------------------------------------------------- Cost model ----
+
+TEST_F(OptimizerTest, ResultSizeEstimates) {
+  Query q;
+  BeTree t = Build(kUnionQuery, &q);
+  CostModel cost(db_.engine());
+  // The anchor BGP has exactly 10 matches (exact count for single pattern).
+  EXPECT_DOUBLE_EQ(cost.EstimateResultSize(*t.root->children[0]), 10.0);
+  // UNION size = sum of branch sizes = 2000 + 2000.
+  double u = cost.EstimateResultSize(*t.root->children[1]);
+  EXPECT_NEAR(u, 4000.0, 1.0);
+  // Group = product.
+  double g = cost.EstimateResultSize(*t.root);
+  EXPECT_NEAR(g, 10.0 * 4000.0, 50.0);
+}
+
+TEST_F(OptimizerTest, EmptyBgpNodeSizeIsOne) {
+  BeNode node(BeNode::Type::kBgp);
+  CostModel cost(db_.engine());
+  EXPECT_DOUBLE_EQ(cost.EstimateResultSize(node), 1.0);
+  EXPECT_DOUBLE_EQ(cost.BgpCost(node.bgp), 0.0);
+}
+
+TEST_F(OptimizerTest, FavorableInjectHasNegativeDelta) {
+  // Figure 6: selective BGP + large OPTIONAL: inject should pay off.
+  Query q;
+  BeTree t = Build(kOptionalQuery, &q);
+  CostModel cost(db_.engine());
+  double delta = DecideInjectDelta(*t.root, 0, 1, cost);
+  EXPECT_LT(delta, 0.0);
+}
+
+TEST_F(OptimizerTest, UnfavorableMergeHasNonNegativeDelta) {
+  // Figure 7: low-selectivity BGP + UNION whose branch joins do not shrink.
+  // Under the binary-join host (Jena), merging forces a second full scan of
+  // the merged BGP per branch plus two hash joins: not worth it.
+  Database db2;
+  Populate(&db2);
+  db2.Finalize(EngineKind::kHashJoin);
+  Query q;
+  BeTree t = Build(
+      "{ ?x <http://ex.org/sameAs> ?same . "
+      "{ ?x <http://ex.org/foaf_name> ?name . } UNION "
+      "{ ?x <http://ex.org/label> ?name . } }",
+      &q);
+  CostModel cost(db2.engine());
+  double delta = DecideMergeDelta(*t.root, 0, 1, cost);
+  EXPECT_GE(delta, 0.0);
+}
+
+TEST_F(OptimizerTest, FavorableMergeHasNegativeDelta) {
+  Query q;
+  BeTree t = Build(kUnionQuery, &q);
+  CostModel cost(db_.engine());
+  EXPECT_LT(DecideMergeDelta(*t.root, 0, 1, cost), 0.0);
+}
+
+// ---------------------------------------------- Multi-level transform ----
+
+TEST_F(OptimizerTest, MultiLevelTransformAppliesFavorableOnly) {
+  Query q;
+  BeTree t = Build(kUnionQuery, &q);
+  CostModel cost(db_.engine());
+  TransformStats stats;
+  MultiLevelTransform(&t, cost, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.merges, 1u);
+  ASSERT_TRUE(t.Validate().ok());
+
+  Database db2;
+  Populate(&db2);
+  db2.Finalize(EngineKind::kHashJoin);
+  CostModel cost2(db2.engine());
+  Query q2;
+  BeTree t2 = Build(
+      "{ ?x <http://ex.org/sameAs> ?same . "
+      "{ ?x <http://ex.org/foaf_name> ?name . } UNION "
+      "{ ?x <http://ex.org/label> ?name . } }",
+      &q2);
+  TransformStats stats2;
+  MultiLevelTransform(&t2, cost2, TransformOptions{}, &stats2);
+  EXPECT_EQ(stats2.merges, 0u);
+}
+
+TEST_F(OptimizerTest, TransformedTreePreservesSemantics) {
+  const char* queries[] = {kOptionalQuery, kUnionQuery,
+                           "{ ?x <http://ex.org/wikiPageWikiLink> "
+                           "<http://ex.org/President_of_the_United_States> . "
+                           "OPTIONAL { ?x <http://ex.org/sameAs> ?s . "
+                           "OPTIONAL { ?x <http://ex.org/foaf_name> ?n . } } }"};
+  CostModel cost(db_.engine());
+  Executor exec(db_.engine(), db_.dict(), db_.store());
+  for (const char* body : queries) {
+    Query q;
+    BeTree t = Build(body, &q);
+    BindingSet before = exec.EvaluateTree(t, ExecOptions{});
+    TransformStats stats;
+    MultiLevelTransform(&t, cost, TransformOptions{}, &stats);
+    ASSERT_TRUE(t.Validate().ok());
+    BindingSet after = exec.EvaluateTree(t, ExecOptions{});
+    EXPECT_TRUE(BagEquals(before, after)) << body;
+  }
+}
+
+TEST_F(OptimizerTest, CpEquivalentLevelSkipped) {
+  Query q;
+  BeTree t = Build(kOptionalQuery, &q);
+  CostModel cost(db_.engine());
+  TransformOptions opts;
+  opts.skip_cp_equivalent_levels = true;
+  TransformStats stats;
+  MultiLevelTransform(&t, cost, opts, &stats);
+  EXPECT_EQ(stats.injects, 0u);
+  EXPECT_GE(stats.levels_skipped_cp, 1u);
+}
+
+// ------------------------------------------------- Theorems 1 and 2 ------
+
+TEST_F(OptimizerTest, Theorem1MergeEquivalenceOnData) {
+  // [[P1 AND (P2 UNION P3)]] == [[(P1 AND P2) UNION (P1 AND P3)]]
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto lhs = ParseQuery(
+      "SELECT * WHERE { ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "{ ?x <http://ex.org/foaf_name> ?n . } UNION "
+      "{ ?x <http://ex.org/label> ?n . } }");
+  auto rhs = ParseQuery(
+      "SELECT * WHERE { { ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "?x <http://ex.org/foaf_name> ?n . } UNION "
+      "{ ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "?x <http://ex.org/label> ?n . } }");
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+  auto r1 = oracle.Execute(*lhs);
+  auto r2 = oracle.Execute(*rhs);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Same variable ids in both queries (same intern order: x, n).
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+TEST_F(OptimizerTest, Theorem2InjectEquivalenceOnData) {
+  // [[P1 OPTIONAL P2]] == [[P1 OPTIONAL (P1 AND P2)]]
+  BinaryTreeEvaluator oracle(db_.store(), db_.dict());
+  auto lhs = ParseQuery(
+      "SELECT * WHERE { ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "OPTIONAL { ?x <http://ex.org/sameAs> ?s . } }");
+  auto rhs = ParseQuery(
+      "SELECT * WHERE { ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "OPTIONAL { ?x <http://ex.org/wikiPageWikiLink> "
+      "<http://ex.org/President_of_the_United_States> . "
+      "?x <http://ex.org/sameAs> ?s . } }");
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+  auto r1 = oracle.Execute(*lhs);
+  auto r2 = oracle.Execute(*rhs);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -1,0 +1,112 @@
+// Failure-injection / fuzz-style robustness: the parsers and loaders must
+// reject arbitrary malformed input with a Status — never crash, hang or
+// accept garbage silently.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "util/random.h"
+
+namespace sparqluo {
+namespace {
+
+/// Random printable strings.
+std::string RandomJunk(Random* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i)
+    s += static_cast<char>(32 + rng->Uniform(95));
+  return s;
+}
+
+/// Mutates a valid query by deleting/duplicating/flipping characters.
+std::string Mutate(Random* rng, std::string s, int edits) {
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    size_t pos = rng->Uniform(s.size());
+    switch (rng->Uniform(3)) {
+      case 0: s.erase(pos, 1); break;
+      case 1: s.insert(pos, 1, s[pos]); break;
+      default: s[pos] = static_cast<char>(32 + rng->Uniform(95));
+    }
+  }
+  return s;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest, ::testing::Range(0, 8));
+
+TEST_P(RobustnessTest, ParserNeverCrashesOnJunk) {
+  Random rng(9000 + static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    std::string junk = RandomJunk(&rng, 120);
+    auto r = ParseQuery(junk);  // outcome irrelevant; must not crash
+    (void)r;
+  }
+}
+
+TEST_P(RobustnessTest, ParserNeverCrashesOnMutatedQueries) {
+  Random rng(9100 + static_cast<uint64_t>(GetParam()));
+  const std::string valid =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x ?y WHERE { ?x ub:worksFor ?d . { ?x ub:headOf ?d . } UNION "
+      "{ ?y ub:advisor ?x . } OPTIONAL { ?x ub:name ?n . } FILTER(?n = \"a\") "
+      "} ORDER BY ?x LIMIT 10";
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = Mutate(&rng, valid, 1 + static_cast<int>(rng.Uniform(6)));
+    auto r = ParseQuery(mutated);
+    if (r.ok()) {
+      // If a mutation still parses, executing it must also be safe.
+      Database db;
+      db.AddTriple(Term::Iri("http://a"), Term::Iri("http://p"),
+                   Term::Iri("http://b"));
+      db.Finalize();
+      ExecOptions opts = ExecOptions::Full();
+      opts.max_intermediate_rows = 100000;
+      auto exec = db.executor().Execute(*r, opts);
+      (void)exec;
+    }
+  }
+}
+
+TEST_P(RobustnessTest, NTriplesLoaderNeverCrashesOnJunk) {
+  Random rng(9200 + static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    std::string junk = RandomJunk(&rng, 200) + "\n" + RandomJunk(&rng, 200);
+    Dictionary dict;
+    TripleStore store;
+    auto st = ParseNTriplesString(junk, &dict, &store);
+    (void)st;
+  }
+}
+
+TEST_P(RobustnessTest, NTriplesLoaderNeverCrashesOnMutatedInput) {
+  Random rng(9300 + static_cast<uint64_t>(GetParam()));
+  const std::string valid =
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://name> \"Alice \\\"A\\\"\"@en .\n"
+      "_:b1 <http://p> \"30\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = Mutate(&rng, valid, 1 + static_cast<int>(rng.Uniform(8)));
+    Dictionary dict;
+    TripleStore store;
+    auto st = ParseNTriplesString(mutated, &dict, &store);
+    if (st.ok()) {
+      store.Build();  // accepted input must produce a usable store
+      EXPECT_LE(store.size(), 3u);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, LexerRejectsControlCharacters) {
+  Random rng(9400 + static_cast<uint64_t>(GetParam()));
+  std::string s = "SELECT * WHERE { ?x ";
+  s += static_cast<char>(1 + rng.Uniform(8));
+  s += " ?y . }";
+  auto r = ParseQuery(s);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sparqluo

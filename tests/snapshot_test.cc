@@ -1,0 +1,109 @@
+// Binary snapshot round-trip and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "algebra/operators.h"
+#include "engine/snapshot.h"
+#include "workload/lubm_generator.h"
+
+namespace sparqluo {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "snapshot_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesQueryResults) {
+  Database original;
+  LubmConfig cfg;
+  cfg.universities = 1;
+  cfg.density = 0.1;
+  GenerateLubm(cfg, &original);
+  original.Finalize(EngineKind::kWco);
+
+  ASSERT_TRUE(SaveSnapshot(original, path_).ok());
+
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(path_, &restored).ok());
+  restored.Finalize(EngineKind::kWco);
+
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.dict().size(), original.dict().size());
+
+  const std::string q =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT * WHERE { ?x ub:headOf ?d . OPTIONAL { ?y ub:worksFor ?d . } }";
+  auto r1 = original.Query(q, ExecOptions::Full());
+  auto r2 = restored.Query(q, ExecOptions::Full());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(BagEquals(*r1, *r2));
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesTermKinds) {
+  Database db;
+  db.AddTriple(Term::Iri("http://a"), Term::Iri("http://p"),
+               Term::LangLiteral("hello", "en"));
+  db.AddTriple(Term::Iri("http://a"), Term::Iri("http://q"),
+               Term::TypedLiteral("5", "http://dt"));
+  db.AddTriple(Term::Blank("b0"), Term::Iri("http://p"), Term::Literal("x"));
+  db.Finalize();
+  ASSERT_TRUE(SaveSnapshot(db, path_).ok());
+
+  Database restored;
+  ASSERT_TRUE(LoadSnapshot(path_, &restored).ok());
+  restored.Finalize();
+  ASSERT_EQ(restored.dict().size(), db.dict().size());
+  for (TermId id = 0; id < db.dict().size(); ++id)
+    EXPECT_EQ(restored.dict().Decode(id), db.dict().Decode(id)) << id;
+}
+
+TEST_F(SnapshotTest, LoadRejectsNonEmptyDatabase) {
+  Database db;
+  db.AddTriple(Term::Iri("a"), Term::Iri("p"), Term::Iri("b"));
+  db.Finalize();
+  ASSERT_TRUE(SaveSnapshot(db, path_).ok());
+  Status st = LoadSnapshot(path_, &db);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, LoadRejectsMissingFile) {
+  Database db;
+  EXPECT_EQ(LoadSnapshot("/nonexistent/snap.bin", &db).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, LoadRejectsBadMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTASNAPSHOT____________";
+  out.close();
+  Database db;
+  EXPECT_EQ(LoadSnapshot(path_, &db).code(), StatusCode::kParseError);
+}
+
+TEST_F(SnapshotTest, LoadRejectsTruncatedFile) {
+  Database db;
+  db.AddTriple(Term::Iri("http://a"), Term::Iri("http://p"),
+               Term::Iri("http://b"));
+  db.Finalize();
+  ASSERT_TRUE(SaveSnapshot(db, path_).ok());
+  // Truncate to half.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  Database fresh;
+  EXPECT_EQ(LoadSnapshot(path_, &fresh).code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace sparqluo

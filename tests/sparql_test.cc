@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+
+namespace sparqluo {
+namespace {
+
+// --------------------------------------------------------------- Lexer ---
+
+std::vector<Token> Lex(const std::string& s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("SELECT ?x WHERE { ?x <http://p> \"v\"@en . }");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].type, TokenType::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].type, TokenType::kVariable);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[4].type, TokenType::kVariable);
+  EXPECT_EQ(toks[5].type, TokenType::kIriRef);
+  EXPECT_EQ(toks[5].text, "http://p");
+  EXPECT_EQ(toks[6].type, TokenType::kString);
+  EXPECT_EQ(toks[7].type, TokenType::kLangTag);
+  EXPECT_EQ(toks[7].text, "en");
+}
+
+TEST(LexerTest, PrefixedNames) {
+  auto toks = Lex("foaf:name dbr:Category:Cell_biology :bare");
+  EXPECT_EQ(toks[0].type, TokenType::kPrefixedName);
+  EXPECT_EQ(toks[0].text, "foaf:name");
+  EXPECT_EQ(toks[1].type, TokenType::kPrefixedName);
+  EXPECT_EQ(toks[1].text, "dbr:Category:Cell_biology");
+  EXPECT_EQ(toks[2].type, TokenType::kPrefixedName);
+}
+
+TEST(LexerTest, TrailingDotSplitsFromName) {
+  auto toks = Lex("ub:name.");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].type, TokenType::kPrefixedName);
+  EXPECT_EQ(toks[0].text, "ub:name");
+  EXPECT_EQ(toks[1].type, TokenType::kDot);
+}
+
+TEST(LexerTest, AKeyword) {
+  auto toks = Lex("?x a dbo:Person");
+  EXPECT_EQ(toks[1].type, TokenType::kA);
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = Lex("?x # comment to end\n?y");
+  EXPECT_EQ(toks[0].type, TokenType::kVariable);
+  EXPECT_EQ(toks[1].type, TokenType::kVariable);
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto toks = Lex("= != < > <= >= && || !");
+  EXPECT_EQ(toks[0].type, TokenType::kEq);
+  EXPECT_EQ(toks[1].type, TokenType::kNeq);
+  EXPECT_EQ(toks[2].type, TokenType::kLt);
+  EXPECT_EQ(toks[3].type, TokenType::kGt);
+  EXPECT_EQ(toks[4].type, TokenType::kLe);
+  EXPECT_EQ(toks[5].type, TokenType::kGe);
+  EXPECT_EQ(toks[6].type, TokenType::kAndAnd);
+  EXPECT_EQ(toks[7].type, TokenType::kOrOr);
+  EXPECT_EQ(toks[8].type, TokenType::kBang);
+}
+
+TEST(LexerTest, LessThanVsIri) {
+  auto toks = Lex("?x < 5");
+  EXPECT_EQ(toks[1].type, TokenType::kLt);
+  toks = Lex("<http://x>");
+  EXPECT_EQ(toks[0].type, TokenType::kIriRef);
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = Lex("42 3.14 -7");
+  EXPECT_EQ(toks[0].type, TokenType::kNumber);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "3.14");
+  EXPECT_EQ(toks[2].text, "-7");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Lex(R"("with \"inner\" quotes")");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "with \"inner\" quotes");
+}
+
+TEST(LexerTest, EmailInLiteral) {
+  auto toks = Lex("\"Student91@Dept0.Univ0.edu\"");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "Student91@Dept0.Univ0.edu");
+  // No lang tag should follow.
+  EXPECT_EQ(toks[1].type, TokenType::kEof);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("?").ok());
+  EXPECT_FALSE(Tokenize("notakeyword").ok());
+  EXPECT_FALSE(Tokenize("&x").ok());
+}
+
+// -------------------------------------------------------------- Parser ---
+
+Query Parse(const std::string& s) {
+  auto r = ParseQuery(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : Query{};
+}
+
+TEST(ParserTest, SimpleBgp) {
+  Query q = Parse("SELECT ?x WHERE { ?x <http://p> <http://o> . }");
+  EXPECT_EQ(q.projection.size(), 1u);
+  ASSERT_EQ(q.where.elements.size(), 1u);
+  EXPECT_EQ(q.where.elements[0].kind, PatternElement::Kind::kTriple);
+  const TriplePattern& t = q.where.elements[0].triple;
+  EXPECT_TRUE(t.s.is_var);
+  EXPECT_FALSE(t.p.is_var);
+  EXPECT_EQ(t.p.term.lexical, "http://p");
+}
+
+TEST(ParserTest, SelectStarAndBareSelect) {
+  Query q1 = Parse("SELECT * WHERE { ?x <http://p> ?y . }");
+  EXPECT_TRUE(q1.projection.empty());
+  // The paper's appendix uses bare `SELECT WHERE`.
+  Query q2 = Parse("SELECT WHERE { ?x <http://p> ?y . }");
+  EXPECT_TRUE(q2.projection.empty());
+}
+
+TEST(ParserTest, Distinct) {
+  Query q = Parse("SELECT DISTINCT ?x WHERE { ?x <http://p> ?y . }");
+  EXPECT_TRUE(q.distinct);
+}
+
+TEST(ParserTest, PrefixExpansion) {
+  Query q = Parse(
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT ?x WHERE { ?x foaf:name ?n . }");
+  const TriplePattern& t = q.where.elements[0].triple;
+  EXPECT_EQ(t.p.term.lexical, "http://xmlns.com/foaf/0.1/name");
+}
+
+TEST(ParserTest, UndeclaredPrefixFails) {
+  auto r = ParseQuery("SELECT ?x WHERE { ?x foaf:name ?n . }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, MultiColonPrefixedName) {
+  Query q = Parse(
+      "PREFIX dbr: <http://dbpedia.org/resource/>\n"
+      "SELECT ?x WHERE { ?x <http://p> dbr:Category:Cell_biology . }");
+  EXPECT_EQ(q.where.elements[0].triple.o.term.lexical,
+            "http://dbpedia.org/resource/Category:Cell_biology");
+}
+
+TEST(ParserTest, AExpandsToRdfType) {
+  Query q = Parse(
+      "PREFIX dbo: <http://dbpedia.org/ontology/>\n"
+      "SELECT ?x WHERE { ?x a dbo:Person . }");
+  EXPECT_EQ(q.where.elements[0].triple.p.term.lexical,
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, Union) {
+  Query q = Parse(
+      "SELECT ?x WHERE { { ?x <http://a> ?y . } UNION { ?x <http://b> ?y . } }");
+  ASSERT_EQ(q.where.elements.size(), 1u);
+  EXPECT_EQ(q.where.elements[0].kind, PatternElement::Kind::kUnion);
+  EXPECT_EQ(q.where.elements[0].groups.size(), 2u);
+}
+
+TEST(ParserTest, ThreeWayUnion) {
+  Query q = Parse(
+      "SELECT * WHERE { { ?x <http://a> ?y . } UNION { ?x <http://b> ?y . } "
+      "UNION { ?x <http://c> ?y . } }");
+  EXPECT_EQ(q.where.elements[0].groups.size(), 3u);
+}
+
+TEST(ParserTest, Optional) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://a> ?y . OPTIONAL { ?x <http://b> ?z . } }");
+  ASSERT_EQ(q.where.elements.size(), 2u);
+  EXPECT_EQ(q.where.elements[1].kind, PatternElement::Kind::kOptional);
+}
+
+TEST(ParserTest, NestedOptionals) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://a> ?y . OPTIONAL { ?y <http://b> ?z . "
+      "OPTIONAL { ?z <http://c> ?w . } } }");
+  const auto& opt = q.where.elements[1];
+  ASSERT_EQ(opt.groups.size(), 1u);
+  EXPECT_EQ(opt.groups[0].elements[1].kind, PatternElement::Kind::kOptional);
+}
+
+TEST(ParserTest, NestedGroup) {
+  Query q = Parse("SELECT * WHERE { { ?x <http://a> ?y . } ?y <http://b> ?z . }");
+  EXPECT_EQ(q.where.elements[0].kind, PatternElement::Kind::kGroup);
+  EXPECT_EQ(q.where.elements[1].kind, PatternElement::Kind::kTriple);
+}
+
+TEST(ParserTest, PredicateObjectLists) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://a> ?y ; <http://b> ?z , ?w . }");
+  ASSERT_EQ(q.where.elements.size(), 3u);
+  for (const auto& e : q.where.elements)
+    EXPECT_EQ(e.kind, PatternElement::Kind::kTriple);
+  // Subject shared by all three.
+  EXPECT_EQ(q.where.elements[0].triple.s.var, q.where.elements[2].triple.s.var);
+}
+
+TEST(ParserTest, LiteralObjects) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://name> \"Alice\"@en . ?x <http://age> 30 . }");
+  const Term& name = q.where.elements[0].triple.o.term;
+  EXPECT_EQ(name.lexical, "Alice");
+  EXPECT_EQ(name.qualifier, "en");
+  const Term& age = q.where.elements[1].triple.o.term;
+  EXPECT_EQ(age.lexical, "30");
+  EXPECT_EQ(age.qualifier, "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(ParserTest, Filter) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://age> ?a . FILTER(?a > 21 && BOUND(?x)) }");
+  ASSERT_EQ(q.where.elements.size(), 2u);
+  ASSERT_EQ(q.where.elements[1].kind, PatternElement::Kind::kFilter);
+  EXPECT_EQ(q.where.elements[1].filter.op, FilterExpr::Op::kAnd);
+}
+
+TEST(ParserTest, VariableIdsStable) {
+  Query q = Parse("SELECT * WHERE { ?x <http://a> ?y . ?y <http://b> ?x . }");
+  const auto& t0 = q.where.elements[0].triple;
+  const auto& t1 = q.where.elements[1].triple;
+  EXPECT_EQ(t0.s.var, t1.o.var);
+  EXPECT_EQ(t0.o.var, t1.s.var);
+  EXPECT_EQ(q.vars.size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT * { ?x <http://p> ?y . }").ok());  // no WHERE
+  EXPECT_FALSE(ParseQuery("SELECT * WHERE { ?x <http://p> }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * WHERE { ?x <http://p> ?y . ").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * WHERE { } trailing").ok());
+}
+
+TEST(ParserTest, CoalescabilityHelpers) {
+  Query q = Parse(
+      "SELECT * WHERE { ?x <http://a> ?y . ?y <http://b> ?z . ?w <http://c> ?v . }");
+  const auto& t0 = q.where.elements[0].triple;
+  const auto& t1 = q.where.elements[1].triple;
+  const auto& t2 = q.where.elements[2].triple;
+  EXPECT_TRUE(Coalescable(t0, t1));   // share ?y at s/o positions
+  EXPECT_FALSE(Coalescable(t0, t2));  // no shared vars
+}
+
+TEST(ParserTest, PredicateVariableNotCoalescable) {
+  // Definition 3 only considers subject/object positions.
+  Query q = Parse("SELECT * WHERE { ?x <http://a> ?y . ?a ?y ?b . }");
+  const auto& t0 = q.where.elements[0].triple;
+  const auto& t1 = q.where.elements[1].triple;
+  EXPECT_FALSE(Coalescable(t0, t1));
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* text =
+      "SELECT * WHERE { ?x <http://a> ?y . OPTIONAL { ?y <http://b> ?z . } "
+      "{ ?x <http://c> ?w . } UNION { ?x <http://d> ?w . } }";
+  Query q1 = Parse(text);
+  std::string printed = ToString(q1);
+  Query q2 = Parse(printed);
+  // Compare structure: same element kinds at top level.
+  ASSERT_EQ(q1.where.elements.size(), q2.where.elements.size());
+  for (size_t i = 0; i < q1.where.elements.size(); ++i)
+    EXPECT_EQ(q1.where.elements[i].kind, q2.where.elements[i].kind);
+}
+
+TEST(ParserTest, AllPaperQueriesHaveValidSyntaxShape) {
+  // Spot-check the trickiest constructs from the appendix.
+  EXPECT_TRUE(ParseQuery(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT WHERE {\n"
+      " ?v3 ub:emailAddress \"UndergraduateStudent91@Department0.University0.edu\" .\n"
+      " ?v2 ub:emailAddress ?v1 .\n"
+      " OPTIONAL { ?v2 ub:teacherOf ?v4 . ?v3 ub:takesCourse ?v4 . } }")
+                  .ok());
+  EXPECT_TRUE(ParseQuery(
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT WHERE { { ?v2 foaf:primaryTopic ?v1 . } UNION "
+      "{ ?v1 foaf:isPrimaryTopicOf ?v2 . } OPTIONAL { { ?v7 foaf:primaryTopic "
+      "?v5 . } UNION { ?v5 foaf:isPrimaryTopicOf ?v7 . } } }")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -1,0 +1,225 @@
+// Edge cases of the transformation machinery: multi-OPTIONAL injects,
+// multi-branch (>2-way) UNION merges, nested-level transformations, the
+// well-designedness guards, and cost-model monotonicity.
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "betree/builder.h"
+#include "engine/database.h"
+#include "optimizer/transformations.h"
+#include "optimizer/transformer.h"
+#include "sparql/parser.h"
+
+namespace sparqluo {
+namespace {
+
+class TransformerEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto iri = [](const std::string& s) {
+      return Term::Iri("http://t.org/" + s);
+    };
+    // 8 anchored entities inside a 3000-entity population with three
+    // pervasive attributes.
+    for (int i = 0; i < 3000; ++i) {
+      Term e = iri("e" + std::to_string(i));
+      if (i < 8) db_.AddTriple(e, iri("anchor"), iri("target"));
+      db_.AddTriple(e, iri("attr1"), Term::Literal("a" + std::to_string(i)));
+      db_.AddTriple(e, iri("attr2"), Term::Literal("b" + std::to_string(i)));
+      db_.AddTriple(e, iri("attr3"), Term::Literal("c" + std::to_string(i)));
+    }
+    db_.Finalize(EngineKind::kWco);
+  }
+
+  BeTree Build(const std::string& body, Query* q) {
+    auto parsed = ParseQuery("SELECT * WHERE " + body);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    *q = std::move(*parsed);
+    return BuildBeTree(*q);
+  }
+
+  void ExpectSemanticsPreserved(const std::string& body) {
+    Query q;
+    BeTree tree = Build(body, &q);
+    Executor exec(db_.engine(), db_.dict(), db_.store());
+    BindingSet before = exec.EvaluateTree(tree, ExecOptions{});
+    CostModel cost(db_.engine());
+    TransformStats stats;
+    MultiLevelTransform(&tree, cost, TransformOptions{}, &stats);
+    ASSERT_TRUE(tree.Validate().ok()) << body;
+    BindingSet after = exec.EvaluateTree(tree, ExecOptions{});
+    EXPECT_TRUE(BagEquals(before, after)) << body;
+  }
+
+  Database db_;
+};
+
+TEST_F(TransformerEdgeTest, InjectIntoMultipleOptionals) {
+  // A selective BGP can be injected into EVERY sibling OPTIONAL to its
+  // right (injects are mutually independent, Algorithm 2).
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr1> ?a . } "
+      "OPTIONAL { ?x <http://t.org/attr2> ?b . } "
+      "OPTIONAL { ?x <http://t.org/attr3> ?c . } }",
+      &q);
+  CostModel cost(db_.engine());
+  TransformStats stats;
+  SingleLevelTransform(tree.root.get(), cost, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.injects, 3u);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Every OPTIONAL-right group now holds the coalesced anchor + attribute.
+  for (size_t i = 1; i <= 3; ++i) {
+    const BeNode& right = *tree.root->children[i]->children[0];
+    ASSERT_EQ(right.children.size(), 1u);
+    EXPECT_EQ(right.children[0]->bgp.size(), 2u);
+  }
+}
+
+TEST_F(TransformerEdgeTest, MergeIntoThreeWayUnion) {
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "{ ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } UNION "
+      "{ ?x <http://t.org/attr3> ?v . } }",
+      &q);
+  ASSERT_TRUE(CanMerge(*tree.root, 0, 1));
+  ApplyMerge(tree.root.get(), 0, 1);
+  ASSERT_TRUE(tree.Validate().ok());
+  const BeNode& u = *tree.root->children[0];
+  ASSERT_EQ(u.children.size(), 3u);
+  for (const auto& branch : u.children)
+    EXPECT_EQ(branch->children[0]->bgp.size(), 2u);
+  ExpectSemanticsPreserved(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "{ ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } UNION "
+      "{ ?x <http://t.org/attr3> ?v . } }");
+}
+
+TEST_F(TransformerEdgeTest, NestedLevelsAreTransformedPostOrder) {
+  // The favorable inject sits one level down, inside an OPTIONAL-right
+  // group; Algorithm 4 must reach it.
+  Query q;
+  BeTree tree = Build(
+      "{ ?y <http://t.org/attr1> ?w . "
+      "OPTIONAL { ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr2> ?b . } } }",
+      &q);
+  CostModel cost(db_.engine());
+  TransformStats stats;
+  MultiLevelTransform(&tree, cost, TransformOptions{}, &stats);
+  EXPECT_GE(stats.injects, 1u);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(TransformerEdgeTest, MergeBlockedAcrossSharedVarOptional) {
+  // An OPTIONAL between the BGP and the UNION shares ?x with the BGP:
+  // relocating the BGP across it would change the OPTIONAL's base.
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr3> ?c . } "
+      "{ ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } }",
+      &q);
+  EXPECT_FALSE(CanMerge(*tree.root, 0, 2));
+  ExpectSemanticsPreserved(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr3> ?c . } "
+      "{ ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } }");
+}
+
+TEST_F(TransformerEdgeTest, InjectBlockedByLeadingOptionalInRightGroup) {
+  // The OPTIONAL-right group starts with its own OPTIONAL sharing ?x:
+  // inserting the BGP leftmost would re-base that inner left join.
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { OPTIONAL { ?x <http://t.org/attr2> ?b . } "
+      "?x <http://t.org/attr1> ?a . } }",
+      &q);
+  EXPECT_FALSE(CanInject(*tree.root, 0, 1));
+  ExpectSemanticsPreserved(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { OPTIONAL { ?x <http://t.org/attr2> ?b . } "
+      "?x <http://t.org/attr1> ?a . } }");
+}
+
+TEST_F(TransformerEdgeTest, InjectAllowedWhenOptionalVarsCovered) {
+  // The inner OPTIONAL's shared variable ?x is bound by the right group's
+  // certain part BEFORE the inner OPTIONAL: insertion is safe.
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr1> ?a . "
+      "OPTIONAL { ?x <http://t.org/attr2> ?b . } } }",
+      &q);
+  EXPECT_TRUE(CanInject(*tree.root, 0, 1));
+  ExpectSemanticsPreserved(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr1> ?a . "
+      "OPTIONAL { ?x <http://t.org/attr2> ?b . } } }");
+}
+
+TEST_F(TransformerEdgeTest, MergeWithUnionLeftOfBgp) {
+  // Definition 9 does not require the UNION to be on a particular side.
+  Query q;
+  BeTree tree = Build(
+      "{ { ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } "
+      "?x <http://t.org/anchor> <http://t.org/target> . }",
+      &q);
+  ASSERT_EQ(tree.root->children.size(), 2u);
+  EXPECT_TRUE(CanMerge(*tree.root, 1, 0));
+  ApplyMerge(tree.root.get(), 1, 0);
+  ASSERT_TRUE(tree.Validate().ok());
+  ASSERT_EQ(tree.root->children.size(), 1u);
+  ExpectSemanticsPreserved(
+      "{ { ?x <http://t.org/attr1> ?v . } UNION "
+      "{ ?x <http://t.org/attr2> ?v . } "
+      "?x <http://t.org/anchor> <http://t.org/target> . }");
+}
+
+TEST_F(TransformerEdgeTest, EmptyAndNonBgpNodesRejected) {
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr1> ?a . } }",
+      &q);
+  EXPECT_FALSE(CanMerge(*tree.root, 0, 1));   // OPTIONAL is not a UNION
+  EXPECT_FALSE(CanInject(*tree.root, 1, 1));  // same node
+  EXPECT_FALSE(CanInject(*tree.root, 0, 5));  // out of range
+}
+
+TEST_F(TransformerEdgeTest, InjectSiteCostScalesWithLeftSize) {
+  // f_OPTIONAL grows with |res(P1)|: a bigger left side makes the same
+  // site costlier.
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "OPTIONAL { ?x <http://t.org/attr1> ?a . } }",
+      &q);
+  CostModel cost(db_.engine());
+  double small = cost.InjectSiteCost(*tree.root, 1, 10.0);
+  double large = cost.InjectSiteCost(*tree.root, 1, 1000.0);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(TransformerEdgeTest, DecideDeltaZeroWhenPreconditionsFail) {
+  Query q;
+  BeTree tree = Build(
+      "{ ?x <http://t.org/anchor> <http://t.org/target> . "
+      "{ ?unrelated <http://t.org/attr1> ?v . } UNION "
+      "{ ?other <http://t.org/attr2> ?v . } }",
+      &q);
+  CostModel cost(db_.engine());
+  EXPECT_DOUBLE_EQ(DecideMergeDelta(*tree.root, 0, 1, cost), 0.0);
+  EXPECT_DOUBLE_EQ(DecideInjectDelta(*tree.root, 0, 1, cost), 0.0);
+}
+
+}  // namespace
+}  // namespace sparqluo

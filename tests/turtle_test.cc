@@ -1,0 +1,152 @@
+// Turtle subset reader tests.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "rdf/turtle.h"
+
+namespace sparqluo {
+namespace {
+
+size_t CountTriples(const std::string& ttl, Status* status = nullptr) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = ParseTurtleString(ttl, &dict, &store);
+  if (status) *status = st;
+  if (!st.ok()) return 0;
+  store.Build();
+  return store.size();
+}
+
+TEST(TurtleTest, BasicTriples) {
+  EXPECT_EQ(CountTriples("<http://a> <http://p> <http://b> .\n"
+                         "<http://a> <http://q> \"v\" ."),
+            2u);
+}
+
+TEST(TurtleTest, PrefixDirectives) {
+  Status st;
+  size_t n = CountTriples(
+      "@prefix ex: <http://ex.org/> .\n"
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "ex:alice foaf:knows ex:bob .\n",
+      &st);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(TurtleTest, EmptyPrefix) {
+  Status st;
+  size_t n = CountTriples(
+      "@prefix : <http://ex.org/> .\n"
+      ": a :b .\n" /* ':' is the empty-prefix name for <http://ex.org/> */,
+      &st);
+  // ': a :b .' -> subject :, predicate a (rdf:type), object :b.
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(TurtleTest, PredicateAndObjectLists) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = ParseTurtleString(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b , ex:c ;\n"
+      "     ex:q \"x\"@en ;\n"
+      "     a ex:Thing .\n",
+      &dict, &store);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  store.Build();
+  EXPECT_EQ(store.size(), 4u);
+  // The 'a' shorthand expanded to rdf:type.
+  TermId type = dict.Lookup(
+      Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  ASSERT_NE(type, kInvalidTermId);
+  TriplePatternIds q;
+  q.p = type;
+  EXPECT_EQ(store.Count(q), 1u);
+}
+
+TEST(TurtleTest, TrailingSemicolonBeforeDot) {
+  Status st;
+  size_t n = CountTriples(
+      "@prefix ex: <http://ex.org/> .\n"
+      "ex:a ex:p ex:b ; .\n",
+      &st);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(TurtleTest, LiteralsNumbersAndBlanks) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = ParseTurtleString(
+      "@prefix ex: <http://ex.org/> .\n"
+      "_:b1 ex:age 30 .\n"
+      "_:b1 ex:height 1.85 .\n"
+      "_:b1 ex:name \"Anna\"@de .\n"
+      "_:b1 ex:id \"x7\"^^ex:Code .\n",
+      &dict, &store);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  store.Build();
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_NE(dict.Lookup(Term::TypedLiteral(
+                "30", "http://www.w3.org/2001/XMLSchema#integer")),
+            kInvalidTermId);
+  EXPECT_NE(dict.Lookup(Term::TypedLiteral("x7", "http://ex.org/Code")),
+            kInvalidTermId);
+  EXPECT_NE(dict.Lookup(Term::Blank("b1")), kInvalidTermId);
+}
+
+TEST(TurtleTest, BaseResolution) {
+  Dictionary dict;
+  TripleStore store;
+  Status st = ParseTurtleString(
+      "@base <http://ex.org/> .\n"
+      "<alice> <knows> <bob> .\n"
+      "<http://other.org/x> <knows> <alice> .\n",
+      &dict, &store);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(dict.Lookup(Term::Iri("http://ex.org/alice")), kInvalidTermId);
+  EXPECT_NE(dict.Lookup(Term::Iri("http://other.org/x")), kInvalidTermId);
+}
+
+TEST(TurtleTest, Comments) {
+  EXPECT_EQ(CountTriples("# a comment\n"
+                         "<http://a> <http://p> <http://b> . # trailing\n"),
+            1u);
+}
+
+TEST(TurtleTest, Errors) {
+  Status st;
+  CountTriples("<http://a> <http://p> .", &st);  // missing object
+  EXPECT_FALSE(st.ok());
+  CountTriples("ex:a ex:p ex:b .", &st);  // undeclared prefix
+  EXPECT_FALSE(st.ok());
+  CountTriples("<http://a> <http://p> <http://b>", &st);  // missing dot
+  EXPECT_FALSE(st.ok());
+  CountTriples("\"lit\" <http://p> <http://b> .", &st);  // literal subject
+  EXPECT_FALSE(st.ok());
+  CountTriples("@prefix ex <http://x> .", &st);  // malformed directive
+  EXPECT_FALSE(st.ok());
+  CountTriples("?x <http://p> <http://b> .", &st);  // variable in data
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TurtleTest, DatabaseIntegration) {
+  Database db;
+  ASSERT_TRUE(db.LoadTurtleString(
+                    "@prefix ex: <http://ex.org/> .\n"
+                    "ex:alice ex:knows ex:bob ; ex:name \"Alice\" .\n"
+                    "ex:bob ex:name \"Bob\" .\n")
+                  .ok());
+  db.Finalize();
+  auto r = db.Query(
+      "PREFIX ex: <http://ex.org/>\n"
+      "SELECT ?n WHERE { ex:alice ex:knows ?x . ?x ex:name ?n . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(db.dict().Decode(r->At(0, 0)).lexical, "Bob");
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "workload/dbpedia_generator.h"
+#include "workload/lubm_generator.h"
+#include "workload/paper_queries.h"
+
+namespace sparqluo {
+namespace {
+
+// ---------------------------------------------------------------- LUBM ---
+
+class LubmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    LubmConfig cfg;
+    cfg.universities = 1;
+    GenerateLubm(cfg, db_);
+    db_->Finalize(EngineKind::kWco);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* LubmTest::db_ = nullptr;
+
+TEST_F(LubmTest, ScaleMatchesRealLubmDensity) {
+  // LUBM(1) is roughly 100k triples.
+  EXPECT_GT(db_->size(), 60000u);
+  EXPECT_LT(db_->size(), 200000u);
+}
+
+TEST_F(LubmTest, Deterministic) {
+  Database db2;
+  LubmConfig cfg;
+  cfg.universities = 1;
+  GenerateLubm(cfg, &db2);
+  db2.Finalize();
+  EXPECT_EQ(db_->size(), db2.size());
+}
+
+TEST_F(LubmTest, SchemaEntitiesExist) {
+  // The concrete IRIs the paper's queries reference must exist.
+  EXPECT_NE(db_->dict().Lookup(Term::Iri(
+                "http://www.Department0.University0.edu/UndergraduateStudent91")),
+            kInvalidTermId);
+  EXPECT_NE(db_->dict().Lookup(Term::Iri("http://www.Department0.University0.edu")),
+            kInvalidTermId);
+  EXPECT_NE(db_->dict().Lookup(Term::Literal(
+                "UndergraduateStudent91@Department0.University0.edu")),
+            kInvalidTermId);
+}
+
+TEST_F(LubmTest, PredicateMixMatchesSchema) {
+  const Statistics& st = db_->stats();
+  auto count = [&](const std::string& local) {
+    TermId p = db_->dict().Lookup(Term::Iri(std::string(kUbPrefix) + local));
+    return p == kInvalidTermId ? uint64_t{0} : st.ForPredicate(p).count;
+  };
+  EXPECT_GT(count("takesCourse"), count("teacherOf"));
+  EXPECT_GT(count("memberOf"), count("worksFor"));
+  EXPECT_GT(count("advisor"), 0u);
+  EXPECT_GT(count("teachingAssistantOf"), 0u);
+  EXPECT_GT(count("subOrganizationOf"), 0u);
+  EXPECT_GT(count("publicationAuthor"), 0u);
+  EXPECT_GT(count("headOf"), 0u);
+}
+
+TEST_F(LubmTest, DepartmentZeroHasManyStudents) {
+  TermId member_of =
+      db_->dict().Lookup(Term::Iri(std::string(kUbPrefix) + "memberOf"));
+  TermId dept0 =
+      db_->dict().Lookup(Term::Iri("http://www.Department0.University0.edu"));
+  ASSERT_NE(member_of, kInvalidTermId);
+  ASSERT_NE(dept0, kInvalidTermId);
+  TriplePatternIds q;
+  q.p = member_of;
+  q.o = dept0;
+  EXPECT_GT(db_->store().Count(q), 300u);
+}
+
+TEST_F(LubmTest, PaperQueriesParse) {
+  for (const PaperQuery& pq : LubmPaperQueries()) {
+    auto q = db_->Parse(pq.sparql);
+    EXPECT_TRUE(q.ok()) << pq.id << ": " << q.status().ToString();
+  }
+}
+
+TEST_F(LubmTest, Group1QueriesReturnResultsAtScale1) {
+  // Queries anchored on University0 entities must bind at scale 1.
+  for (const char* id : {"q1.1", "q1.2", "q1.3", "q1.5"}) {
+    const PaperQuery* pq = FindQuery(LubmPaperQueries(), id);
+    ASSERT_NE(pq, nullptr);
+    auto r = db_->Query(pq->sparql, ExecOptions::Full());
+    ASSERT_TRUE(r.ok()) << id << ": " << r.status().ToString();
+    EXPECT_GT(r->size(), 0u) << id;
+  }
+}
+
+TEST_F(LubmTest, QueryTypeLabelsConsistent) {
+  for (const PaperQuery& pq : LubmPaperQueries()) {
+    bool has_union = pq.sparql.find("UNION") != std::string::npos;
+    bool has_optional = pq.sparql.find("OPTIONAL") != std::string::npos;
+    if (pq.type == "U") EXPECT_TRUE(has_union && !has_optional) << pq.id;
+    if (pq.type == "O") EXPECT_TRUE(has_optional && !has_union) << pq.id;
+    if (pq.type == "UO") EXPECT_TRUE(has_union && has_optional) << pq.id;
+  }
+}
+
+// ------------------------------------------------------------- DBpedia ---
+
+class DbpediaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    DbpediaConfig cfg;
+    cfg.articles = 5000;
+    GenerateDbpedia(cfg, db_);
+    db_->Finalize(EngineKind::kWco);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* DbpediaTest::db_ = nullptr;
+
+TEST_F(DbpediaTest, AnchorsExistAndAreSelective) {
+  TermId wikilink = db_->dict().Lookup(
+      Term::Iri("http://dbpedia.org/ontology/wikiPageWikiLink"));
+  ASSERT_NE(wikilink, kInvalidTermId);
+  for (const char* anchor :
+       {"http://dbpedia.org/resource/Economic_system",
+        "http://dbpedia.org/resource/Abdul_Rahim_Wardak",
+        "http://dbpedia.org/resource/Category:Cell_biology"}) {
+    TermId a = db_->dict().Lookup(Term::Iri(anchor));
+    ASSERT_NE(a, kInvalidTermId) << anchor;
+    TriplePatternIds q;
+    q.p = wikilink;
+    q.o = a;
+    size_t in_links = db_->store().Count(q);
+    EXPECT_GT(in_links, 0u) << anchor;
+    // Selective: well under 5% of the dataset.
+    EXPECT_LT(in_links, db_->size() / 20) << anchor;
+  }
+}
+
+TEST_F(DbpediaTest, SkewedLinkDistribution) {
+  // Hub articles (low ids under Zipf) receive far more in-links.
+  TermId wikilink = db_->dict().Lookup(
+      Term::Iri("http://dbpedia.org/ontology/wikiPageWikiLink"));
+  auto inlinks = [&](const std::string& art) {
+    TermId a = db_->dict().Lookup(Term::Iri(art));
+    if (a == kInvalidTermId) return size_t{0};
+    TriplePatternIds q;
+    q.p = wikilink;
+    q.o = a;
+    return db_->store().Count(q);
+  };
+  size_t hub = inlinks("http://dbpedia.org/resource/Article_0");
+  size_t tail = inlinks("http://dbpedia.org/resource/Article_4900");
+  EXPECT_GT(hub, tail * 2);
+}
+
+TEST_F(DbpediaTest, PaperQueriesParse) {
+  for (const PaperQuery& pq : DbpediaPaperQueries()) {
+    auto q = db_->Parse(pq.sparql);
+    EXPECT_TRUE(q.ok()) << pq.id << ": " << q.status().ToString();
+  }
+}
+
+TEST_F(DbpediaTest, Group1QueriesReturnResults) {
+  for (const char* id : {"q1.1", "q1.2", "q1.5"}) {
+    const PaperQuery* pq = FindQuery(DbpediaPaperQueries(), id);
+    ASSERT_NE(pq, nullptr);
+    auto r = db_->Query(pq->sparql, ExecOptions::Full());
+    ASSERT_TRUE(r.ok()) << id << ": " << r.status().ToString();
+    EXPECT_GT(r->size(), 0u) << id;
+  }
+}
+
+TEST_F(DbpediaTest, Group2QueriesReturnResults) {
+  for (const char* id : {"q2.1", "q2.2", "q2.3", "q2.5", "q2.6"}) {
+    const PaperQuery* pq = FindQuery(DbpediaPaperQueries(), id);
+    ASSERT_NE(pq, nullptr);
+    auto r = db_->Query(pq->sparql, ExecOptions::Full());
+    ASSERT_TRUE(r.ok()) << id << ": " << r.status().ToString();
+    EXPECT_GT(r->size(), 0u) << id;
+  }
+}
+
+TEST_F(DbpediaTest, TypedPopulationsPresent) {
+  auto has_type = [&](const std::string& cls) {
+    TermId type = db_->dict().Lookup(
+        Term::Iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+    TermId c = db_->dict().Lookup(Term::Iri("http://dbpedia.org/ontology/" + cls));
+    if (type == kInvalidTermId || c == kInvalidTermId) return size_t{0};
+    TriplePatternIds q;
+    q.p = type;
+    q.o = c;
+    return db_->store().Count(q);
+  };
+  EXPECT_GT(has_type("PopulatedPlace"), 0u);
+  EXPECT_GT(has_type("Settlement"), 0u);
+  EXPECT_GT(has_type("Airport"), 0u);
+  EXPECT_GT(has_type("SoccerPlayer"), 0u);
+  EXPECT_GT(has_type("Person"), 0u);
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -1,0 +1,256 @@
+// sparqluo command-line shell.
+//
+// Usage:
+//   sparqluo_cli --data FILE.nt [options] [QUERY | --query-file FILE]
+//   sparqluo_cli --lubm N  [options] ...       (generate LUBM with N univs)
+//   sparqluo_cli --dbpedia N [options] ...     (generate N-article DBpedia)
+//   sparqluo_cli --snapshot FILE.bin ...       (reload a binary snapshot)
+//   ... --save-snapshot FILE.bin               (persist the loaded data)
+//
+// Options:
+//   --engine wco|hashjoin     BGP engine (default wco)
+//   --mode base|tt|cp|full    optimization level (default full)
+//   --format tsv|csv|json     output format (default tsv)
+//   --explain                 print the BE-tree before/after transformation
+//   --stats                   print dataset statistics and exit
+//   --max-rows N              abort when an intermediate exceeds N rows
+//
+// Without a query argument, reads queries from stdin (one per blank-line-
+// separated block; end with EOF).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "betree/builder.h"
+#include "betree/serializer.h"
+#include "engine/database.h"
+#include "engine/result_writer.h"
+#include "engine/snapshot.h"
+#include "optimizer/transformer.h"
+#include "optimizer/well_designed.h"
+#include "util/timer.h"
+#include "workload/dbpedia_generator.h"
+#include "workload/lubm_generator.h"
+
+namespace {
+
+using namespace sparqluo;
+
+struct CliOptions {
+  std::string data_file;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  size_t lubm = 0;
+  size_t dbpedia = 0;
+  EngineKind engine = EngineKind::kWco;
+  ExecOptions exec = ExecOptions::Full();
+  ResultFormat format = ResultFormat::kTsv;
+  bool explain = false;
+  bool stats_only = false;
+  std::string query;
+  std::string query_file;
+};
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--data FILE.nt | --lubm N | --dbpedia N) [--engine "
+               "wco|hashjoin] [--mode base|tt|cp|full] [--format "
+               "tsv|csv|json] [--explain] [--stats] [--max-rows N] [QUERY]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (!v) return false;
+      opts->data_file = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (!v) return false;
+      opts->snapshot_in = v;
+    } else if (arg == "--save-snapshot") {
+      const char* v = next();
+      if (!v) return false;
+      opts->snapshot_out = v;
+    } else if (arg == "--lubm") {
+      const char* v = next();
+      if (!v) return false;
+      opts->lubm = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--dbpedia") {
+      const char* v = next();
+      if (!v) return false;
+      opts->dbpedia = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "wco") == 0) {
+        opts->engine = EngineKind::kWco;
+      } else if (std::strcmp(v, "hashjoin") == 0) {
+        opts->engine = EngineKind::kHashJoin;
+      } else {
+        return false;
+      }
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "base") == 0) opts->exec = ExecOptions::Base();
+      else if (std::strcmp(v, "tt") == 0) opts->exec = ExecOptions::TT();
+      else if (std::strcmp(v, "cp") == 0) opts->exec = ExecOptions::CP();
+      else if (std::strcmp(v, "full") == 0) opts->exec = ExecOptions::Full();
+      else return false;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "tsv") == 0) opts->format = ResultFormat::kTsv;
+      else if (std::strcmp(v, "csv") == 0) opts->format = ResultFormat::kCsv;
+      else if (std::strcmp(v, "json") == 0) opts->format = ResultFormat::kJson;
+      else return false;
+    } else if (arg == "--explain") {
+      opts->explain = true;
+    } else if (arg == "--stats") {
+      opts->stats_only = true;
+    } else if (arg == "--max-rows") {
+      const char* v = next();
+      if (!v) return false;
+      opts->exec.max_intermediate_rows = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--query-file") {
+      const char* v = next();
+      if (!v) return false;
+      opts->query_file = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return false;
+    } else {
+      opts->query = arg;
+    }
+  }
+  return !opts->data_file.empty() || !opts->snapshot_in.empty() ||
+         opts->lubm > 0 || opts->dbpedia > 0;
+}
+
+int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
+  auto parsed = db.Parse(text);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  if (opts.explain) {
+    BeTree original = BuildBeTree(*parsed);
+    std::cerr << "--- original BE-tree (Count_BGP=" << original.CountBgp()
+              << ", Depth=" << original.Depth() << ", well-designed="
+              << (IsWellDesigned(*parsed) ? "yes" : "no") << ") ---\n"
+              << DebugString(original, parsed->vars);
+    ExecMetrics pm;
+    BeTree planned = db.executor().Plan(*parsed, opts.exec, &pm);
+    std::cerr << "--- planned BE-tree (merges=" << pm.transform.merges
+              << ", injects=" << pm.transform.injects << ") ---\n"
+              << DebugString(planned, parsed->vars)
+              << "--- planned SPARQL ---\n"
+              << SerializeToQuery(planned, parsed->vars) << "\n";
+  }
+  ExecMetrics metrics;
+  Timer timer;
+  auto result = db.executor().Execute(*parsed, opts.exec, &metrics);
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (parsed->form == QueryForm::kAsk) {
+    std::cout << (result->empty() ? "false" : "true") << "\n";
+  } else {
+    std::cout << FormatResults(*result, parsed->vars, db.dict(), opts.format);
+  }
+  std::cerr << "# " << result->size() << " rows in " << timer.ElapsedMillis()
+            << " ms (exec " << metrics.exec_ms << " ms, plan "
+            << metrics.transform_ms << " ms, join space "
+            << metrics.join_space << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage(argv[0]);
+
+  Database db;
+  Timer load_timer;
+  if (!opts.data_file.empty()) {
+    bool turtle = opts.data_file.size() > 4 &&
+                  opts.data_file.rfind(".ttl") == opts.data_file.size() - 4;
+    Status st = turtle ? db.LoadTurtleFile(opts.data_file)
+                       : db.LoadNTriplesFile(opts.data_file);
+    if (!st.ok()) {
+      std::cerr << "load failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  } else if (!opts.snapshot_in.empty()) {
+    Status st = LoadSnapshot(opts.snapshot_in, &db);
+    if (!st.ok()) {
+      std::cerr << "snapshot load failed: " << st.ToString() << "\n";
+      return 1;
+    }
+  } else if (opts.lubm > 0) {
+    LubmConfig cfg;
+    cfg.universities = opts.lubm;
+    GenerateLubm(cfg, &db);
+  } else {
+    DbpediaConfig cfg;
+    cfg.articles = opts.dbpedia;
+    GenerateDbpedia(cfg, &db);
+  }
+  db.Finalize(opts.engine);
+  std::cerr << "# " << db.size() << " triples ready in "
+            << load_timer.ElapsedMillis() << " ms (engine "
+            << db.engine().name() << ", mode " << opts.exec.Name() << ")\n";
+
+  if (!opts.snapshot_out.empty()) {
+    Status st = SaveSnapshot(db, opts.snapshot_out);
+    if (!st.ok()) {
+      std::cerr << "snapshot save failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "# snapshot written to " << opts.snapshot_out << "\n";
+  }
+
+  if (opts.stats_only) {
+    const Statistics& st = db.stats();
+    std::cout << "triples\t" << st.num_triples() << "\nentities\t"
+              << st.num_entities() << "\npredicates\t" << st.num_predicates()
+              << "\nliterals\t" << st.num_literals() << "\n";
+    return 0;
+  }
+
+  if (!opts.query_file.empty()) {
+    std::ifstream in(opts.query_file);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << opts.query_file << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return RunQuery(db, opts, buf.str());
+  }
+  if (!opts.query.empty()) return RunQuery(db, opts, opts.query);
+
+  // Interactive/batch: blocks separated by blank lines on stdin.
+  std::string block, line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      if (!block.empty()) rc |= RunQuery(db, opts, block);
+      block.clear();
+      continue;
+    }
+    block += line + "\n";
+  }
+  if (!block.empty()) rc |= RunQuery(db, opts, block);
+  return rc;
+}
