@@ -1,0 +1,226 @@
+// Aggregate-QPS scaling benchmark for the concurrent query service.
+//
+// Serves the paper's 12-query workload through a QueryService at several
+// worker-thread counts and reports aggregate QPS, p50/p99 latency and plan
+// cache hit rate per (dataset, engine, mode, threads) cell. The plan cache
+// is warmed with one pass per distinct query before timing, so steady-state
+// serving (parse + transform amortized away) is what is measured.
+//
+// Usage:
+//   bench_throughput [--json FILE] [--threads 1,2,4,8] [--repeat N]
+//                    [--datasets lubm,dbpedia] [--engines wco,hashjoin]
+//                    [--modes base,tt,cp,full] [--lubm N] [--dbpedia N]
+//
+// Defaults keep the run small: LUBM + DBpedia, both engines, full mode,
+// 1/2/4/8 threads. Add --modes base,tt,cp,full for the full matrix.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/query_service.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+struct Cell {
+  std::string dataset;
+  std::string engine;
+  std::string mode;
+  size_t threads = 0;
+  size_t queries = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t aborted = 0;
+  uint64_t failed = 0;
+};
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+ExecOptions ModeOptions(const std::string& mode) {
+  if (mode == "base") return ExecOptions::Base();
+  if (mode == "tt") return ExecOptions::TT();
+  if (mode == "cp") return ExecOptions::CP();
+  return ExecOptions::Full();
+}
+
+Cell RunCell(Database& db, const std::vector<PaperQuery>& workload,
+             const std::string& dataset, const std::string& engine,
+             const std::string& mode, size_t threads, size_t repeat) {
+  ExecOptions exec = ModeOptions(mode);
+  exec.max_intermediate_rows = kRowLimit;
+
+  QueryService::Options sopts;
+  sopts.num_threads = threads;
+  sopts.max_queue = workload.size() * repeat + 16;
+  // Guard rail so pathological cells (base mode on hostile queries) cannot
+  // stall the whole benchmark.
+  sopts.default_deadline = std::chrono::milliseconds(10000);
+  QueryService service(db, sopts);
+
+  // Warm the plan cache: one pass over the distinct queries.
+  {
+    std::vector<QueryRequest> warm;
+    for (const PaperQuery& q : workload)
+      warm.push_back(QueryRequest{q.sparql, exec, {}, nullptr});
+    service.RunBatch(std::move(warm));
+  }
+
+  std::vector<QueryRequest> batch;
+  batch.reserve(workload.size() * repeat);
+  for (size_t rep = 0; rep < repeat; ++rep)
+    for (const PaperQuery& q : workload)
+      batch.push_back(QueryRequest{q.sparql, exec, {}, nullptr});
+
+  Timer timer;
+  std::vector<QueryResponse> responses = service.RunBatch(std::move(batch));
+  double wall_ms = timer.ElapsedMillis();
+
+  Cell cell;
+  cell.dataset = dataset;
+  cell.engine = engine;
+  cell.mode = mode;
+  cell.threads = threads;
+  cell.queries = responses.size();
+  cell.wall_ms = wall_ms;
+  cell.qps = wall_ms > 0.0
+                 ? 1000.0 * static_cast<double>(responses.size()) / wall_ms
+                 : 0.0;
+  // Latency/hit-rate over the timed batch only (the warm pass would skew
+  // both; service.Stats() still aggregates everything for monitoring).
+  std::vector<double> latencies;
+  size_t hits = 0;
+  for (const QueryResponse& r : responses) {
+    latencies.push_back(r.total_ms);
+    if (r.plan_cache_hit) ++hits;
+    if (r.status.ok()) continue;
+    if (r.metrics.aborted) {
+      ++cell.aborted;
+    } else {
+      ++cell.failed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    return latencies.empty()
+               ? 0.0
+               : latencies[static_cast<size_t>(
+                     p * static_cast<double>(latencies.size() - 1))];
+  };
+  cell.p50_ms = pct(0.50);
+  cell.p99_ms = pct(0.99);
+  cell.cache_hit_rate = responses.empty()
+                            ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(responses.size());
+  return cell;
+}
+
+void WriteJson(const std::vector<Cell>& cells, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"throughput\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"dataset\": \"" << c.dataset << "\", \"engine\": \""
+        << c.engine << "\", \"mode\": \"" << c.mode << "\", \"threads\": "
+        << c.threads << ", \"queries\": " << c.queries << ", \"wall_ms\": "
+        << c.wall_ms << ", \"qps\": " << c.qps << ", \"p50_ms\": " << c.p50_ms
+        << ", \"p99_ms\": " << c.p99_ms << ", \"cache_hit_rate\": "
+        << c.cache_hit_rate << ", \"aborted\": " << c.aborted
+        << ", \"failed\": " << c.failed << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "# wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<std::string> datasets = {"lubm", "dbpedia"};
+  std::vector<std::string> engines = {"wco", "hashjoin"};
+  std::vector<std::string> modes = {"full"};
+  size_t repeat = 4;
+  size_t lubm_universities = 3;
+  size_t dbpedia_articles = 10000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--json" && (v = next())) {
+      json_path = v;
+    } else if (arg == "--threads" && (v = next())) {
+      thread_counts.clear();
+      for (const std::string& t : SplitList(v))
+        thread_counts.push_back(static_cast<size_t>(std::atol(t.c_str())));
+    } else if (arg == "--datasets" && (v = next())) {
+      datasets = SplitList(v);
+    } else if (arg == "--engines" && (v = next())) {
+      engines = SplitList(v);
+    } else if (arg == "--modes" && (v = next())) {
+      modes = SplitList(v);
+    } else if (arg == "--repeat" && (v = next())) {
+      repeat = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--lubm" && (v = next())) {
+      lubm_universities = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--dbpedia" && (v = next())) {
+      dbpedia_articles = static_cast<size_t>(std::atol(v));
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Cell> cells;
+  std::printf("%-8s %-9s %-5s %8s %9s %9s %9s %9s %6s\n", "dataset", "engine",
+              "mode", "threads", "qps", "p50_ms", "p99_ms", "hit_rate",
+              "abort");
+  for (const std::string& dataset : datasets) {
+    const auto& workload =
+        dataset == "lubm" ? LubmPaperQueries() : DbpediaPaperQueries();
+    for (const std::string& engine : engines) {
+      EngineKind kind =
+          engine == "wco" ? EngineKind::kWco : EngineKind::kHashJoin;
+      auto db = dataset == "lubm" ? MakeLubm(lubm_universities, kind)
+                                  : MakeDbpedia(dbpedia_articles, kind);
+      for (const std::string& mode : modes) {
+        for (size_t threads : thread_counts) {
+          Cell cell = RunCell(*db, workload, dataset, engine, mode, threads,
+                              repeat);
+          std::printf("%-8s %-9s %-5s %8zu %9.1f %9.2f %9.2f %9.2f %6llu\n",
+                      cell.dataset.c_str(), cell.engine.c_str(),
+                      cell.mode.c_str(), cell.threads, cell.qps, cell.p50_ms,
+                      cell.p99_ms, cell.cache_hit_rate,
+                      static_cast<unsigned long long>(cell.aborted));
+          std::fflush(stdout);
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+  if (!json_path.empty()) WriteJson(cells, json_path);
+  return 0;
+}

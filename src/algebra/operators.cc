@@ -164,7 +164,9 @@ std::vector<size_t> ExtraCols(const BindingSet& a, const BindingSet& b) {
 
 }  // namespace
 
-BindingSet Join(const BindingSet& a, const BindingSet& b) {
+BindingSet Join(const BindingSet& a, const BindingSet& b,
+                const CancelToken* cancel) {
+  CancelCheckpoint chk(cancel);
   std::vector<VarId> schema = MergedSchema(a, b);
   BindingSet out(std::move(schema));
   if (a.empty() || b.empty()) return out;
@@ -179,6 +181,7 @@ BindingSet Join(const BindingSet& a, const BindingSet& b) {
   if (a.width() == 0) {
     for (size_t ra = 0; ra < a.size(); ++ra)
       for (size_t rb = 0; rb < b.size(); ++rb) {
+        chk.Poll();
         for (size_t i = 0; i < extra.size(); ++i) row[i] = b.At(rb, extra[i]);
         out.AppendRow(row);
       }
@@ -187,6 +190,7 @@ BindingSet Join(const BindingSet& a, const BindingSet& b) {
   if (b.width() == 0) {
     for (size_t ra = 0; ra < a.size(); ++ra)
       for (size_t rb = 0; rb < b.size(); ++rb) {
+        chk.Poll();
         for (size_t c = 0; c < a.width(); ++c) row[c] = a.At(ra, c);
         out.AppendRow(row);
       }
@@ -203,7 +207,9 @@ BindingSet Join(const BindingSet& a, const BindingSet& b) {
     // Build on a: iterate b, look up compatible a-rows.
     CompatFinder finder(b, a);
     for (size_t rb = 0; rb < b.size(); ++rb) {
+      chk.Poll();
       finder.ForEachCompatible(rb, [&](size_t ra) {
+        chk.Poll();
         MergeRows(a, ra, b, rb, common_ab, extra, &row);
         out.AppendRow(row);
       });
@@ -211,7 +217,9 @@ BindingSet Join(const BindingSet& a, const BindingSet& b) {
   } else {
     CompatFinder finder(a, b);
     for (size_t ra = 0; ra < a.size(); ++ra) {
+      chk.Poll();
       finder.ForEachCompatible(ra, [&](size_t rb) {
+        chk.Poll();
         MergeRows(a, ra, b, rb, common_ab, extra, &row);
         out.AppendRow(row);
       });
@@ -284,7 +292,9 @@ BindingSet Minus(const BindingSet& a, const BindingSet& b) {
   return out;
 }
 
-BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b) {
+BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b,
+                         const CancelToken* cancel) {
+  CancelCheckpoint chk(cancel);
   std::vector<VarId> schema = MergedSchema(a, b);
   BindingSet out(std::move(schema));
   if (a.empty()) return out;
@@ -307,7 +317,10 @@ BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b) {
   if (b.width() == 0) {
     // b holds empty mappings: every one is compatible; merge is µ1 itself.
     for (size_t ra = 0; ra < a.size(); ++ra)
-      for (size_t k = 0; k < b.size(); ++k) pad_a_row(ra);
+      for (size_t k = 0; k < b.size(); ++k) {
+        chk.Poll();
+        pad_a_row(ra);
+      }
     return out;
   }
   std::vector<std::pair<size_t, size_t>> common_ab;
@@ -320,7 +333,9 @@ BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b) {
     CompatFinder finder(b, a);
     std::vector<bool> matched(a.size(), false);
     for (size_t rb = 0; rb < b.size(); ++rb) {
+      chk.Poll();
       finder.ForEachCompatible(rb, [&](size_t ra) {
+        chk.Poll();
         matched[ra] = true;
         MergeRows(a, ra, b, rb, common_ab, extra, &row);
         out.AppendRow(row);
@@ -332,8 +347,10 @@ BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b) {
   }
   CompatFinder finder(a, b);
   for (size_t ra = 0; ra < a.size(); ++ra) {
+    chk.Poll();
     size_t matches = 0;
     finder.ForEachCompatible(ra, [&](size_t rb) {
+      chk.Poll();
       ++matches;
       MergeRows(a, ra, b, rb, common_ab, extra, &row);
       out.AppendRow(row);

@@ -8,11 +8,17 @@
 
 #include "algebra/binding_set.h"
 #include "sparql/ast.h"
+#include "util/cancellation.h"
 
 namespace sparqluo {
 
 /// Ω1 ⋈ Ω2 = { µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ~ µ2 }.
-BindingSet Join(const BindingSet& a, const BindingSet& b);
+///
+/// `cancel` (nullable) is polled per emitted row: join output can be
+/// |Ω1|·|Ω2|, so without a checkpoint here a join-dominated query could
+/// overshoot its deadline without bound.
+BindingSet Join(const BindingSet& a, const BindingSet& b,
+                const CancelToken* cancel = nullptr);
 
 /// Ω1 ∪_bag Ω2 over the union schema (missing columns padded unbound).
 BindingSet UnionBag(const BindingSet& a, const BindingSet& b);
@@ -21,7 +27,9 @@ BindingSet UnionBag(const BindingSet& a, const BindingSet& b);
 BindingSet Minus(const BindingSet& a, const BindingSet& b);
 
 /// Left outer join: (Ω1 ⋈ Ω2) ∪_bag (Ω1 ▷ Ω2). Single-pass implementation.
-BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b);
+/// `cancel` as in Join.
+BindingSet LeftOuterJoin(const BindingSet& a, const BindingSet& b,
+                         const CancelToken* cancel = nullptr);
 
 /// Keeps the mappings for which `filter` evaluates to true. Mappings on
 /// which the expression errors (e.g. comparison over an unbound variable)

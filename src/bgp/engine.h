@@ -15,6 +15,7 @@
 #include "bgp/bgp.h"
 #include "bgp/candidates.h"
 #include "bgp/cardinality.h"
+#include "util/cancellation.h"
 
 namespace sparqluo {
 
@@ -41,12 +42,20 @@ class BgpEngine {
   /// Evaluates `bgp` to a BindingSet whose schema is bgp.Variables().
   /// `cands` (nullable) carries candidate pruning sets; variables with a
   /// candidate set only take values from it. `counters` (nullable) collects
-  /// instrumentation.
+  /// instrumentation. `cancel` (nullable) is polled at evaluation
+  /// checkpoints; a fired token aborts with a CancelledError that the
+  /// Executor converts to a ResourceExhausted status.
   virtual BindingSet Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                              BgpEvalCounters* counters) const = 0;
+                              BgpEvalCounters* counters,
+                              const CancelToken* cancel) const = 0;
+
+  BindingSet Evaluate(const Bgp& bgp, const CandidateMap* cands,
+                      BgpEvalCounters* counters) const {
+    return Evaluate(bgp, cands, counters, nullptr);
+  }
 
   BindingSet Evaluate(const Bgp& bgp) const {
-    return Evaluate(bgp, nullptr, nullptr);
+    return Evaluate(bgp, nullptr, nullptr, nullptr);
   }
 
   /// cost(P): estimated evaluation cost of the BGP under this engine's join

@@ -8,7 +8,8 @@ namespace sparqluo {
 
 BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
                                        const CandidateMap* cands,
-                                       BgpEvalCounters* counters) const {
+                                       BgpEvalCounters* counters,
+                                       CancelCheckpoint* chk) const {
   std::vector<VarId> schema = t.Variables();
   BindingSet out(schema);
   ResolvedPattern r = Resolve(t, dict_);
@@ -20,6 +21,7 @@ BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
   if (counters) ++counters->index_probes;
   std::vector<TermId> row(schema.size());
   store_.Scan(q, [&](const Triple& tr) {
+    if (chk != nullptr) chk->Poll();
     // Repeated-variable consistency.
     if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
     if (r.sv != kInvalidVarId && r.sv == r.pv && tr.s != tr.p) return true;
@@ -44,19 +46,23 @@ BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
 }
 
 BindingSet HashJoinEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                                    BgpEvalCounters* counters) const {
+                                    BgpEvalCounters* counters,
+                                    const CancelToken* cancel) const {
   std::vector<VarId> all_vars = bgp.Variables();
   if (bgp.triples.empty()) {
     BindingSet unit(all_vars);
     unit.AppendEmptyMappings(1);
     return unit;
   }
+  CancelCheckpoint chk(cancel);
+  chk.Poll();
   std::vector<size_t> order = estimator_.GreedyOrder(bgp);
-  BindingSet acc = ScanPattern(bgp.triples[order[0]], cands, counters);
+  BindingSet acc = ScanPattern(bgp.triples[order[0]], cands, counters, &chk);
   for (size_t k = 1; k < order.size(); ++k) {
     if (acc.empty()) break;
-    BindingSet next = ScanPattern(bgp.triples[order[k]], cands, counters);
-    acc = Join(acc, next);
+    chk.Poll();
+    BindingSet next = ScanPattern(bgp.triples[order[k]], cands, counters, &chk);
+    acc = Join(acc, next, cancel);
     if (counters) counters->rows_materialized += acc.size();
   }
   // Normalize the schema to bgp.Variables() order. All variables are bound

@@ -23,7 +23,8 @@ class HashJoinEngine : public BgpEngine {
   const char* name() const override { return "Jena-HashJoin"; }
 
   BindingSet Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                      BgpEvalCounters* counters) const override;
+                      BgpEvalCounters* counters,
+                      const CancelToken* cancel) const override;
 
   double EstimateCost(const Bgp& bgp) const override;
 
@@ -32,7 +33,8 @@ class HashJoinEngine : public BgpEngine {
  private:
   /// Scans one triple pattern into a binding table.
   BindingSet ScanPattern(const TriplePattern& t, const CandidateMap* cands,
-                         BgpEvalCounters* counters) const;
+                         BgpEvalCounters* counters,
+                         CancelCheckpoint* chk) const;
 
   const TripleStore& store_;
   const Dictionary& dict_;

@@ -62,13 +62,16 @@ void IntersectSorted(std::vector<TermId>* a, const std::vector<TermId>& b) {
 }  // namespace
 
 BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                               BgpEvalCounters* counters) const {
+                               BgpEvalCounters* counters,
+                               const CancelToken* cancel) const {
   std::vector<VarId> all_vars = bgp.Variables();
   BindingSet result(all_vars);
   if (bgp.triples.empty()) {
     result.AppendEmptyMappings(1);  // the unit bag
     return result;
   }
+  CancelCheckpoint chk(cancel);
+  chk.Poll();
 
   // Resolve constants; a missing constant means zero matches.
   std::vector<ResolvedPattern> resolved;
@@ -166,6 +169,7 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
     std::vector<TermId> cand_list;
     std::vector<TermId> edge_list;
     for (const auto& row : rows) {
+      chk.Poll();
       cand_list.clear();
       bool first_edge = true;
       bool dead = false;
@@ -284,6 +288,7 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
     std::vector<std::vector<TermId>> verified;
     verified.reserve(rows.size());
     for (const auto& row : rows) {
+      chk.Poll();
       bool ok = true;
       for (const CoreEdge& e : core) {
         TermId s = e.r.sv == kInvalidVarId ? e.r.s : row[col_of(e.r.sv)];
@@ -309,6 +314,7 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
 
     std::vector<std::vector<TermId>> next_rows;
     for (const auto& row : rows) {
+      chk.Poll();
       TriplePatternIds q;
       q.s = r.sv == kInvalidVarId ? r.s
                                   : (is_bound(r.sv) ? row[col_of(r.sv)]
@@ -321,6 +327,7 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
                                                     : kInvalidTermId);
       if (counters) ++counters->index_probes;
       store_.Scan(q, [&](const Triple& t) {
+        chk.Poll();
         // Repeated-variable consistency within the pattern.
         if (r.sv != kInvalidVarId && r.sv == r.ov && t.s != t.o) return true;
         if (r.sv != kInvalidVarId && r.sv == r.pv && t.s != t.p) return true;

@@ -22,7 +22,8 @@ class WcoEngine : public BgpEngine {
   const char* name() const override { return "gStore-WCO"; }
 
   BindingSet Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                      BgpEvalCounters* counters) const override;
+                      BgpEvalCounters* counters,
+                      const CancelToken* cancel) const override;
 
   /// WCO join cost: sum over extension steps of
   ///   card({v1..vk-1}) * min_i average_size(vi, p).

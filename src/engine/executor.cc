@@ -28,7 +28,7 @@ class TreeEvaluator {
                 const TripleStore& store, const ExecOptions& options,
                 ExecMetrics* metrics)
       : engine_(engine), dict_(dict), store_(store), options_(options),
-        metrics_(metrics) {}
+        metrics_(metrics), chk_(options.cancel) {}
 
   /// Algorithm 1 over a group node. `inherited` is the modified algorithm's
   /// third argument `cand`: the caller's current bindings, used to prune
@@ -45,6 +45,7 @@ class TreeEvaluator {
       return first ? inherited : &acc.rows;
     };
     for (const auto& child : group.children) {
+      chk_.Poll();
       switch (child->type) {
         case BeNode::Type::kBgp: {
           // §6: BGP children are pruned by the function's `cand` argument.
@@ -52,13 +53,15 @@ class TreeEvaluator {
               EvaluateBgp(child->bgp,
                           options_.candidate_pruning ? inherited : nullptr);
           acc.js *= static_cast<double>(std::max<size_t>(res.size(), 1));
-          acc.rows = first ? std::move(res) : Join(acc.rows, res);
+          acc.rows = first ? std::move(res)
+                           : Join(acc.rows, res, options_.cancel);
           break;
         }
         case BeNode::Type::kGroup: {
           EvalResult sub = EvalGroup(*child, cand_source());
           acc.js *= std::max(sub.js, 1.0);
-          acc.rows = first ? std::move(sub.rows) : Join(acc.rows, sub.rows);
+          acc.rows = first ? std::move(sub.rows)
+                           : Join(acc.rows, sub.rows, options_.cancel);
           break;
         }
         case BeNode::Type::kUnion: {
@@ -73,7 +76,7 @@ class TreeEvaluator {
             ufirst = false;
           }
           acc.js *= std::max(js_sum, 1.0);
-          acc.rows = first ? std::move(u) : Join(acc.rows, u);
+          acc.rows = first ? std::move(u) : Join(acc.rows, u, options_.cancel);
           break;
         }
         case BeNode::Type::kOptional: {
@@ -86,7 +89,7 @@ class TreeEvaluator {
               options_.candidate_pruning && !first ? &acc.rows : nullptr;
           EvalResult sub = EvalGroup(*child->children[0], cand);
           acc.js *= std::max(sub.js, 1.0);
-          acc.rows = LeftOuterJoin(acc.rows, sub.rows);
+          acc.rows = LeftOuterJoin(acc.rows, sub.rows, options_.cancel);
           break;
         }
         case BeNode::Type::kFilter: {
@@ -123,7 +126,7 @@ class TreeEvaluator {
       if (!cands.empty()) cands_ptr = &cands;
     }
     BgpEvalCounters counters;
-    BindingSet res = engine_.Evaluate(bgp, cands_ptr, &counters);
+    BindingSet res = engine_.Evaluate(bgp, cands_ptr, &counters, options_.cancel);
     if (metrics_) metrics_->bgp.Merge(counters);
     return res;
   }
@@ -160,9 +163,20 @@ class TreeEvaluator {
   const TripleStore& store_;
   const ExecOptions& options_;
   ExecMetrics* metrics_;
+  CancelCheckpoint chk_;
 };
 
 }  // namespace
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kRowLimit: return "row-limit";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
 
 BeTree Executor::Plan(const Query& query, const ExecOptions& options,
                       ExecMetrics* metrics) const {
@@ -190,6 +204,15 @@ BindingSet Executor::EvaluateTree(const BeTree& tree, const ExecOptions& options
   } catch (const RowLimitExceeded&) {
     if (metrics) {
       metrics->aborted = true;
+      metrics->abort_reason = AbortReason::kRowLimit;
+      metrics->exec_ms = timer.ElapsedMillis();
+    }
+    return BindingSet();
+  } catch (const CancelledError& e) {
+    if (metrics) {
+      metrics->aborted = true;
+      metrics->abort_reason =
+          e.deadline ? AbortReason::kDeadline : AbortReason::kCancelled;
       metrics->exec_ms = timer.ElapsedMillis();
     }
     return BindingSet();
@@ -265,10 +288,27 @@ Result<BindingSet> Executor::Execute(const Query& query,
   ExecMetrics* m = metrics != nullptr ? metrics : &local;
   BeTree tree = Plan(query, options, m);
   SPARQLUO_RETURN_NOT_OK(tree.Validate());
+  return ExecutePlanned(query, tree, options, m);
+}
+
+Result<BindingSet> Executor::ExecutePlanned(const Query& query,
+                                            const BeTree& tree,
+                                            const ExecOptions& options,
+                                            ExecMetrics* metrics) const {
+  ExecMetrics local;
+  ExecMetrics* m = metrics != nullptr ? metrics : &local;
   BindingSet rows = EvaluateTree(tree, options, m);
-  if (m->aborted)
-    return Status::ResourceExhausted(
-        "intermediate result exceeded max_intermediate_rows");
+  if (m->aborted) {
+    switch (m->abort_reason) {
+      case AbortReason::kDeadline:
+        return Status::ResourceExhausted("query deadline exceeded");
+      case AbortReason::kCancelled:
+        return Status::ResourceExhausted("query cancelled");
+      default:
+        return Status::ResourceExhausted(
+            "intermediate result exceeded max_intermediate_rows");
+    }
+  }
   if (query.form == QueryForm::kAsk) {
     // ASK reduces to solution existence: a zero-width bag holding one empty
     // mapping for "yes", none for "no".

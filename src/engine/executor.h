@@ -12,6 +12,7 @@
 #include "bgp/engine.h"
 #include "optimizer/transformer.h"
 #include "sparql/ast.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace sparqluo {
@@ -29,6 +30,11 @@ struct ExecOptions {
   /// intermediate binding table exceeds this many rows (the benchmark
   /// harness's stand-in for the paper's out-of-memory condition).
   size_t max_intermediate_rows = SIZE_MAX;
+  /// Cooperative deadline/cancellation: evaluation polls this token at its
+  /// checkpoints and aborts with ResourceExhausted when it fires. Not
+  /// owned; may be null (no deadline). The query service points this at a
+  /// per-request token to enforce deadlines.
+  const CancelToken* cancel = nullptr;
 
   static ExecOptions Base() { return {}; }
   static ExecOptions TT() {
@@ -56,13 +62,24 @@ struct ExecOptions {
   }
 };
 
+/// Why an evaluation was cut short.
+enum class AbortReason {
+  kNone = 0,
+  kRowLimit,   ///< max_intermediate_rows exceeded.
+  kDeadline,   ///< CancelToken deadline expired.
+  kCancelled,  ///< CancelToken::RequestCancel.
+};
+
+const char* AbortReasonName(AbortReason reason);
+
 /// Per-query instrumentation.
 struct ExecMetrics {
   double transform_ms = 0.0;  ///< Time spent deciding/applying transformations.
   double exec_ms = 0.0;       ///< Evaluation time (Algorithm 1).
   double join_space = 0.0;    ///< JS metric (§7.1) from actual BGP result sizes.
   size_t result_rows = 0;
-  bool aborted = false;       ///< True when max_intermediate_rows was hit.
+  bool aborted = false;       ///< True when any guard fired.
+  AbortReason abort_reason = AbortReason::kNone;
   BgpEvalCounters bgp;
   TransformStats transform;
 };
@@ -78,6 +95,13 @@ class Executor {
   /// the BE-tree, evaluates it, applies projection/DISTINCT.
   Result<BindingSet> Execute(const Query& query, const ExecOptions& options,
                              ExecMetrics* metrics = nullptr) const;
+
+  /// Executes a query against an already-planned (built + transformed)
+  /// BE-tree, applying the query's solution modifiers. This is the
+  /// plan-cache fast path: Execute == Plan + Validate + ExecutePlanned.
+  Result<BindingSet> ExecutePlanned(const Query& query, const BeTree& tree,
+                                    const ExecOptions& options,
+                                    ExecMetrics* metrics = nullptr) const;
 
   /// Evaluates an already-built BE-tree (no transformation). Used by tests
   /// and by Execute after transformation.

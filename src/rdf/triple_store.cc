@@ -79,32 +79,29 @@ std::span<const Triple> TripleStore::EqualRangeOSP(TermId o, TermId s) const {
                  OrderOSP{});
 }
 
-void TripleStore::Scan(const TriplePatternIds& q,
-                       const std::function<bool(const Triple&)>& fn) const {
+TripleStore::ScanRange TripleStore::MatchRange(
+    const TriplePatternIds& q) const {
   assert(built_ && "Scan before Build");
   // Each bound-position combination maps to an index whose prefix covers all
   // bound positions, except the fully-bound case where o is filtered on top
   // of the (s, p) prefix.
-  std::span<const Triple> range;
-  bool filter_o = false;
+  ScanRange out;
   if (q.s_bound() && q.p_bound()) {
-    range = EqualRangeSPO(q.s, q.p);
-    filter_o = q.o_bound();
+    out.range = EqualRangeSPO(q.s, q.p);
+    out.filter_o = q.o_bound();
+    out.o = q.o;
   } else if (q.s_bound() && q.o_bound()) {
-    range = EqualRangeOSP(q.o, q.s);
+    out.range = EqualRangeOSP(q.o, q.s);
   } else if (q.s_bound()) {
-    range = EqualRangeSPO(q.s);
+    out.range = EqualRangeSPO(q.s);
   } else if (q.p_bound()) {
-    range = q.o_bound() ? EqualRangePOS(q.p, q.o) : EqualRangePOS(q.p);
+    out.range = q.o_bound() ? EqualRangePOS(q.p, q.o) : EqualRangePOS(q.p);
   } else if (q.o_bound()) {
-    range = EqualRangeOSP(q.o);
+    out.range = EqualRangeOSP(q.o);
   } else {
-    range = {spo_.data(), spo_.size()};
+    out.range = {spo_.data(), spo_.size()};
   }
-  for (const Triple& t : range) {
-    if (filter_o && t.o != q.o) continue;
-    if (!fn(t)) return;
-  }
+  return out;
 }
 
 size_t TripleStore::Count(const TriplePatternIds& q) const {

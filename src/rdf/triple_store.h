@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -51,8 +50,18 @@ class TripleStore {
 
   /// Invokes `fn` for every triple matching `pattern`. `fn` may return false
   /// to stop the scan early.
-  void Scan(const TriplePatternIds& pattern,
-            const std::function<bool(const Triple&)>& fn) const;
+  ///
+  /// Templated so the callback inlines into the scan loop: every index probe
+  /// used to pay a std::function indirect call per triple, which dominated
+  /// tight adjacency scans. Index selection stays out-of-line in MatchRange.
+  template <typename Fn>
+  void Scan(const TriplePatternIds& pattern, Fn&& fn) const {
+    ScanRange r = MatchRange(pattern);
+    for (const Triple& t : r.range) {
+      if (r.filter_o && t.o != r.o) continue;
+      if (!fn(t)) return;
+    }
+  }
 
   /// Exact number of triples matching `pattern` (uses index ranges; O(log n)
   /// for prefix-shaped patterns, O(n) only for s+o bound without p).
@@ -65,6 +74,16 @@ class TripleStore {
   std::span<const Triple> triples() const { return spo_; }
 
  private:
+  /// The index range covering a pattern's bound prefix. For the fully-bound
+  /// case the (s, p) prefix is used and `filter_o` requests a residual
+  /// filter on `o`.
+  struct ScanRange {
+    std::span<const Triple> range;
+    bool filter_o = false;
+    TermId o = kInvalidTermId;
+  };
+  ScanRange MatchRange(const TriplePatternIds& pattern) const;
+
   std::span<const Triple> EqualRangeSPO(TermId s) const;
   std::span<const Triple> EqualRangeSPO(TermId s, TermId p) const;
   std::span<const Triple> EqualRangePOS(TermId p) const;

@@ -1,0 +1,153 @@
+#include "server/plan_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace sparqluo {
+
+PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
+  if (shards == 0) shards = 1;
+  shards = std::min(shards, std::max<size_t>(capacity, 1));
+  per_shard_capacity_ = std::max<size_t>(1, (capacity + shards - 1) / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+PlanCache::Shard& PlanCache::ShardOf(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+const PlanCache::Shard& PlanCache::ShardOf(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CachedPlan> plan) {
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent planners can race to insert the same key; keep the newest.
+    it->second->second = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(plan));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+std::string PlanCache::NormalizeQuery(const std::string& text) {
+  // Mirrors the lexer's skipping rules (src/sparql/lexer.cc): `#` starts a
+  // comment to end of line — but only outside string literals and outside
+  // IRI refs (a `<` that closes with `>` before whitespace/quote/braces is
+  // consumed as one token, so a `#` inside it is part of the IRI). Getting
+  // this wrong would let queries that differ only in where a comment ends
+  // (or in an IRI fragment) share a cache key and serve each other's plans.
+  std::string out;
+  out.reserve(text.size());
+  char quote = '\0';  // inside a "..." or '...' literal when non-zero
+  bool pending_space = false;
+  auto emit = [&](char c) {
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quote != '\0') {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < text.size()) {
+        out.push_back(text[++i]);
+      } else if (c == quote) {
+        quote = '\0';
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      emit(c);
+      quote = c;
+      continue;
+    }
+    if (c == '#') {  // comment: acts as whitespace to end of line
+      while (i + 1 < text.size() && text[i + 1] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
+    if (c == '<') {
+      // IRI ref iff it closes before any whitespace/quote/brace.
+      size_t j = i + 1;
+      bool iri = false;
+      while (j < text.size()) {
+        char d = text[j];
+        if (d == '>') {
+          iri = true;
+          break;
+        }
+        if (d == ' ' || d == '\t' || d == '\n' || d == '\r' || d == '"' ||
+            d == '{' || d == '}')
+          break;
+        ++j;
+      }
+      if (iri) {
+        emit(c);
+        while (++i <= j) out.push_back(text[i]);
+        i = j;
+        continue;
+      }
+      emit(c);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    emit(c);
+  }
+  return out;
+}
+
+std::string PlanCache::MakeKey(const std::string& text,
+                               const ExecOptions& options) {
+  // Only the fields consulted by Executor::Plan participate: the transform
+  // toggle and (through skip_cp_equivalent_levels) the pruning toggle.
+  // Execution-time knobs (thresholds, row limits, cancel tokens) do not
+  // change the plan, so requests differing only in those share an entry.
+  std::string key = NormalizeQuery(text);
+  key.push_back('\x1f');
+  key.push_back(options.tree_transform ? 'T' : 't');
+  key.push_back(options.candidate_pruning ? 'C' : 'c');
+  return key;
+}
+
+}  // namespace sparqluo

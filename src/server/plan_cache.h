@@ -1,0 +1,91 @@
+// Sharded LRU cache of parsed + transformed query plans.
+//
+// Parsing and multi-level transformation (transform_ms) are pure functions
+// of (query text, optimization mode) once the database is finalized, so a
+// concurrent query service can reuse plans across requests. The cache is
+// sharded to keep lock hold times short under many worker threads; each
+// shard is an independent LRU protected by its own mutex. Entries are
+// shared_ptrs, so an entry evicted while another thread still executes
+// against it stays alive until that execution finishes.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "betree/be_tree.h"
+#include "engine/executor.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+
+/// An immutable cached plan: the parsed query plus its (possibly
+/// transformed) BE-tree, already validated.
+struct CachedPlan {
+  Query query;
+  BeTree tree;
+  TransformStats transform;  ///< Stats recorded when the plan was built.
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly across `shards`.
+  explicit PlanCache(size_t capacity, size_t shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key` (touching its LRU position), or null.
+  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+
+  /// Inserts (or replaces) the plan for `key`, evicting the shard's least
+  /// recently used entry when over budget.
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  Stats GetStats() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Whitespace-normalized query text: runs of whitespace outside quoted
+  /// literals collapse to one space so trivially reformatted queries share
+  /// a cache entry.
+  static std::string NormalizeQuery(const std::string& text);
+
+  /// Cache key: normalized text + the option fields that affect planning.
+  static std::string MakeKey(const std::string& text,
+                             const ExecOptions& options);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The map indexes into the list.
+    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string,
+                            std::shared_ptr<const CachedPlan>>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(const std::string& key);
+  const Shard& ShardOf(const std::string& key) const;
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,175 @@
+#include "server/query_service.h"
+
+#include <cassert>
+
+
+namespace sparqluo {
+
+QueryService::QueryService(const Database& db, Options options)
+    : db_(db),
+      options_(options),
+      cache_(options.plan_cache_capacity, options.plan_cache_shards) {
+  assert(db.finalized() && "QueryService requires a finalized Database");
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  task.submitted = std::chrono::steady_clock::now();
+  std::future<QueryResponse> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      stats_.RecordRejected();
+      QueryResponse rejected;
+      rejected.status = Status::Internal("query service is shut down");
+      task.promise.set_value(std::move(rejected));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      stats_.RecordRejected();
+      QueryResponse rejected;
+      rejected.status =
+          Status::ResourceExhausted("admission queue full, query rejected");
+      task.promise.set_value(std::move(rejected));
+      return future;
+    }
+    stats_.RecordSubmitted();
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<QueryResponse> QueryService::RunBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& req : requests) futures.push_back(Submit(std::move(req)));
+  std::vector<QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryResponse response;
+    // Nothing may escape Process(): an uncaught exception would unwind the
+    // worker thread and std::terminate the whole service. bad_alloc from a
+    // runaway intermediate is the realistic case; fail the one query.
+    try {
+      response = Process(task);
+    } catch (const std::exception& e) {
+      response = QueryResponse();
+      response.status = Status::Internal(std::string("query threw: ") +
+                                         e.what());
+    } catch (...) {
+      response = QueryResponse();
+      response.status = Status::Internal("query threw an unknown exception");
+    }
+    stats_.RecordFinished(response.status, response.metrics, response.total_ms,
+                          response.plan_cache_hit, response.rows.size());
+    task.promise.set_value(std::move(response));
+  }
+}
+
+QueryResponse QueryService::Process(Task& task) {
+  // End-to-end latency is measured from submission, so queue wait counts.
+  auto elapsed_ms = [&task] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - task.submitted)
+        .count();
+  };
+  QueryResponse response;
+  const QueryRequest& req = task.request;
+
+  // Effective deadline: per-request, falling back to the service default.
+  // It is measured from submission, so time spent queued counts against it.
+  std::chrono::milliseconds deadline = req.deadline.count() > 0
+                                           ? req.deadline
+                                           : options_.default_deadline;
+  std::shared_ptr<CancelToken> owned;
+  const CancelToken* cancel = nullptr;
+  if (req.cancel != nullptr) {
+    if (deadline.count() > 0) req.cancel->SetDeadline(task.submitted + deadline);
+    cancel = req.cancel.get();
+  } else if (deadline.count() > 0) {
+    owned = std::make_shared<CancelToken>(task.submitted + deadline);
+    cancel = owned.get();
+  }
+
+  ExecOptions options = req.options;
+  options.cancel = cancel;
+
+  std::shared_ptr<const CachedPlan> plan;
+  std::string key;
+  if (options_.enable_plan_cache) {
+    key = PlanCache::MakeKey(req.text, options);
+    plan = cache_.Get(key);
+  }
+  if (plan != nullptr) {
+    response.plan_cache_hit = true;
+    // Report the cached plan's transform decisions; transform_ms stays 0 —
+    // no transformation work happened on this request.
+    response.metrics.transform = plan->transform;
+  } else {
+    auto parsed = db_.Parse(req.text);
+    if (!parsed.ok()) {
+      response.status = parsed.status();
+      response.total_ms = elapsed_ms();
+      return response;
+    }
+    auto built = std::make_shared<CachedPlan>();
+    built->query = std::move(*parsed);
+    built->tree =
+        db_.executor().Plan(built->query, options, &response.metrics);
+    Status valid = built->tree.Validate();
+    if (!valid.ok()) {
+      response.status = valid;
+      response.total_ms = elapsed_ms();
+      return response;
+    }
+    built->transform = response.metrics.transform;
+    plan = built;
+    if (options_.enable_plan_cache) cache_.Put(key, std::move(built));
+  }
+
+  auto result =
+      db_.executor().ExecutePlanned(plan->query, plan->tree, options,
+                                    &response.metrics);
+  response.status = result.status();
+  if (result.ok()) response.rows = std::move(*result);
+  response.total_ms = elapsed_ms();
+  return response;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,121 @@
+// Concurrent query service over a finalized Database.
+//
+// After Database::Finalize() every structure on the read path — TripleStore,
+// Dictionary, Statistics, the BGP engine and the Executor — is immutable,
+// so queries can execute in parallel without any locking on the data. This
+// service adds the traffic-facing machinery on top:
+//
+//   - a fixed worker thread pool consuming a bounded submission queue
+//     (admission control: max in-flight = pool size, plus max_queue pending;
+//     submissions beyond that are rejected with ResourceExhausted),
+//   - per-query deadlines and explicit cancellation, enforced through the
+//     executor's cooperative CancelToken checkpoints,
+//   - a sharded LRU plan cache keyed by normalized query text, so repeated
+//     queries skip parsing and tree transformation entirely,
+//   - thread-safe aggregation of per-query ExecMetrics/BgpEvalCounters into
+//     service-level counters (QPS, p50/p99 latency, cache hit rate, aborts).
+//
+// The same freeze-then-serve organization RDF-3x-style stores use: load,
+// Finalize, then serve reads from arbitrarily many threads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "server/plan_cache.h"
+#include "server/service_stats.h"
+
+namespace sparqluo {
+
+/// One query submission.
+struct QueryRequest {
+  std::string text;
+  ExecOptions options = ExecOptions::Full();
+  /// Per-request deadline measured from submission; <= 0 means the service
+  /// default (QueryService::Options::default_deadline), itself <= 0 for
+  /// "no deadline".
+  std::chrono::milliseconds deadline{0};
+  /// Optional externally-owned cancellation token. When set, the service
+  /// installs the effective deadline on it and evaluation polls it, so the
+  /// caller can abort the request mid-flight with RequestCancel().
+  std::shared_ptr<CancelToken> cancel;
+};
+
+/// Outcome of one query.
+struct QueryResponse {
+  Status status;            ///< OK, or why the query failed/was cut short.
+  BindingSet rows;          ///< Valid when status.ok().
+  ExecMetrics metrics;
+  bool plan_cache_hit = false;
+  double total_ms = 0.0;    ///< Queue wait + parse/plan + execution.
+};
+
+class QueryService {
+ public:
+  struct Options {
+    /// Worker threads (the in-flight bound). 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Pending submissions beyond the in-flight bound; submissions past
+    /// this are rejected immediately (admission control).
+    size_t max_queue = 1024;
+    bool enable_plan_cache = true;
+    size_t plan_cache_capacity = 512;
+    size_t plan_cache_shards = 8;
+    /// Applied to requests that do not set their own deadline; <= 0 means
+    /// unbounded.
+    std::chrono::milliseconds default_deadline{0};
+  };
+
+  /// `db` must be finalized and must outlive the service.
+  QueryService(const Database& db, Options options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one query. The future resolves when the query finishes;
+  /// rejected submissions resolve immediately with ResourceExhausted.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Blocking batch API: submits everything, waits, returns responses in
+  /// submission order.
+  std::vector<QueryResponse> RunBatch(std::vector<QueryRequest> requests);
+
+  /// Stops accepting new work, drains the queue and joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  QueryResponse Process(Task& task);
+
+  const Database& db_;
+  Options options_;
+  PlanCache cache_;
+  ServiceStats stats_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sparqluo

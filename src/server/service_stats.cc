@@ -1,0 +1,35 @@
+#include "server/service_stats.h"
+
+#include <algorithm>
+
+namespace sparqluo {
+
+namespace {
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStatsSnapshot out = snap_;
+  out.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  uint64_t finished = out.completed + out.failed + out.aborted_deadline +
+                      out.aborted_cancelled + out.aborted_row_limit;
+  out.qps = out.uptime_s > 0.0 ? static_cast<double>(finished) / out.uptime_s
+                               : 0.0;
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  out.p50_ms = Percentile(sorted, 0.50);
+  out.p99_ms = Percentile(sorted, 0.99);
+  out.latency_samples = sorted.size();
+  return out;
+}
+
+}  // namespace sparqluo

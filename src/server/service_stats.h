@@ -1,0 +1,100 @@
+// Thread-safe service-level aggregation of per-query metrics.
+//
+// Workers call Record* after each request; Snapshot() is safe to call
+// concurrently and computes derived figures (QPS, latency percentiles).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "bgp/engine.h"
+#include "engine/executor.h"
+
+namespace sparqluo {
+
+/// Point-in-time view of the service counters.
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;   ///< Accepted into the queue.
+  uint64_t rejected = 0;    ///< Refused by admission control.
+  uint64_t completed = 0;   ///< Finished with an OK status.
+  uint64_t failed = 0;      ///< Finished with a non-abort error (e.g. parse).
+  uint64_t aborted_deadline = 0;
+  uint64_t aborted_cancelled = 0;
+  uint64_t aborted_row_limit = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t rows_returned = 0;
+  BgpEvalCounters bgp;          ///< Merged engine counters.
+  double total_exec_ms = 0.0;
+  double total_transform_ms = 0.0;
+  double uptime_s = 0.0;
+  double qps = 0.0;             ///< Finished queries per second of uptime.
+  double p50_ms = 0.0;          ///< End-to-end latency percentiles.
+  double p99_ms = 0.0;
+  size_t latency_samples = 0;
+
+  double CacheHitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+class ServiceStats {
+ public:
+  ServiceStats() : start_(std::chrono::steady_clock::now()) {}
+
+  void RecordSubmitted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.submitted;
+  }
+  void RecordRejected() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.rejected;
+  }
+
+  /// One finished request: its status-derived outcome, metrics, end-to-end
+  /// latency and whether the plan came from the cache.
+  void RecordFinished(const Status& status, const ExecMetrics& metrics,
+                      double latency_ms, bool cache_hit, size_t rows) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      ++snap_.completed;
+      snap_.rows_returned += rows;
+    } else if (metrics.aborted) {
+      switch (metrics.abort_reason) {
+        case AbortReason::kDeadline: ++snap_.aborted_deadline; break;
+        case AbortReason::kCancelled: ++snap_.aborted_cancelled; break;
+        default: ++snap_.aborted_row_limit; break;
+      }
+    } else {
+      ++snap_.failed;
+    }
+    if (cache_hit) {
+      ++snap_.cache_hits;
+    } else {
+      ++snap_.cache_misses;
+    }
+    snap_.bgp.Merge(metrics.bgp);
+    snap_.total_exec_ms += metrics.exec_ms;
+    snap_.total_transform_ms += metrics.transform_ms;
+    if (latencies_.size() < kMaxLatencySamples)
+      latencies_.push_back(latency_ms);
+  }
+
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  /// Latency sample budget; enough for every bench/test workload here while
+  /// bounding memory under sustained traffic (later PRs can move to a
+  /// histogram).
+  static constexpr size_t kMaxLatencySamples = 1 << 18;
+
+  mutable std::mutex mu_;
+  ServiceStatsSnapshot snap_;
+  std::vector<double> latencies_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sparqluo

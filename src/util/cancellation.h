@@ -1,0 +1,93 @@
+// Cooperative cancellation and deadlines for query evaluation.
+//
+// A CancelToken carries an optional wall-clock deadline plus an explicit
+// cancel flag that another thread may set at any time. Evaluation code
+// polls the token at loop checkpoints through a CancelCheckpoint, which
+// amortizes the (comparatively expensive) clock read over `stride` polls
+// while reading the atomic flag on every poll.
+//
+// Cancellation propagates as a CancelledError exception. This is internal
+// control flow only: Executor::EvaluateTree catches it and converts it to
+// an aborted ExecMetrics / ResourceExhausted Status, so it never crosses
+// the public API boundary (the Status/Result discipline of util/status.h
+// is preserved).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sparqluo {
+
+/// Shared cancellation state for one query execution. The deadline is set
+/// before evaluation starts (single writer); the cancel flag may be set
+/// concurrently by any thread.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(Clock::time_point deadline) : deadline_(deadline) {}
+
+  /// A token that expires `timeout` from now.
+  static CancelToken WithTimeout(std::chrono::nanoseconds timeout) {
+    return CancelToken(Clock::now() + timeout);
+  }
+
+  /// Requests cancellation; evaluation aborts at its next checkpoint.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Installs a deadline. Call before evaluation starts (not synchronized
+  /// with concurrent Expired() readers).
+  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ != Clock::time_point::max();
+  }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// True when the deadline (if any) has passed. Reads the clock.
+  bool Expired() const { return has_deadline() && Clock::now() >= deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/// Thrown by evaluation checkpoints when a token fires; caught by
+/// Executor::EvaluateTree. `deadline` distinguishes deadline expiry from an
+/// explicit RequestCancel.
+struct CancelledError {
+  bool deadline = false;
+};
+
+/// Per-evaluation polling helper. Null token makes Poll a no-op, so callers
+/// do not need to branch on "cancellation enabled".
+class CancelCheckpoint {
+ public:
+  explicit CancelCheckpoint(const CancelToken* token, uint32_t stride = 256)
+      : token_(token), stride_(stride), countdown_(1) {}
+
+  /// Throws CancelledError when the token is cancelled or past its
+  /// deadline. The clock is consulted on the first poll and then once per
+  /// `stride` polls; the cancel flag is read on every poll.
+  void Poll() {
+    if (token_ == nullptr) return;
+    if (token_->cancel_requested()) throw CancelledError{false};
+    if (--countdown_ == 0) {
+      countdown_ = stride_;
+      if (token_->Expired()) throw CancelledError{true};
+    }
+  }
+
+ private:
+  const CancelToken* token_;
+  uint32_t stride_;
+  uint32_t countdown_;
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "engine/database.h"
+#include "server/plan_cache.h"
+#include "server/query_service.h"
+#include "workload/lubm_generator.h"
+#include "workload/paper_queries.h"
+
+namespace sparqluo {
+namespace {
+
+constexpr size_t kRowLimit = 2000000;
+
+/// Exact (bitwise) equality: same schema, same rows in the same order.
+/// Stronger than BagEquals on purpose — the service must not perturb
+/// evaluation at all relative to the sequential path.
+bool BitIdentical(const BindingSet& a, const BindingSet& b) {
+  if (a.schema() != b.schema() || a.size() != b.size()) return false;
+  for (size_t r = 0; r < a.size(); ++r)
+    for (size_t c = 0; c < a.width(); ++c)
+      if (a.At(r, c) != b.At(r, c)) return false;
+  return true;
+}
+
+class QueryServiceTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override {
+    LubmConfig cfg;
+    cfg.universities = 2;
+    GenerateLubm(cfg, &db_);
+    db_.Finalize(GetParam());
+  }
+
+  ExecOptions GuardedFull() {
+    ExecOptions o = ExecOptions::Full();
+    o.max_intermediate_rows = kRowLimit;
+    return o;
+  }
+
+  Database db_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Engines, QueryServiceTest,
+                         ::testing::Values(EngineKind::kWco,
+                                           EngineKind::kHashJoin),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kWco ? "Wco"
+                                                                 : "HashJoin";
+                         });
+
+// (a) N-threaded execution of the paper query workload returns bit-identical
+// BindingSets to sequential execution.
+TEST_P(QueryServiceTest, ConcurrentMatchesSequentialOnPaperWorkload) {
+  const auto& workload = LubmPaperQueries();
+  ExecOptions exec = GuardedFull();
+
+  // Sequential reference, straight through the executor.
+  std::vector<BindingSet> expected;
+  std::vector<bool> expected_ok;
+  for (const PaperQuery& q : workload) {
+    auto r = db_.Query(q.sparql, exec);
+    expected_ok.push_back(r.ok());
+    expected.push_back(r.ok() ? std::move(*r) : BindingSet());
+  }
+
+  QueryService::Options sopts;
+  sopts.num_threads = 8;
+  sopts.max_queue = 1024;
+  QueryService service(db_, sopts);
+
+  constexpr size_t kRepeats = 3;
+  std::vector<QueryRequest> batch;
+  for (size_t rep = 0; rep < kRepeats; ++rep)
+    for (const PaperQuery& q : workload)
+      batch.push_back(QueryRequest{q.sparql, exec, {}, nullptr});
+  std::vector<QueryResponse> responses = service.RunBatch(std::move(batch));
+
+  ASSERT_EQ(responses.size(), workload.size() * kRepeats);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    size_t qi = i % workload.size();
+    const QueryResponse& r = responses[i];
+    ASSERT_EQ(r.status.ok(), expected_ok[qi])
+        << workload[qi].id << ": " << r.status.ToString();
+    if (r.status.ok()) {
+      EXPECT_TRUE(BitIdentical(r.rows, expected[qi]))
+          << workload[qi].id << " diverges from sequential execution";
+    }
+  }
+  EXPECT_EQ(service.num_threads(), 8u);
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, workload.size() * kRepeats);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.latency_samples, 0u);
+}
+
+// (b) Deadline expiry yields a clean ResourceExhausted-style abort.
+TEST_P(QueryServiceTest, DeadlineExpiryAbortsCleanly) {
+  QueryService::Options sopts;
+  sopts.num_threads = 2;
+  QueryService service(db_, sopts);
+
+  // Cross product over the whole store: far too large to finish in 1 ms.
+  QueryRequest req;
+  req.text = "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . }";
+  req.options = ExecOptions::Full();
+  req.deadline = std::chrono::milliseconds(1);
+  QueryResponse r = service.Submit(std::move(req)).get();
+
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r.metrics.aborted);
+  EXPECT_EQ(r.metrics.abort_reason, AbortReason::kDeadline);
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.aborted_deadline, 1u);
+}
+
+// Explicit cancellation through an externally-owned token.
+TEST_P(QueryServiceTest, ExplicitCancellationAborts) {
+  QueryService::Options sopts;
+  sopts.num_threads = 1;
+  QueryService service(db_, sopts);
+
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();  // pre-cancelled: aborts at the first checkpoint
+  QueryRequest req;
+  req.text = "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . }";
+  req.options = ExecOptions::Full();
+  req.cancel = token;
+  QueryResponse r = service.Submit(std::move(req)).get();
+
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.metrics.abort_reason, AbortReason::kCancelled);
+}
+
+// (c) Plan-cache hits skip transformation and return correct results.
+TEST_P(QueryServiceTest, PlanCacheHitSkipsTransformAndMatches) {
+  QueryService::Options sopts;
+  sopts.num_threads = 1;  // serialize so hit/miss order is deterministic
+  QueryService service(db_, sopts);
+
+  const std::string q = LubmPaperQueries()[0].sparql;
+  QueryResponse first =
+      service.Submit(QueryRequest{q, GuardedFull(), {}, nullptr}).get();
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.plan_cache_hit);
+
+  // Same text with different whitespace still hits thanks to normalization.
+  std::string reformatted = "\n \t " + q + "   \n";
+  QueryResponse second =
+      service.Submit(QueryRequest{reformatted, GuardedFull(), {}, nullptr})
+          .get();
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(second.metrics.transform_ms, 0.0);   // transform skipped entirely
+  // Hits still report the cached plan's transform decisions.
+  EXPECT_EQ(second.metrics.transform.merges, first.metrics.transform.merges);
+  EXPECT_TRUE(BitIdentical(first.rows, second.rows));
+
+  PlanCache::Stats cache = service.CacheStats();
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.entries, 1u);
+}
+
+// Admission control: a full queue rejects with ResourceExhausted.
+TEST_P(QueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
+  QueryService::Options sopts;
+  sopts.num_threads = 1;
+  sopts.max_queue = 2;
+  QueryService service(db_, sopts);
+
+  // Block the single worker on a long-running cross product we can cancel.
+  // The 10 s deadline is only an anti-hang backstop; cancellation below is
+  // what releases the worker.
+  auto token = std::make_shared<CancelToken>();
+  QueryRequest blocker;
+  blocker.text = "SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . }";
+  blocker.options = ExecOptions::Full();
+  blocker.deadline = std::chrono::seconds(10);
+  blocker.cancel = token;
+  std::future<QueryResponse> blocked = service.Submit(std::move(blocker));
+  // The worker has dequeued the blocker once its plan-cache miss lands.
+  for (int spin = 0; service.CacheStats().misses == 0 && spin < 5000; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(service.CacheStats().misses, 1u) << "worker never started";
+
+  const std::string fast = LubmPaperQueries()[0].sparql;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(
+        service.Submit(QueryRequest{fast, GuardedFull(), {}, nullptr}));
+
+  token->RequestCancel();  // release the worker
+  size_t rejected = 0, finished_ok = 0;
+  for (auto& f : futures) {
+    QueryResponse r = f.get();
+    if (r.status.code() == StatusCode::kResourceExhausted &&
+        !r.metrics.aborted) {
+      ++rejected;
+    } else if (r.status.ok()) {
+      ++finished_ok;
+    }
+  }
+  QueryResponse br = blocked.get();
+  EXPECT_TRUE(br.metrics.aborted);
+  // Queue depth 2 with a busy worker: at least 8 of the 10 must bounce, and
+  // everything admitted must finish.
+  EXPECT_GE(rejected, 8u);
+  EXPECT_EQ(finished_ok + rejected, 10u);
+  EXPECT_GE(service.Stats().rejected, 8u);
+}
+
+// Shutdown rejects new submissions but resolves them (no hangs).
+TEST_P(QueryServiceTest, SubmitAfterShutdownResolves) {
+  QueryService::Options sopts;
+  sopts.num_threads = 2;
+  QueryService service(db_, sopts);
+  service.Shutdown();
+  QueryResponse r =
+      service
+          .Submit(QueryRequest{LubmPaperQueries()[0].sparql, GuardedFull(),
+                               {}, nullptr})
+          .get();
+  EXPECT_FALSE(r.status.ok());
+}
+
+// Parse errors surface through the future, not as crashes.
+TEST_P(QueryServiceTest, ParseErrorPropagatesThroughFuture) {
+  QueryService service(db_, {});
+  QueryResponse r =
+      service.Submit(QueryRequest{"SELECT * WHERE { ?x ?p }",
+                                  ExecOptions::Full(), {}, nullptr})
+          .get();
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kParseError);
+}
+
+// --- PlanCache unit tests (no service involved) -------------------------
+
+TEST(PlanCacheTest, NormalizationCollapsesWhitespaceOutsideLiterals) {
+  EXPECT_EQ(PlanCache::NormalizeQuery("SELECT  *\nWHERE {\t?x ?p ?o }"),
+            "SELECT * WHERE { ?x ?p ?o }");
+  // Whitespace inside string literals is preserved.
+  EXPECT_EQ(PlanCache::NormalizeQuery("FILTER(?n = \"a  b\")"),
+            "FILTER(?n = \"a  b\")");
+  // Leading/trailing whitespace is dropped.
+  EXPECT_EQ(PlanCache::NormalizeQuery("  ASK { }  "), "ASK { }");
+}
+
+TEST(PlanCacheTest, NormalizationStripsCommentsLikeTheLexer) {
+  // Queries that differ only in where a '#' comment line ends must NOT
+  // share a key: "# note\nLIMIT 1" has an active LIMIT, "# note LIMIT 1"
+  // does not.
+  std::string active = "SELECT ?s WHERE { ?s ?p ?o } # note\nLIMIT 1";
+  std::string commented = "SELECT ?s WHERE { ?s ?p ?o } # note LIMIT 1";
+  EXPECT_EQ(PlanCache::NormalizeQuery(active),
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 1");
+  EXPECT_EQ(PlanCache::NormalizeQuery(commented),
+            "SELECT ?s WHERE { ?s ?p ?o }");
+  EXPECT_NE(PlanCache::NormalizeQuery(active),
+            PlanCache::NormalizeQuery(commented));
+  // '#' inside an IRI ref is part of the IRI, not a comment.
+  EXPECT_EQ(PlanCache::NormalizeQuery("ASK { ?s a <http://x.org/ns#A> }"),
+            "ASK { ?s a <http://x.org/ns#A> }");
+  // '#' inside a string literal is literal text.
+  EXPECT_EQ(PlanCache::NormalizeQuery("FILTER(?n = \"#tag\")"),
+            "FILTER(?n = \"#tag\")");
+}
+
+TEST(PlanCacheTest, KeySeparatesOptimizationModes) {
+  const std::string q = "SELECT * WHERE { ?x ?p ?o }";
+  EXPECT_NE(PlanCache::MakeKey(q, ExecOptions::Base()),
+            PlanCache::MakeKey(q, ExecOptions::TT()));
+  EXPECT_NE(PlanCache::MakeKey(q, ExecOptions::TT()),
+            PlanCache::MakeKey(q, ExecOptions::Full()));
+  // Execution-only knobs do not split the cache.
+  ExecOptions a = ExecOptions::Full(), b = ExecOptions::Full();
+  b.max_intermediate_rows = 123;
+  EXPECT_EQ(PlanCache::MakeKey(q, a), PlanCache::MakeKey(q, b));
+}
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
+  PlanCache cache(/*capacity=*/2, /*shards=*/1);
+  auto plan = std::make_shared<const CachedPlan>();
+  cache.Put("a", plan);
+  cache.Put("b", plan);
+  EXPECT_NE(cache.Get("a"), nullptr);  // touch a; b is now LRU
+  cache.Put("c", plan);                // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -14,14 +14,24 @@
 //   --explain                 print the BE-tree before/after transformation
 //   --stats                   print dataset statistics and exit
 //   --max-rows N              abort when an intermediate exceeds N rows
+//   --concurrency N           serve the query batch through a QueryService
+//                             with N worker threads (enables batch serving)
+//   --repeat K                submit each query K times (batch serving)
+//   --deadline-ms N           per-query deadline in milliseconds
+//   --no-plan-cache           disable the shared plan cache (batch serving)
 //
 // Without a query argument, reads queries from stdin (one per blank-line-
-// separated block; end with EOF).
+// separated block; end with EOF). With --concurrency N, all queries are
+// collected first, submitted to the service, and a per-query status line
+// plus aggregate service stats (QPS, p50/p99, cache hit rate) are printed
+// instead of result rows.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "betree/builder.h"
 #include "betree/serializer.h"
@@ -30,6 +40,7 @@
 #include "engine/snapshot.h"
 #include "optimizer/transformer.h"
 #include "optimizer/well_designed.h"
+#include "server/query_service.h"
 #include "util/timer.h"
 #include "workload/dbpedia_generator.h"
 #include "workload/lubm_generator.h"
@@ -49,6 +60,10 @@ struct CliOptions {
   ResultFormat format = ResultFormat::kTsv;
   bool explain = false;
   bool stats_only = false;
+  size_t concurrency = 0;  ///< > 0 switches to batch serving.
+  size_t repeat = 1;
+  long deadline_ms = 0;
+  bool plan_cache = true;
   std::string query;
   std::string query_file;
 };
@@ -57,7 +72,9 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--data FILE.nt | --lubm N | --dbpedia N) [--engine "
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
-               "tsv|csv|json] [--explain] [--stats] [--max-rows N] [QUERY]\n";
+               "tsv|csv|json] [--explain] [--stats] [--max-rows N] "
+               "[--concurrency N] [--repeat K] [--deadline-ms N] "
+               "[--no-plan-cache] [QUERY]\n";
   return 2;
 }
 
@@ -120,6 +137,21 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->exec.max_intermediate_rows = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--concurrency") {
+      const char* v = next();
+      if (!v) return false;
+      opts->concurrency = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (!v) return false;
+      opts->repeat = static_cast<size_t>(std::atol(v));
+      if (opts->repeat == 0) opts->repeat = 1;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts->deadline_ms = std::atol(v);
+    } else if (arg == "--no-plan-cache") {
+      opts->plan_cache = false;
     } else if (arg == "--query-file") {
       const char* v = next();
       if (!v) return false;
@@ -133,6 +165,66 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   }
   return !opts->data_file.empty() || !opts->snapshot_in.empty() ||
          opts->lubm > 0 || opts->dbpedia > 0;
+}
+
+/// Batch serving: submits every collected query (x repeat) to a
+/// QueryService and reports per-query outcomes plus aggregate stats.
+int RunService(Database& db, const CliOptions& opts,
+               const std::vector<std::string>& queries) {
+  QueryService::Options sopts;
+  sopts.num_threads = opts.concurrency;
+  sopts.enable_plan_cache = opts.plan_cache;
+  // RunBatch submits the whole batch up front; size the admission queue to
+  // hold it so a big --repeat doesn't trip the overload rejection meant for
+  // live traffic.
+  sopts.max_queue = std::max<size_t>(sopts.max_queue,
+                                     queries.size() * opts.repeat + 16);
+  if (opts.deadline_ms > 0)
+    sopts.default_deadline = std::chrono::milliseconds(opts.deadline_ms);
+  QueryService service(db, sopts);
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size() * opts.repeat);
+  for (size_t rep = 0; rep < opts.repeat; ++rep) {
+    for (const std::string& q : queries) {
+      QueryRequest req;
+      req.text = q;
+      req.options = opts.exec;
+      requests.push_back(std::move(req));
+    }
+  }
+  Timer timer;
+  std::vector<QueryResponse> responses = service.RunBatch(std::move(requests));
+  double wall_ms = timer.ElapsedMillis();
+
+  int rc = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const QueryResponse& r = responses[i];
+    std::cerr << "# q" << (i % queries.size()) + 1 << " rep "
+              << i / queries.size() + 1 << ": ";
+    if (r.status.ok()) {
+      std::cerr << r.rows.size() << " rows in " << r.total_ms << " ms"
+                << (r.plan_cache_hit ? " (plan cache hit)" : "") << "\n";
+    } else {
+      std::cerr << r.status.ToString() << "\n";
+      rc = 1;
+    }
+  }
+  ServiceStatsSnapshot stats = service.Stats();
+  std::cout << "queries\t" << responses.size() << "\n"
+            << "threads\t" << service.num_threads() << "\n"
+            << "wall_ms\t" << wall_ms << "\n"
+            << "qps\t" << (wall_ms > 0.0 ? 1000.0 * responses.size() / wall_ms
+                                         : 0.0)
+            << "\n"
+            << "p50_ms\t" << stats.p50_ms << "\n"
+            << "p99_ms\t" << stats.p99_ms << "\n"
+            << "completed\t" << stats.completed << "\n"
+            << "failed\t" << stats.failed << "\n"
+            << "aborted_deadline\t" << stats.aborted_deadline << "\n"
+            << "aborted_row_limit\t" << stats.aborted_row_limit << "\n"
+            << "rejected\t" << stats.rejected << "\n"
+            << "cache_hit_rate\t" << stats.CacheHitRate() << "\n";
+  return rc;
 }
 
 int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
@@ -157,7 +249,13 @@ int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
   }
   ExecMetrics metrics;
   Timer timer;
-  auto result = db.executor().Execute(*parsed, opts.exec, &metrics);
+  CancelToken token(opts.deadline_ms > 0
+                        ? CancelToken::Clock::now() +
+                              std::chrono::milliseconds(opts.deadline_ms)
+                        : CancelToken::Clock::time_point::max());
+  ExecOptions exec = opts.exec;
+  if (opts.deadline_ms > 0) exec.cancel = &token;
+  auto result = db.executor().Execute(*parsed, exec, &metrics);
   if (!result.ok()) {
     std::cerr << "query failed: " << result.status().ToString() << "\n";
     return 1;
@@ -228,6 +326,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Collect the query batch: positional arg, query file, or stdin blocks.
+  std::vector<std::string> queries;
   if (!opts.query_file.empty()) {
     std::ifstream in(opts.query_file);
     if (!in.is_open()) {
@@ -236,21 +336,28 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    return RunQuery(db, opts, buf.str());
-  }
-  if (!opts.query.empty()) return RunQuery(db, opts, opts.query);
-
-  // Interactive/batch: blocks separated by blank lines on stdin.
-  std::string block, line;
-  int rc = 0;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) {
-      if (!block.empty()) rc |= RunQuery(db, opts, block);
-      block.clear();
-      continue;
+    queries.push_back(buf.str());
+  } else if (!opts.query.empty()) {
+    queries.push_back(opts.query);
+  } else {
+    // Interactive/batch: blocks separated by blank lines on stdin.
+    std::string block, line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) {
+        if (!block.empty()) queries.push_back(block);
+        block.clear();
+        continue;
+      }
+      block += line + "\n";
     }
-    block += line + "\n";
+    if (!block.empty()) queries.push_back(block);
   }
-  if (!block.empty()) rc |= RunQuery(db, opts, block);
+  if (queries.empty()) return 0;
+
+  if (opts.concurrency > 0) return RunService(db, opts, queries);
+
+  int rc = 0;
+  for (size_t rep = 0; rep < opts.repeat; ++rep)
+    for (const std::string& q : queries) rc |= RunQuery(db, opts, q);
   return rc;
 }
