@@ -1,0 +1,193 @@
+// Intra-query speedup benchmark for morsel-driven BGP execution.
+//
+// Runs the paper's 12-query workload through the executor at several
+// parallelism degrees and reports per-query latency plus speedup relative
+// to sequential execution (parallelism 1). Results are verified bag-equal
+// to the sequential run before timing, so a reported speedup is never a
+// wrong-answer speedup.
+//
+// Usage:
+//   bench_parallel [--json FILE] [--parallelism 1,2,4,8] [--repeat N]
+//                  [--datasets lubm,dbpedia] [--engines wco,hashjoin]
+//                  [--lubm N] [--dbpedia N] [--morsel N]
+//
+// The recorded JSON includes `hardware_threads`: on a single-core container
+// thread-scaling numbers are flat by construction, and the field is what
+// distinguishes "no speedup available" from "no speedup achieved".
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/executor_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+struct Cell {
+  std::string dataset;
+  std::string engine;
+  std::string query;
+  size_t parallelism = 0;
+  double ms = 0.0;        ///< Best-of-repeat wall time.
+  double speedup = 1.0;   ///< Sequential ms / this ms.
+  uint64_t morsels = 0;
+  size_t rows = 0;
+  bool ok = false;
+};
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void WriteJson(const std::vector<Cell>& cells, size_t morsel_size,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"parallel\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n  \"morsel_size\": "
+      << morsel_size << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"dataset\": \"" << c.dataset << "\", \"engine\": \""
+        << c.engine << "\", \"query\": \"" << c.query
+        << "\", \"parallelism\": " << c.parallelism << ", \"ms\": " << c.ms
+        << ", \"speedup\": " << c.speedup << ", \"morsels\": " << c.morsels
+        << ", \"rows\": " << c.rows << ", \"ok\": " << (c.ok ? "true" : "false")
+        << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "# wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<size_t> degrees = {1, 2, 4, 8};
+  std::vector<std::string> datasets = {"lubm", "dbpedia"};
+  std::vector<std::string> engines = {"wco", "hashjoin"};
+  size_t repeat = 3;
+  size_t lubm_universities = LubmUniversities();
+  size_t dbpedia_articles = DbpediaArticles();
+  size_t morsel_size = 1024;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--json" && (v = next())) {
+      json_path = v;
+    } else if (arg == "--parallelism" && (v = next())) {
+      degrees.clear();
+      for (const std::string& t : SplitList(v))
+        degrees.push_back(static_cast<size_t>(std::atol(t.c_str())));
+    } else if (arg == "--datasets" && (v = next())) {
+      datasets = SplitList(v);
+    } else if (arg == "--engines" && (v = next())) {
+      engines = SplitList(v);
+    } else if (arg == "--repeat" && (v = next())) {
+      repeat = std::max<size_t>(1, static_cast<size_t>(std::atol(v)));
+    } else if (arg == "--lubm" && (v = next())) {
+      lubm_universities = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--dbpedia" && (v = next())) {
+      dbpedia_articles = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--morsel" && (v = next())) {
+      morsel_size = static_cast<size_t>(std::atol(v));
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // Degree 1 always runs, and runs first: it is the reference every other
+  // degree is verified against and scaled by. Without it, "speedup" and the
+  // wrong-answer check would silently mean nothing.
+  {
+    std::vector<size_t> normalized{1};
+    for (size_t d : degrees)
+      if (d != 1) normalized.push_back(d);
+    degrees = std::move(normalized);
+  }
+
+  size_t max_degree = 1;
+  for (size_t d : degrees) max_degree = std::max(max_degree, d);
+  ExecutorPool pool(max_degree > 1 ? max_degree - 1 : 1);
+
+  std::vector<Cell> cells;
+  std::printf("%-8s %-9s %-6s %12s %10s %9s %8s\n", "dataset", "engine",
+              "query", "parallelism", "ms", "speedup", "morsels");
+  for (const std::string& dataset : datasets) {
+    const auto& workload =
+        dataset == "lubm" ? LubmPaperQueries() : DbpediaPaperQueries();
+    for (const std::string& engine : engines) {
+      EngineKind kind =
+          engine == "wco" ? EngineKind::kWco : EngineKind::kHashJoin;
+      auto db = dataset == "lubm" ? MakeLubm(lubm_universities, kind)
+                                  : MakeDbpedia(dbpedia_articles, kind);
+      for (const PaperQuery& q : workload) {
+        // Sequential reference: result + baseline latency.
+        ExecOptions seq_opts = ExecOptions::Full();
+        seq_opts.max_intermediate_rows = kRowLimit;
+        double seq_ms = 0.0;
+        Result<BindingSet> reference = Status::Internal("unset");
+        for (size_t degree : degrees) {
+          ExecOptions opts = seq_opts;
+          opts.parallel.parallelism = degree;
+          opts.parallel.morsel_size = morsel_size;
+          opts.parallel.pool = degree > 1 ? &pool : nullptr;
+
+          Cell cell;
+          cell.dataset = dataset;
+          cell.engine = engine;
+          cell.query = q.id;
+          cell.parallelism = degree;
+          cell.ms = 1e300;
+          for (size_t rep = 0; rep < repeat; ++rep) {
+            ExecMetrics m;
+            Timer timer;
+            auto r = db->Query(q.sparql, opts, &m);
+            double ms = timer.ElapsedMillis();
+            cell.ms = std::min(cell.ms, ms);
+            cell.morsels = m.bgp.morsels;
+            cell.ok = r.ok();
+            if (r.ok()) {
+              cell.rows = r->size();
+              if (degree == 1 && !reference.ok()) {
+                reference = std::move(r);
+              } else if (reference.ok() && !BagEquals(*r, *reference)) {
+                std::cerr << "# MISMATCH: " << dataset << "/" << engine << "/"
+                          << q.id << " at parallelism " << degree << "\n";
+                cell.ok = false;
+              }
+            }
+          }
+          if (degree == 1) seq_ms = cell.ms;
+          cell.speedup = cell.ms > 0.0 && seq_ms > 0.0 ? seq_ms / cell.ms : 1.0;
+          std::printf("%-8s %-9s %-6s %12zu %10.2f %9.2f %8llu\n",
+                      cell.dataset.c_str(), cell.engine.c_str(),
+                      cell.query.c_str(), cell.parallelism, cell.ms,
+                      cell.speedup,
+                      static_cast<unsigned long long>(cell.morsels));
+          std::fflush(stdout);
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+  if (!json_path.empty()) WriteJson(cells, morsel_size, json_path);
+  return 0;
+}

@@ -22,6 +22,15 @@ void BindingSet::AppendRow(const std::vector<TermId>& row) {
   cells_.insert(cells_.end(), row.begin(), row.end());
 }
 
+void BindingSet::Append(const BindingSet& other) {
+  assert(schema_ == other.schema_ && "Append requires identical schemas");
+  if (width() == 0) {
+    scalar_count_ += other.scalar_count_;
+    return;
+  }
+  cells_.insert(cells_.end(), other.cells_.begin(), other.cells_.end());
+}
+
 BindingSet BindingSet::Project(const std::vector<VarId>& vars) const {
   BindingSet out(vars);
   std::vector<size_t> cols;

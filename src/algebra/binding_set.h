@@ -35,6 +35,12 @@ class BindingSet {
   /// Appends one mapping; `row` must have width() entries.
   void AppendRow(const std::vector<TermId>& row);
 
+  /// Appends every mapping of `other`, which must share this schema exactly
+  /// (same variables, same order). This is the deterministic merge step of
+  /// morsel-driven evaluation: per-morsel results concatenated in morsel
+  /// order reproduce the sequential row order bit for bit.
+  void Append(const BindingSet& other);
+
   /// Appends `count` copies of the empty mapping (only for width() == 0,
   /// e.g. the result of a BGP with no variables that matched).
   void AppendEmptyMappings(size_t count) { scalar_count_ += count; }

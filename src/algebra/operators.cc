@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <unordered_map>
 
 namespace sparqluo {
@@ -36,9 +37,14 @@ struct VecHash {
 /// Shared machinery for Join / LeftOuterJoin / Minus: finds, for each row of
 /// `a`, the compatible rows of `b`. Single shared variables — the dominant
 /// case — use a scalar-keyed hash to avoid per-row vector allocations.
+/// An explicit [b_begin, b_end) restricts the indexed b-rows, which is how
+/// ParallelJoin shards one hash build across workers; reported row indices
+/// are absolute either way.
 class CompatFinder {
  public:
-  CompatFinder(const BindingSet& a, const BindingSet& b) : a_(a), b_(b) {
+  CompatFinder(const BindingSet& a, const BindingSet& b, size_t b_begin = 0,
+               size_t b_end = SIZE_MAX)
+      : a_(a), b_(b), b_begin_(b_begin), b_end_(std::min(b_end, b.size())) {
     for (size_t i = 0; i < a.schema().size(); ++i) {
       size_t j = b.ColumnOf(a.schema()[i]);
       if (j != SIZE_MAX) common_.emplace_back(i, j);
@@ -49,8 +55,8 @@ class CompatFinder {
     // separate compatibility-checked list.
     if (common_.size() == 1) {
       size_t cb = common_[0].second;
-      scalar_buckets_.reserve(b.size());
-      for (size_t r = 0; r < b.size(); ++r) {
+      scalar_buckets_.reserve(b_end_ - b_begin_);
+      for (size_t r = b_begin_; r < b_end_; ++r) {
         TermId key = b.Row(r)[cb];
         if (key != kUnboundTerm) {
           scalar_buckets_[key].push_back(r);
@@ -61,7 +67,7 @@ class CompatFinder {
       return;
     }
     std::vector<TermId> key(common_.size());
-    for (size_t r = 0; r < b.size(); ++r) {
+    for (size_t r = b_begin_; r < b_end_; ++r) {
       const TermId* row = b.Row(r);
       bool full = true;
       for (size_t k = 0; k < common_.size(); ++k) {
@@ -81,11 +87,16 @@ class CompatFinder {
     return common_;
   }
 
+  /// True iff some indexed b-row has an unbound common-variable cell. Those
+  /// rows are emitted after the bucket matches, so sharded builds (which
+  /// would interleave that order) must be avoided when any exist.
+  bool has_partial_rows() const { return !partial_.empty(); }
+
   /// Calls `fn(rb)` for every b-row compatible with a-row `ra_idx`.
   template <typename Fn>
   void ForEachCompatible(size_t ra_idx, Fn&& fn) const {
     if (common_.empty()) {
-      for (size_t r = 0; r < b_.size(); ++r) fn(r);
+      for (size_t r = b_begin_; r < b_end_; ++r) fn(r);
       return;
     }
     const TermId* ra = a_.Row(ra_idx);
@@ -97,7 +108,7 @@ class CompatFinder {
           for (size_t r : it->second) fn(r);
         for (size_t r : partial_) fn(r);  // unbound b-side: compatible
       } else {
-        for (size_t r = 0; r < b_.size(); ++r) fn(r);
+        for (size_t r = b_begin_; r < b_end_; ++r) fn(r);
       }
       return;
     }
@@ -116,7 +127,7 @@ class CompatFinder {
       }
     } else {
       // Some common variable unbound on the a side: scan everything.
-      for (size_t r = 0; r < b_.size(); ++r) {
+      for (size_t r = b_begin_; r < b_end_; ++r) {
         if (internal::RowsCompatible(ra, b_.Row(r), common_)) fn(r);
       }
     }
@@ -125,6 +136,8 @@ class CompatFinder {
  private:
   const BindingSet& a_;
   const BindingSet& b_;
+  size_t b_begin_;
+  size_t b_end_;
   std::vector<std::pair<size_t, size_t>> common_;
   std::unordered_map<std::vector<TermId>, std::vector<size_t>, VecHash>
       buckets_;
@@ -226,6 +239,92 @@ BindingSet Join(const BindingSet& a, const BindingSet& b,
     }
   }
   return out;
+}
+
+BindingSet ParallelJoin(const BindingSet& a, const BindingSet& b,
+                        const CancelToken* cancel, const ParallelSpec& spec,
+                        uint64_t* morsels) {
+  // Degenerate shapes (empty inputs, zero-width sides) take cheap special
+  // paths inside Join; only the hash-probe loop is worth fanning out.
+  if (!spec.enabled() || a.empty() || b.empty() || a.width() == 0 ||
+      b.width() == 0 || a.size() + b.size() <= spec.morsel_size)
+    return Join(a, b, cancel);
+
+  // Same orientation rule as Join — build on the smaller side, stream the
+  // larger — so the output row order matches the sequential join exactly.
+  const bool stream_is_b = a.size() <= b.size();
+  const BindingSet& stream = stream_is_b ? b : a;
+  const BindingSet& build = stream_is_b ? a : b;
+
+  std::vector<VarId> schema = MergedSchema(a, b);
+  std::vector<std::pair<size_t, size_t>> common_ab;
+  for (size_t i = 0; i < a.schema().size(); ++i) {
+    size_t j = b.ColumnOf(a.schema()[i]);
+    if (j != SIZE_MAX) common_ab.emplace_back(i, j);
+  }
+  std::vector<size_t> extra = ExtraCols(a, b);
+
+  // Parallel hash build: shard the build side into contiguous row slices,
+  // each indexed by its own CompatFinder. A probe walks the shards in slice
+  // order, so matches surface in ascending build-row order — exactly the
+  // single-finder bucket order — as long as no build row carries an unbound
+  // join-key cell (those are emitted after bucket matches, which sharding
+  // would interleave). Detect that case and collapse to one shard.
+  bool build_has_unbound = false;
+  for (size_t r = 0; r < build.size() && !build_has_unbound; ++r)
+    for (const auto& [ca, cb] : common_ab) {
+      if (build.At(r, stream_is_b ? ca : cb) == kUnboundTerm) {
+        build_has_unbound = true;
+        break;
+      }
+    }
+  size_t num_shards =
+      build_has_unbound
+          ? 1
+          : std::max<size_t>(1, std::min(spec.EffectiveWorkers(),
+                                         spec.MorselCount(build.size())));
+  size_t shard_rows = (build.size() + num_shards - 1) / num_shards;
+  std::vector<std::optional<CompatFinder>> shards(num_shards);
+  spec.pool->ParallelFor(num_shards, spec.EffectiveWorkers(), [&](size_t i) {
+    size_t begin = i * shard_rows;
+    size_t end = std::min(begin + shard_rows, build.size());
+    shards[i].emplace(stream, build, begin, end);
+  });
+
+  // Morsel-parallel probe of the streamed side. Each morsel emits into its
+  // own BindingSet; concatenating them in morsel order reproduces the
+  // sequential probe order.
+  size_t num_morsels = spec.MorselCount(stream.size());
+  size_t morsel_rows = (stream.size() + num_morsels - 1) / num_morsels;
+  std::vector<BindingSet> outs(num_morsels, BindingSet(schema));
+  spec.pool->ParallelFor(num_morsels, spec.EffectiveWorkers(), [&](size_t m) {
+    CancelCheckpoint chk(cancel);
+    BindingSet& out = outs[m];
+    std::vector<TermId> row(schema.size());
+    size_t begin = m * morsel_rows;
+    size_t end = std::min(begin + morsel_rows, stream.size());
+    for (size_t si = begin; si < end; ++si) {
+      chk.Poll();
+      for (const auto& shard : shards) {
+        shard->ForEachCompatible(si, [&](size_t bi) {
+          chk.Poll();
+          size_t ra = stream_is_b ? bi : si;
+          size_t rb = stream_is_b ? si : bi;
+          MergeRows(a, ra, b, rb, common_ab, extra, &row);
+          out.AppendRow(row);
+        });
+      }
+    }
+  });
+  if (morsels != nullptr)
+    *morsels += num_morsels + (num_shards > 1 ? num_shards : 0);
+
+  BindingSet result(std::move(schema));
+  size_t total = 0;
+  for (const BindingSet& out : outs) total += out.size();
+  result.Reserve(total);
+  for (const BindingSet& out : outs) result.Append(out);
+  return result;
 }
 
 BindingSet UnionBag(const BindingSet& a, const BindingSet& b) {

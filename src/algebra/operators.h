@@ -9,6 +9,7 @@
 #include "algebra/binding_set.h"
 #include "sparql/ast.h"
 #include "util/cancellation.h"
+#include "util/executor_pool.h"
 
 namespace sparqluo {
 
@@ -19,6 +20,16 @@ namespace sparqluo {
 /// overshoot its deadline without bound.
 BindingSet Join(const BindingSet& a, const BindingSet& b,
                 const CancelToken* cancel = nullptr);
+
+/// Join with output bit-identical to Join (same schema, same row order),
+/// computed morsel-parallel on `spec.pool`: the hash build over the smaller
+/// side is sharded across workers and the larger side is probed in
+/// independent morsels whose outputs concatenate in morsel order. Falls
+/// back to Join for degenerate shapes or a disabled spec. `morsels`
+/// (nullable) accumulates the number of parallel tasks issued.
+BindingSet ParallelJoin(const BindingSet& a, const BindingSet& b,
+                        const CancelToken* cancel, const ParallelSpec& spec,
+                        uint64_t* morsels = nullptr);
 
 /// Ω1 ∪_bag Ω2 over the union schema (missing columns padded unbound).
 BindingSet UnionBag(const BindingSet& a, const BindingSet& b);

@@ -16,6 +16,7 @@
 #include "bgp/candidates.h"
 #include "bgp/cardinality.h"
 #include "util/cancellation.h"
+#include "util/executor_pool.h"
 
 namespace sparqluo {
 
@@ -24,11 +25,13 @@ struct BgpEvalCounters {
   uint64_t rows_materialized = 0;  ///< Partial + final bindings produced.
   uint64_t index_probes = 0;       ///< Store scans issued.
   uint64_t candidates_pruned = 0;  ///< Extensions rejected by candidate sets.
+  uint64_t morsels = 0;            ///< Morsel tasks run by parallel paths.
 
   void Merge(const BgpEvalCounters& other) {
     rows_materialized += other.rows_materialized;
     index_probes += other.index_probes;
     candidates_pruned += other.candidates_pruned;
+    morsels += other.morsels;
   }
 };
 
@@ -56,6 +59,18 @@ class BgpEngine {
 
   BindingSet Evaluate(const Bgp& bgp) const {
     return Evaluate(bgp, nullptr, nullptr, nullptr);
+  }
+
+  /// Morsel-driven evaluation: identical contract and bit-identical result
+  /// (schema and row order) to Evaluate, but heavy per-row work is fanned
+  /// out over `spec.pool`. Engines without a parallel path fall back to the
+  /// sequential Evaluate, as does a disabled spec.
+  virtual BindingSet ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands,
+                                      BgpEvalCounters* counters,
+                                      const CancelToken* cancel,
+                                      const ParallelSpec& spec) const {
+    (void)spec;
+    return Evaluate(bgp, cands, counters, cancel);
   }
 
   /// cost(P): estimated evaluation cost of the BGP under this engine's join

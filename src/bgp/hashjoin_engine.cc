@@ -6,21 +6,19 @@
 
 namespace sparqluo {
 
-BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
-                                       const CandidateMap* cands,
-                                       BgpEvalCounters* counters,
-                                       CancelCheckpoint* chk) const {
-  std::vector<VarId> schema = t.Variables();
-  BindingSet out(schema);
-  ResolvedPattern r = Resolve(t, dict_);
-  if (r.missing_const) return out;
-  TriplePatternIds q;
-  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
-  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
-  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
-  if (counters) ++counters->index_probes;
+namespace {
+
+/// Emits the rows of `range` matching the resolved pattern `r` into `out`
+/// (whose schema is the pattern's variables), applying repeated-variable
+/// consistency and candidate-set filtering. Shared by the sequential scan
+/// and by each morsel of the parallel scan — morsels over consecutive
+/// slices of one matched range concatenate to the sequential scan's rows.
+void ScanRangeInto(const TripleStore::MatchedRange& range,
+                   const ResolvedPattern& r, const std::vector<VarId>& schema,
+                   const CandidateMap* cands, BgpEvalCounters* counters,
+                   CancelCheckpoint* chk, BindingSet* out) {
   std::vector<TermId> row(schema.size());
-  store_.Scan(q, [&](const Triple& tr) {
+  TripleStore::ScanMatched(range, [&](const Triple& tr) {
     if (chk != nullptr) chk->Poll();
     // Repeated-variable consistency.
     if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
@@ -38,10 +36,75 @@ BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
       }
       row[i] = val;
     }
-    out.AppendRow(row);
+    out->AppendRow(row);
     return true;
   });
+}
+
+}  // namespace
+
+BindingSet HashJoinEngine::ScanPattern(const TriplePattern& t,
+                                       const CandidateMap* cands,
+                                       BgpEvalCounters* counters,
+                                       CancelCheckpoint* chk) const {
+  std::vector<VarId> schema = t.Variables();
+  BindingSet out(schema);
+  ResolvedPattern r = Resolve(t, dict_);
+  if (r.missing_const) return out;
+  TriplePatternIds q;
+  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+  if (counters) ++counters->index_probes;
+  ScanRangeInto(store_.Match(q), r, schema, cands, counters, chk, &out);
   if (counters) counters->rows_materialized += out.size();
+  return out;
+}
+
+BindingSet HashJoinEngine::ParallelScanPattern(const TriplePattern& t,
+                                               const CandidateMap* cands,
+                                               BgpEvalCounters* counters,
+                                               const CancelToken* cancel,
+                                               const ParallelSpec& spec) const {
+  std::vector<VarId> schema = t.Variables();
+  BindingSet out(schema);
+  ResolvedPattern r = Resolve(t, dict_);
+  if (r.missing_const) return out;
+  TriplePatternIds q;
+  q.s = r.sv == kInvalidVarId ? r.s : kInvalidTermId;
+  q.p = r.pv == kInvalidVarId ? r.p : kInvalidTermId;
+  q.o = r.ov == kInvalidVarId ? r.o : kInvalidTermId;
+  if (counters) ++counters->index_probes;
+  TripleStore::MatchedRange range = store_.Match(q);
+  size_t num_morsels = spec.MorselCount(range.size());
+  if (!spec.enabled() || num_morsels <= 1) {
+    CancelCheckpoint chk(cancel);
+    ScanRangeInto(range, r, schema, cands, counters, &chk, &out);
+    if (counters) counters->rows_materialized += out.size();
+    return out;
+  }
+
+  size_t per_morsel = (range.size() + num_morsels - 1) / num_morsels;
+  std::vector<BindingSet> outs(num_morsels, BindingSet(schema));
+  std::vector<BgpEvalCounters> local(num_morsels);
+  spec.pool->ParallelFor(num_morsels, spec.EffectiveWorkers(), [&](size_t m) {
+    CancelCheckpoint chk(cancel);
+    size_t begin = m * per_morsel;
+    size_t end = std::min(begin + per_morsel, range.size());
+    ScanRangeInto(range.Slice(begin, end), r, schema, cands, &local[m], &chk,
+                  &outs[m]);
+  });
+
+  size_t total = 0;
+  for (const BindingSet& o : outs) total += o.size();
+  out.Reserve(total);
+  for (const BindingSet& o : outs) out.Append(o);
+  if (counters) {
+    for (const BgpEvalCounters& c : local)
+      counters->candidates_pruned += c.candidates_pruned;
+    counters->morsels += num_morsels;
+    counters->rows_materialized += out.size();
+  }
   return out;
 }
 
@@ -67,6 +130,36 @@ BindingSet HashJoinEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
   }
   // Normalize the schema to bgp.Variables() order. All variables are bound
   // by construction (every pattern's table carries its own variables).
+  if (acc.schema() != all_vars) acc = acc.Project(all_vars);
+  return acc;
+}
+
+BindingSet HashJoinEngine::ParallelEvaluate(const Bgp& bgp,
+                                            const CandidateMap* cands,
+                                            BgpEvalCounters* counters,
+                                            const CancelToken* cancel,
+                                            const ParallelSpec& spec) const {
+  if (!spec.enabled()) return Evaluate(bgp, cands, counters, cancel);
+  std::vector<VarId> all_vars = bgp.Variables();
+  if (bgp.triples.empty()) {
+    BindingSet unit(all_vars);
+    unit.AppendEmptyMappings(1);
+    return unit;
+  }
+  CancelCheckpoint chk(cancel);
+  chk.Poll();
+  std::vector<size_t> order = estimator_.GreedyOrder(bgp);
+  BindingSet acc =
+      ParallelScanPattern(bgp.triples[order[0]], cands, counters, cancel, spec);
+  for (size_t k = 1; k < order.size(); ++k) {
+    if (acc.empty()) break;
+    chk.Poll();
+    BindingSet next = ParallelScanPattern(bgp.triples[order[k]], cands,
+                                          counters, cancel, spec);
+    acc = ParallelJoin(acc, next, cancel, spec,
+                       counters != nullptr ? &counters->morsels : nullptr);
+    if (counters) counters->rows_materialized += acc.size();
+  }
   if (acc.schema() != all_vars) acc = acc.Project(all_vars);
   return acc;
 }

@@ -26,6 +26,16 @@ class HashJoinEngine : public BgpEngine {
                       BgpEvalCounters* counters,
                       const CancelToken* cancel) const override;
 
+  /// Morsel-driven evaluation, bit-identical to Evaluate: pattern scans are
+  /// partitioned over the store's sorted index ranges and each binary join
+  /// runs as a sharded hash build plus a morsel-parallel probe
+  /// (ParallelJoin). Per-morsel tables concatenate in morsel order, so the
+  /// row order matches the sequential pipeline exactly.
+  BindingSet ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands,
+                              BgpEvalCounters* counters,
+                              const CancelToken* cancel,
+                              const ParallelSpec& spec) const override;
+
   double EstimateCost(const Bgp& bgp) const override;
 
   const CardinalityEstimator& estimator() const override { return estimator_; }
@@ -35,6 +45,14 @@ class HashJoinEngine : public BgpEngine {
   BindingSet ScanPattern(const TriplePattern& t, const CandidateMap* cands,
                          BgpEvalCounters* counters,
                          CancelCheckpoint* chk) const;
+
+  /// ScanPattern with the matched index range split into morsels; the
+  /// concatenated result is bit-identical to the sequential scan.
+  BindingSet ParallelScanPattern(const TriplePattern& t,
+                                 const CandidateMap* cands,
+                                 BgpEvalCounters* counters,
+                                 const CancelToken* cancel,
+                                 const ParallelSpec& spec) const;
 
   const TripleStore& store_;
   const Dictionary& dict_;

@@ -1,3 +1,18 @@
+// gStore-style WCO engine, structured for morsel-driven parallelism.
+//
+// Evaluation is split into:
+//   1. BuildPlan   — resolve constants, partition patterns, and fix the
+//                    vertex extension order. The order is a pure function
+//                    of the BGP and the store's counts, never of partial
+//                    binding contents, so every morsel follows it.
+//   2. ExtendStep  — one vertex extension over a set of partial bindings.
+//   3. CompleteRows— the remaining extensions + core verification +
+//                    residual expansion for a subset of partial bindings.
+//                    Row-independent, hence safe to run per morsel.
+// The final sort+unique (set semantics of BGP matching) runs globally over
+// the concatenated morsel outputs, which is why parallel evaluation is
+// bit-identical to sequential: both emit the same sorted, deduplicated row
+// set over the same schema.
 #include "bgp/wco_engine.h"
 
 #include <algorithm>
@@ -11,7 +26,6 @@ namespace {
 /// one subject/object variable).
 struct CoreEdge {
   ResolvedPattern r;
-  bool applied = false;
 };
 
 /// Collects the sorted, distinct values the variable `v` can take according
@@ -59,96 +73,94 @@ void IntersectSorted(std::vector<TermId>* a, const std::vector<TermId>& b) {
   *a = std::move(out);
 }
 
-}  // namespace
+using Rows = std::vector<std::vector<TermId>>;
 
-BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
-                               BgpEvalCounters* counters,
-                               const CancelToken* cancel) const {
-  std::vector<VarId> all_vars = bgp.Variables();
-  BindingSet result(all_vars);
-  if (bgp.triples.empty()) {
-    result.AppendEmptyMappings(1);  // the unit bag
-    return result;
-  }
-  CancelCheckpoint chk(cancel);
-  chk.Poll();
-
-  // Resolve constants; a missing constant means zero matches.
-  std::vector<ResolvedPattern> resolved;
-  resolved.reserve(bgp.triples.size());
-  for (const TriplePattern& t : bgp.triples) {
-    ResolvedPattern r = Resolve(t, dict_);
-    if (r.missing_const) return result;
-    resolved.push_back(r);
-  }
-
-  // Partition into ground checks, core edges and residual patterns.
+/// The precomputed, row-independent shape of one BGP evaluation.
+struct WcoPlan {
   std::vector<CoreEdge> core;
   std::vector<ResolvedPattern> residual;
-  for (const ResolvedPattern& r : resolved) {
+  /// Core extension order (covers every core variable).
+  std::vector<VarId> var_order;
+  /// Variables each residual pattern newly binds, in pattern order.
+  std::vector<std::vector<VarId>> residual_new;
+  /// var_order followed by all residual_new entries: the column layout of
+  /// fully extended rows.
+  std::vector<VarId> final_vars;
+  /// Set when a constant is missing or a ground triple fails: zero matches.
+  bool definitely_empty = false;
+};
+
+size_t IndexOf(const std::vector<VarId>& vars, VarId v) {
+  for (size_t i = 0; i < vars.size(); ++i)
+    if (vars[i] == v) return i;
+  return SIZE_MAX;
+}
+
+/// Resolves and partitions the BGP and fixes the extension order by
+/// replaying the greedy next-variable choice over the simulated bound set.
+WcoPlan BuildPlan(const Bgp& bgp, const TripleStore& store,
+                  const Dictionary& dict) {
+  WcoPlan plan;
+  for (const TriplePattern& t : bgp.triples) {
+    ResolvedPattern r = Resolve(t, dict);
+    if (r.missing_const) {
+      plan.definitely_empty = true;
+      return plan;
+    }
     bool has_so_var = r.sv != kInvalidVarId || r.ov != kInvalidVarId;
     if (!has_so_var && r.pv == kInvalidVarId) {
-      if (!store_.Contains(Triple(r.s, r.p, r.o))) return result;
+      if (!store.Contains(Triple(r.s, r.p, r.o))) {
+        plan.definitely_empty = true;
+        return plan;
+      }
       continue;  // ground triple: multiplicative identity
     }
     if (r.pv == kInvalidVarId && has_so_var) {
-      core.push_back(CoreEdge{r, false});
+      plan.core.push_back(CoreEdge{r});
     } else {
-      residual.push_back(r);
+      plan.residual.push_back(r);
     }
   }
 
   // The set of variables handled by the core phase.
   std::vector<VarId> core_vars;
-  for (const CoreEdge& e : core) {
+  for (const CoreEdge& e : plan.core) {
     for (VarId v : {e.r.sv, e.r.ov})
-      if (v != kInvalidVarId &&
-          std::find(core_vars.begin(), core_vars.end(), v) == core_vars.end())
+      if (v != kInvalidVarId && IndexOf(core_vars, v) == SIZE_MAX)
         core_vars.push_back(v);
   }
-
-  // --- Vertex-at-a-time core evaluation -------------------------------
-  // rows: partial bindings over `bound_vars` (parallel to row layout).
-  std::vector<VarId> bound_vars;
-  std::vector<std::vector<TermId>> rows{{}};  // one empty partial binding
-
-  auto col_of = [&](VarId v) -> size_t {
-    for (size_t i = 0; i < bound_vars.size(); ++i)
-      if (bound_vars[i] == v) return i;
-    return SIZE_MAX;
-  };
 
   // Estimated seed size of a variable: min over incident edges of the edge's
   // match count with constants bound (cheap index counts).
   auto seed_count = [&](VarId v) -> double {
     double best = 1e300;
-    for (const CoreEdge& e : core) {
+    for (const CoreEdge& e : plan.core) {
       if (e.r.sv != v && e.r.ov != v) continue;
       TriplePatternIds q;
       q.p = e.r.p;
       if (e.r.sv == kInvalidVarId) q.s = e.r.s;
       if (e.r.ov == kInvalidVarId) q.o = e.r.o;
-      best = std::min(best, static_cast<double>(store_.Count(q)));
+      best = std::min(best, static_cast<double>(store.Count(q)));
     }
     return best;
   };
 
-  while (bound_vars.size() < core_vars.size()) {
+  while (plan.var_order.size() < core_vars.size()) {
     // Pick the next variable: prefer ones adjacent to already-bound vars,
     // break ties by seed selectivity.
     VarId next = kInvalidVarId;
     bool next_adjacent = false;
     double next_score = 1e300;
     for (VarId v : core_vars) {
-      if (col_of(v) != SIZE_MAX) continue;
+      if (IndexOf(plan.var_order, v) != SIZE_MAX) continue;
       // v is "adjacent" if some incident edge has a constant or already
       // bound other endpoint — its extension can use an indexed adjacency
       // list instead of a projection seed.
       bool adjacent = false;
-      for (const CoreEdge& e : core) {
+      for (const CoreEdge& e : plan.core) {
         if (e.r.sv != v && e.r.ov != v) continue;
         VarId other = e.r.sv == v ? e.r.ov : e.r.sv;
-        if (other == kInvalidVarId || col_of(other) != SIZE_MAX) {
+        if (other == kInvalidVarId || IndexOf(plan.var_order, other) != SIZE_MAX) {
           adjacent = true;
           break;
         }
@@ -161,172 +173,209 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
         next_score = score;
       }
     }
+    plan.var_order.push_back(next);
+  }
 
-    // Extend every partial binding with candidates for `next`.
-    const CandidateMap::Set* cand_set =
-        cands != nullptr ? cands->Get(next) : nullptr;
-    std::vector<std::vector<TermId>> next_rows;
-    std::vector<TermId> cand_list;
-    std::vector<TermId> edge_list;
-    for (const auto& row : rows) {
-      chk.Poll();
-      cand_list.clear();
-      bool first_edge = true;
-      bool dead = false;
-      // Edges incident to `next` whose other endpoint is bound or constant
-      // contribute an adjacency list; intersect them all.
-      for (CoreEdge& e : core) {
-        bool v_is_subj;
-        if (e.r.sv == next && e.r.ov == next) {
-          v_is_subj = true;  // self-loop handled inside AdjacencyList
-        } else if (e.r.sv == next) {
-          v_is_subj = true;
-        } else if (e.r.ov == next) {
-          v_is_subj = false;
-        } else {
-          continue;
-        }
-        // Resolve the other endpoint.
-        TermId other;
-        if (e.r.sv == next && e.r.ov == next) {
-          other = kInvalidTermId;
-        } else if (v_is_subj) {
-          other = e.r.ov == kInvalidVarId
-                      ? e.r.o
-                      : (col_of(e.r.ov) == SIZE_MAX ? kInvalidTermId
-                                                    : row[col_of(e.r.ov)]);
-        } else {
-          other = e.r.sv == kInvalidVarId
-                      ? e.r.s
-                      : (col_of(e.r.sv) == SIZE_MAX ? kInvalidTermId
-                                                    : row[col_of(e.r.sv)]);
-        }
-        bool other_is_unbound_var =
-            (v_is_subj ? e.r.ov != kInvalidVarId && col_of(e.r.ov) == SIZE_MAX
-                       : e.r.sv != kInvalidVarId && col_of(e.r.sv) == SIZE_MAX) &&
-            !(e.r.sv == next && e.r.ov == next);
-        if (other_is_unbound_var && !first_edge) {
-          // Defer: this edge will constrain when its other endpoint binds.
-          continue;
-        }
-        if (other_is_unbound_var && first_edge) {
-          // Use the projection as a (sound) seed only if no better edge
-          // exists; check whether any other incident edge has a bound
-          // endpoint — if so, skip this one.
-          bool better_exists = false;
-          for (const CoreEdge& e2 : core) {
-            if (&e2 == &e) continue;
-            if (e2.r.sv != next && e2.r.ov != next) continue;
-            bool e2_subj = e2.r.sv == next;
-            bool e2_other_unbound =
-                (e2_subj ? e2.r.ov != kInvalidVarId && col_of(e2.r.ov) == SIZE_MAX
-                         : e2.r.sv != kInvalidVarId && col_of(e2.r.sv) == SIZE_MAX);
-            if (!e2_other_unbound) {
-              better_exists = true;
-              break;
-            }
-          }
-          if (better_exists) continue;
-        }
-        edge_list.clear();
-        AdjacencyList(store_, e, v_is_subj, other, &edge_list, counters);
-        if (first_edge) {
-          cand_list = edge_list;
-          first_edge = false;
-        } else {
-          IntersectSorted(&cand_list, edge_list);
-        }
-        if (cand_list.empty()) {
-          dead = true;
-          break;
-        }
-        if (other_is_unbound_var) break;  // projection seed: one edge only
+  // Residual patterns bind their not-yet-bound variables in pattern order.
+  plan.final_vars = plan.var_order;
+  for (const ResolvedPattern& r : plan.residual) {
+    std::vector<VarId> new_vars;
+    for (VarId v : {r.sv, r.pv, r.ov})
+      if (v != kInvalidVarId && IndexOf(plan.final_vars, v) == SIZE_MAX &&
+          IndexOf(new_vars, v) == SIZE_MAX)
+        new_vars.push_back(v);
+    for (VarId v : new_vars) plan.final_vars.push_back(v);
+    plan.residual_new.push_back(std::move(new_vars));
+  }
+  return plan;
+}
+
+/// Extends every partial binding in `rows` (columns = plan.var_order[0..step))
+/// with plan.var_order[step]. The per-row logic is independent across rows.
+Rows ExtendStep(const TripleStore& store, const WcoPlan& plan, size_t step,
+                const Rows& rows, const CandidateMap* cands,
+                BgpEvalCounters* counters, CancelCheckpoint& chk) {
+  const VarId next = plan.var_order[step];
+  auto col_of = [&](VarId v) -> size_t {
+    for (size_t i = 0; i < step; ++i)
+      if (plan.var_order[i] == v) return i;
+    return SIZE_MAX;
+  };
+  const CandidateMap::Set* cand_set =
+      cands != nullptr ? cands->Get(next) : nullptr;
+  Rows next_rows;
+  std::vector<TermId> cand_list;
+  std::vector<TermId> edge_list;
+  for (const auto& row : rows) {
+    chk.Poll();
+    cand_list.clear();
+    bool first_edge = true;
+    bool dead = false;
+    // Edges incident to `next` whose other endpoint is bound or constant
+    // contribute an adjacency list; intersect them all.
+    for (const CoreEdge& e : plan.core) {
+      bool v_is_subj;
+      if (e.r.sv == next && e.r.ov == next) {
+        v_is_subj = true;  // self-loop handled inside AdjacencyList
+      } else if (e.r.sv == next) {
+        v_is_subj = true;
+      } else if (e.r.ov == next) {
+        v_is_subj = false;
+      } else {
+        continue;
       }
-      if (dead || first_edge) {
-        // first_edge still true means no incident edge could seed this
-        // variable for this row: disconnected from current bindings. Seed
-        // from the globally cheapest incident edge projection.
-        if (first_edge && !dead) {
-          for (CoreEdge& e : core) {
-            if (e.r.sv != next && e.r.ov != next) continue;
-            edge_list.clear();
-            AdjacencyList(store_, e, e.r.sv == next, kInvalidTermId, &edge_list,
-                          counters);
-            if (cand_list.empty()) {
-              cand_list = edge_list;
-            } else {
-              IntersectSorted(&cand_list, edge_list);
-            }
+      // Resolve the other endpoint.
+      TermId other;
+      if (e.r.sv == next && e.r.ov == next) {
+        other = kInvalidTermId;
+      } else if (v_is_subj) {
+        other = e.r.ov == kInvalidVarId
+                    ? e.r.o
+                    : (col_of(e.r.ov) == SIZE_MAX ? kInvalidTermId
+                                                  : row[col_of(e.r.ov)]);
+      } else {
+        other = e.r.sv == kInvalidVarId
+                    ? e.r.s
+                    : (col_of(e.r.sv) == SIZE_MAX ? kInvalidTermId
+                                                  : row[col_of(e.r.sv)]);
+      }
+      bool other_is_unbound_var =
+          (v_is_subj ? e.r.ov != kInvalidVarId && col_of(e.r.ov) == SIZE_MAX
+                     : e.r.sv != kInvalidVarId && col_of(e.r.sv) == SIZE_MAX) &&
+          !(e.r.sv == next && e.r.ov == next);
+      if (other_is_unbound_var && !first_edge) {
+        // Defer: this edge will constrain when its other endpoint binds.
+        continue;
+      }
+      if (other_is_unbound_var && first_edge) {
+        // Use the projection as a (sound) seed only if no better edge
+        // exists; check whether any other incident edge has a bound
+        // endpoint — if so, skip this one.
+        bool better_exists = false;
+        for (const CoreEdge& e2 : plan.core) {
+          if (&e2 == &e) continue;
+          if (e2.r.sv != next && e2.r.ov != next) continue;
+          bool e2_subj = e2.r.sv == next;
+          bool e2_other_unbound =
+              (e2_subj ? e2.r.ov != kInvalidVarId && col_of(e2.r.ov) == SIZE_MAX
+                       : e2.r.sv != kInvalidVarId && col_of(e2.r.sv) == SIZE_MAX);
+          if (!e2_other_unbound) {
+            better_exists = true;
             break;
           }
-        } else if (dead) {
-          continue;
         }
+        if (better_exists) continue;
       }
-      for (TermId val : cand_list) {
-        if (cand_set != nullptr && cand_set->count(val) == 0) {
-          if (counters) ++counters->candidates_pruned;
-          continue;
+      edge_list.clear();
+      AdjacencyList(store, e, v_is_subj, other, &edge_list, counters);
+      if (first_edge) {
+        cand_list = edge_list;
+        first_edge = false;
+      } else {
+        IntersectSorted(&cand_list, edge_list);
+      }
+      if (cand_list.empty()) {
+        dead = true;
+        break;
+      }
+      if (other_is_unbound_var) break;  // projection seed: one edge only
+    }
+    if (dead || first_edge) {
+      // first_edge still true means no incident edge could seed this
+      // variable for this row: disconnected from current bindings. Seed
+      // from the globally cheapest incident edge projection.
+      if (first_edge && !dead) {
+        for (const CoreEdge& e : plan.core) {
+          if (e.r.sv != next && e.r.ov != next) continue;
+          edge_list.clear();
+          AdjacencyList(store, e, e.r.sv == next, kInvalidTermId, &edge_list,
+                        counters);
+          if (cand_list.empty()) {
+            cand_list = edge_list;
+          } else {
+            IntersectSorted(&cand_list, edge_list);
+          }
+          break;
         }
-        std::vector<TermId> nrow = row;
-        nrow.push_back(val);
-        next_rows.push_back(std::move(nrow));
+      } else if (dead) {
+        continue;
       }
     }
-    bound_vars.push_back(next);
-    rows = std::move(next_rows);
-    if (counters) counters->rows_materialized += rows.size();
-    if (rows.empty()) return result;
+    for (TermId val : cand_list) {
+      if (cand_set != nullptr && cand_set->count(val) == 0) {
+        if (counters) ++counters->candidates_pruned;
+        continue;
+      }
+      std::vector<TermId> nrow = row;
+      nrow.push_back(val);
+      next_rows.push_back(std::move(nrow));
+    }
+  }
+  if (counters) counters->rows_materialized += next_rows.size();
+  return next_rows;
+}
+
+/// Runs extension steps [first_step, end), core edge verification and
+/// residual pattern expansion over one subset of partial bindings. The
+/// result rows follow plan.final_vars; rows are NOT yet deduplicated.
+Rows CompleteRows(const TripleStore& store, const WcoPlan& plan,
+                  size_t first_step, Rows rows, const CandidateMap* cands,
+                  BgpEvalCounters* counters, const CancelToken* cancel) {
+  CancelCheckpoint chk(cancel);
+  for (size_t step = first_step; step < plan.var_order.size(); ++step) {
+    rows = ExtendStep(store, plan, step, rows, cands, counters, chk);
+    if (rows.empty()) return rows;
   }
 
   // --- Verification of core edges not enforced during extension -------
-  // Every core edge with both endpoints in bound_vars (or constants) must
-  // hold; extensions enforced edges incident to the newly added variable
-  // with a bound other endpoint, which covers all of them inductively —
-  // except edges whose adjacency was skipped as "deferred". Re-check all.
+  // Every core edge with both endpoints bound (or constant) must hold;
+  // extensions enforced edges incident to the newly added variable with a
+  // bound other endpoint, which covers all of them inductively — except
+  // edges whose adjacency was skipped as "deferred". Re-check all.
+  auto core_col = [&](VarId v) { return IndexOf(plan.var_order, v); };
   {
-    std::vector<std::vector<TermId>> verified;
+    Rows verified;
     verified.reserve(rows.size());
-    for (const auto& row : rows) {
+    for (auto& row : rows) {
       chk.Poll();
       bool ok = true;
-      for (const CoreEdge& e : core) {
-        TermId s = e.r.sv == kInvalidVarId ? e.r.s : row[col_of(e.r.sv)];
-        TermId o = e.r.ov == kInvalidVarId ? e.r.o : row[col_of(e.r.ov)];
-        if (!store_.Contains(Triple(s, e.r.p, o))) {
+      for (const CoreEdge& e : plan.core) {
+        TermId s = e.r.sv == kInvalidVarId ? e.r.s : row[core_col(e.r.sv)];
+        TermId o = e.r.ov == kInvalidVarId ? e.r.o : row[core_col(e.r.ov)];
+        if (!store.Contains(Triple(s, e.r.p, o))) {
           ok = false;
           break;
         }
       }
-      if (ok) verified.push_back(row);
+      if (ok) verified.push_back(std::move(row));
     }
     rows = std::move(verified);
   }
 
   // --- Residual patterns (variable predicates) -------------------------
-  for (const ResolvedPattern& r : residual) {
-    std::vector<VarId> new_vars;
-    auto is_bound = [&](VarId v) { return col_of(v) != SIZE_MAX; };
-    for (VarId v : {r.sv, r.pv, r.ov})
-      if (v != kInvalidVarId && !is_bound(v) &&
-          std::find(new_vars.begin(), new_vars.end(), v) == new_vars.end())
-        new_vars.push_back(v);
-
-    std::vector<std::vector<TermId>> next_rows;
+  size_t bound_count = plan.var_order.size();
+  for (size_t ri = 0; ri < plan.residual.size(); ++ri) {
+    const ResolvedPattern& r = plan.residual[ri];
+    const std::vector<VarId>& new_vars = plan.residual_new[ri];
+    auto col_of = [&](VarId v) -> size_t {
+      size_t c = IndexOf(plan.final_vars, v);
+      return c < bound_count ? c : SIZE_MAX;
+    };
+    Rows next_rows;
     for (const auto& row : rows) {
       chk.Poll();
       TriplePatternIds q;
-      q.s = r.sv == kInvalidVarId ? r.s
-                                  : (is_bound(r.sv) ? row[col_of(r.sv)]
-                                                    : kInvalidTermId);
-      q.p = r.pv == kInvalidVarId ? r.p
-                                  : (is_bound(r.pv) ? row[col_of(r.pv)]
-                                                    : kInvalidTermId);
-      q.o = r.ov == kInvalidVarId ? r.o
-                                  : (is_bound(r.ov) ? row[col_of(r.ov)]
-                                                    : kInvalidTermId);
+      q.s = r.sv == kInvalidVarId
+                ? r.s
+                : (col_of(r.sv) != SIZE_MAX ? row[col_of(r.sv)] : kInvalidTermId);
+      q.p = r.pv == kInvalidVarId
+                ? r.p
+                : (col_of(r.pv) != SIZE_MAX ? row[col_of(r.pv)] : kInvalidTermId);
+      q.o = r.ov == kInvalidVarId
+                ? r.o
+                : (col_of(r.ov) != SIZE_MAX ? row[col_of(r.ov)] : kInvalidTermId);
       if (counters) ++counters->index_probes;
-      store_.Scan(q, [&](const Triple& t) {
+      store.Scan(q, [&](const Triple& t) {
         chk.Poll();
         // Repeated-variable consistency within the pattern.
         if (r.sv != kInvalidVarId && r.sv == r.ov && t.s != t.o) return true;
@@ -348,22 +397,27 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
         return true;
       });
     }
-    for (VarId v : new_vars) bound_vars.push_back(v);
+    bound_count += new_vars.size();
     rows = std::move(next_rows);
     if (counters) counters->rows_materialized += rows.size();
-    if (rows.empty()) return result;
+    if (rows.empty()) return rows;
   }
+  return rows;
+}
 
-  // --- Deduplicate (set semantics of BGP matching) ---------------------
-  // Vertex-at-a-time extension can reach the same full binding through
-  // projection-seeded steps; normalize to distinct rows.
+/// Sort + unique (set semantics of BGP matching) and projection onto the
+/// canonical bgp.Variables() schema. Running this globally over the
+/// concatenated morsel outputs is what makes the parallel path bit-identical
+/// to the sequential one.
+BindingSet EmitRows(Rows rows, const WcoPlan& plan,
+                    const std::vector<VarId>& all_vars) {
   std::sort(rows.begin(), rows.end());
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
 
-  // --- Emit over the canonical schema ---------------------------------
+  BindingSet result(all_vars);
   std::vector<size_t> out_cols;
   out_cols.reserve(all_vars.size());
-  for (VarId v : all_vars) out_cols.push_back(col_of(v));
+  for (VarId v : all_vars) out_cols.push_back(IndexOf(plan.final_vars, v));
   std::vector<TermId> out_row(all_vars.size());
   result.Reserve(rows.size());
   for (const auto& row : rows) {
@@ -372,6 +426,87 @@ BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
     result.AppendRow(out_row);
   }
   return result;
+}
+
+}  // namespace
+
+BindingSet WcoEngine::Evaluate(const Bgp& bgp, const CandidateMap* cands,
+                               BgpEvalCounters* counters,
+                               const CancelToken* cancel) const {
+  std::vector<VarId> all_vars = bgp.Variables();
+  if (bgp.triples.empty()) {
+    BindingSet result(all_vars);
+    result.AppendEmptyMappings(1);  // the unit bag
+    return result;
+  }
+  CancelCheckpoint chk(cancel);
+  chk.Poll();
+  WcoPlan plan = BuildPlan(bgp, store_, dict_);
+  if (plan.definitely_empty) return BindingSet(all_vars);
+  Rows rows{{}};  // one empty partial binding
+  rows = CompleteRows(store_, plan, 0, std::move(rows), cands, counters, cancel);
+  return EmitRows(std::move(rows), plan, all_vars);
+}
+
+BindingSet WcoEngine::ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands,
+                                       BgpEvalCounters* counters,
+                                       const CancelToken* cancel,
+                                       const ParallelSpec& spec) const {
+  if (!spec.enabled()) return Evaluate(bgp, cands, counters, cancel);
+  std::vector<VarId> all_vars = bgp.Variables();
+  if (bgp.triples.empty()) {
+    BindingSet result(all_vars);
+    result.AppendEmptyMappings(1);
+    return result;
+  }
+  CancelCheckpoint chk(cancel);
+  chk.Poll();
+  WcoPlan plan = BuildPlan(bgp, store_, dict_);
+  if (plan.definitely_empty) return BindingSet(all_vars);
+
+  // Seed step: bind the first core variable sequentially (one index scan),
+  // producing the partial bindings the morsels partition.
+  Rows rows{{}};
+  size_t first_step = 0;
+  if (!plan.var_order.empty()) {
+    rows = ExtendStep(store_, plan, 0, rows, cands, counters, chk);
+    first_step = 1;
+    if (rows.empty()) return BindingSet(all_vars);
+  }
+
+  size_t num_morsels = spec.MorselCount(rows.size());
+  if (num_morsels <= 1) {
+    // Too little seed fan-out to split: finish sequentially.
+    rows = CompleteRows(store_, plan, first_step, std::move(rows), cands,
+                        counters, cancel);
+    return EmitRows(std::move(rows), plan, all_vars);
+  }
+
+  size_t per_morsel = (rows.size() + num_morsels - 1) / num_morsels;
+  std::vector<Rows> outs(num_morsels);
+  std::vector<BgpEvalCounters> local(num_morsels);
+  spec.pool->ParallelFor(num_morsels, spec.EffectiveWorkers(), [&](size_t m) {
+    size_t begin = m * per_morsel;
+    size_t end = std::min(begin + per_morsel, rows.size());
+    // Morsel ranges are disjoint and `rows` is dead after the ParallelFor,
+    // so the seed bindings move instead of copying.
+    Rows subset(std::make_move_iterator(rows.begin() + begin),
+                std::make_move_iterator(rows.begin() + end));
+    outs[m] = CompleteRows(store_, plan, first_step, std::move(subset), cands,
+                           &local[m], cancel);
+  });
+
+  Rows merged;
+  size_t total = 0;
+  for (const Rows& out : outs) total += out.size();
+  merged.reserve(total);
+  for (Rows& out : outs)
+    for (auto& row : out) merged.push_back(std::move(row));
+  if (counters) {
+    for (const BgpEvalCounters& c : local) counters->Merge(c);
+    counters->morsels += num_morsels;
+  }
+  return EmitRows(std::move(merged), plan, all_vars);
 }
 
 double WcoEngine::EstimateCost(const Bgp& bgp) const {

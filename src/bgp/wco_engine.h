@@ -25,6 +25,17 @@ class WcoEngine : public BgpEngine {
                       BgpEvalCounters* counters,
                       const CancelToken* cancel) const override;
 
+  /// Morsel-driven evaluation, bit-identical to Evaluate: the seed
+  /// variable's bindings are produced sequentially, partitioned into
+  /// morsels, and each morsel runs the remaining vertex extensions,
+  /// verification and residual expansion independently. The final global
+  /// sort+dedup (shared with the sequential path) makes the merge
+  /// deterministic.
+  BindingSet ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands,
+                              BgpEvalCounters* counters,
+                              const CancelToken* cancel,
+                              const ParallelSpec& spec) const override;
+
   /// WCO join cost: sum over extension steps of
   ///   card({v1..vk-1}) * min_i average_size(vi, p).
   double EstimateCost(const Bgp& bgp) const override;

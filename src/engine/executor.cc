@@ -126,7 +126,12 @@ class TreeEvaluator {
       if (!cands.empty()) cands_ptr = &cands;
     }
     BgpEvalCounters counters;
-    BindingSet res = engine_.Evaluate(bgp, cands_ptr, &counters, options_.cancel);
+    const ParallelSpec& spec = options_.parallel;
+    BindingSet res =
+        spec.enabled()
+            ? engine_.ParallelEvaluate(bgp, cands_ptr, &counters,
+                                       options_.cancel, spec)
+            : engine_.Evaluate(bgp, cands_ptr, &counters, options_.cancel);
     if (metrics_) metrics_->bgp.Merge(counters);
     return res;
   }

@@ -35,6 +35,15 @@ struct ExecOptions {
   /// owned; may be null (no deadline). The query service points this at a
   /// per-request token to enforce deadlines.
   const CancelToken* cancel = nullptr;
+  /// Intra-query parallelism (pool, worker cap, morsel size). When
+  /// `parallel.enabled()` — a non-null pool and parallelism != 1 — BGP
+  /// evaluation dispatches to the engine's morsel-driven ParallelEvaluate
+  /// path, whose results are bit-identical to sequential execution. The
+  /// pool is not owned; the query service points it at its own pool so
+  /// inter- and intra-query work share one set of workers. Execution-only:
+  /// does not affect planning, so plans cached at any parallelism are
+  /// shared.
+  ParallelSpec parallel;
 
   static ExecOptions Base() { return {}; }
   static ExecOptions TT() {

@@ -4,7 +4,8 @@
 // triples — to a compact binary file, so large generated datasets can be
 // reloaded without re-running the generator or re-parsing N-Triples.
 //
-// Format (little-endian):
+// Format sketch (little-endian; docs/snapshot_format.md is the full
+// specification, including validation rules and versioning policy):
 //   magic "SPQLUO1\n" | u64 term_count | terms | u64 triple_count | triples
 //   term   := u8 kind | u8 qualifier_is_lang | u32 len lexical bytes
 //             | u32 len qualifier bytes

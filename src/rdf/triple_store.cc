@@ -79,13 +79,12 @@ std::span<const Triple> TripleStore::EqualRangeOSP(TermId o, TermId s) const {
                  OrderOSP{});
 }
 
-TripleStore::ScanRange TripleStore::MatchRange(
-    const TriplePatternIds& q) const {
+TripleStore::MatchedRange TripleStore::Match(const TriplePatternIds& q) const {
   assert(built_ && "Scan before Build");
   // Each bound-position combination maps to an index whose prefix covers all
   // bound positions, except the fully-bound case where o is filtered on top
   // of the (s, p) prefix.
-  ScanRange out;
+  MatchedRange out;
   if (q.s_bound() && q.p_bound()) {
     out.range = EqualRangeSPO(q.s, q.p);
     out.filter_o = q.o_bound();

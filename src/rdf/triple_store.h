@@ -48,15 +48,44 @@ class TripleStore {
   bool built() const { return built_; }
   size_t size() const { return spo_.size(); }
 
+  /// The sorted index span covering a pattern, plus the residual object
+  /// filter used for fully-bound patterns (whose (s, p) prefix scan must
+  /// still check o). Public so morsel-driven evaluation can split one
+  /// matched range into independently scannable sub-ranges; `range` points
+  /// into the store's permutation arrays and stays valid as long as the
+  /// store does.
+  struct MatchedRange {
+    std::span<const Triple> range;
+    bool filter_o = false;
+    TermId o = kInvalidTermId;
+
+    size_t size() const { return range.size(); }
+
+    /// The [begin, end) slice of this range (for one morsel).
+    MatchedRange Slice(size_t begin, size_t end) const {
+      return {range.subspan(begin, end - begin), filter_o, o};
+    }
+  };
+
+  /// Resolves `pattern` to the index range holding its matches. Covers every
+  /// bound/unbound combination; see the header comment for the index choice.
+  MatchedRange Match(const TriplePatternIds& pattern) const;
+
   /// Invokes `fn` for every triple matching `pattern`. `fn` may return false
   /// to stop the scan early.
   ///
   /// Templated so the callback inlines into the scan loop: every index probe
   /// used to pay a std::function indirect call per triple, which dominated
-  /// tight adjacency scans. Index selection stays out-of-line in MatchRange.
+  /// tight adjacency scans. Index selection stays out-of-line in Match.
   template <typename Fn>
   void Scan(const TriplePatternIds& pattern, Fn&& fn) const {
-    ScanRange r = MatchRange(pattern);
+    ScanMatched(Match(pattern), std::forward<Fn>(fn));
+  }
+
+  /// Scan over an already-resolved (possibly sliced) range; yields triples
+  /// in the same order Scan does for the covering pattern.
+  template <typename Fn>
+  static void ScanMatched(const MatchedRange& r, Fn&& fn) {
     for (const Triple& t : r.range) {
       if (r.filter_o && t.o != r.o) continue;
       if (!fn(t)) return;
@@ -74,16 +103,6 @@ class TripleStore {
   std::span<const Triple> triples() const { return spo_; }
 
  private:
-  /// The index range covering a pattern's bound prefix. For the fully-bound
-  /// case the (s, p) prefix is used and `filter_o` requests a residual
-  /// filter on `o`.
-  struct ScanRange {
-    std::span<const Triple> range;
-    bool filter_o = false;
-    TermId o = kInvalidTermId;
-  };
-  ScanRange MatchRange(const TriplePatternIds& pattern) const;
-
   std::span<const Triple> EqualRangeSPO(TermId s) const;
   std::span<const Triple> EqualRangeSPO(TermId s, TermId p) const;
   std::span<const Triple> EqualRangePOS(TermId p) const;

@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-
 namespace sparqluo {
 
 QueryService::QueryService(const Database& db, Options options)
@@ -10,54 +9,83 @@ QueryService::QueryService(const Database& db, Options options)
       options_(options),
       cache_(options.plan_cache_capacity, options.plan_cache_shards) {
   assert(db.finalized() && "QueryService requires a finalized Database");
-  size_t threads = options_.num_threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    size_t threads = options_.num_threads;
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    pool_ = std::make_shared<ExecutorPool>(threads);
+    owns_pool_ = true;
   }
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { WorkerLoop(); });
 }
 
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
+    cv_.wait(lock, [this] { return in_flight_ == 0; });
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_)
-    if (w.joinable()) w.join();
+  // Only a service-owned pool is stopped; a shared pool outlives us. Done
+  // outside mu_: pool workers finishing tasks take mu_ to decrement
+  // in_flight_.
+  if (owns_pool_) pool_->Shutdown();
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
-  Task task;
-  task.request = std::move(request);
-  task.submitted = std::chrono::steady_clock::now();
-  std::future<QueryResponse> future = task.promise.get_future();
+  auto task = std::make_shared<Task>();
+  task->request = std::move(request);
+  task->submitted = std::chrono::steady_clock::now();
+  std::future<QueryResponse> future = task->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       stats_.RecordRejected();
       QueryResponse rejected;
       rejected.status = Status::Internal("query service is shut down");
-      task.promise.set_value(std::move(rejected));
+      task->promise.set_value(std::move(rejected));
       return future;
     }
-    if (queue_.size() >= options_.max_queue) {
+    // Admission control: pool size queries can run, max_queue more can
+    // wait; everything beyond bounces immediately.
+    if (in_flight_ >= pool_->num_threads() + options_.max_queue) {
       stats_.RecordRejected();
       QueryResponse rejected;
       rejected.status =
           Status::ResourceExhausted("admission queue full, query rejected");
-      task.promise.set_value(std::move(rejected));
+      task->promise.set_value(std::move(rejected));
       return future;
     }
     stats_.RecordSubmitted();
-    queue_.push_back(std::move(task));
+    ++in_flight_;
   }
-  cv_.notify_one();
+  pool_->Submit([this, task] {
+    QueryResponse response;
+    // Nothing may escape Process(): an uncaught exception would unwind the
+    // pool worker and std::terminate the whole service. bad_alloc from a
+    // runaway intermediate is the realistic case; fail the one query.
+    try {
+      response = Process(*task);
+    } catch (const std::exception& e) {
+      response = QueryResponse();
+      response.status = Status::Internal(std::string("query threw: ") +
+                                         e.what());
+    } catch (...) {
+      response = QueryResponse();
+      response.status = Status::Internal("query threw an unknown exception");
+    }
+    stats_.RecordFinished(response.status, response.metrics, response.total_ms,
+                          response.plan_cache_hit, response.rows.size());
+    task->promise.set_value(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_.notify_all();
+    }
+  });
   return future;
 }
 
@@ -70,36 +98,6 @@ std::vector<QueryResponse> QueryService::RunBatch(
   responses.reserve(futures.size());
   for (auto& f : futures) responses.push_back(f.get());
   return responses;
-}
-
-void QueryService::WorkerLoop() {
-  for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    QueryResponse response;
-    // Nothing may escape Process(): an uncaught exception would unwind the
-    // worker thread and std::terminate the whole service. bad_alloc from a
-    // runaway intermediate is the realistic case; fail the one query.
-    try {
-      response = Process(task);
-    } catch (const std::exception& e) {
-      response = QueryResponse();
-      response.status = Status::Internal(std::string("query threw: ") +
-                                         e.what());
-    } catch (...) {
-      response = QueryResponse();
-      response.status = Status::Internal("query threw an unknown exception");
-    }
-    stats_.RecordFinished(response.status, response.metrics, response.total_ms,
-                          response.plan_cache_hit, response.rows.size());
-    task.promise.set_value(std::move(response));
-  }
 }
 
 QueryResponse QueryService::Process(Task& task) {
@@ -129,6 +127,13 @@ QueryResponse QueryService::Process(Task& task) {
 
   ExecOptions options = req.options;
   options.cancel = cancel;
+  // Intra-query parallelism: morsels fan out onto the service's own pool.
+  // Requests keeping the default of 1 inherit the service-wide setting
+  // unless they opted out (inherit_parallelism = false forces their
+  // literal parallelism, so 1 means sequential).
+  options.parallel.pool = pool_.get();
+  if (req.inherit_parallelism && options.parallel.parallelism == 1)
+    options.parallel.parallelism = options_.intra_query_parallelism;
 
   std::shared_ptr<const CachedPlan> plan;
   std::string key;

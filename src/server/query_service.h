@@ -5,15 +5,19 @@
 // so queries can execute in parallel without any locking on the data. This
 // service adds the traffic-facing machinery on top:
 //
-//   - a fixed worker thread pool consuming a bounded submission queue
-//     (admission control: max in-flight = pool size, plus max_queue pending;
-//     submissions beyond that are rejected with ResourceExhausted),
+//   - a shared ExecutorPool (util/executor_pool.h) serving both whole-query
+//     tasks and the morsel batches of intra-query parallel BGP evaluation,
+//     so inter- and intra-query work share one set of workers; admission
+//     control rejects submissions beyond pool size + max_queue in flight
+//     with ResourceExhausted,
 //   - per-query deadlines and explicit cancellation, enforced through the
-//     executor's cooperative CancelToken checkpoints,
+//     executor's cooperative CancelToken checkpoints (each morsel polls the
+//     same token),
 //   - a sharded LRU plan cache keyed by normalized query text, so repeated
 //     queries skip parsing and tree transformation entirely,
 //   - thread-safe aggregation of per-query ExecMetrics/BgpEvalCounters into
-//     service-level counters (QPS, p50/p99 latency, cache hit rate, aborts).
+//     service-level counters (QPS, p50/p99 latency, cache hit rate, aborts,
+//     morsel counts).
 //
 // The same freeze-then-serve organization RDF-3x-style stores use: load,
 // Finalize, then serve reads from arbitrarily many threads.
@@ -21,16 +25,14 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <future>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "engine/database.h"
 #include "server/plan_cache.h"
 #include "server/service_stats.h"
+#include "util/executor_pool.h"
 
 namespace sparqluo {
 
@@ -46,6 +48,11 @@ struct QueryRequest {
   /// installs the effective deadline on it and evaluation polls it, so the
   /// caller can abort the request mid-flight with RequestCancel().
   std::shared_ptr<CancelToken> cancel;
+  /// When true (default), a request leaving options.parallel.parallelism
+  /// at 1 inherits the service-wide intra_query_parallelism. Set to false
+  /// to take the request's value literally — in particular, 1 then forces
+  /// sequential evaluation for this request.
+  bool inherit_parallelism = true;
 };
 
 /// Outcome of one query.
@@ -60,7 +67,8 @@ struct QueryResponse {
 class QueryService {
  public:
   struct Options {
-    /// Worker threads (the in-flight bound). 0 = hardware concurrency.
+    /// Worker threads when the service creates its own pool (the in-flight
+    /// bound). 0 = hardware concurrency. Ignored when `pool` is set.
     size_t num_threads = 0;
     /// Pending submissions beyond the in-flight bound; submissions past
     /// this are rejected immediately (admission control).
@@ -71,6 +79,15 @@ class QueryService {
     /// Applied to requests that do not set their own deadline; <= 0 means
     /// unbounded.
     std::chrono::milliseconds default_deadline{0};
+    /// Intra-query parallelism applied to requests that leave
+    /// ExecOptions::parallel.parallelism at its default of 1 (0 = pool
+    /// size + 1).
+    /// Morsels run on the same pool as the queries themselves.
+    size_t intra_query_parallelism = 1;
+    /// Shared worker pool; null makes the service own a fresh pool with
+    /// `num_threads` workers. Passing one pool to several services (or to
+    /// standalone executors) keeps all work on one set of workers.
+    std::shared_ptr<ExecutorPool> pool;
   };
 
   /// `db` must be finalized and must outlive the service.
@@ -88,13 +105,15 @@ class QueryService {
   /// submission order.
   std::vector<QueryResponse> RunBatch(std::vector<QueryRequest> requests);
 
-  /// Stops accepting new work, drains the queue and joins the workers.
-  /// Idempotent; also run by the destructor.
+  /// Stops accepting new work and waits for all in-flight queries to
+  /// finish. Idempotent; also run by the destructor. A service-owned pool
+  /// is shut down too; a shared pool keeps serving its other users.
   void Shutdown();
 
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return pool_->num_threads(); }
+  const std::shared_ptr<ExecutorPool>& pool() const { return pool_; }
 
  private:
   struct Task {
@@ -103,7 +122,6 @@ class QueryService {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void WorkerLoop();
   QueryResponse Process(Task& task);
 
   const Database& db_;
@@ -111,11 +129,13 @@ class QueryService {
   PlanCache cache_;
   ServiceStats stats_;
 
+  std::shared_ptr<ExecutorPool> pool_;
+  bool owns_pool_ = false;
+
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
+  std::condition_variable cv_;   ///< Signalled when in_flight_ hits zero.
+  size_t in_flight_ = 0;         ///< Submitted to the pool, not yet finished.
   bool shutdown_ = false;
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace sparqluo

@@ -1,0 +1,123 @@
+#include "util/executor_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace sparqluo {
+
+ExecutorPool::ExecutorPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ExecutorPool::~ExecutorPool() { Shutdown(); }
+
+void ExecutorPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void ExecutorPool::Submit(std::function<void()> task, bool front) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      if (front) {
+        queue_.push_front(std::move(task));
+      } else {
+        queue_.push_back(std::move(task));
+      }
+      cv_.notify_one();
+      return;
+    }
+  }
+  task();  // shut down: run inline so submitted work is never lost
+}
+
+void ExecutorPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ExecutorPool::ParallelFor(size_t n, size_t max_workers,
+                               const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (max_workers == 0) max_workers = workers_.size() + 1;
+  size_t helpers = std::min({max_workers - 1, n - 1, workers_.size()});
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared batch state. Help tasks hold the shared_ptr, so a task dequeued
+  // after ParallelFor returned still finds the counter exhausted (every
+  // index < n was claimed before the caller could observe done == n) and
+  // exits without touching `fn`, which is dead by then.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;                   // guarded by mu
+    std::exception_ptr error;          // guarded by mu; first failure wins
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+  };
+  auto st = std::make_shared<State>();
+  st->n = n;
+  st->fn = &fn;
+
+  auto work = [st] {
+    size_t completed = 0;
+    for (;;) {
+      size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->n) break;
+      // After a failure, remaining items are claimed but skipped so the
+      // batch finishes quickly (a fired CancelToken would make every one
+      // throw the same way anyway).
+      if (!st->failed.load(std::memory_order_relaxed)) {
+        try {
+          (*st->fn)(i);
+        } catch (...) {
+          st->failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(st->mu);
+          if (!st->error) st->error = std::current_exception();
+        }
+      }
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->done += completed;
+      if (st->done == st->n) st->cv.notify_all();
+    }
+  };
+
+  for (size_t h = 0; h < helpers; ++h) Submit(work, /*front=*/true);
+  work();  // the caller participates: progress even on a saturated pool
+
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] { return st->done == st->n; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,92 @@
+// Shared worker pool for inter- and intra-query parallelism.
+//
+// One ExecutorPool serves two kinds of work:
+//   - whole-query tasks submitted by the QueryService (Submit), and
+//   - morsel batches fanned out by a BGP engine mid-query (ParallelFor).
+//
+// ParallelFor is morsel-driven: the n work items are claimed from a shared
+// atomic counter, the calling thread participates, and idle pool workers
+// join in through "help" tasks pushed to the front of the queue. Because
+// the caller always drains the counter itself, a fully busy pool degrades
+// to sequential execution instead of deadlocking — a query task running on
+// a pool worker can safely fan out onto the same pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparqluo {
+
+class ExecutorPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ExecutorPool(size_t num_threads = 0);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. `front` pushes it ahead of queued work (used for
+  /// morsel help tasks so intra-query work is not starved by queued
+  /// queries). After Shutdown the task runs inline on the caller, so no
+  /// submitted work is ever silently dropped.
+  void Submit(std::function<void()> task, bool front = false);
+
+  /// Runs fn(0) .. fn(n-1) using at most `max_workers` threads (including
+  /// the calling thread; 0 means "pool size + 1"). Blocks until every
+  /// invocation finished. If any invocation throws, the remaining unstarted
+  /// items are skipped and the first exception is rethrown on the caller.
+  void ParallelFor(size_t n, size_t max_workers,
+                   const std::function<void(size_t)>& fn);
+
+  /// Stops accepting pool-side work, drains the queue and joins the
+  /// workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// How a BGP engine should parallelize one evaluation. Carried alongside
+/// (not inside) ExecOptions so the bgp/ layer needs no dependency on the
+/// executor.
+struct ParallelSpec {
+  ExecutorPool* pool = nullptr;  ///< Not owned; null disables parallelism.
+  /// Maximum concurrent workers per morsel batch, including the caller.
+  /// 0 = pool size + 1; 1 = sequential.
+  size_t parallelism = 1;
+  /// Work items (index triples or partial bindings) per morsel.
+  size_t morsel_size = 1024;
+
+  bool enabled() const { return pool != nullptr && parallelism != 1; }
+
+  /// Workers usable for one batch, including the caller.
+  size_t EffectiveWorkers() const {
+    if (pool == nullptr) return 1;
+    return parallelism == 0 ? pool->num_threads() + 1 : parallelism;
+  }
+
+  /// Number of morsels for `n` work items (at least 1 for n > 0), capping
+  /// the per-batch bookkeeping while keeping every worker busy.
+  size_t MorselCount(size_t n) const {
+    if (n == 0) return 0;
+    size_t size = morsel_size == 0 ? 1 : morsel_size;
+    return (n + size - 1) / size;
+  }
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Docs lint: fail on broken relative links in Markdown files.
+
+Scans every *.md under the repository (skipping build/ and hidden
+directories), extracts inline links and images ([text](target)), and
+verifies that each relative target resolves to an existing file or
+directory. External links (scheme://, mailto:) and pure in-page anchors
+(#...) are ignored; an #anchor suffix on a relative link is stripped
+before the existence check.
+
+Usage: tools/docs_lint.py [ROOT]       (default ROOT: repo root)
+Exit status: 0 = clean, 1 = broken links found.
+"""
+import os
+import re
+import sys
+
+# Inline link/image: [text](target) — target may not contain spaces or
+# closing parens (none of ours do); reference-style links are not used in
+# this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {"build", ".git", ".github"}
+
+
+def is_external(target: str) -> bool:
+    return "://" in target or target.startswith(("mailto:", "#"))
+
+
+def lint(root: str) -> int:
+    broken = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith(".")]
+        for name in filenames:
+            if not name.endswith(".md"):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            # Fenced code blocks frequently contain [x](y)-shaped text that
+            # is not a link; drop them before matching.
+            text = re.sub(r"```.*?```", "", text, flags=re.S)
+            for match in LINK_RE.finditer(text):
+                target = match.group(1)
+                if is_external(target):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(dirpath, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    broken.append(f"{rel}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        print(f"docs lint: {len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print("docs lint: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(lint(sys.argv[1] if len(sys.argv) > 1 else
+                  os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))

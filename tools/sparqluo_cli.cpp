@@ -14,6 +14,10 @@
 //   --explain                 print the BE-tree before/after transformation
 //   --stats                   print dataset statistics and exit
 //   --max-rows N              abort when an intermediate exceeds N rows
+//   --parallelism N           intra-query parallelism: evaluate each BGP
+//                             with up to N workers via morsel-driven
+//                             execution (0 = all hardware threads; results
+//                             are bit-identical to sequential execution)
 //   --concurrency N           serve the query batch through a QueryService
 //                             with N worker threads (enables batch serving)
 //   --repeat K                submit each query K times (batch serving)
@@ -61,6 +65,7 @@ struct CliOptions {
   bool explain = false;
   bool stats_only = false;
   size_t concurrency = 0;  ///< > 0 switches to batch serving.
+  size_t parallelism = 1;  ///< Intra-query workers; 0 = hardware threads.
   size_t repeat = 1;
   long deadline_ms = 0;
   bool plan_cache = true;
@@ -73,8 +78,8 @@ int Usage(const char* argv0) {
             << " (--data FILE.nt | --lubm N | --dbpedia N) [--engine "
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
                "tsv|csv|json] [--explain] [--stats] [--max-rows N] "
-               "[--concurrency N] [--repeat K] [--deadline-ms N] "
-               "[--no-plan-cache] [QUERY]\n";
+               "[--parallelism N] [--concurrency N] [--repeat K] "
+               "[--deadline-ms N] [--no-plan-cache] [QUERY]\n";
   return 2;
 }
 
@@ -137,6 +142,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->exec.max_intermediate_rows = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--parallelism") {
+      const char* v = next();
+      if (!v) return false;
+      opts->parallelism = static_cast<size_t>(std::atol(v));
     } else if (arg == "--concurrency") {
       const char* v = next();
       if (!v) return false;
@@ -174,6 +183,7 @@ int RunService(Database& db, const CliOptions& opts,
   QueryService::Options sopts;
   sopts.num_threads = opts.concurrency;
   sopts.enable_plan_cache = opts.plan_cache;
+  sopts.intra_query_parallelism = opts.parallelism;
   // RunBatch submits the whole batch up front; size the admission queue to
   // hold it so a big --repeat doesn't trip the overload rejection meant for
   // live traffic.
@@ -223,11 +233,13 @@ int RunService(Database& db, const CliOptions& opts,
             << "aborted_deadline\t" << stats.aborted_deadline << "\n"
             << "aborted_row_limit\t" << stats.aborted_row_limit << "\n"
             << "rejected\t" << stats.rejected << "\n"
-            << "cache_hit_rate\t" << stats.CacheHitRate() << "\n";
+            << "cache_hit_rate\t" << stats.CacheHitRate() << "\n"
+            << "morsels\t" << stats.bgp.morsels << "\n";
   return rc;
 }
 
-int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
+int RunQuery(Database& db, const CliOptions& opts, const std::string& text,
+             ExecutorPool* pool) {
   auto parsed = db.Parse(text);
   if (!parsed.ok()) {
     std::cerr << "parse error: " << parsed.status().ToString() << "\n";
@@ -255,6 +267,8 @@ int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
                         : CancelToken::Clock::time_point::max());
   ExecOptions exec = opts.exec;
   if (opts.deadline_ms > 0) exec.cancel = &token;
+  exec.parallel.pool = pool;
+  exec.parallel.parallelism = pool != nullptr ? opts.parallelism : 1;
   auto result = db.executor().Execute(*parsed, exec, &metrics);
   if (!result.ok()) {
     std::cerr << "query failed: " << result.status().ToString() << "\n";
@@ -268,7 +282,8 @@ int RunQuery(Database& db, const CliOptions& opts, const std::string& text) {
   std::cerr << "# " << result->size() << " rows in " << timer.ElapsedMillis()
             << " ms (exec " << metrics.exec_ms << " ms, plan "
             << metrics.transform_ms << " ms, join space "
-            << metrics.join_space << ")\n";
+            << metrics.join_space << ", morsels " << metrics.bgp.morsels
+            << ")\n";
   return 0;
 }
 
@@ -356,8 +371,15 @@ int main(int argc, char** argv) {
 
   if (opts.concurrency > 0) return RunService(db, opts, queries);
 
+  // Intra-query pool for direct execution: N - 1 workers plus the calling
+  // thread (0 = all hardware threads).
+  std::unique_ptr<ExecutorPool> pool;
+  if (opts.parallelism != 1)
+    pool = std::make_unique<ExecutorPool>(
+        opts.parallelism == 0 ? 0 : opts.parallelism - 1);
+
   int rc = 0;
   for (size_t rep = 0; rep < opts.repeat; ++rep)
-    for (const std::string& q : queries) rc |= RunQuery(db, opts, q);
+    for (const std::string& q : queries) rc |= RunQuery(db, opts, q, pool.get());
   return rc;
 }
