@@ -1,0 +1,317 @@
+// Versioned-update benchmark: commit latency, reader throughput under a
+// live writer, and post-commit scan overhead.
+//
+// Three experiments over a LUBM base store:
+//
+//   commit    — commit latency vs. batch size: stage N inserts, Commit(),
+//               report the merge+stats+engine+publish cost (and the pure
+//               delta-merge share). Copy-on-write compaction is linear in
+//               |base| + |delta| log |delta|, so latency should be flat-ish
+//               in N until the delta dominates.
+//   qps       — reader QPS with and without a concurrent writer committing
+//               batches in a loop (snapshot isolation: readers never block;
+//               the cost they see is plan-cache misses after each commit
+//               plus version churn).
+//   overhead  — query latency on a store that reached its state through K
+//               commits vs. a store built from scratch with the same net
+//               triples (should be ~1.0x: commits compact, so post-commit
+//               reads pay no delta-merge tax).
+//
+// Usage:
+//   bench_updates [--json FILE] [--lubm N] [--batch-sizes 100,1000,10000]
+//                 [--commits K] [--duration-ms D] [--engine wco|hashjoin]
+//
+// The recorded JSON includes `hardware_threads` (see docs/benchmarks.md:
+// on a 1-thread container, reader/writer concurrency interleaves rather
+// than overlaps, which depresses the `qps` cells but not `commit` or
+// `overhead`).
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/query_service.h"
+#include "store/update.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+std::vector<size_t> SplitSizes(const std::string& csv) {
+  std::vector<size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(static_cast<size_t>(std::atol(item.c_str())));
+  return out;
+}
+
+Term SyntheticSubject(size_t i) {
+  return Term::Iri("http://bench.sparqluo/upd/s" + std::to_string(i));
+}
+
+/// A batch of `n` fresh triples (new subjects attached to existing LUBM
+/// vocabulary so queries can reach them).
+UpdateBatch MakeInsertBatch(size_t n, size_t* counter) {
+  UpdateBatch batch;
+  Term pred = Term::Iri("http://bench.sparqluo/upd/links");
+  for (size_t i = 0; i < n; ++i) {
+    size_t id = (*counter)++;
+    batch.Insert(SyntheticSubject(id), pred, SyntheticSubject(id / 7));
+  }
+  return batch;
+}
+
+struct CommitCell {
+  size_t batch_size = 0;
+  double commit_ms = 0.0;     ///< Full commit (merge+stats+engine+publish).
+  double stage_ms = 0.0;      ///< Dictionary interning + delta replay.
+  size_t store_size = 0;
+  uint64_t version = 0;
+};
+
+struct QpsCell {
+  std::string scenario;  ///< "read_only" or "with_writer".
+  size_t reader_threads = 0;
+  size_t queries = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t commits = 0;  ///< Versions published during the window.
+};
+
+struct OverheadCell {
+  std::string query;
+  double committed_ms = 0.0;  ///< On the store that went through K commits.
+  double rebuilt_ms = 0.0;    ///< On a from-scratch store, same net triples.
+  double ratio = 1.0;
+  size_t rows_committed = 0;
+  size_t rows_rebuilt = 0;
+};
+
+void WriteJson(const std::vector<CommitCell>& commits,
+               const std::vector<QpsCell>& qps,
+               const std::vector<OverheadCell>& overhead, size_t lubm,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"updates\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n  \"lubm_universities\": "
+      << lubm << ",\n  \"commit_latency\": [\n";
+  for (size_t i = 0; i < commits.size(); ++i) {
+    const CommitCell& c = commits[i];
+    out << "    {\"batch_size\": " << c.batch_size << ", \"commit_ms\": "
+        << c.commit_ms << ", \"stage_ms\": " << c.stage_ms
+        << ", \"store_size\": " << c.store_size << ", \"version\": "
+        << c.version << "}" << (i + 1 < commits.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"reader_qps\": [\n";
+  for (size_t i = 0; i < qps.size(); ++i) {
+    const QpsCell& c = qps[i];
+    out << "    {\"scenario\": \"" << c.scenario << "\", \"reader_threads\": "
+        << c.reader_threads << ", \"queries\": " << c.queries
+        << ", \"qps\": " << c.qps << ", \"p50_ms\": " << c.p50_ms
+        << ", \"p99_ms\": " << c.p99_ms << ", \"commits\": " << c.commits
+        << "}" << (i + 1 < qps.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"scan_overhead\": [\n";
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadCell& c = overhead[i];
+    out << "    {\"query\": \"" << c.query << "\", \"committed_ms\": "
+        << c.committed_ms << ", \"rebuilt_ms\": " << c.rebuilt_ms
+        << ", \"ratio\": " << c.ratio << ", \"rows\": " << c.rows_committed
+        << "}" << (i + 1 < overhead.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t lubm = LubmUniversities();
+  std::vector<size_t> batch_sizes = {100, 1000, 10000};
+  size_t commits = 8;
+  size_t duration_ms = 2000;
+  EngineKind engine = EngineKind::kWco;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      const char* v = next();
+      if (v) json_path = v;
+    } else if (arg == "--lubm") {
+      const char* v = next();
+      if (v) lubm = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--batch-sizes") {
+      const char* v = next();
+      if (v) batch_sizes = SplitSizes(v);
+    } else if (arg == "--commits") {
+      const char* v = next();
+      if (v) commits = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--duration-ms") {
+      const char* v = next();
+      if (v) duration_ms = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v && std::strcmp(v, "hashjoin") == 0) engine = EngineKind::kHashJoin;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // ---- commit latency vs batch size --------------------------------
+  std::vector<CommitCell> commit_cells;
+  {
+    size_t counter = 0;
+    for (size_t n : batch_sizes) {
+      auto db = MakeLubm(lubm, engine);
+      UpdateBatch batch = MakeInsertBatch(n, &counter);
+      Timer stage_timer;
+      if (!db->Stage(batch).ok()) return 1;
+      double stage_ms = stage_timer.ElapsedMillis();
+      auto commit = db->Commit();
+      if (!commit.ok()) {
+        std::cerr << commit.status().ToString() << "\n";
+        return 1;
+      }
+      CommitCell cell;
+      cell.batch_size = n;
+      cell.commit_ms = commit->commit_ms;
+      cell.stage_ms = stage_ms;
+      cell.store_size = commit->store_size;
+      cell.version = commit->version;
+      commit_cells.push_back(cell);
+      std::cout << "commit batch=" << n << " stage=" << stage_ms
+                << "ms commit=" << commit->commit_ms << "ms store="
+                << commit->store_size << "\n";
+    }
+  }
+
+  // ---- reader QPS with/without a live writer -----------------------
+  std::vector<QpsCell> qps_cells;
+  const auto& workload = LubmPaperQueries();
+  for (bool with_writer : {false, true}) {
+    auto db = MakeLubm(lubm, engine);
+    QueryService::Options sopts;
+    sopts.num_threads = 4;
+    QueryService service(*db, sopts);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> committed{0};
+    std::thread writer;
+    if (with_writer) {
+      writer = std::thread([&] {
+        size_t counter = 1000000;  // distinct subject range from experiment 1
+        while (!stop.load(std::memory_order_relaxed)) {
+          UpdateBatch batch = MakeInsertBatch(500, &counter);
+          UpdateRequest req;
+          req.batch = std::move(batch);
+          UpdateResponse resp = service.SubmitUpdate(std::move(req)).get();
+          if (resp.status.ok()) ++committed;
+        }
+      });
+    }
+
+    Timer window;
+    size_t submitted = 0;
+    std::vector<std::future<QueryResponse>> inflight;
+    while (window.ElapsedMillis() < static_cast<double>(duration_ms)) {
+      for (const PaperQuery& q : workload) {
+        QueryRequest req;
+        req.text = q.sparql;
+        ExecOptions opts = ExecOptions::Full();
+        opts.max_intermediate_rows = kRowLimit;
+        req.options = opts;
+        inflight.push_back(service.Submit(std::move(req)));
+        ++submitted;
+      }
+      for (auto& f : inflight) f.get();
+      inflight.clear();
+    }
+    double wall_ms = window.ElapsedMillis();
+    stop = true;
+    if (writer.joinable()) writer.join();
+
+    ServiceStatsSnapshot stats = service.Stats();
+    QpsCell cell;
+    cell.scenario = with_writer ? "with_writer" : "read_only";
+    cell.reader_threads = 4;
+    cell.queries = submitted;
+    cell.qps = wall_ms > 0.0 ? 1000.0 * submitted / wall_ms : 0.0;
+    cell.p50_ms = stats.p50_ms;
+    cell.p99_ms = stats.p99_ms;
+    cell.commits = committed.load();
+    qps_cells.push_back(cell);
+    std::cout << "qps scenario=" << cell.scenario << " queries=" << submitted
+              << " qps=" << cell.qps << " commits=" << cell.commits << "\n";
+  }
+
+  // ---- post-commit scan overhead vs from-scratch rebuild -----------
+  std::vector<OverheadCell> overhead_cells;
+  {
+    auto committed_db = MakeLubm(lubm, engine);
+    size_t counter = 2000000;
+    for (size_t k = 0; k < commits; ++k) {
+      auto commit = committed_db->Apply(MakeInsertBatch(1000, &counter));
+      if (!commit.ok()) return 1;
+    }
+    // Same net triples, loaded in one pass into a fresh store.
+    auto snap = committed_db->Snapshot();
+    Database rebuilt;
+    for (TermId id = 0; id < snap->dict->size(); ++id)
+      rebuilt.dict().Encode(snap->dict->Decode(id));
+    for (const Triple& t : snap->store->triples())
+      rebuilt.AddTriple(snap->dict->Decode(t.s), snap->dict->Decode(t.p),
+                        snap->dict->Decode(t.o));
+    rebuilt.Finalize(engine);
+
+    for (const PaperQuery& q : workload) {
+      OverheadCell cell;
+      cell.query = q.id;
+      constexpr int kReps = 3;
+      double best_committed = 1e300, best_rebuilt = 1e300;
+      int ok_reps = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        RunResult a = RunQuery(*committed_db, q.sparql, ExecOptions::Full());
+        RunResult b = RunQuery(rebuilt, q.sparql, ExecOptions::Full());
+        if (!a.ok || !b.ok) continue;
+        ++ok_reps;
+        best_committed = std::min(best_committed, a.total_ms);
+        best_rebuilt = std::min(best_rebuilt, b.total_ms);
+        cell.rows_committed = a.rows;
+        cell.rows_rebuilt = b.rows;
+      }
+      // A query that never completes must fail the run, not slip past the
+      // row cross-check with both counters at 0 and sentinel latencies.
+      if (ok_reps == 0) {
+        std::cerr << "no successful rep for " << q.id << "\n";
+        return 1;
+      }
+      if (cell.rows_committed != cell.rows_rebuilt) {
+        std::cerr << "row mismatch on " << q.id << "\n";
+        return 1;
+      }
+      cell.committed_ms = best_committed;
+      cell.rebuilt_ms = best_rebuilt;
+      cell.ratio = best_rebuilt > 0.0 ? best_committed / best_rebuilt : 1.0;
+      overhead_cells.push_back(cell);
+      std::cout << "overhead " << q.id << " committed=" << cell.committed_ms
+                << "ms rebuilt=" << cell.rebuilt_ms << "ms ratio="
+                << cell.ratio << "\n";
+    }
+  }
+
+  if (!json_path.empty())
+    WriteJson(commit_cells, qps_cells, overhead_cells, lubm, json_path);
+  return 0;
+}

@@ -6,31 +6,35 @@
 
 namespace sparqluo {
 
+Database::Database()
+    : dict_(std::make_shared<Dictionary>()),
+      base_store_(std::make_shared<TripleStore>()) {}
+
 void Database::AddTriple(const Term& s, const Term& p, const Term& o) {
-  store_.Add(Triple(dict_.Encode(s), dict_.Encode(p), dict_.Encode(o)));
+  base_store_->Add(Triple(dict_->Encode(s), dict_->Encode(p), dict_->Encode(o)));
 }
 
 Status Database::LoadNTriplesFile(const std::string& path) {
-  return sparqluo::LoadNTriplesFile(path, &dict_, &store_);
+  return sparqluo::LoadNTriplesFile(path, dict_.get(), base_store_.get());
 }
 
 Status Database::LoadNTriplesString(const std::string& text) {
-  return sparqluo::ParseNTriplesString(text, &dict_, &store_);
+  return sparqluo::ParseNTriplesString(text, dict_.get(), base_store_.get());
 }
 
 Status Database::LoadTurtleFile(const std::string& path) {
-  return sparqluo::LoadTurtleFile(path, &dict_, &store_);
+  return sparqluo::LoadTurtleFile(path, dict_.get(), base_store_.get());
 }
 
 Status Database::LoadTurtleString(const std::string& text) {
-  return sparqluo::ParseTurtleString(text, &dict_, &store_);
+  return sparqluo::ParseTurtleString(text, dict_.get(), base_store_.get());
 }
 
 void Database::Finalize(EngineKind kind) {
-  if (!store_.built()) store_.Build();
-  stats_ = Statistics::Compute(store_, dict_);
-  engine_ = MakeEngine(kind, store_, dict_, stats_);
-  executor_ = std::make_unique<Executor>(*engine_, dict_, store_);
+  if (finalized()) return;
+  if (!base_store_->built()) base_store_->Build();
+  versions_ = std::make_unique<VersionedStore>(
+      dict_, std::shared_ptr<const TripleStore>(base_store_), kind);
 }
 
 Result<BindingSet> Database::Query(const std::string& text,
@@ -38,13 +42,65 @@ Result<BindingSet> Database::Query(const std::string& text,
                                    ExecMetrics* metrics) const {
   if (!finalized())
     return Status::Internal("Database::Finalize() must be called first");
+  // Pin the version for the whole parse + execute: a commit that lands
+  // mid-query cannot swap the store underneath us.
+  std::shared_ptr<const DatabaseVersion> snap = versions_->Current();
   auto query = ParseQuery(text);
   if (!query.ok()) return query.status();
-  return executor_->Execute(*query, options, metrics);
+  return snap->executor->Execute(*query, options, metrics);
 }
 
 Result<Query> Database::Parse(const std::string& text) const {
   return ParseQuery(text);
+}
+
+std::shared_ptr<const DatabaseVersion> Database::Snapshot() const {
+  return finalized() ? versions_->Current() : nullptr;
+}
+
+Result<CommitStats> Database::Update(const std::string& update_text) {
+  auto batch = ParseUpdate(update_text);
+  if (!batch.ok()) return batch.status();
+  return Apply(*batch);
+}
+
+Result<CommitStats> Database::Apply(const UpdateBatch& batch) {
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  return versions_->Apply(batch);
+}
+
+Status Database::Stage(const UpdateBatch& batch) {
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  versions_->Stage(batch);
+  return Status::OK();
+}
+
+Result<CommitStats> Database::Commit() {
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  return versions_->Commit();
+}
+
+uint64_t Database::version() const {
+  return finalized() ? versions_->version() : 0;
+}
+
+const TripleStore& Database::store() const {
+  return finalized() ? *versions_->Current()->store : *base_store_;
+}
+
+const Statistics& Database::stats() const {
+  return versions_->Current()->stats;
+}
+
+const BgpEngine& Database::engine() const {
+  return *versions_->Current()->engine;
+}
+
+const Executor& Database::executor() const {
+  return *versions_->Current()->executor;
 }
 
 }  // namespace sparqluo

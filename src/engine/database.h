@@ -1,5 +1,5 @@
-// Convenience facade bundling dictionary, store, statistics, engine and
-// executor — the entry point examples and benchmarks use.
+// Convenience facade bundling dictionary, versioned store, engine and
+// executor — the entry point examples, benchmarks and the CLI use.
 #pragma once
 
 #include <memory>
@@ -8,19 +8,34 @@
 #include "engine/executor.h"
 #include "rdf/ntriples.h"
 #include "rdf/statistics.h"
+#include "store/versioned_store.h"
 
 namespace sparqluo {
 
-/// An in-memory RDF database with a SPARQL-UO front end.
+/// An in-memory RDF database with a SPARQL-UO front end and a versioned,
+/// snapshot-isolated write path.
 ///
 /// Usage:
 ///   Database db;
 ///   db.AddTriple(...); or db.LoadNTriples*(...);
-///   db.Finalize(EngineKind::kWco);
+///   db.Finalize(EngineKind::kWco);              // publishes version 0
 ///   auto result = db.Query("SELECT * WHERE { ... }", ExecOptions::Full());
+///   db.Update("INSERT DATA { <s> <p> <o> }");   // publishes version 1
+///
+/// After Finalize() the database is a chain of immutable versions
+/// (src/store/versioned_store.h). Queries pin the current version for
+/// their whole execution, so a concurrent Update() never changes a result
+/// mid-flight; long-lived readers should hold Snapshot() explicitly.
+///
+/// Accessor caveat: the const accessors (store()/stats()/engine()/
+/// executor()) resolve against the *current* version and the references
+/// they return are only guaranteed stable until the next commit. Code that
+/// runs concurrently with updates must pin a Snapshot() and read through
+/// it. mutable_store() is the pre-Finalize staging store (which also backs
+/// version 0) — it exists for loaders only.
 class Database {
  public:
-  Database() = default;
+  Database();
 
   // Loading (before Finalize).
   void AddTriple(const Term& s, const Term& p, const Term& o);
@@ -29,10 +44,10 @@ class Database {
   Status LoadTurtleFile(const std::string& path);
   Status LoadTurtleString(const std::string& text);
 
-  /// Builds indexes and statistics and instantiates the BGP engine.
+  /// Builds indexes and statistics and publishes version 0.
   void Finalize(EngineKind kind = EngineKind::kWco);
 
-  /// Parses and executes a query.
+  /// Parses and executes a query against the current committed version.
   Result<BindingSet> Query(const std::string& text,
                            const ExecOptions& options = ExecOptions::Full(),
                            ExecMetrics* metrics = nullptr) const;
@@ -40,23 +55,48 @@ class Database {
   /// Parses a query without executing it (for planning / inspection).
   Result<sparqluo::Query> Parse(const std::string& text) const;
 
+  // --- Versioned update API (valid after Finalize) -----------------------
+
+  /// Pins the current committed version. Queries executed through the
+  /// snapshot's executor are isolated from concurrent commits.
+  std::shared_ptr<const DatabaseVersion> Snapshot() const;
+
+  /// Parses `INSERT DATA` / `DELETE DATA` text and applies it as one
+  /// committed batch. Thread-safe; writers are serialized.
+  Result<CommitStats> Update(const std::string& update_text);
+
+  /// Applies an already-built batch as one commit.
+  Result<CommitStats> Apply(const UpdateBatch& batch);
+
+  /// Stages a batch into the pending delta without committing. Staged data
+  /// is invisible to queries until Commit().
+  Status Stage(const UpdateBatch& batch);
+
+  /// Publishes all staged batches as one new version.
+  Result<CommitStats> Commit();
+
+  /// Current committed version id (0 right after Finalize).
+  uint64_t version() const;
+
   // Accessors (valid after Finalize unless noted).
-  Dictionary& dict() { return dict_; }
-  const Dictionary& dict() const { return dict_; }
-  TripleStore& store() { return store_; }
-  const TripleStore& store() const { return store_; }
-  const Statistics& stats() const { return stats_; }
-  const BgpEngine& engine() const { return *engine_; }
-  const Executor& executor() const { return *executor_; }
-  bool finalized() const { return executor_ != nullptr; }
-  size_t size() const { return store_.size(); }
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  /// Pre-Finalize staging store (version 0's storage) — loaders only; use
+  /// the update API for post-Finalize writes.
+  TripleStore& mutable_store() { return *base_store_; }
+  /// The current committed version's store (the staging store before
+  /// Finalize). See the accessor caveat in the class comment.
+  const TripleStore& store() const;
+  const Statistics& stats() const;
+  const BgpEngine& engine() const;
+  const Executor& executor() const;
+  bool finalized() const { return versions_ != nullptr; }
+  size_t size() const { return store().size(); }
 
  private:
-  Dictionary dict_;
-  TripleStore store_;
-  Statistics stats_;
-  std::unique_ptr<BgpEngine> engine_;
-  std::unique_ptr<Executor> executor_;
+  std::shared_ptr<Dictionary> dict_;
+  std::shared_ptr<TripleStore> base_store_;   ///< Loading target; version 0.
+  std::unique_ptr<VersionedStore> versions_;  ///< Null before Finalize.
 };
 
 }  // namespace sparqluo

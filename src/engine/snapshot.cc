@@ -111,7 +111,7 @@ Status LoadSnapshot(const std::string& path, Database* db) {
       return Status::ParseError("truncated triple record");
     if (s >= term_count || p >= term_count || o >= term_count)
       return Status::ParseError("triple references unknown term");
-    db->store().Add(Triple(s, p, o));
+    db->mutable_store().Add(Triple(s, p, o));
   }
   return Status::OK();
 }

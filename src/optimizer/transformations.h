@@ -3,6 +3,10 @@
 // Both preserve query semantics (Theorems 1 and 2):
 //   merge:  P1 AND (P2 UNION P3)  ==  (P1 AND P2) UNION (P1 AND P3)
 //   inject: P1 OPTIONAL P2        ==  P1 OPTIONAL (P1 AND P2)
+//
+// docs/transformations.md is the full specification: rules, safety
+// guards, the cost model that decides applications, and worked
+// before/after --explain examples.
 #pragma once
 
 #include "betree/be_tree.h"

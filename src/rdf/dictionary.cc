@@ -1,20 +1,54 @@
 #include "rdf/dictionary.h"
 
+#include <cassert>
+#include <mutex>
+
 namespace sparqluo {
+
+Dictionary::~Dictionary() {
+  for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+}
 
 TermId Dictionary::Encode(const Term& term) {
   std::string key = term.CanonicalKey();
+  {
+    // Fast path: the term is usually already interned (loaders re-encode
+    // shared subjects/predicates constantly, update batches mostly touch
+    // existing vocabulary).
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  index_.emplace(std::move(key), id);
-  terms_.push_back(term);
-  if (term.is_literal()) ++literal_count_;
-  return id;
+  if (it != index_.end()) return it->second;  // raced with another writer
+
+  size_t id = size_.load(std::memory_order_relaxed);
+  assert(id < static_cast<size_t>(kInvalidTermId) && "dictionary id space full");
+  size_t offset;
+  size_t x = (id >> kFirstChunkBits) + 1;
+  size_t c = std::bit_width(x) - 1;
+  offset = id - kFirstChunkSize * ((size_t{1} << c) - 1);
+  Term* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    // Ids are dense, so a chunk is first touched at offset 0 — exactly one
+    // allocation per chunk, done by whichever writer crosses the boundary.
+    chunk = new Term[kFirstChunkSize << c];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk[offset] = term;
+  if (term.is_literal()) literal_count_.fetch_add(1, std::memory_order_relaxed);
+  index_.emplace(std::move(key), static_cast<TermId>(id));
+  // Publish after the term is fully constructed: a reader that observes
+  // size() > id is guaranteed to see the term via the acquire load.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<TermId>(id);
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
-  auto it = index_.find(term.CanonicalKey());
+  std::string key = term.CanonicalKey();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(key);
   return it == index_.end() ? kInvalidTermId : it->second;
 }
 

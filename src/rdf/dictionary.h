@@ -1,12 +1,33 @@
 // Bidirectional term <-> id dictionary.
 //
 // All query processing operates on dense TermIds; strings only appear at
-// load time and when printing results.
+// load time, in update batches, and when printing results.
+//
+// The dictionary is *append-only and append-safe*: ids are never reused or
+// remapped, and writers may Encode() new terms while readers concurrently
+// Decode()/Lookup() existing ones. This is what lets every committed
+// DatabaseVersion (src/store/version.h) share one dictionary — a term keeps
+// the same id in every version, so binding rows survive across commits and
+// delta triples compare directly against base triples.
+//
+// Concurrency design:
+//   - Decode(id) is lock-free. Terms live in geometrically-growing chunks
+//     whose addresses never change (no vector reallocation), published
+//     through an atomic size with release/acquire ordering. A reader
+//     holding a valid id (one below a size() it observed) always sees a
+//     fully constructed term.
+//   - Encode()/Lookup() share the string index under a shared_mutex:
+//     lookups take the shared lock, inserts the exclusive lock. These run
+//     once per query constant / update term, not per triple, so the lock
+//     is far off the scan hot path.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 #include "util/status.h"
@@ -16,30 +37,62 @@ namespace sparqluo {
 /// Append-only dictionary assigning dense ids to RDF terms.
 class Dictionary {
  public:
-  /// Returns the id of `term`, inserting it if new.
+  Dictionary() = default;
+  ~Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the id of `term`, inserting it if new. Thread-safe against
+  /// concurrent Encode/Lookup/Decode.
   TermId Encode(const Term& term);
 
   /// Returns the id of `term` or kInvalidTermId when absent. Never inserts.
   TermId Lookup(const Term& term) const;
 
-  /// Returns the term for a valid id. Precondition: id < size().
-  const Term& Decode(TermId id) const { return terms_[id]; }
+  /// Returns the term for a valid id. Precondition: id < size(). Lock-free;
+  /// the reference stays valid for the dictionary's lifetime (terms are
+  /// never moved once published).
+  const Term& Decode(TermId id) const {
+    size_t offset;
+    return ChunkFor(id, &offset)[offset];
+  }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Number of literal terms seen so far (Table 2 statistic).
-  size_t literal_count() const { return literal_count_; }
+  size_t literal_count() const {
+    return literal_count_.load(std::memory_order_relaxed);
+  }
 
   /// Surface form of an id; "UNBOUND" for kInvalidTermId.
   std::string ToString(TermId id) const {
     if (id == kInvalidTermId) return "UNBOUND";
-    return terms_[id].ToString();
+    return Decode(id).ToString();
   }
 
  private:
+  /// Terms are stored in chunks of geometrically growing size: chunk c
+  /// holds ids [B*(2^c - 1), B*(2^(c+1) - 1)) and has capacity B*2^c with
+  /// B = kFirstChunkSize. 21 chunks cover the whole 32-bit id space while
+  /// a small dictionary allocates only the 4096-term first chunk.
+  static constexpr size_t kFirstChunkBits = 12;
+  static constexpr size_t kFirstChunkSize = size_t{1} << kFirstChunkBits;
+  static constexpr size_t kMaxChunks = 21;
+
+  const Term* ChunkFor(TermId id, size_t* offset) const {
+    size_t x = (static_cast<size_t>(id) >> kFirstChunkBits) + 1;
+    size_t c = std::bit_width(x) - 1;
+    *offset = id - kFirstChunkSize * ((size_t{1} << c) - 1);
+    return chunks_[c].load(std::memory_order_acquire);
+  }
+
+  std::array<std::atomic<Term*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> literal_count_{0};
+
+  mutable std::shared_mutex mu_;  ///< Guards index_ and appends.
   std::unordered_map<std::string, TermId> index_;
-  std::vector<Term> terms_;
-  size_t literal_count_ = 0;
 };
 
 }  // namespace sparqluo

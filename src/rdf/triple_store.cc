@@ -54,6 +54,61 @@ void TripleStore::Build() {
   built_ = true;
 }
 
+namespace {
+
+/// Merges one sorted base permutation with the (sorted, deduplicated)
+/// delta additions, dropping base triples present in `removed`. Equal
+/// elements (an addition already in base) are emitted once. Because both
+/// inputs are sorted under `cmp` and the output preserves that order, the
+/// result is exactly what sort+unique over the net triple set produces.
+template <typename Cmp>
+std::vector<Triple> MergeDelta(std::span<const Triple> base,
+                               std::vector<Triple> added,
+                               const TripleSet& removed, Cmp cmp) {
+  std::sort(added.begin(), added.end(), cmp);
+  added.erase(std::unique(added.begin(), added.end()), added.end());
+  std::vector<Triple> out;
+  out.reserve(base.size() + added.size());
+  size_t i = 0, j = 0;
+  while (i < base.size() || j < added.size()) {
+    bool take_base;
+    if (i >= base.size()) {
+      take_base = false;
+    } else if (j >= added.size()) {
+      take_base = true;
+    } else if (base[i] == added[j]) {
+      ++j;  // duplicate insert of an existing triple: keep the base copy
+      take_base = true;
+    } else {
+      take_base = cmp(base[i], added[j]);
+    }
+    if (take_base) {
+      if (removed.find(base[i]) == removed.end()) out.push_back(base[i]);
+      ++i;
+    } else {
+      out.push_back(added[j]);
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TripleStore::BuildDelta(const TripleStore& base,
+                             std::vector<Triple> added,
+                             const TripleSet& removed) {
+  assert(base.built_ && "BuildDelta requires a built base");
+  assert(!built_ && spo_.empty() && "BuildDelta requires an empty store");
+  spo_ = MergeDelta(std::span<const Triple>(base.spo_), added, removed,
+                    OrderSPO{});
+  pos_ = MergeDelta(std::span<const Triple>(base.pos_), added, removed,
+                    OrderPOS{});
+  osp_ = MergeDelta(std::span<const Triple>(base.osp_), std::move(added),
+                    removed, OrderOSP{});
+  built_ = true;
+}
+
 std::span<const Triple> TripleStore::EqualRangeSPO(TermId s) const {
   return RangeOf(spo_, Triple(s, 0, 0), Triple(s, kInvalidTermId, kInvalidTermId),
                  OrderSPO{});

@@ -16,12 +16,29 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
 
 namespace sparqluo {
+
+/// Hash over the three ids of a triple (for delta/delete sets).
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9E3779B97F4A7C15ull + t.p;
+    h = h * 0x9E3779B97F4A7C15ull + t.o;
+    h ^= h >> 32;
+    h *= 0xD6E8FEB86659FD93ull;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A set of fully-bound triples (update deltas, delete filters).
+using TripleSet = std::unordered_set<Triple, TripleHash>;
 
 /// A triple pattern over ids; kInvalidTermId marks an unbound position.
 struct TriplePatternIds {
@@ -44,6 +61,20 @@ class TripleStore {
 
   /// Sorts and deduplicates the data and constructs the three indexes.
   void Build();
+
+  /// Builds this (empty, un-built) store as `base` minus `removed` plus
+  /// `added` — the copy-on-write compaction step of a versioned commit
+  /// (src/store/versioned_store.h). Bit-identical to Add()ing the net
+  /// triple set and calling Build(): each permutation is produced by a
+  /// linear merge of the base's sorted index with the sorted delta, so the
+  /// cost is O(|base| + |delta| log |delta|) instead of a full re-sort.
+  ///
+  /// Preconditions: `base.built()`, and `added` is disjoint from `removed`
+  /// (StoreDelta maintains this by replay). `added` may contain triples
+  /// already in base (deduplicated during the merge); `removed` triples
+  /// absent from base are ignored.
+  void BuildDelta(const TripleStore& base, std::vector<Triple> added,
+                  const TripleSet& removed);
 
   bool built() const { return built_; }
   size_t size() const { return spo_.size(); }

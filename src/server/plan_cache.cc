@@ -55,6 +55,14 @@ void PlanCache::Put(const std::string& key,
   }
 }
 
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
 PlanCache::Stats PlanCache::GetStats() const {
   Stats out;
   for (const auto& shard : shards_) {
@@ -138,15 +146,19 @@ std::string PlanCache::NormalizeQuery(const std::string& text) {
 }
 
 std::string PlanCache::MakeKey(const std::string& text,
-                               const ExecOptions& options) {
+                               const ExecOptions& options,
+                               uint64_t version) {
   // Only the fields consulted by Executor::Plan participate: the transform
   // toggle and (through skip_cp_equivalent_levels) the pruning toggle.
   // Execution-time knobs (thresholds, row limits, cancel tokens) do not
   // change the plan, so requests differing only in those share an entry.
+  // The version suffix partitions entries per committed DatabaseVersion.
   std::string key = NormalizeQuery(text);
   key.push_back('\x1f');
   key.push_back(options.tree_transform ? 'T' : 't');
   key.push_back(options.candidate_pruning ? 'C' : 'c');
+  key.push_back('\x1f');
+  key += std::to_string(version);
   return key;
 }
 

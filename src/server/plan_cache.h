@@ -54,6 +54,11 @@ class PlanCache {
 
   Stats GetStats() const;
 
+  /// Drops every entry (keeps hit/miss/eviction counters). Called by the
+  /// query service after a commit: entries keyed under older versions can
+  /// never hit again, so they are only occupying LRU budget.
+  void Clear();
+
   size_t capacity() const { return capacity_; }
 
   /// Whitespace-normalized query text: runs of whitespace outside quoted
@@ -61,9 +66,13 @@ class PlanCache {
   /// a cache entry.
   static std::string NormalizeQuery(const std::string& text);
 
-  /// Cache key: normalized text + the option fields that affect planning.
+  /// Cache key: normalized text + the option fields that affect planning +
+  /// the database version the plan was built against. Versioning the key
+  /// makes cross-version hits impossible: after a commit, a repeated query
+  /// misses and replans against the new version's statistics.
   static std::string MakeKey(const std::string& text,
-                             const ExecOptions& options);
+                             const ExecOptions& options,
+                             uint64_t version = 0);
 
  private:
   struct Shard {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/timer.h"
+
 namespace sparqluo {
 
 QueryService::QueryService(const Database& db, Options options)
@@ -22,6 +24,11 @@ QueryService::QueryService(const Database& db, Options options)
   }
 }
 
+QueryService::QueryService(Database& db, Options options)
+    : QueryService(static_cast<const Database&>(db), std::move(options)) {
+  updatable_db_ = &db;
+}
+
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
@@ -36,33 +43,38 @@ void QueryService::Shutdown() {
   if (owns_pool_) pool_->Shutdown();
 }
 
+bool QueryService::Admit(Status* reject) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    stats_.RecordRejected();
+    *reject = Status::Internal("query service is shut down");
+    return false;
+  }
+  // Admission control: pool size requests can run, max_queue more can
+  // wait; everything beyond bounces immediately.
+  if (in_flight_ >= pool_->num_threads() + options_.max_queue) {
+    stats_.RecordRejected();
+    *reject =
+        Status::ResourceExhausted("admission queue full, request rejected");
+    return false;
+  }
+  ++in_flight_;
+  return true;
+}
+
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   auto task = std::make_shared<Task>();
   task->request = std::move(request);
   task->submitted = std::chrono::steady_clock::now();
   std::future<QueryResponse> future = task->promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      stats_.RecordRejected();
-      QueryResponse rejected;
-      rejected.status = Status::Internal("query service is shut down");
-      task->promise.set_value(std::move(rejected));
-      return future;
-    }
-    // Admission control: pool size queries can run, max_queue more can
-    // wait; everything beyond bounces immediately.
-    if (in_flight_ >= pool_->num_threads() + options_.max_queue) {
-      stats_.RecordRejected();
-      QueryResponse rejected;
-      rejected.status =
-          Status::ResourceExhausted("admission queue full, query rejected");
-      task->promise.set_value(std::move(rejected));
-      return future;
-    }
-    stats_.RecordSubmitted();
-    ++in_flight_;
+  Status reject;
+  if (!Admit(&reject)) {
+    QueryResponse rejected;
+    rejected.status = std::move(reject);
+    task->promise.set_value(std::move(rejected));
+    return future;
   }
+  stats_.RecordSubmitted();
   pool_->Submit([this, task] {
     QueryResponse response;
     // Nothing may escape Process(): an uncaught exception would unwind the
@@ -87,6 +99,65 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
     }
   });
   return future;
+}
+
+std::future<UpdateResponse> QueryService::SubmitUpdate(UpdateRequest request) {
+  auto state = std::make_shared<
+      std::pair<UpdateRequest, std::promise<UpdateResponse>>>();
+  state->first = std::move(request);
+  std::future<UpdateResponse> future = state->second.get_future();
+  Status reject;
+  if (!Admit(&reject)) {
+    UpdateResponse rejected;
+    rejected.status = std::move(reject);
+    state->second.set_value(std::move(rejected));
+    return future;
+  }
+  stats_.RecordUpdateSubmitted();
+  pool_->Submit([this, state] {
+    UpdateResponse response;
+    try {
+      response = ProcessUpdate(state->first);
+    } catch (const std::exception& e) {
+      response = UpdateResponse();
+      response.status =
+          Status::Internal(std::string("update threw: ") + e.what());
+    } catch (...) {
+      response = UpdateResponse();
+      response.status = Status::Internal("update threw an unknown exception");
+    }
+    stats_.RecordUpdateFinished(response.status, response.commit);
+    state->second.set_value(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_.notify_all();
+    }
+  });
+  return future;
+}
+
+UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
+  Timer timer;
+  UpdateResponse response;
+  if (updatable_db_ == nullptr) {
+    response.status = Status::FailedPrecondition(
+        "read-only query service: construct with a mutable Database to "
+        "accept updates");
+    response.total_ms = timer.ElapsedMillis();
+    return response;
+  }
+  Result<CommitStats> commit =
+      request.text.empty() ? updatable_db_->Apply(request.batch)
+                           : updatable_db_->Update(request.text);
+  response.status = commit.status();
+  if (commit.ok()) {
+    response.commit = *commit;
+    // Entries keyed under older versions can never hit again; drop them so
+    // they stop occupying LRU budget.
+    if (options_.enable_plan_cache) cache_.Clear();
+  }
+  response.total_ms = timer.ElapsedMillis();
+  return response;
 }
 
 std::vector<QueryResponse> QueryService::RunBatch(
@@ -135,10 +206,16 @@ QueryResponse QueryService::Process(Task& task) {
   if (req.inherit_parallelism && options.parallel.parallelism == 1)
     options.parallel.parallelism = options_.intra_query_parallelism;
 
+  // Pin the version for the whole plan + execute: a commit that lands
+  // mid-request cannot swap the store underneath this query, and the plan
+  // cache key carries the pinned version so plans never cross versions.
+  std::shared_ptr<const DatabaseVersion> snap = db_.Snapshot();
+  response.version = snap->id;
+
   std::shared_ptr<const CachedPlan> plan;
   std::string key;
   if (options_.enable_plan_cache) {
-    key = PlanCache::MakeKey(req.text, options);
+    key = PlanCache::MakeKey(req.text, options, snap->id);
     plan = cache_.Get(key);
   }
   if (plan != nullptr) {
@@ -156,7 +233,7 @@ QueryResponse QueryService::Process(Task& task) {
     auto built = std::make_shared<CachedPlan>();
     built->query = std::move(*parsed);
     built->tree =
-        db_.executor().Plan(built->query, options, &response.metrics);
+        snap->executor->Plan(built->query, options, &response.metrics);
     Status valid = built->tree.Validate();
     if (!valid.ok()) {
       response.status = valid;
@@ -169,8 +246,8 @@ QueryResponse QueryService::Process(Task& task) {
   }
 
   auto result =
-      db_.executor().ExecutePlanned(plan->query, plan->tree, options,
-                                    &response.metrics);
+      snap->executor->ExecutePlanned(plan->query, plan->tree, options,
+                                     &response.metrics);
   response.status = result.status();
   if (result.ok()) response.rows = std::move(*result);
   response.total_ms = elapsed_ms();

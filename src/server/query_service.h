@@ -1,9 +1,13 @@
 // Concurrent query service over a finalized Database.
 //
-// After Database::Finalize() every structure on the read path — TripleStore,
-// Dictionary, Statistics, the BGP engine and the Executor — is immutable,
-// so queries can execute in parallel without any locking on the data. This
-// service adds the traffic-facing machinery on top:
+// After Database::Finalize() the read path is a chain of immutable
+// DatabaseVersions (src/store/versioned_store.h): every query pins the
+// current version for its whole execution, so queries run in parallel
+// without any locking on the data — and, when the service is constructed
+// over a mutable Database, SubmitUpdate() applies INSERT DATA/DELETE DATA
+// batches whose commits publish new versions without ever disturbing
+// in-flight readers. This service adds the traffic-facing machinery on
+// top:
 //
 //   - a shared ExecutorPool (util/executor_pool.h) serving both whole-query
 //     tasks and the morsel batches of intra-query parallel BGP evaluation,
@@ -13,8 +17,12 @@
 //   - per-query deadlines and explicit cancellation, enforced through the
 //     executor's cooperative CancelToken checkpoints (each morsel polls the
 //     same token),
-//   - a sharded LRU plan cache keyed by normalized query text, so repeated
-//     queries skip parsing and tree transformation entirely,
+//   - a sharded LRU plan cache keyed by normalized query text *and the
+//     database version*, so repeated queries skip parsing and tree
+//     transformation entirely while commits implicitly invalidate every
+//     cached plan (the cache is also flushed after each commit),
+//   - serialized, admission-controlled updates (SubmitUpdate) that report
+//     per-commit stats into the service counters,
 //   - thread-safe aggregation of per-query ExecMetrics/BgpEvalCounters into
 //     service-level counters (QPS, p50/p99 latency, cache hit rate, aborts,
 //     morsel counts).
@@ -62,6 +70,21 @@ struct QueryResponse {
   ExecMetrics metrics;
   bool plan_cache_hit = false;
   double total_ms = 0.0;    ///< Queue wait + parse/plan + execution.
+  uint64_t version = 0;     ///< Database version the query executed on.
+};
+
+/// One update submission: SPARQL INSERT DATA / DELETE DATA text, or a
+/// pre-built batch (used when `text` is empty).
+struct UpdateRequest {
+  std::string text;
+  UpdateBatch batch;
+};
+
+/// Outcome of one update.
+struct UpdateResponse {
+  Status status;        ///< OK once the batch is durably committed.
+  CommitStats commit;   ///< Valid when status.ok().
+  double total_ms = 0.0;
 };
 
 class QueryService {
@@ -90,8 +113,15 @@ class QueryService {
     std::shared_ptr<ExecutorPool> pool;
   };
 
-  /// `db` must be finalized and must outlive the service.
+  /// Read-only service: `db` must be finalized and must outlive the
+  /// service. SubmitUpdate() fails with FailedPrecondition.
   QueryService(const Database& db, Options options);
+
+  /// Updatable service: additionally accepts SubmitUpdate(). Writers are
+  /// serialized by the database's versioned store; queries keep running
+  /// against their pinned version while commits publish new ones.
+  QueryService(Database& db, Options options);
+
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -104,6 +134,13 @@ class QueryService {
   /// Blocking batch API: submits everything, waits, returns responses in
   /// submission order.
   std::vector<QueryResponse> RunBatch(std::vector<QueryRequest> requests);
+
+  /// Submits one update batch. Updates share the worker pool and the
+  /// admission bound with queries; commits are serialized against each
+  /// other by the versioned store's writer lock. After a successful commit
+  /// the plan cache is flushed (version-keyed entries could never hit
+  /// again anyway). Requires the updatable constructor.
+  std::future<UpdateResponse> SubmitUpdate(UpdateRequest request);
 
   /// Stops accepting new work and waits for all in-flight queries to
   /// finish. Idempotent; also run by the destructor. A service-owned pool
@@ -123,8 +160,15 @@ class QueryService {
   };
 
   QueryResponse Process(Task& task);
+  UpdateResponse ProcessUpdate(const UpdateRequest& request);
+
+  /// Returns false (and resolves `reject` into the promise-completion
+  /// callback) when the request cannot be admitted. Shared by Submit and
+  /// SubmitUpdate.
+  bool Admit(Status* reject);
 
   const Database& db_;
+  Database* updatable_db_ = nullptr;  ///< Null for read-only services.
   Options options_;
   PlanCache cache_;
   ServiceStats stats_;

@@ -4,6 +4,7 @@
 // concurrently and computes derived figures (QPS, latency percentiles).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -11,6 +12,7 @@
 
 #include "bgp/engine.h"
 #include "engine/executor.h"
+#include "store/versioned_store.h"
 
 namespace sparqluo {
 
@@ -34,6 +36,15 @@ struct ServiceStatsSnapshot {
   double p50_ms = 0.0;          ///< End-to-end latency percentiles.
   double p99_ms = 0.0;
   size_t latency_samples = 0;
+
+  // Write-path counters (QueryService::SubmitUpdate).
+  uint64_t updates_submitted = 0;
+  uint64_t updates_committed = 0;  ///< Commits that published a version.
+  uint64_t updates_failed = 0;     ///< Parse errors, read-only service, ...
+  uint64_t triples_inserted = 0;   ///< Net inserts across all commits.
+  uint64_t triples_deleted = 0;    ///< Net deletes across all commits.
+  uint64_t store_version = 0;      ///< Highest version seen by a commit.
+  double total_commit_ms = 0.0;
 
   double CacheHitRate() const {
     uint64_t total = cache_hits + cache_misses;
@@ -81,6 +92,25 @@ class ServiceStats {
     snap_.total_transform_ms += metrics.transform_ms;
     if (latencies_.size() < kMaxLatencySamples)
       latencies_.push_back(latency_ms);
+  }
+
+  void RecordUpdateSubmitted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.updates_submitted;
+  }
+
+  /// One finished update request.
+  void RecordUpdateFinished(const Status& status, const CommitStats& commit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      ++snap_.updates_committed;
+      snap_.triples_inserted += commit.inserted;
+      snap_.triples_deleted += commit.deleted;
+      snap_.store_version = std::max(snap_.store_version, commit.version);
+      snap_.total_commit_ms += commit.commit_ms;
+    } else {
+      ++snap_.updates_failed;
+    }
   }
 
   ServiceStatsSnapshot Snapshot() const;

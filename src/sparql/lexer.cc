@@ -12,7 +12,7 @@ const char* kKeywords[] = {"SELECT", "WHERE",  "UNION",    "OPTIONAL",
                            "FILTER", "PREFIX", "DISTINCT", "REDUCED",
                            "BOUND",  "ASK",    "LIMIT",    "OFFSET",
                            "BASE",   "ORDER",  "BY",       "ASC",
-                           "DESC"};
+                           "DESC",   "INSERT", "DELETE",   "DATA"};
 
 bool IsKeyword(const std::string& upper) {
   for (const char* k : kKeywords)

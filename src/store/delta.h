@@ -1,0 +1,50 @@
+// The mutable write-side delta of a VersionedStore.
+//
+// A StoreDelta accumulates the *net effect* of staged update batches
+// relative to the current committed base store. Operations replay in
+// order: inserting a triple cancels a pending delete of it, deleting a
+// triple cancels a pending insert — so `added()` and `removed()` are
+// always disjoint, which is exactly the precondition of
+// TripleStore::BuildDelta. The delta is only ever touched under the
+// VersionedStore writer lock and is invisible to readers: snapshot
+// isolation means uncommitted writes can never influence a query.
+#pragma once
+
+#include "rdf/triple_store.h"
+
+namespace sparqluo {
+
+class StoreDelta {
+ public:
+  /// Replays one insert: the triple is pending-added and any pending
+  /// delete of it is cancelled.
+  void Insert(const Triple& t) {
+    removed_.erase(t);
+    added_.insert(t);
+  }
+
+  /// Replays one delete: the triple is pending-removed and any pending
+  /// insert of it is cancelled.
+  void Delete(const Triple& t) {
+    added_.erase(t);
+    removed_.insert(t);
+  }
+
+  bool empty() const { return added_.empty() && removed_.empty(); }
+  size_t add_count() const { return added_.size(); }
+  size_t remove_count() const { return removed_.size(); }
+
+  const TripleSet& added() const { return added_; }
+  const TripleSet& removed() const { return removed_; }
+
+  void Clear() {
+    added_.clear();
+    removed_.clear();
+  }
+
+ private:
+  TripleSet added_;    ///< Pending inserts (may already exist in base).
+  TripleSet removed_;  ///< Pending deletes (may be absent from base).
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,209 @@
+#include "store/update.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "sparql/lexer.h"
+
+namespace sparqluo {
+
+namespace {
+
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr const char* kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+constexpr const char* kXsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal";
+
+/// Recursive-descent parser for the INSERT DATA / DELETE DATA fragment.
+/// Mirrors the term grammar of sparql/parser.cc, restricted to ground
+/// terms (a variable in a data block is an error, per SPARQL 1.1 Update).
+class UpdateParser {
+ public:
+  explicit UpdateParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<UpdateBatch> Parse() {
+    UpdateBatch batch;
+    SPARQLUO_RETURN_NOT_OK(ParsePrologue());
+    bool any = false;
+    while (true) {
+      UpdateOp::Kind kind;
+      if (CurIs(TokenType::kKeyword, "INSERT")) {
+        kind = UpdateOp::Kind::kInsert;
+      } else if (CurIs(TokenType::kKeyword, "DELETE")) {
+        kind = UpdateOp::Kind::kDelete;
+      } else if (!any) {
+        return Err("expected INSERT DATA or DELETE DATA");
+      } else {
+        break;
+      }
+      Advance();
+      SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kKeyword, "DATA"));
+      SPARQLUO_RETURN_NOT_OK(ParseDataBlock(kind, &batch));
+      any = true;
+      if (CurIs(TokenType::kSemicolon)) {
+        Advance();
+        // A trailing ';' before EOF is allowed (SPARQL 1.1 Update permits
+        // an empty final operation).
+        continue;
+      }
+      break;
+    }
+    if (Cur().type != TokenType::kEof)
+      return Err("trailing tokens after update");
+    return batch;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool CurIs(TokenType t) const { return Cur().type == t; }
+  bool CurIs(TokenType t, std::string_view text) const {
+    return Cur().type == t && Cur().text == text;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (line " + std::to_string(Cur().line) +
+                              ", near '" + Cur().text + "')");
+  }
+  Status Expect(TokenType t, std::string_view text = {}) {
+    if (Cur().type != t || (!text.empty() && Cur().text != text))
+      return Err("expected " + std::string(text.empty() ? TokenTypeName(t)
+                                                        : std::string(text)));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParsePrologue() {
+    while (CurIs(TokenType::kKeyword, "PREFIX")) {
+      Advance();
+      if (Cur().type != TokenType::kPrefixedName)
+        return Err("expected prefix name after PREFIX");
+      std::string pname = Cur().text;
+      if (pname.empty() || pname.back() != ':')
+        return Err("prefix declaration must end with ':'");
+      Advance();
+      if (Cur().type != TokenType::kIriRef)
+        return Err("expected IRI after prefix name");
+      prefixes_[pname.substr(0, pname.size() - 1)] = Cur().text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ExpandPrefixedName(const std::string& qname) {
+    size_t colon = qname.find(':');
+    std::string prefix = qname.substr(0, colon);
+    std::string local = qname.substr(colon + 1);
+    if (prefix == "_") return Term::Blank(local);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end())
+      return Status::ParseError("undeclared prefix '" + prefix + ":'");
+    return Term::Iri(it->second + local);
+  }
+
+  Result<Term> ParseGroundTerm(bool predicate_position) {
+    switch (Cur().type) {
+      case TokenType::kVariable:
+        return Err("data blocks must be ground: variable ?" + Cur().text +
+                   " not allowed in INSERT DATA / DELETE DATA");
+      case TokenType::kIriRef: {
+        Term t = Term::Iri(Cur().text);
+        Advance();
+        return t;
+      }
+      case TokenType::kPrefixedName: {
+        auto t = ExpandPrefixedName(Cur().text);
+        if (!t.ok()) return t.status();
+        Advance();
+        return t;
+      }
+      case TokenType::kA:
+        if (!predicate_position) return Err("'a' only allowed as predicate");
+        Advance();
+        return Term::Iri(kRdfType);
+      case TokenType::kString: {
+        std::string value = Cur().text;
+        Advance();
+        if (Cur().type == TokenType::kLangTag) {
+          std::string lang = Cur().text;
+          Advance();
+          return Term::LangLiteral(std::move(value), std::move(lang));
+        }
+        if (Cur().type == TokenType::kDoubleCaret) {
+          Advance();
+          if (Cur().type == TokenType::kIriRef) {
+            std::string dt = Cur().text;
+            Advance();
+            return Term::TypedLiteral(std::move(value), std::move(dt));
+          }
+          if (Cur().type == TokenType::kPrefixedName) {
+            auto t = ExpandPrefixedName(Cur().text);
+            if (!t.ok()) return t.status();
+            Advance();
+            return Term::TypedLiteral(std::move(value), t->lexical);
+          }
+          return Err("expected datatype IRI after ^^");
+        }
+        return Term::Literal(std::move(value));
+      }
+      case TokenType::kNumber: {
+        std::string text = Cur().text;
+        Advance();
+        const char* dt = text.find('.') == std::string::npos ? kXsdInteger
+                                                             : kXsdDecimal;
+        return Term::TypedLiteral(std::move(text), dt);
+      }
+      default:
+        return Err("expected ground term");
+    }
+  }
+
+  /// '{' ( triples with '.', ';', ',' abbreviations )* '}'
+  Status ParseDataBlock(UpdateOp::Kind kind, UpdateBatch* out) {
+    SPARQLUO_RETURN_NOT_OK(Expect(TokenType::kLBrace));
+    while (!CurIs(TokenType::kRBrace)) {
+      if (CurIs(TokenType::kEof)) return Err("unterminated data block");
+      auto subject = ParseGroundTerm(/*predicate_position=*/false);
+      if (!subject.ok()) return subject.status();
+      while (true) {
+        auto pred = ParseGroundTerm(/*predicate_position=*/true);
+        if (!pred.ok()) return pred.status();
+        while (true) {
+          auto obj = ParseGroundTerm(/*predicate_position=*/false);
+          if (!obj.ok()) return obj.status();
+          out->ops.push_back({kind, {*subject, *pred, std::move(*obj)}});
+          if (CurIs(TokenType::kComma)) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        if (CurIs(TokenType::kSemicolon)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (CurIs(TokenType::kDot)) Advance();
+    }
+    Advance();  // consume '}'
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<UpdateBatch> ParseUpdate(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  UpdateParser p(std::move(*tokens));
+  return p.Parse();
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,59 @@
+// Ground update batches (the write-path counterpart of sparql/ast.h).
+//
+// A batch is an ordered list of INSERT/DELETE operations over fully-bound
+// ("ground") triples — the SPARQL 1.1 Update `INSERT DATA` / `DELETE DATA`
+// fragment. Operations are replayed in order against the pending delta
+// (src/store/delta.h), so within one batch a later DELETE wins over an
+// earlier INSERT of the same triple and vice versa.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// A fully-bound triple in decoded (term) form.
+struct GroundTriple {
+  Term s, p, o;
+};
+
+/// One INSERT or DELETE of a single ground triple.
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  GroundTriple triple;
+};
+
+/// An ordered batch of update operations.
+struct UpdateBatch {
+  std::vector<UpdateOp> ops;
+
+  void Insert(Term s, Term p, Term o) {
+    ops.push_back({UpdateOp::Kind::kInsert,
+                   {std::move(s), std::move(p), std::move(o)}});
+  }
+  void Delete(Term s, Term p, Term o) {
+    ops.push_back({UpdateOp::Kind::kDelete,
+                   {std::move(s), std::move(p), std::move(o)}});
+  }
+
+  size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+};
+
+/// Parses the SPARQL 1.1 Update fragment
+///
+///   Prologue ( (INSERT|DELETE) DATA '{' TriplesTemplate? '}' )
+///            ( ';' ... )* ';'?
+///
+/// into an UpdateBatch. TriplesTemplate supports the same term syntax as
+/// query patterns (IRIs, prefixed names, `a`, literals with language tags
+/// or datatypes, numbers, `_:`-labelled blank nodes) plus the `;` and `,`
+/// predicate/object list abbreviations — but no variables: data blocks
+/// must be ground, and a variable is a parse error.
+Result<UpdateBatch> ParseUpdate(std::string_view text);
+
+}  // namespace sparqluo

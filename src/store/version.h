@@ -1,0 +1,35 @@
+// One immutable committed version of the database.
+//
+// A DatabaseVersion bundles everything the read path needs — store,
+// statistics, BGP engine, executor — pinned together so their lifetimes
+// cannot diverge. Readers obtain a shared_ptr<const DatabaseVersion> from
+// VersionedStore::Current() (or Database::Snapshot()) and keep executing
+// against it for as long as they hold the pointer, no matter how many
+// commits happen meanwhile: snapshot isolation by reference counting.
+//
+// The dictionary is the one structure shared *across* versions: it is
+// append-only and append-safe (see rdf/dictionary.h), so term ids are
+// stable for the lifetime of the database and a version only needs to
+// hold a reference to keep decoding valid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bgp/engine.h"
+#include "engine/executor.h"
+#include "rdf/statistics.h"
+
+namespace sparqluo {
+
+struct DatabaseVersion {
+  uint64_t id = 0;  ///< 0 = the version published by Database::Finalize().
+  EngineKind engine_kind = EngineKind::kWco;
+  std::shared_ptr<const Dictionary> dict;   ///< Shared across all versions.
+  std::shared_ptr<const TripleStore> store; ///< Immutable once published.
+  Statistics stats;                         ///< Recomputed per commit.
+  std::unique_ptr<BgpEngine> engine;        ///< Bound to store/dict/stats.
+  std::unique_ptr<Executor> executor;       ///< Bound to engine/dict/store.
+};
+
+}  // namespace sparqluo

@@ -1,0 +1,114 @@
+#include "store/versioned_store.h"
+
+#include <cassert>
+
+#include "util/timer.h"
+
+namespace sparqluo {
+
+VersionedStore::VersionedStore(std::shared_ptr<Dictionary> dict,
+                               std::shared_ptr<const TripleStore> base,
+                               EngineKind kind)
+    : dict_(std::move(dict)), kind_(kind) {
+  assert(base != nullptr && base->built() &&
+         "VersionedStore requires a built base store");
+  current_ = MakeVersion(0, std::move(base));
+}
+
+std::shared_ptr<const DatabaseVersion> VersionedStore::Current() const {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  return current_;
+}
+
+std::shared_ptr<const DatabaseVersion> VersionedStore::MakeVersion(
+    uint64_t id, std::shared_ptr<const TripleStore> store) const {
+  auto v = std::make_shared<DatabaseVersion>();
+  v->id = id;
+  v->engine_kind = kind_;
+  v->dict = dict_;
+  v->store = std::move(store);
+  v->stats = Statistics::Compute(*v->store, *dict_);
+  v->engine = MakeEngine(kind_, *v->store, *dict_, v->stats);
+  v->executor = std::make_unique<Executor>(*v->engine, *dict_, *v->store);
+  return v;
+}
+
+void VersionedStore::Stage(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  StageLocked(batch);
+}
+
+void VersionedStore::StageLocked(const UpdateBatch& batch) {
+  for (const UpdateOp& op : batch.ops) {
+    // Encoding is append-safe: new terms get fresh ids without disturbing
+    // readers on any pinned version. Terms of deleted triples stay
+    // interned forever — ids are never reused, so a later re-insert maps
+    // back to the same ids.
+    Triple t(dict_->Encode(op.triple.s), dict_->Encode(op.triple.p),
+             dict_->Encode(op.triple.o));
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      delta_.Insert(t);
+    } else {
+      delta_.Delete(t);
+    }
+  }
+}
+
+CommitStats VersionedStore::Commit() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return CommitLocked();
+}
+
+CommitStats VersionedStore::Apply(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  StageLocked(batch);
+  return CommitLocked();
+}
+
+CommitStats VersionedStore::CommitLocked() {
+  Timer timer;
+  std::shared_ptr<const DatabaseVersion> base_version = Current();
+  CommitStats stats;
+  if (delta_.empty()) {
+    stats.version = base_version->id;
+    stats.store_size = base_version->store->size();
+    stats.commit_ms = timer.ElapsedMillis();
+    return stats;
+  }
+  const TripleStore& base = *base_version->store;
+  // Net effect: deletes of absent triples and inserts of present ones are
+  // no-ops and excluded from the reported counts.
+  size_t already_present = 0;
+  for (const Triple& t : delta_.added())
+    if (base.Contains(t)) ++already_present;
+  for (const Triple& t : delta_.removed())
+    if (base.Contains(t)) ++stats.deleted;
+  stats.inserted = delta_.add_count() - already_present;
+
+  auto next = std::make_shared<TripleStore>();
+  next->BuildDelta(base,
+                   {delta_.added().begin(), delta_.added().end()},
+                   delta_.removed());
+  stats.store_size = next->size();
+  auto published = MakeVersion(base_version->id + 1, std::move(next));
+  stats.version = published->id;
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(published);
+  }
+  delta_.Clear();
+  stats.commit_ms = timer.ElapsedMillis();
+  return stats;
+}
+
+size_t VersionedStore::pending_adds() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return delta_.add_count();
+}
+
+size_t VersionedStore::pending_removes() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return delta_.remove_count();
+}
+
+}  // namespace sparqluo

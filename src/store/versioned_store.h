@@ -1,0 +1,96 @@
+// Versioned, snapshot-isolated update subsystem.
+//
+// The write path of the database. The design is copy-on-write with
+// compaction at commit:
+//
+//   Stage(batch)   — replays INSERT/DELETE ops into the mutable StoreDelta
+//                    (dictionary terms are interned append-safely; the
+//                    delta holds encoded triples). Invisible to readers.
+//   Commit()       — merges base + delta into a fresh immutable
+//                    TripleStore (linear merge per permutation index, see
+//                    TripleStore::BuildDelta), recomputes statistics,
+//                    instantiates a new engine + executor, and atomically
+//                    publishes the bundle as the next DatabaseVersion.
+//   Apply(batch)   — Stage + Commit under one writer critical section.
+//
+// Concurrency contract:
+//   - Writers are serialized by a writer mutex; there is at most one
+//     staged delta at a time.
+//   - Readers never block and never observe a half-applied batch: they pin
+//     the current version via shared_ptr (Current()) and keep using it;
+//     the version stays alive until the last reader releases it.
+//   - Evaluating any query on version N is bit-identical to evaluating it
+//     on a store rebuilt from scratch with the same net triples: the
+//     merge produces byte-identical permutation arrays, and term ids are
+//     append-only so dictionary order never shifts underneath a version.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "store/delta.h"
+#include "store/update.h"
+#include "store/version.h"
+
+namespace sparqluo {
+
+/// Outcome of one commit.
+struct CommitStats {
+  uint64_t version = 0;    ///< Version id current after the commit.
+  size_t store_size = 0;   ///< Triples in the committed store.
+  size_t inserted = 0;     ///< Net new triples (duplicates don't count).
+  size_t deleted = 0;      ///< Net removed triples (absent deletes don't).
+  double commit_ms = 0.0;  ///< Merge + stats + engine build + publish.
+};
+
+class VersionedStore {
+ public:
+  /// Publishes `base` (which must be built) as version 0. The dictionary
+  /// is shared with the caller: the store appends to it when staging
+  /// batches that introduce new terms.
+  VersionedStore(std::shared_ptr<Dictionary> dict,
+                 std::shared_ptr<const TripleStore> base, EngineKind kind);
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  /// Pins the current committed version. Never null; safe from any thread.
+  std::shared_ptr<const DatabaseVersion> Current() const;
+
+  /// Id of the current committed version.
+  uint64_t version() const { return Current()->id; }
+
+  /// Replays `batch` into the pending delta without publishing.
+  void Stage(const UpdateBatch& batch);
+
+  /// Publishes the pending delta as a new version and clears it. With an
+  /// empty delta this is a no-op: no new version is published and the
+  /// returned stats carry the current version unchanged.
+  CommitStats Commit();
+
+  /// Stage + Commit as one writer critical section.
+  CommitStats Apply(const UpdateBatch& batch);
+
+  /// Pending (staged, uncommitted) delta sizes — diagnostic only.
+  size_t pending_adds() const;
+  size_t pending_removes() const;
+
+  const std::shared_ptr<Dictionary>& dict() const { return dict_; }
+
+ private:
+  std::shared_ptr<const DatabaseVersion> MakeVersion(
+      uint64_t id, std::shared_ptr<const TripleStore> store) const;
+  void StageLocked(const UpdateBatch& batch);
+  CommitStats CommitLocked();
+
+  std::shared_ptr<Dictionary> dict_;
+  EngineKind kind_;
+
+  mutable std::mutex current_mu_;  ///< Guards the current_ pointer swap.
+  std::shared_ptr<const DatabaseVersion> current_;
+
+  mutable std::mutex writer_mu_;  ///< Serializes Stage/Commit/Apply.
+  StoreDelta delta_;              ///< Guarded by writer_mu_.
+};
+
+}  // namespace sparqluo

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kResourceExhausted,
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -35,6 +36,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
   }
   return "Unknown";
 }
@@ -68,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

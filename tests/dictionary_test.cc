@@ -1,0 +1,161 @@
+// Dictionary append-safety tests: duplicate interning across base/delta,
+// id stability across commits and chunk growth, lookups of terms that
+// were inserted and later deleted, and concurrent encode/lookup/decode
+// (exercised under TSan in the CI sanitizer job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "rdf/dictionary.h"
+#include "store/update.h"
+
+namespace sparqluo {
+namespace {
+
+Term IriN(size_t i) { return Term::Iri("http://ex.org/t" + std::to_string(i)); }
+
+TEST(DictionaryTest, EncodeAssignsDenseStableIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Encode(Term::Iri("http://a")), 0u);
+  EXPECT_EQ(dict.Encode(Term::Literal("lit")), 1u);
+  EXPECT_EQ(dict.Encode(Term::Iri("http://a")), 0u);  // duplicate
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.literal_count(), 1u);
+  EXPECT_EQ(dict.Lookup(Term::Iri("http://a")), 0u);
+  EXPECT_EQ(dict.Lookup(Term::Iri("http://absent")), kInvalidTermId);
+}
+
+// A term and a literal with the same lexical form are distinct entries,
+// as are literals differing only in language tag or datatype.
+TEST(DictionaryTest, CanonicalKeysSeparateKinds) {
+  Dictionary dict;
+  TermId iri = dict.Encode(Term::Iri("x"));
+  TermId lit = dict.Encode(Term::Literal("x"));
+  TermId lang = dict.Encode(Term::LangLiteral("x", "en"));
+  TermId typed = dict.Encode(Term::TypedLiteral("x", "http://dt"));
+  TermId blank = dict.Encode(Term::Blank("x"));
+  EXPECT_EQ(dict.size(), 5u);
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, lang);
+  EXPECT_NE(lang, typed);
+  EXPECT_NE(typed, blank);
+  EXPECT_EQ(dict.Decode(lang).qualifier, "en");
+}
+
+// Decode references stay valid across chunk growth: the chunked storage
+// never moves a published term (unlike the previous vector-backed
+// implementation, where growth invalidated every outstanding reference).
+TEST(DictionaryTest, ReferencesSurviveChunkGrowth) {
+  Dictionary dict;
+  TermId first = dict.Encode(IriN(0));
+  const Term* first_ptr = &dict.Decode(first);
+  // Push well past the first chunk (4096 terms) and across the second.
+  constexpr size_t kTerms = 20000;
+  for (size_t i = 1; i < kTerms; ++i) dict.Encode(IriN(i));
+  EXPECT_EQ(dict.size(), kTerms);
+  EXPECT_EQ(first_ptr, &dict.Decode(first));
+  EXPECT_EQ(first_ptr->lexical, "http://ex.org/t0");
+  // Every id decodes to its own term, across all chunks.
+  for (size_t i = 0; i < kTerms; i += 997)
+    EXPECT_EQ(dict.Decode(static_cast<TermId>(i)).lexical,
+              "http://ex.org/t" + std::to_string(i));
+}
+
+// Duplicate interning across base and delta: terms already interned at
+// load time resolve to the same ids when they reappear in update batches,
+// so no dictionary growth happens for known vocabulary.
+TEST(DictionaryTest, DuplicateInterningAcrossBaseAndDelta) {
+  Database db;
+  Term s = Term::Iri("http://ex.org/s");
+  Term p = Term::Iri("http://ex.org/p");
+  Term o1 = Term::Iri("http://ex.org/o1");
+  Term o2 = Term::Iri("http://ex.org/o2");
+  db.AddTriple(s, p, o1);
+  db.Finalize();
+
+  size_t base_terms = db.dict().size();
+  TermId s_id = db.dict().Lookup(s);
+  ASSERT_NE(s_id, kInvalidTermId);
+
+  UpdateBatch batch;
+  batch.Insert(s, p, o1);  // entirely known vocabulary (and a dup triple)
+  batch.Insert(s, p, o2);  // one new term
+  ASSERT_TRUE(db.Apply(batch).ok());
+
+  EXPECT_EQ(db.dict().size(), base_terms + 1);
+  EXPECT_EQ(db.dict().Lookup(s), s_id);  // id stability after commit
+  EXPECT_EQ(db.dict().Lookup(o2), static_cast<TermId>(base_terms));
+}
+
+// Terms inserted by an update and then deleted stay interned and
+// lookup-able: ids are never reused, pinned versions keep decoding, and
+// re-inserting the triple maps to the same ids.
+TEST(DictionaryTest, LookupOfInsertedThenDeletedTerms) {
+  Database db;
+  db.AddTriple(Term::Iri("http://ex.org/s"), Term::Iri("http://ex.org/p"),
+               Term::Iri("http://ex.org/o"));
+  db.Finalize();
+
+  Term ghost = Term::Iri("http://ex.org/ghost");
+  UpdateBatch ins;
+  ins.Insert(ghost, Term::Iri("http://ex.org/p"), Term::Literal("v"));
+  ASSERT_TRUE(db.Apply(ins).ok());
+  TermId ghost_id = db.dict().Lookup(ghost);
+  ASSERT_NE(ghost_id, kInvalidTermId);
+
+  UpdateBatch del;
+  del.Delete(ghost, Term::Iri("http://ex.org/p"), Term::Literal("v"));
+  ASSERT_TRUE(db.Apply(del).ok());
+
+  EXPECT_EQ(db.dict().Lookup(ghost), ghost_id);
+  EXPECT_EQ(db.dict().Decode(ghost_id).lexical, "http://ex.org/ghost");
+  EXPECT_EQ(db.store().triples().size(), 1u);
+
+  UpdateBatch re;
+  re.Insert(ghost, Term::Iri("http://ex.org/p"), Term::Literal("v"));
+  ASSERT_TRUE(db.Apply(re).ok());
+  EXPECT_EQ(db.dict().Lookup(ghost), ghost_id);
+}
+
+// Append-safety: one writer encodes fresh terms while readers decode and
+// look up everything published so far. Run under TSan in CI; asserts here
+// catch logical races (torn sizes, unpublished terms).
+TEST(DictionaryTest, ConcurrentEncodeLookupDecode) {
+  Dictionary dict;
+  constexpr size_t kSeed = 512;
+  constexpr size_t kTotal = 12000;  // crosses the first chunk boundary
+  for (size_t i = 0; i < kSeed; ++i) dict.Encode(IriN(i));
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        size_t published = dict.size();
+        if (published == 0) continue;
+        // Every published id must decode to a fully-formed term.
+        for (size_t i = 0; i < published; i += 611) {
+          const Term& term = dict.Decode(static_cast<TermId>(i));
+          if (term.lexical != "http://ex.org/t" + std::to_string(i)) ++errors;
+        }
+        if (dict.Lookup(IriN(published - 1)) == kInvalidTermId) ++errors;
+      }
+    });
+  }
+  for (size_t i = kSeed; i < kTotal; ++i) {
+    TermId id = dict.Encode(IriN(i));
+    if (id != i) ++errors;
+  }
+  done = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(dict.size(), kTotal);
+}
+
+}  // namespace
+}  // namespace sparqluo

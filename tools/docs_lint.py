@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Docs lint: fail on broken relative links in Markdown files.
+"""Docs lint: fail on broken relative links and stale path references.
 
-Scans every *.md under the repository (skipping build/ and hidden
-directories), extracts inline links and images ([text](target)), and
-verifies that each relative target resolves to an existing file or
-directory. External links (scheme://, mailto:) and pure in-page anchors
-(#...) are ignored; an #anchor suffix on a relative link is stripped
-before the existence check.
+Two checks:
+
+1. Relative links — scans every *.md under the repository (skipping
+   build/ and hidden directories), extracts inline links and images
+   ([text](target)), and verifies that each relative target resolves to
+   an existing file or directory. External links (scheme://, mailto:)
+   and pure in-page anchors (#...) are ignored; an #anchor suffix on a
+   relative link is stripped before the existence check.
+
+2. Backtick path references — inside docs/*.md only, every inline code
+   span that *looks like* a repo path (starts with a known top-level
+   source directory and contains a '/') must exist in the tree. Docs rot
+   silently when code moves; this turns a renamed file into a CI
+   failure. Supports `{a,b}` brace alternation (`foo.{h,cc}`), `*`
+   globs, a trailing `:LINE` reference, and directory references with or
+   without a trailing '/'.
 
 Usage: tools/docs_lint.py [ROOT]       (default ROOT: repo root)
-Exit status: 0 = clean, 1 = broken links found.
+Exit status: 0 = clean, 1 = broken references found.
 """
+import glob
 import os
 import re
 import sys
@@ -19,11 +30,46 @@ import sys
 # closing parens (none of ours do); reference-style links are not used in
 # this repo.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+# Inline code span (single backticks; docs here don't use double-backtick
+# spans).
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
 SKIP_DIRS = {"build", ".git", ".github"}
+
+# A code span is treated as a repo path reference iff its first component
+# is one of these. Anything else (command lines, type names, generated
+# build/ paths) is ignored.
+PATH_PREFIXES = ("src/", "docs/", "tools/", "tests/", "bench/", "examples/")
+PATH_TOKEN_RE = re.compile(r"^[A-Za-z0-9_.{},*/-]+$")
 
 
 def is_external(target: str) -> bool:
     return "://" in target or target.startswith(("mailto:", "#"))
+
+
+def expand_braces(token: str):
+    """Expands one level of {a,b} alternation (enough for foo.{h,cc})."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if not match:
+        return [token]
+    head, tail = token[:match.start()], token[match.end():]
+    out = []
+    for alt in match.group(1).split(","):
+        out.extend(expand_braces(head + alt + tail))
+    return out
+
+
+def path_reference_broken(root: str, token: str) -> bool:
+    """True when a path-shaped code span matches nothing in the tree."""
+    token = re.sub(r":\d+(-\d+)?$", "", token)  # strip :LINE / :LO-HI
+    for candidate in expand_braces(token):
+        candidate = candidate.rstrip("/")
+        resolved = os.path.join(root, candidate)
+        if "*" in candidate:
+            if not glob.glob(resolved):
+                return True
+        elif not os.path.exists(resolved):
+            return True
+    return False
 
 
 def lint(root: str) -> int:
@@ -35,6 +81,7 @@ def lint(root: str) -> int:
             if not name.endswith(".md"):
                 continue
             path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
             with open(path, encoding="utf-8") as f:
                 text = f.read()
             # Fenced code blocks frequently contain [x](y)-shaped text that
@@ -47,14 +94,25 @@ def lint(root: str) -> int:
                 resolved = os.path.normpath(
                     os.path.join(dirpath, target.split("#", 1)[0]))
                 if not os.path.exists(resolved):
-                    rel = os.path.relpath(path, root)
                     broken.append(f"{rel}: broken link -> {target}")
+            # Backtick path references: docs/*.md only — that's where
+            # path-heavy prose lives; READMEs mix in too many shell lines.
+            if os.path.dirname(rel) != "docs":
+                continue
+            for match in CODE_SPAN_RE.finditer(text):
+                token = match.group(1).strip()
+                if not token.startswith(PATH_PREFIXES):
+                    continue
+                if "/" not in token or not PATH_TOKEN_RE.match(token):
+                    continue
+                if path_reference_broken(root, token):
+                    broken.append(f"{rel}: stale path reference -> `{token}`")
     for line in broken:
         print(line, file=sys.stderr)
     if broken:
-        print(f"docs lint: {len(broken)} broken link(s)", file=sys.stderr)
+        print(f"docs lint: {len(broken)} broken reference(s)", file=sys.stderr)
         return 1
-    print("docs lint: all relative links resolve")
+    print("docs lint: all relative links and path references resolve")
     return 0
 
 

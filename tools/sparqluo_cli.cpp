@@ -23,13 +23,20 @@
 //   --repeat K                submit each query K times (batch serving)
 //   --deadline-ms N           per-query deadline in milliseconds
 //   --no-plan-cache           disable the shared plan cache (batch serving)
+//   --update-file FILE        apply SPARQL INSERT DATA / DELETE DATA
+//                             blocks (blank-line separated) after loading,
+//                             each block committed as one version
 //
-// Without a query argument, reads queries from stdin (one per blank-line-
-// separated block; end with EOF). With --concurrency N, all queries are
-// collected first, submitted to the service, and a per-query status line
-// plus aggregate service stats (QPS, p50/p99, cache hit rate) are printed
-// instead of result rows.
+// Without a query argument, reads blocks from stdin (one per blank-line-
+// separated block; end with EOF). A block whose first operation is INSERT
+// DATA / DELETE DATA is applied as a committed update (docs/updates.md);
+// anything else runs as a query. With --concurrency N, blocks are served
+// through a QueryService: queries are submitted concurrently, updates act
+// as barriers (pending queries drain, the update commits, serving
+// resumes), and aggregate service stats (QPS, p50/p99, cache hit rate,
+// commits) are printed instead of result rows.
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -71,7 +78,66 @@ struct CliOptions {
   bool plan_cache = true;
   std::string query;
   std::string query_file;
+  std::string update_file;
 };
+
+/// Splits text into blank-line-separated blocks.
+std::vector<std::string> SplitBlocks(std::istream& in) {
+  std::vector<std::string> blocks;
+  std::string block, line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      if (!block.empty()) blocks.push_back(block);
+      block.clear();
+      continue;
+    }
+    block += line + "\n";
+  }
+  if (!block.empty()) blocks.push_back(block);
+  return blocks;
+}
+
+/// True when the block's first operation keyword (after any PREFIX
+/// prologue) is INSERT or DELETE — i.e. it should be routed to the update
+/// path rather than the query path.
+bool LooksLikeUpdate(const std::string& text) {
+  std::string upper;
+  upper.reserve(text.size());
+  for (char c : text)
+    upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  auto first_word_at = [&](const char* word) {
+    size_t pos = upper.find(word);
+    // Require a standalone word (start/whitespace-delimited) so IRIs or
+    // literals containing the letters don't trigger.
+    while (pos != std::string::npos) {
+      bool start_ok = pos == 0 || std::isspace(static_cast<unsigned char>(
+                                      upper[pos - 1])) != 0;
+      size_t end = pos + std::strlen(word);
+      bool end_ok = end >= upper.size() ||
+                    std::isspace(static_cast<unsigned char>(upper[end])) != 0;
+      if (start_ok && end_ok) return pos;
+      pos = upper.find(word, pos + 1);
+    }
+    return std::string::npos;
+  };
+  size_t update_pos = std::min(first_word_at("INSERT"), first_word_at("DELETE"));
+  size_t query_pos = std::min(first_word_at("SELECT"), first_word_at("ASK"));
+  return update_pos != std::string::npos && update_pos < query_pos;
+}
+
+/// Applies one update block and prints the commit outcome.
+int RunUpdate(Database& db, const std::string& text) {
+  auto commit = db.Update(text);
+  if (!commit.ok()) {
+    std::cerr << "update failed: " << commit.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "# update: +" << commit->inserted << " -" << commit->deleted
+            << " triples -> version " << commit->version << " ("
+            << commit->store_size << " total) in " << commit->commit_ms
+            << " ms\n";
+  return 0;
+}
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -79,7 +145,8 @@ int Usage(const char* argv0) {
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
                "tsv|csv|json] [--explain] [--stats] [--max-rows N] "
                "[--parallelism N] [--concurrency N] [--repeat K] "
-               "[--deadline-ms N] [--no-plan-cache] [QUERY]\n";
+               "[--deadline-ms N] [--no-plan-cache] [--update-file FILE] "
+               "[QUERY | UPDATE]\n";
   return 2;
 }
 
@@ -165,6 +232,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->query_file = v;
+    } else if (arg == "--update-file") {
+      const char* v = next();
+      if (!v) return false;
+      opts->update_file = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -176,54 +247,77 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
          opts->lubm > 0 || opts->dbpedia > 0;
 }
 
-/// Batch serving: submits every collected query (x repeat) to a
-/// QueryService and reports per-query outcomes plus aggregate stats.
+/// Batch serving: submits every collected block (x repeat) to a
+/// QueryService and reports per-block outcomes plus aggregate stats.
+/// Queries are submitted concurrently; update blocks act as barriers —
+/// every pending query drains, the update commits as one version, and
+/// serving resumes against the new version.
 int RunService(Database& db, const CliOptions& opts,
-               const std::vector<std::string>& queries) {
+               const std::vector<std::string>& blocks) {
   QueryService::Options sopts;
   sopts.num_threads = opts.concurrency;
   sopts.enable_plan_cache = opts.plan_cache;
   sopts.intra_query_parallelism = opts.parallelism;
-  // RunBatch submits the whole batch up front; size the admission queue to
-  // hold it so a big --repeat doesn't trip the overload rejection meant for
-  // live traffic.
+  // Blocks are submitted up front (between update barriers); size the
+  // admission queue to hold them so a big --repeat doesn't trip the
+  // overload rejection meant for live traffic.
   sopts.max_queue = std::max<size_t>(sopts.max_queue,
-                                     queries.size() * opts.repeat + 16);
+                                     blocks.size() * opts.repeat + 16);
   if (opts.deadline_ms > 0)
     sopts.default_deadline = std::chrono::milliseconds(opts.deadline_ms);
   QueryService service(db, sopts);
-  std::vector<QueryRequest> requests;
-  requests.reserve(queries.size() * opts.repeat);
-  for (size_t rep = 0; rep < opts.repeat; ++rep) {
-    for (const std::string& q : queries) {
-      QueryRequest req;
-      req.text = q;
-      req.options = opts.exec;
-      requests.push_back(std::move(req));
-    }
-  }
-  Timer timer;
-  std::vector<QueryResponse> responses = service.RunBatch(std::move(requests));
-  double wall_ms = timer.ElapsedMillis();
 
   int rc = 0;
-  for (size_t i = 0; i < responses.size(); ++i) {
-    const QueryResponse& r = responses[i];
-    std::cerr << "# q" << (i % queries.size()) + 1 << " rep "
-              << i / queries.size() + 1 << ": ";
-    if (r.status.ok()) {
-      std::cerr << r.rows.size() << " rows in " << r.total_ms << " ms"
-                << (r.plan_cache_hit ? " (plan cache hit)" : "") << "\n";
-    } else {
-      std::cerr << r.status.ToString() << "\n";
-      rc = 1;
+  size_t query_count = 0;
+  std::vector<std::pair<size_t, std::future<QueryResponse>>> pending;
+  auto drain = [&] {
+    for (auto& [index, future] : pending) {
+      QueryResponse r = future.get();
+      std::cerr << "# q" << index << ": ";
+      if (r.status.ok()) {
+        std::cerr << r.rows.size() << " rows in " << r.total_ms << " ms (v"
+                  << r.version << (r.plan_cache_hit ? ", plan cache hit" : "")
+                  << ")\n";
+      } else {
+        std::cerr << r.status.ToString() << "\n";
+        rc = 1;
+      }
+    }
+    pending.clear();
+  };
+
+  Timer timer;
+  for (size_t rep = 0; rep < opts.repeat; ++rep) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      if (LooksLikeUpdate(blocks[i])) {
+        drain();  // updates are barriers: settle all reads first
+        UpdateRequest up;
+        up.text = blocks[i];
+        UpdateResponse r = service.SubmitUpdate(std::move(up)).get();
+        if (r.status.ok()) {
+          std::cerr << "# u" << i + 1 << ": +" << r.commit.inserted << " -"
+                    << r.commit.deleted << " -> version " << r.commit.version
+                    << " in " << r.total_ms << " ms\n";
+        } else {
+          std::cerr << "# u" << i + 1 << ": " << r.status.ToString() << "\n";
+          rc = 1;
+        }
+        continue;
+      }
+      QueryRequest req;
+      req.text = blocks[i];
+      req.options = opts.exec;
+      ++query_count;
+      pending.emplace_back(i + 1, service.Submit(std::move(req)));
     }
   }
+  drain();
+  double wall_ms = timer.ElapsedMillis();
   ServiceStatsSnapshot stats = service.Stats();
-  std::cout << "queries\t" << responses.size() << "\n"
+  std::cout << "queries\t" << query_count << "\n"
             << "threads\t" << service.num_threads() << "\n"
             << "wall_ms\t" << wall_ms << "\n"
-            << "qps\t" << (wall_ms > 0.0 ? 1000.0 * responses.size() / wall_ms
+            << "qps\t" << (wall_ms > 0.0 ? 1000.0 * query_count / wall_ms
                                          : 0.0)
             << "\n"
             << "p50_ms\t" << stats.p50_ms << "\n"
@@ -234,7 +328,11 @@ int RunService(Database& db, const CliOptions& opts,
             << "aborted_row_limit\t" << stats.aborted_row_limit << "\n"
             << "rejected\t" << stats.rejected << "\n"
             << "cache_hit_rate\t" << stats.CacheHitRate() << "\n"
-            << "morsels\t" << stats.bgp.morsels << "\n";
+            << "morsels\t" << stats.bgp.morsels << "\n"
+            << "updates_committed\t" << stats.updates_committed << "\n"
+            << "store_version\t" << stats.store_version << "\n"
+            << "triples_inserted\t" << stats.triples_inserted << "\n"
+            << "triples_deleted\t" << stats.triples_deleted << "\n";
   return rc;
 }
 
@@ -324,6 +422,21 @@ int main(int argc, char** argv) {
             << load_timer.ElapsedMillis() << " ms (engine "
             << db.engine().name() << ", mode " << opts.exec.Name() << ")\n";
 
+  // Apply update batches before snapshotting or serving queries: each
+  // blank-line-separated block in the file commits as one version.
+  if (!opts.update_file.empty()) {
+    std::ifstream in(opts.update_file);
+    if (!in.is_open()) {
+      std::cerr << "cannot open " << opts.update_file << "\n";
+      return 1;
+    }
+    for (const std::string& block : SplitBlocks(in)) {
+      if (int rc = RunUpdate(db, block); rc != 0) return rc;
+    }
+  }
+
+  // Saved after --update-file so the snapshot captures the committed
+  // state (SaveSnapshot reads the current version).
   if (!opts.snapshot_out.empty()) {
     Status st = SaveSnapshot(db, opts.snapshot_out);
     if (!st.ok()) {
@@ -341,8 +454,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Collect the query batch: positional arg, query file, or stdin blocks.
-  std::vector<std::string> queries;
+  // Collect the block batch: positional arg, query file, or stdin blocks.
+  // Blocks may mix queries and INSERT DATA / DELETE DATA updates.
+  std::vector<std::string> blocks;
   if (!opts.query_file.empty()) {
     std::ifstream in(opts.query_file);
     if (!in.is_open()) {
@@ -351,25 +465,15 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    queries.push_back(buf.str());
+    blocks.push_back(buf.str());
   } else if (!opts.query.empty()) {
-    queries.push_back(opts.query);
+    blocks.push_back(opts.query);
   } else {
-    // Interactive/batch: blocks separated by blank lines on stdin.
-    std::string block, line;
-    while (std::getline(std::cin, line)) {
-      if (line.empty()) {
-        if (!block.empty()) queries.push_back(block);
-        block.clear();
-        continue;
-      }
-      block += line + "\n";
-    }
-    if (!block.empty()) queries.push_back(block);
+    blocks = SplitBlocks(std::cin);
   }
-  if (queries.empty()) return 0;
+  if (blocks.empty()) return 0;
 
-  if (opts.concurrency > 0) return RunService(db, opts, queries);
+  if (opts.concurrency > 0) return RunService(db, opts, blocks);
 
   // Intra-query pool for direct execution: N - 1 workers plus the calling
   // thread (0 = all hardware threads).
@@ -379,7 +483,11 @@ int main(int argc, char** argv) {
         opts.parallelism == 0 ? 0 : opts.parallelism - 1);
 
   int rc = 0;
-  for (size_t rep = 0; rep < opts.repeat; ++rep)
-    for (const std::string& q : queries) rc |= RunQuery(db, opts, q, pool.get());
+  for (size_t rep = 0; rep < opts.repeat; ++rep) {
+    for (const std::string& block : blocks) {
+      rc |= LooksLikeUpdate(block) ? RunUpdate(db, block)
+                                   : RunQuery(db, opts, block, pool.get());
+    }
+  }
   return rc;
 }
