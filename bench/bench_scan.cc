@@ -1,0 +1,306 @@
+// Index microbenchmark: probe latency per triple-pattern shape, scan
+// throughput, and resident index bytes per triple.
+//
+// This is the before/after harness for the CSR permutation-index layout
+// (docs/index_layout.md). It compiles against either store layout: the
+// flat-array baseline (three sorted std::vector<Triple> copies) and the
+// two-level CSR layout are probed through the same public Match/Scan/
+// Count surface, with `requires`-clauses picking up the CSR-only
+// accessors (IndexBytes, ProbeHint) when present. BENCH_scan.json keeps
+// one run per layout recorded on the same machine.
+//
+// Probe keys are sampled from resident triples and issued in ascending
+// (s, p, o) order. For the shapes whose probing index is keyed on s
+// (s??, sp?, spo) that is a sorted level-1 probe sequence — the access
+// pattern of WCO extension candidates — exercising the galloping fast
+// path; the p- and o-keyed shapes see effectively random hint distances,
+// so their numbers characterize the adaptive search's graceful
+// degradation toward plain binary-search cost. The order is identical
+// across layouts, keeping the recorded runs comparable.
+//
+// Usage:
+//   bench_scan [--json FILE] [--lubm N] [--repeat N] [--probes N]
+//              [--check-bytes]
+//
+// --check-bytes exits non-zero when resident index bytes/triple is not
+// below the flat-array baseline (3 * sizeof(Triple)); CI runs it as the
+// memory-regression gate.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+/// Resident bytes of the permutation indexes. The flat layout keeps three
+/// full 12-byte copies of the triple set; the CSR layout reports its own
+/// footprint (level-1 directories + level-2 pair arrays). Templated so the
+/// `requires`-probe for the CSR-only accessor stays dependent and the file
+/// compiles against either layout.
+template <typename Store>
+size_t IndexBytesOf(const Store& store) {
+  if constexpr (requires { store.IndexBytes(); }) {
+    return store.IndexBytes();
+  } else {
+    return 3 * sizeof(Triple) * store.size();
+  }
+}
+
+template <typename Store>
+constexpr bool HasCsrLayout() {
+  return requires(const Store& s) { s.IndexBytes(); };
+}
+
+/// Runs the probe list once, threading a probe hint through when the
+/// layout has one (the CSR adaptive fast path for sorted probe sequences).
+template <typename Store>
+uint64_t RunProbes(const Store& store,
+                   const std::vector<TriplePatternIds>& queries) {
+  uint64_t matches = 0;
+  if constexpr (requires(Store s) {
+                  typename Store::ProbeHint;
+                  s.Count(TriplePatternIds{},
+                          static_cast<typename Store::ProbeHint*>(nullptr));
+                }) {
+    typename Store::ProbeHint hint;
+    for (const TriplePatternIds& q : queries) matches += store.Count(q, &hint);
+  } else {
+    for (const TriplePatternIds& q : queries) matches += store.Count(q);
+  }
+  return matches;
+}
+
+constexpr double kFlatBytesPerTriple = 3.0 * sizeof(Triple);
+
+/// One pattern shape: which positions of the sampled triple stay bound.
+struct Shape {
+  const char* name;
+  bool s, p, o;
+};
+
+constexpr Shape kShapes[] = {
+    {"s??", true, false, false}, {"?p?", false, true, false},
+    {"??o", false, false, true}, {"sp?", true, true, false},
+    {"s?o", true, false, true},  {"?po", false, true, true},
+    {"spo", true, true, true},   {"???", false, false, false},
+};
+
+struct ProbeResult {
+  std::string shape;
+  size_t probes = 0;
+  double ns_per_probe = 0.0;
+  uint64_t matches = 0;  ///< Checksum: total matched triples over all probes.
+};
+
+struct ScanResult {
+  std::string scan;
+  double ms = 0.0;
+  uint64_t triples = 0;
+  uint64_t checksum = 0;  ///< Forces the scan loop to touch every triple.
+  double triples_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t lubm_universities = LubmUniversities();
+  size_t repeat = 5;
+  size_t num_probes = 20000;
+  bool check_bytes = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--json" && (v = next())) {
+      json_path = v;
+    } else if (arg == "--lubm" && (v = next())) {
+      lubm_universities = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--repeat" && (v = next())) {
+      repeat = std::max<size_t>(1, static_cast<size_t>(std::atol(v)));
+    } else if (arg == "--probes" && (v = next())) {
+      num_probes = std::max<size_t>(1, static_cast<size_t>(std::atol(v)));
+    } else if (arg == "--check-bytes") {
+      check_bytes = true;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  auto db = MakeLubm(lubm_universities, EngineKind::kWco);
+  const TripleStore& store = db->store();
+  const size_t n = store.size();
+  const double bytes_per_triple =
+      n == 0 ? 0.0 : static_cast<double>(IndexBytesOf(store)) / n;
+  const bool is_csr = HasCsrLayout<TripleStore>();
+
+  std::printf("# layout %s, %zu triples, %.2f index bytes/triple (flat "
+              "baseline %.1f)\n",
+              is_csr ? "csr" : "flat", n, bytes_per_triple,
+              kFlatBytesPerTriple);
+
+  if (check_bytes && bytes_per_triple >= kFlatBytesPerTriple) {
+    std::fprintf(stderr,
+                 "# FAIL: %.2f index bytes/triple is not below the flat-array "
+                 "baseline of %.1f\n",
+                 bytes_per_triple, kFlatBytesPerTriple);
+    return 1;
+  }
+
+  // Sample resident triples at a fixed stride so every probe hits, then
+  // sort each shape's probe keys ascending by (s, p, o) — sorted level-1
+  // sequences for the s-keyed shapes, random-distance ones for the rest
+  // (see the header comment).
+  std::vector<Triple> sampled;
+  sampled.reserve(num_probes);
+  {
+    auto ts = store.triples();
+    const size_t stride = std::max<size_t>(1, n / num_probes);
+    for (size_t i = 0; i < n && sampled.size() < num_probes; i += stride)
+      sampled.push_back(ts[i]);
+  }
+
+  std::vector<ProbeResult> probes;
+  std::printf("%-6s %12s %10s %14s\n", "shape", "probes", "ns/probe",
+              "matches");
+  for (const Shape& shape : kShapes) {
+    std::vector<TriplePatternIds> queries;
+    if (shape.s || shape.p || shape.o) {
+      queries.reserve(sampled.size());
+      for (const Triple& t : sampled) {
+        TriplePatternIds q;
+        if (shape.s) q.s = t.s;
+        if (shape.p) q.p = t.p;
+        if (shape.o) q.o = t.o;
+        queries.push_back(q);
+      }
+      std::sort(queries.begin(), queries.end(),
+                [](const TriplePatternIds& a, const TriplePatternIds& b) {
+                  if (a.s != b.s) return a.s < b.s;
+                  if (a.p != b.p) return a.p < b.p;
+                  return a.o < b.o;
+                });
+    } else {
+      // The unbound shape resolves the full-scan range; probe it a few
+      // times only (each probe is O(1) index selection, the interesting
+      // number is the scan throughput below).
+      queries.resize(64);
+    }
+
+    ProbeResult r;
+    r.shape = shape.name;
+    r.probes = queries.size();
+    double best_ms = 1e300;
+    for (size_t rep = 0; rep < repeat; ++rep) {
+      Timer timer;
+      uint64_t matches = RunProbes(store, queries);
+      best_ms = std::min(best_ms, timer.ElapsedMillis());
+      r.matches = matches;
+    }
+    r.ns_per_probe = best_ms * 1e6 / static_cast<double>(r.probes);
+    std::printf("%-6s %12zu %10.1f %14llu\n", r.shape.c_str(), r.probes,
+                r.ns_per_probe, static_cast<unsigned long long>(r.matches));
+    probes.push_back(std::move(r));
+  }
+
+  // Scan throughput: the full store scan and the sum of all by-predicate
+  // scans (the adjacency walks both engines bottom out in).
+  std::vector<ScanResult> scans;
+  {
+    ScanResult full;
+    full.scan = "full";
+    double best_ms = 1e300;
+    for (size_t rep = 0; rep < repeat; ++rep) {
+      uint64_t count = 0, sum = 0;
+      Timer timer;
+      // The checksum reads all three components, so the loop cannot be
+      // folded into a range-size lookup by the optimizer.
+      store.Scan(TriplePatternIds{}, [&](const Triple& t) {
+        ++count;
+        sum += t.s + t.p + t.o;
+        return true;
+      });
+      best_ms = std::min(best_ms, timer.ElapsedMillis());
+      full.triples = count;
+      full.checksum = sum;
+    }
+    full.ms = best_ms;
+    full.triples_per_sec = full.triples / (best_ms / 1e3);
+    scans.push_back(full);
+  }
+  {
+    // Distinct predicates from the sampled triples (LUBM has ~20).
+    std::vector<TermId> preds;
+    for (const Triple& t : sampled) preds.push_back(t.p);
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    ScanResult by_p;
+    by_p.scan = "by_predicate";
+    double best_ms = 1e300;
+    for (size_t rep = 0; rep < repeat; ++rep) {
+      uint64_t count = 0, sum = 0;
+      Timer timer;
+      for (TermId p : preds) {
+        TriplePatternIds q;
+        q.p = p;
+        store.Scan(q, [&](const Triple& t) {
+          ++count;
+          sum += t.s + t.p + t.o;
+          return true;
+        });
+      }
+      best_ms = std::min(best_ms, timer.ElapsedMillis());
+      by_p.triples = count;
+      by_p.checksum = sum;
+    }
+    by_p.ms = best_ms;
+    by_p.triples_per_sec = by_p.triples / (best_ms / 1e3);
+    scans.push_back(by_p);
+  }
+  for (const ScanResult& s : scans)
+    std::printf("scan %-13s %10.2f ms %14.0f triples/s\n", s.scan.c_str(),
+                s.ms, s.triples_per_sec);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"scan\",\n  \"layout\": \""
+        << (is_csr ? "csr" : "flat") << "\",\n  \"hardware_threads\": "
+        << std::thread::hardware_concurrency()
+        << ",\n  \"lubm_universities\": " << lubm_universities
+        << ",\n  \"store_triples\": " << n << ",\n  \"bytes_per_triple\": "
+        << bytes_per_triple << ",\n  \"flat_baseline_bytes_per_triple\": "
+        << kFlatBytesPerTriple << ",\n  \"probe_ns\": [\n";
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const ProbeResult& r = probes[i];
+      out << "    {\"shape\": \"" << r.shape << "\", \"probes\": " << r.probes
+          << ", \"ns_per_probe\": " << r.ns_per_probe
+          << ", \"matches\": " << r.matches << "}"
+          << (i + 1 < probes.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"scan\": [\n";
+    for (size_t i = 0; i < scans.size(); ++i) {
+      const ScanResult& s = scans[i];
+      out << "    {\"scan\": \"" << s.scan << "\", \"ms\": " << s.ms
+          << ", \"triples\": " << s.triples << ", \"checksum\": " << s.checksum
+          << ", \"triples_per_sec\": " << s.triples_per_sec << "}"
+          << (i + 1 < scans.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cerr << "# wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -79,6 +79,10 @@ double CardinalityEstimator::EstimateBgp(const Bgp& bgp) const {
   std::vector<std::vector<TermId>> sample;
   double card = 0.0;
   Random rng(0xC0FFEE ^ bgp.triples.size());
+  // Sampled partial bindings are retained in scan order, so the pilot's
+  // per-row probes form locally sorted key sequences — exactly what the
+  // CSR level-1 galloping lookup is adaptive to.
+  TripleStore::ProbeHint hint;
 
   for (size_t step = 0; step < order.size(); ++step) {
     const TriplePattern& t = bgp.triples[order[step]];
@@ -111,10 +115,10 @@ double CardinalityEstimator::EstimateBgp(const Bgp& bgp) const {
       TriplePatternIds q{r.sv == kInvalidVarId ? r.s : kInvalidTermId,
                          r.pv == kInvalidVarId ? r.p : kInvalidTermId,
                          r.ov == kInvalidVarId ? r.o : kInvalidTermId};
-      card = static_cast<double>(store_.Count(q));
+      card = static_cast<double>(store_.Count(q, &hint));
       schema = new_vars;
       size_t seen = 0;
-      store_.Scan(q, [&](const Triple& tr) {
+      store_.Scan(q, &hint, [&](const Triple& tr) {
         // Same-variable repetition (e.g. ?x p ?x) must self-agree.
         if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
         ++seen;
@@ -144,7 +148,7 @@ double CardinalityEstimator::EstimateBgp(const Bgp& bgp) const {
                                   : (cp == SIZE_MAX ? kInvalidTermId : row[cp]);
       q.o = r.ov == kInvalidVarId ? r.o
                                   : (co == SIZE_MAX ? kInvalidTermId : row[co]);
-      store_.Scan(q, [&](const Triple& tr) {
+      store_.Scan(q, &hint, [&](const Triple& tr) {
         if (r.sv != kInvalidVarId && r.sv == r.ov && tr.s != tr.o) return true;
         ++extend;
         if (next_sample.size() < sample_size_ &&

@@ -31,10 +31,13 @@ struct CoreEdge {
 /// Collects the sorted, distinct values the variable `v` can take according
 /// to edge `e` given the values of the other positions in `fixed`, where
 /// kInvalidTermId in fixed means "that position is not yet bound".
-/// Returns the list through `out` (sorted ascending).
+/// Returns the list through `out` (sorted ascending). `hint` carries the
+/// previous probe's level-1 position: consecutive rows probe with values
+/// drawn from sorted candidate lists, so the CSR directory lookup gallops
+/// from the last bucket instead of binary-searching from scratch.
 void AdjacencyList(const TripleStore& store, const CoreEdge& e, bool v_is_subj,
                    TermId other_value, std::vector<TermId>* out,
-                   BgpEvalCounters* counters) {
+                   BgpEvalCounters* counters, TripleStore::ProbeHint* hint) {
   TriplePatternIds q;
   q.p = e.r.p;  // core edges have constant predicates
   if (v_is_subj) {
@@ -45,7 +48,7 @@ void AdjacencyList(const TripleStore& store, const CoreEdge& e, bool v_is_subj,
   if (counters) ++counters->index_probes;
   const bool self_loop = e.r.sv != kInvalidVarId && e.r.sv == e.r.ov;
   TermId last = kInvalidTermId;
-  store.Scan(q, [&](const Triple& t) {
+  store.Scan(q, hint, [&](const Triple& t) {
     if (self_loop && t.s != t.o) return true;
     TermId val = v_is_subj ? t.s : t.o;
     // POS/SPO range scans yield the free position in ascending order, so
@@ -194,7 +197,8 @@ WcoPlan BuildPlan(const Bgp& bgp, const TripleStore& store,
 /// with plan.var_order[step]. The per-row logic is independent across rows.
 Rows ExtendStep(const TripleStore& store, const WcoPlan& plan, size_t step,
                 const Rows& rows, const CandidateMap* cands,
-                BgpEvalCounters* counters, CancelCheckpoint& chk) {
+                BgpEvalCounters* counters, CancelCheckpoint& chk,
+                TripleStore::ProbeHint* hint) {
   const VarId next = plan.var_order[step];
   auto col_of = [&](VarId v) -> size_t {
     for (size_t i = 0; i < step; ++i)
@@ -267,7 +271,7 @@ Rows ExtendStep(const TripleStore& store, const WcoPlan& plan, size_t step,
         if (better_exists) continue;
       }
       edge_list.clear();
-      AdjacencyList(store, e, v_is_subj, other, &edge_list, counters);
+      AdjacencyList(store, e, v_is_subj, other, &edge_list, counters, hint);
       if (first_edge) {
         cand_list = edge_list;
         first_edge = false;
@@ -289,7 +293,7 @@ Rows ExtendStep(const TripleStore& store, const WcoPlan& plan, size_t step,
           if (e.r.sv != next && e.r.ov != next) continue;
           edge_list.clear();
           AdjacencyList(store, e, e.r.sv == next, kInvalidTermId, &edge_list,
-                        counters);
+                        counters, hint);
           if (cand_list.empty()) {
             cand_list = edge_list;
           } else {
@@ -322,8 +326,12 @@ Rows CompleteRows(const TripleStore& store, const WcoPlan& plan,
                   size_t first_step, Rows rows, const CandidateMap* cands,
                   BgpEvalCounters* counters, const CancelToken* cancel) {
   CancelCheckpoint chk(cancel);
+  // One adaptive probe hint per morsel: rows arrive sorted by their seed
+  // column, so consecutive extension and verification probes hit nearby
+  // level-1 buckets and the galloping lookup pays O(1) amortized.
+  TripleStore::ProbeHint hint;
   for (size_t step = first_step; step < plan.var_order.size(); ++step) {
-    rows = ExtendStep(store, plan, step, rows, cands, counters, chk);
+    rows = ExtendStep(store, plan, step, rows, cands, counters, chk, &hint);
     if (rows.empty()) return rows;
   }
 
@@ -342,7 +350,7 @@ Rows CompleteRows(const TripleStore& store, const WcoPlan& plan,
       for (const CoreEdge& e : plan.core) {
         TermId s = e.r.sv == kInvalidVarId ? e.r.s : row[core_col(e.r.sv)];
         TermId o = e.r.ov == kInvalidVarId ? e.r.o : row[core_col(e.r.ov)];
-        if (!store.Contains(Triple(s, e.r.p, o))) {
+        if (!store.Contains(Triple(s, e.r.p, o), &hint)) {
           ok = false;
           break;
         }
@@ -375,7 +383,7 @@ Rows CompleteRows(const TripleStore& store, const WcoPlan& plan,
                 ? r.o
                 : (col_of(r.ov) != SIZE_MAX ? row[col_of(r.ov)] : kInvalidTermId);
       if (counters) ++counters->index_probes;
-      store.Scan(q, [&](const Triple& t) {
+      store.Scan(q, &hint, [&](const Triple& t) {
         chk.Poll();
         // Repeated-variable consistency within the pattern.
         if (r.sv != kInvalidVarId && r.sv == r.ov && t.s != t.o) return true;
@@ -469,7 +477,8 @@ BindingSet WcoEngine::ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands
   Rows rows{{}};
   size_t first_step = 0;
   if (!plan.var_order.empty()) {
-    rows = ExtendStep(store_, plan, 0, rows, cands, counters, chk);
+    TripleStore::ProbeHint seed_hint;
+    rows = ExtendStep(store_, plan, 0, rows, cands, counters, chk, &seed_hint);
     first_step = 1;
     if (rows.empty()) return BindingSet(all_vars);
   }

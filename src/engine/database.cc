@@ -30,11 +30,11 @@ Status Database::LoadTurtleString(const std::string& text) {
   return sparqluo::ParseTurtleString(text, dict_.get(), base_store_.get());
 }
 
-void Database::Finalize(EngineKind kind) {
+void Database::Finalize(EngineKind kind, ExecutorPool* pool) {
   if (finalized()) return;
-  if (!base_store_->built()) base_store_->Build();
+  if (!base_store_->built()) base_store_->Build(pool);
   versions_ = std::make_unique<VersionedStore>(
-      dict_, std::shared_ptr<const TripleStore>(base_store_), kind);
+      dict_, std::shared_ptr<const TripleStore>(base_store_), kind, pool);
 }
 
 Result<BindingSet> Database::Query(const std::string& text,

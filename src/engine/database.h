@@ -12,6 +12,8 @@
 
 namespace sparqluo {
 
+class ExecutorPool;
+
 /// An in-memory RDF database with a SPARQL-UO front end and a versioned,
 /// snapshot-isolated write path.
 ///
@@ -44,8 +46,12 @@ class Database {
   Status LoadTurtleFile(const std::string& path);
   Status LoadTurtleString(const std::string& text);
 
-  /// Builds indexes and statistics and publishes version 0.
-  void Finalize(EngineKind kind = EngineKind::kWco);
+  /// Builds indexes and statistics and publishes version 0. With a pool,
+  /// the three CSR permutation indexes build in parallel, and later
+  /// commits merge their permutations in parallel on the same pool (which
+  /// must then outlive the database's last commit).
+  void Finalize(EngineKind kind = EngineKind::kWco,
+                ExecutorPool* pool = nullptr);
 
   /// Parses and executes a query against the current committed version.
   Result<BindingSet> Query(const std::string& text,

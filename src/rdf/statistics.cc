@@ -1,40 +1,77 @@
 #include "rdf/statistics.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <vector>
 
 namespace sparqluo {
 
 Statistics Statistics::Compute(const TripleStore& store,
                                const Dictionary& dict) {
+  // All aggregates fall out of the CSR level-1 directories and grouped
+  // bucket walks — no per-triple hash sets:
+  //   - distinct subjects/predicates/objects are directory sizes,
+  //   - per-predicate counts are POS bucket sizes and distinct objects a
+  //     run-length count over the bucket's sorted leading pair component,
+  //   - per-predicate distinct subjects accumulate from the SPO walk
+  //     (each subject bucket lists its distinct predicates consecutively),
+  //   - entities = subjects ∪ non-literal objects, a sorted merge of the
+  //     SPO and OSP directories.
   Statistics st;
   st.num_triples_ = store.size();
 
-  std::unordered_set<TermId> entities;
-  std::unordered_set<TermId> literals;
-  // Per-predicate distinct subject/object counting exploits POS order: the
-  // store's triples() span is SPO-sorted, so we instead collect into hash
-  // sets per predicate, which is fine at our scales.
-  std::unordered_map<TermId, std::unordered_set<TermId>> subj_of, obj_of;
+  std::span<const TermId> subjects = store.DistinctFirsts(Perm::kSpo);
+  std::span<const TermId> objects = store.DistinctFirsts(Perm::kOsp);
+  st.num_predicates_ = store.DistinctFirsts(Perm::kPos).size();
 
-  for (const Triple& t : store.triples()) {
-    entities.insert(t.s);
-    if (dict.Decode(t.o).is_literal()) {
-      literals.insert(t.o);
-    } else {
-      entities.insert(t.o);
+  store.ForEachGroup(Perm::kPos, [&](TermId p, std::span<const IdPair> pairs) {
+    PredicateStats& ps = st.per_predicate_[p];
+    ps.count = pairs.size();
+    TermId last_o = kInvalidTermId;
+    for (const IdPair& pr : pairs) {  // pr = (o, s), sorted by o
+      if (pr.second != last_o) {
+        ++ps.distinct_objects;
+        last_o = pr.second;
+      }
     }
-    PredicateStats& ps = st.per_predicate_[t.p];
-    ++ps.count;
-    subj_of[t.p].insert(t.s);
-    obj_of[t.p].insert(t.o);
+  });
+  store.ForEachGroup(Perm::kSpo, [&](TermId, std::span<const IdPair> pairs) {
+    TermId last_p = kInvalidTermId;
+    for (const IdPair& pr : pairs) {  // pr = (p, o), sorted by p
+      if (pr.second != last_p) {
+        ++st.per_predicate_[pr.second].distinct_subjects;
+        last_p = pr.second;
+      }
+    }
+  });
+
+  // Entities are subjects plus non-literal objects; literals only ever
+  // appear in object position. Both directories are sorted, so the union
+  // is a linear merge.
+  std::vector<TermId> entity_objects;
+  entity_objects.reserve(objects.size());
+  for (TermId o : objects) {
+    if (dict.Decode(o).is_literal()) {
+      ++st.num_literals_;
+    } else {
+      entity_objects.push_back(o);
+    }
   }
-  for (auto& [p, ps] : st.per_predicate_) {
-    ps.distinct_subjects = subj_of[p].size();
-    ps.distinct_objects = obj_of[p].size();
+  size_t i = 0, j = 0;
+  while (i < subjects.size() || j < entity_objects.size()) {
+    if (j >= entity_objects.size()) {
+      ++i;
+    } else if (i >= subjects.size()) {
+      ++j;
+    } else if (subjects[i] == entity_objects[j]) {
+      ++i;
+      ++j;
+    } else if (subjects[i] < entity_objects[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    ++st.num_entities_;
   }
-  st.num_entities_ = entities.size();
-  st.num_predicates_ = st.per_predicate_.size();
-  st.num_literals_ = literals.size();
   return st;
 }
 

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/executor_pool.h"
 
 namespace sparqluo {
 
 namespace {
+
+constexpr size_t kNoBucket = SIZE_MAX;
 
 struct OrderSPO {
   bool operator()(const Triple& a, const Triple& b) const {
@@ -29,158 +35,358 @@ struct OrderOSP {
   }
 };
 
-template <typename Cmp>
-std::span<const Triple> RangeOf(const std::vector<Triple>& v, const Triple& lo,
-                                const Triple& hi, Cmp cmp) {
-  auto first = std::lower_bound(v.begin(), v.end(), lo, cmp);
-  auto last = std::upper_bound(first, v.end(), hi, cmp);
-  return {&*first, static_cast<size_t>(last - first)};
+/// The (first, second, third) decomposition of a triple under `perm` —
+/// the inverse of TripleFrom.
+struct Key3 {
+  TermId first;
+  TermId second;
+  TermId third;
+
+  friend bool operator==(const Key3& a, const Key3& b) {
+    return a.first == b.first && a.second == b.second && a.third == b.third;
+  }
+  friend bool operator<(const Key3& a, const Key3& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second != b.second) return a.second < b.second;
+    return a.third < b.third;
+  }
+};
+
+Key3 KeyOf(Perm perm, const Triple& t) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {t.s, t.p, t.o};
+    case Perm::kPos:
+      return {t.p, t.o, t.s};
+    default:  // Perm::kOsp
+      return {t.o, t.s, t.p};
+  }
+}
+
+void SortByPerm(Perm perm, std::vector<Triple>* v) {
+  switch (perm) {
+    case Perm::kSpo:
+      std::sort(v->begin(), v->end(), OrderSPO{});
+      break;
+    case Perm::kPos:
+      std::sort(v->begin(), v->end(), OrderPOS{});
+      break;
+    default:
+      std::sort(v->begin(), v->end(), OrderOSP{});
+      break;
+  }
+}
+
+/// Incremental CSR construction: Append keys in permutation order; a new
+/// level-1 bucket opens whenever the leading component changes. `offsets`
+/// holds bucket starts until Finish() appends the final end sentinel.
+class CsrBuilder {
+ public:
+  void Reserve(size_t pairs, size_t firsts_estimate) {
+    out_.pairs.reserve(pairs);
+    out_.firsts.reserve(firsts_estimate);
+    out_.offsets.reserve(firsts_estimate + 1);
+  }
+
+  void Append(const Key3& k) {
+    if (out_.firsts.empty() || out_.firsts.back() != k.first) {
+      out_.firsts.push_back(k.first);
+      out_.offsets.push_back(static_cast<CsrOffset>(out_.pairs.size()));
+    }
+    out_.pairs.push_back(IdPair{k.second, k.third});
+  }
+
+  CsrIndex Finish() {
+    // Always-on: past 2^32 - 1 pairs the 32-bit offsets would silently
+    // truncate in exactly the (Release) builds that could reach that
+    // scale, corrupting every subsequent probe. Fail loudly instead.
+    if (out_.pairs.size() >= UINT32_MAX) {
+      std::fprintf(stderr,
+                   "TripleStore: %zu level-2 entries overflow the 32-bit "
+                   "CSR offsets (see docs/index_layout.md)\n",
+                   out_.pairs.size());
+      std::abort();
+    }
+    out_.offsets.push_back(static_cast<CsrOffset>(out_.pairs.size()));
+    // Reserve() estimates the directory at |triples|/4; small directories
+    // (POS especially — a handful of predicates against megabytes of
+    // reserved slots) would otherwise retain that capacity for the life
+    // of the version, invisibly to IndexBytes(). Trim to fit so resident
+    // memory matches the reported footprint.
+    out_.firsts.shrink_to_fit();
+    out_.offsets.shrink_to_fit();
+    out_.pairs.shrink_to_fit();
+    return std::move(out_);
+  }
+
+ private:
+  CsrIndex out_;
+};
+
+/// Compresses a `perm`-sorted, deduplicated triple array into a CSR index.
+CsrIndex CompressSorted(Perm perm, const std::vector<Triple>& sorted) {
+  CsrBuilder b;
+  b.Reserve(sorted.size(), sorted.empty() ? 0 : sorted.size() / 4);
+  for (const Triple& t : sorted) b.Append(KeyOf(perm, t));
+  return b.Finish();
+}
+
+/// Galloping lower_bound over the sorted level-1 directory, starting near
+/// `hint`. Cost is O(log d) in the distance d between the hint and the
+/// result, so a sorted probe sequence threading its previous position
+/// through pays amortized O(1) per probe; a cold probe (hint 0) on a
+/// random key degrades to ordinary binary search cost.
+size_t GallopLowerBound(const std::vector<TermId>& v, TermId key,
+                        size_t hint) {
+  const size_t n = v.size();
+  if (n == 0) return 0;
+  if (hint >= n) hint = n - 1;
+  size_t lo, hi;
+  if (v[hint] < key) {
+    // Result is right of the hint: double the step until overshooting.
+    size_t step = 1;
+    lo = hint + 1;
+    hi = hint + 1;
+    while (hi < n && v[hi] < key) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > n) hi = n;
+  } else {
+    // Result is at or left of the hint: double the step leftwards.
+    size_t step = 1;
+    hi = hint;
+    lo = hint;
+    while (lo > 0 && v[lo - 1] >= key) {
+      hi = lo - 1;
+      lo = hi > step ? hi - step : 0;
+      step <<= 1;
+    }
+  }
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + lo, v.begin() + hi, key) - v.begin());
+}
+
+/// Level-1 lookup: the bucket index of `key`, or kNoBucket. With a hint
+/// slot the lookup gallops from (and updates) the previous position.
+size_t FindBucket(const CsrIndex& ix, TermId key, size_t* hint_slot) {
+  size_t i;
+  if (hint_slot != nullptr) {
+    i = GallopLowerBound(ix.firsts, key, *hint_slot);
+    *hint_slot = i < ix.firsts.size() ? i : (ix.firsts.empty() ? 0 : ix.firsts.size() - 1);
+  } else {
+    i = static_cast<size_t>(
+        std::lower_bound(ix.firsts.begin(), ix.firsts.end(), key) -
+        ix.firsts.begin());
+  }
+  if (i >= ix.firsts.size() || ix.firsts[i] != key) return kNoBucket;
+  return i;
 }
 
 }  // namespace
 
 void TripleStore::Add(const Triple& t) {
   assert(!built_ && "Add after Build");
-  spo_.push_back(t);
+  staging_.push_back(t);
 }
 
-void TripleStore::Build() {
-  std::sort(spo_.begin(), spo_.end(), OrderSPO{});
-  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
-  pos_ = spo_;
-  std::sort(pos_.begin(), pos_.end(), OrderPOS{});
-  osp_ = spo_;
-  std::sort(osp_.begin(), osp_.end(), OrderOSP{});
+void TripleStore::Build(ExecutorPool* pool) {
+  assert(!built_ && "Build called twice");
+  std::sort(staging_.begin(), staging_.end(), OrderSPO{});
+  staging_.erase(std::unique(staging_.begin(), staging_.end()),
+                 staging_.end());
+  BuildIndexes(pool);
   built_ = true;
 }
 
-namespace {
-
-/// Merges one sorted base permutation with the (sorted, deduplicated)
-/// delta additions, dropping base triples present in `removed`. Equal
-/// elements (an addition already in base) are emitted once. Because both
-/// inputs are sorted under `cmp` and the output preserves that order, the
-/// result is exactly what sort+unique over the net triple set produces.
-template <typename Cmp>
-std::vector<Triple> MergeDelta(std::span<const Triple> base,
-                               std::vector<Triple> added,
-                               const TripleSet& removed, Cmp cmp) {
-  std::sort(added.begin(), added.end(), cmp);
-  added.erase(std::unique(added.begin(), added.end()), added.end());
-  std::vector<Triple> out;
-  out.reserve(base.size() + added.size());
-  size_t i = 0, j = 0;
-  while (i < base.size() || j < added.size()) {
-    bool take_base;
-    if (i >= base.size()) {
-      take_base = false;
-    } else if (j >= added.size()) {
-      take_base = true;
-    } else if (base[i] == added[j]) {
-      ++j;  // duplicate insert of an existing triple: keep the base copy
-      take_base = true;
-    } else {
-      take_base = cmp(base[i], added[j]);
+void TripleStore::BuildIndexes(ExecutorPool* pool) {
+  // staging_ is SPO-sorted and deduplicated; each permutation re-sorts a
+  // private copy (SPO compresses in place) and compresses independently,
+  // so the three builds are embarrassingly parallel.
+  auto build_one = [this](size_t i) {
+    switch (static_cast<Perm>(i)) {
+      case Perm::kSpo:
+        spo_ = CompressSorted(Perm::kSpo, staging_);
+        break;
+      case Perm::kPos: {
+        std::vector<Triple> tmp = staging_;
+        SortByPerm(Perm::kPos, &tmp);
+        pos_ = CompressSorted(Perm::kPos, tmp);
+        break;
+      }
+      default: {
+        std::vector<Triple> tmp = staging_;
+        SortByPerm(Perm::kOsp, &tmp);
+        osp_ = CompressSorted(Perm::kOsp, tmp);
+        break;
+      }
     }
-    if (take_base) {
-      if (removed.find(base[i]) == removed.end()) out.push_back(base[i]);
-      ++i;
-    } else {
-      out.push_back(added[j]);
-      ++j;
-    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(3, 3, build_one);
+  } else {
+    for (size_t i = 0; i < 3; ++i) build_one(i);
   }
-  return out;
+  staging_.clear();
+  staging_.shrink_to_fit();
 }
-
-}  // namespace
 
 void TripleStore::BuildDelta(const TripleStore& base,
                              std::vector<Triple> added,
-                             const TripleSet& removed) {
+                             const TripleSet& removed, ExecutorPool* pool) {
   assert(base.built_ && "BuildDelta requires a built base");
-  assert(!built_ && spo_.empty() && "BuildDelta requires an empty store");
-  spo_ = MergeDelta(std::span<const Triple>(base.spo_), added, removed,
-                    OrderSPO{});
-  pos_ = MergeDelta(std::span<const Triple>(base.pos_), added, removed,
-                    OrderPOS{});
-  osp_ = MergeDelta(std::span<const Triple>(base.osp_), std::move(added),
-                    removed, OrderOSP{});
+  assert(!built_ && staging_.empty() && "BuildDelta requires an empty store");
+  // Each permutation merges the base's CSR (already in order) with the
+  // additions sorted its way, dropping removed base triples. Equal
+  // elements (an addition already in base) are emitted once. The output
+  // order equals sort+unique over the net triple set, so the result is
+  // bit-identical to a from-scratch Build.
+  //
+  // The additions are sorted+deduplicated once, in SPO order, up front;
+  // the SPO merge reads that buffer directly (concurrent reads are safe)
+  // and only POS/OSP re-sort a private copy — one O(|delta|) copy fewer
+  // per commit than copying per permutation.
+  SortByPerm(Perm::kSpo, &added);
+  added.erase(std::unique(added.begin(), added.end()), added.end());
+  auto merge_one = [this, &base, &added, &removed](size_t i) {
+    const Perm perm = static_cast<Perm>(i);
+    const CsrIndex& bix = base.IndexOf(perm);
+    std::vector<Triple> resorted;
+    if (perm != Perm::kSpo) {
+      resorted = added;
+      SortByPerm(perm, &resorted);
+    }
+    const std::vector<Triple>& add =
+        perm == Perm::kSpo ? added : resorted;
+
+    CsrBuilder out;
+    out.Reserve(bix.pairs.size() + add.size(), bix.firsts.size());
+    size_t j = 0;
+    for (size_t bk = 0; bk < bix.firsts.size(); ++bk) {
+      const TermId first = bix.firsts[bk];
+      for (size_t pos = bix.offsets[bk]; pos < bix.offsets[bk + 1]; ++pos) {
+        const Key3 bkey{first, bix.pairs[pos].second, bix.pairs[pos].third};
+        while (j < add.size() && KeyOf(perm, add[j]) < bkey) {
+          out.Append(KeyOf(perm, add[j]));
+          ++j;
+        }
+        if (j < add.size() && KeyOf(perm, add[j]) == bkey)
+          ++j;  // duplicate insert of an existing triple: keep the base copy
+        if (removed.find(TripleFrom(perm, bkey.first,
+                                    IdPair{bkey.second, bkey.third})) ==
+            removed.end()) {
+          out.Append(bkey);
+        }
+      }
+    }
+    for (; j < add.size(); ++j) out.Append(KeyOf(perm, add[j]));
+
+    CsrIndex merged = out.Finish();
+    switch (perm) {
+      case Perm::kSpo:
+        spo_ = std::move(merged);
+        break;
+      case Perm::kPos:
+        pos_ = std::move(merged);
+        break;
+      default:
+        osp_ = std::move(merged);
+        break;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(3, 3, merge_one);
+  } else {
+    for (size_t i = 0; i < 3; ++i) merge_one(i);
+  }
   built_ = true;
 }
 
-std::span<const Triple> TripleStore::EqualRangeSPO(TermId s) const {
-  return RangeOf(spo_, Triple(s, 0, 0), Triple(s, kInvalidTermId, kInvalidTermId),
-                 OrderSPO{});
-}
-std::span<const Triple> TripleStore::EqualRangeSPO(TermId s, TermId p) const {
-  return RangeOf(spo_, Triple(s, p, 0), Triple(s, p, kInvalidTermId),
-                 OrderSPO{});
-}
-std::span<const Triple> TripleStore::EqualRangePOS(TermId p) const {
-  return RangeOf(pos_, Triple(0, p, 0), Triple(kInvalidTermId, p, kInvalidTermId),
-                 OrderPOS{});
-}
-std::span<const Triple> TripleStore::EqualRangePOS(TermId p, TermId o) const {
-  return RangeOf(pos_, Triple(0, p, o), Triple(kInvalidTermId, p, o),
-                 OrderPOS{});
-}
-std::span<const Triple> TripleStore::EqualRangeOSP(TermId o) const {
-  return RangeOf(osp_, Triple(0, 0, o), Triple(kInvalidTermId, kInvalidTermId, o),
-                 OrderOSP{});
-}
-std::span<const Triple> TripleStore::EqualRangeOSP(TermId o, TermId s) const {
-  return RangeOf(osp_, Triple(s, 0, o), Triple(s, kInvalidTermId, o),
-                 OrderOSP{});
-}
-
-TripleStore::MatchedRange TripleStore::Match(const TriplePatternIds& q) const {
-  assert(built_ && "Scan before Build");
-  // Each bound-position combination maps to an index whose prefix covers all
-  // bound positions, except the fully-bound case where o is filtered on top
-  // of the (s, p) prefix.
+TripleStore::MatchedRange TripleStore::Match(const TriplePatternIds& q,
+                                             ProbeHint* hint) const {
+  assert(built_ && "Match before Build");
   MatchedRange out;
-  if (q.s_bound() && q.p_bound()) {
-    out.range = EqualRangeSPO(q.s, q.p);
-    out.filter_o = q.o_bound();
-    out.o = q.o;
+
+  // Level-1 lookup: resolve the bound leading component to its bucket.
+  // On a miss the range stays empty (index set, begin == end == 0).
+  auto bucket_range = [&](const CsrIndex& ix, Perm perm, TermId key) {
+    out.index = &ix;
+    out.perm = perm;
+    size_t b = FindBucket(ix, key, hint != nullptr ? hint->slot(perm) : nullptr);
+    if (b == kNoBucket) return false;
+    out.bucket = b;
+    out.begin = ix.offsets[b];
+    out.end = ix.offsets[b + 1];
+    return true;
+  };
+  // Level-2 narrowing: restrict the bucket to pairs whose second component
+  // equals `second` (a two-bound prefix probe).
+  auto narrow_second = [&](const CsrIndex& ix, TermId second) {
+    auto first_it = ix.pairs.begin() + static_cast<ptrdiff_t>(out.begin);
+    auto last_it = ix.pairs.begin() + static_cast<ptrdiff_t>(out.end);
+    auto lo = std::lower_bound(
+        first_it, last_it, second,
+        [](const IdPair& pr, TermId k) { return pr.second < k; });
+    auto hi = std::upper_bound(
+        lo, last_it, second,
+        [](TermId k, const IdPair& pr) { return k < pr.second; });
+    out.begin = static_cast<size_t>(lo - ix.pairs.begin());
+    out.end = static_cast<size_t>(hi - ix.pairs.begin());
+  };
+
+  if (q.s_bound() && q.p_bound() && q.o_bound()) {
+    // Fully bound: direct existence check — a single level-2 binary
+    // search for the exact (p, o) pair inside s's bucket. No residual
+    // filter remains on any path.
+    if (bucket_range(spo_, Perm::kSpo, q.s)) {
+      const IdPair target{q.p, q.o};
+      auto first_it = spo_.pairs.begin() + static_cast<ptrdiff_t>(out.begin);
+      auto last_it = spo_.pairs.begin() + static_cast<ptrdiff_t>(out.end);
+      auto it = std::lower_bound(first_it, last_it, target);
+      out.begin = static_cast<size_t>(it - spo_.pairs.begin());
+      out.end = (it != last_it && *it == target) ? out.begin + 1 : out.begin;
+    }
+  } else if (q.s_bound() && q.p_bound()) {
+    if (bucket_range(spo_, Perm::kSpo, q.s)) narrow_second(spo_, q.p);
   } else if (q.s_bound() && q.o_bound()) {
-    out.range = EqualRangeOSP(q.o, q.s);
+    if (bucket_range(osp_, Perm::kOsp, q.o)) narrow_second(osp_, q.s);
   } else if (q.s_bound()) {
-    out.range = EqualRangeSPO(q.s);
+    bucket_range(spo_, Perm::kSpo, q.s);
+  } else if (q.p_bound() && q.o_bound()) {
+    if (bucket_range(pos_, Perm::kPos, q.p)) narrow_second(pos_, q.o);
   } else if (q.p_bound()) {
-    out.range = q.o_bound() ? EqualRangePOS(q.p, q.o) : EqualRangePOS(q.p);
+    bucket_range(pos_, Perm::kPos, q.p);
   } else if (q.o_bound()) {
-    out.range = EqualRangeOSP(q.o);
+    bucket_range(osp_, Perm::kOsp, q.o);
   } else {
-    out.range = {spo_.data(), spo_.size()};
+    out.index = &spo_;
+    out.perm = Perm::kSpo;
+    out.begin = 0;
+    out.end = spo_.pairs.size();
+    out.bucket = 0;
   }
   return out;
 }
 
-size_t TripleStore::Count(const TriplePatternIds& q) const {
+bool TripleStore::Contains(const Triple& t, ProbeHint* hint) const {
   assert(built_);
-  if (q.s_bound() && q.p_bound() && q.o_bound())
-    return Contains(Triple(q.s, q.p, q.o)) ? 1 : 0;
-  if (q.s_bound() && q.o_bound()) {
-    // OSP range on (o, s), residual filter on p.
-    size_t n = 0;
-    for (const Triple& t : EqualRangeOSP(q.o, q.s)) {
-      if (!q.p_bound() || t.p == q.p) ++n;
-    }
-    return n;
-  }
-  if (q.s_bound() && q.p_bound()) return EqualRangeSPO(q.s, q.p).size();
-  if (q.s_bound()) return EqualRangeSPO(q.s).size();
-  if (q.p_bound() && q.o_bound()) return EqualRangePOS(q.p, q.o).size();
-  if (q.p_bound()) return EqualRangePOS(q.p).size();
-  if (q.o_bound()) return EqualRangeOSP(q.o).size();
-  return spo_.size();
+  size_t b = FindBucket(spo_, t.s,
+                        hint != nullptr ? hint->slot(Perm::kSpo) : nullptr);
+  if (b == kNoBucket) return false;
+  auto first_it = spo_.pairs.begin() + static_cast<ptrdiff_t>(spo_.offsets[b]);
+  auto last_it =
+      spo_.pairs.begin() + static_cast<ptrdiff_t>(spo_.offsets[b + 1]);
+  return std::binary_search(first_it, last_it, IdPair{t.p, t.o});
 }
 
-bool TripleStore::Contains(const Triple& t) const {
-  auto range = EqualRangeSPO(t.s, t.p);
-  return std::binary_search(range.begin(), range.end(), t, OrderSPO{});
+size_t TripleStore::IndexBytes() const {
+  auto one = [](const CsrIndex& ix) {
+    return ix.firsts.size() * sizeof(TermId) +
+           ix.offsets.size() * sizeof(CsrOffset) +
+           ix.pairs.size() * sizeof(IdPair);
+  };
+  return one(spo_) + one(pos_) + one(osp_);
 }
 
 }  // namespace sparqluo

@@ -1,19 +1,33 @@
-// In-memory dictionary-encoded triple store with permutation indexes.
+// In-memory dictionary-encoded triple store with two-level CSR
+// permutation indexes.
 //
-// The store keeps three sorted copies of the triple set — SPO, POS and OSP —
-// which together answer every bound/unbound combination of a triple pattern
-// with a binary-searched prefix scan:
+// The store keeps the triple set under three permutation orders — SPO, POS
+// and OSP — which together answer every bound/unbound combination of a
+// triple pattern:
 //
 //   bound (s) / (s,p) / (s,p,o)  -> SPO
 //   bound (p) / (p,o)            -> POS
 //   bound (o) / (o,s)            -> OSP
 //   nothing bound                -> SPO full scan
 //
-// This mirrors the "single table exhaustive indexing" organization used by
-// RDF-3x-style stores, reduced to the three orders that suffice for prefix
-// lookups.
+// Each permutation is a compressed two-level adjacency layout (CsrIndex)
+// rather than a flat sorted array of 12-byte triples: a level-1 directory
+// of the distinct leading components with [begin, end) offsets into a
+// level-2 array of 8-byte (second, third) pairs. A probe is a level-1
+// directory lookup (binary search, or a galloping search from a ProbeHint
+// for sorted probe sequences) followed by at most one narrow level-2
+// lower_bound — there are no residual filters: every pattern shape,
+// including fully-bound and (s, o)-bound, resolves to an exact index
+// range. See docs/index_layout.md for the layout, the probe algorithms
+// and the memory math (~36 -> ~26 bytes/triple on LUBM).
+//
+// This is the "single table exhaustive indexing" organization of
+// RDF-3x-style stores, reduced to the three orders that suffice for
+// prefix lookups and compressed by factoring the leading component out.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_set>
@@ -23,6 +37,8 @@
 #include "rdf/term.h"
 
 namespace sparqluo {
+
+class ExecutorPool;
 
 /// Hash over the three ids of a triple (for delta/delete sets).
 struct TripleHash {
@@ -51,99 +67,327 @@ struct TriplePatternIds {
   bool o_bound() const { return o != kInvalidTermId; }
 };
 
+/// The three permutation orders. The enumerator value doubles as the index
+/// into per-permutation state (ProbeHint::bucket).
+enum class Perm : uint8_t { kSpo = 0, kPos = 1, kOsp = 2 };
+
+/// A level-2 entry: the two trailing components of one triple under a
+/// permutation order (p,o for SPO; o,s for POS; s,p for OSP).
+struct IdPair {
+  TermId second = 0;
+  TermId third = 0;
+
+  friend bool operator==(const IdPair& a, const IdPair& b) {
+    return a.second == b.second && a.third == b.third;
+  }
+  friend bool operator<(const IdPair& a, const IdPair& b) {
+    return a.second != b.second ? a.second < b.second : a.third < b.third;
+  }
+};
+
+/// Level-2 offsets are 32-bit: the directory is sized by *distinct* leading
+/// components, so halving the offset width is what keeps the whole layout
+/// under the flat-array footprint (see docs/index_layout.md). Caps the
+/// store at 2^32 - 1 triples, far beyond its in-memory reach.
+using CsrOffset = uint32_t;
+
+/// One two-level CSR permutation index. `firsts` holds the distinct
+/// leading components ascending; bucket i covers pairs
+/// [offsets[i], offsets[i+1]), each bucket sorted by (second, third).
+/// `offsets` always has firsts.size() + 1 entries with offsets[0] == 0.
+struct CsrIndex {
+  std::vector<TermId> firsts;
+  std::vector<CsrOffset> offsets;
+  std::vector<IdPair> pairs;
+
+  size_t size() const { return pairs.size(); }
+};
+
+/// Reassembles the (s, p, o) triple from a permutation's decomposition.
+inline Triple TripleFrom(Perm perm, TermId first, IdPair pr) {
+  switch (perm) {
+    case Perm::kSpo:
+      return Triple(first, pr.second, pr.third);
+    case Perm::kPos:
+      return Triple(pr.third, first, pr.second);
+    default:  // Perm::kOsp
+      return Triple(pr.second, pr.third, first);
+  }
+}
+
 /// Append-then-freeze triple store. Add() all triples, call Build(), then
 /// query. Duplicate triples inserted via Add are deduplicated by Build
 /// (RDF graphs are sets of triples).
 class TripleStore {
  public:
+  /// Caller-owned adaptive probe state: the level-1 directory position of
+  /// the previous probe, per permutation. Threading one hint through a
+  /// sequence of probes replaces the level-1 binary search with a
+  /// galloping search from the previous position — O(log d) in the probe
+  /// distance d, which approaches O(1) for the sorted probe sequences WCO
+  /// extension and verification produce. One hint per thread; the store
+  /// itself stays immutable and freely shared.
+  struct ProbeHint {
+    size_t bucket[3] = {0, 0, 0};
+
+    size_t* slot(Perm perm) { return &bucket[static_cast<size_t>(perm)]; }
+  };
+
   /// Appends a triple. Only valid before Build().
   void Add(const Triple& t);
 
-  /// Sorts and deduplicates the data and constructs the three indexes.
-  void Build();
+  /// Sorts and deduplicates the data and constructs the three CSR indexes.
+  /// With a pool, the three permutations build in parallel (the caller
+  /// participates, so a saturated pool degrades to sequential).
+  void Build(ExecutorPool* pool = nullptr);
 
   /// Builds this (empty, un-built) store as `base` minus `removed` plus
   /// `added` — the copy-on-write compaction step of a versioned commit
   /// (src/store/versioned_store.h). Bit-identical to Add()ing the net
   /// triple set and calling Build(): each permutation is produced by a
-  /// linear merge of the base's sorted index with the sorted delta, so the
-  /// cost is O(|base| + |delta| log |delta|) instead of a full re-sort.
+  /// CSR-aware linear merge of the base's index with the sorted delta, so
+  /// the cost is O(|base| + |delta| log |delta|) instead of a full
+  /// re-sort. With a pool the three merges run in parallel.
   ///
   /// Preconditions: `base.built()`, and `added` is disjoint from `removed`
   /// (StoreDelta maintains this by replay). `added` may contain triples
   /// already in base (deduplicated during the merge); `removed` triples
   /// absent from base are ignored.
   void BuildDelta(const TripleStore& base, std::vector<Triple> added,
-                  const TripleSet& removed);
+                  const TripleSet& removed, ExecutorPool* pool = nullptr);
 
   bool built() const { return built_; }
-  size_t size() const { return spo_.size(); }
 
-  /// The sorted index span covering a pattern, plus the residual object
-  /// filter used for fully-bound patterns (whose (s, p) prefix scan must
-  /// still check o). Public so morsel-driven evaluation can split one
-  /// matched range into independently scannable sub-ranges; `range` points
-  /// into the store's permutation arrays and stays valid as long as the
-  /// store does.
+  /// Triples in the store: level-2 entries of any one permutation after
+  /// Build, staged rows before.
+  size_t size() const { return built_ ? spo_.pairs.size() : staging_.size(); }
+
+  /// The exact index range covering a pattern. `index` points into the
+  /// store's CSR indexes and stays valid as long as the store does;
+  /// [begin, end) are global level-2 positions and `bucket` is the level-1
+  /// bucket containing `begin`. Public so morsel-driven evaluation can
+  /// split one matched range into independently scannable sub-ranges.
   struct MatchedRange {
-    std::span<const Triple> range;
-    bool filter_o = false;
-    TermId o = kInvalidTermId;
+    const CsrIndex* index = nullptr;
+    Perm perm = Perm::kSpo;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t bucket = 0;
 
-    size_t size() const { return range.size(); }
+    size_t size() const { return end - begin; }
 
-    /// The [begin, end) slice of this range (for one morsel).
-    MatchedRange Slice(size_t begin, size_t end) const {
-      return {range.subspan(begin, end - begin), filter_o, o};
+    /// The [from, to) slice of this range (for one morsel), positions
+    /// relative to this range's begin.
+    MatchedRange Slice(size_t from, size_t to) const {
+      MatchedRange out = *this;
+      out.begin = begin + from;
+      out.end = begin + to;
+      if (index != nullptr && out.begin < out.end) {
+        const auto& off = index->offsets;
+        out.bucket = static_cast<size_t>(
+            std::upper_bound(off.begin(), off.end(),
+                             static_cast<CsrOffset>(out.begin)) -
+            off.begin() - 1);
+      }
+      return out;
     }
   };
 
-  /// Resolves `pattern` to the index range holding its matches. Covers every
-  /// bound/unbound combination; see the header comment for the index choice.
-  MatchedRange Match(const TriplePatternIds& pattern) const;
+  /// Resolves `pattern` to the exact index range holding its matches.
+  /// Covers every bound/unbound combination; see the header comment for
+  /// the index choice. `hint`, when given, makes the level-1 lookup
+  /// adaptive (galloping from the previous probe's position).
+  MatchedRange Match(const TriplePatternIds& pattern,
+                     ProbeHint* hint = nullptr) const;
 
-  /// Invokes `fn` for every triple matching `pattern`. `fn` may return false
-  /// to stop the scan early.
+  /// Invokes `fn` for every triple matching `pattern`. `fn` may return
+  /// false to stop the scan early.
   ///
-  /// Templated so the callback inlines into the scan loop: every index probe
-  /// used to pay a std::function indirect call per triple, which dominated
-  /// tight adjacency scans. Index selection stays out-of-line in Match.
+  /// Templated so the callback inlines into the scan loop: every index
+  /// probe used to pay a std::function indirect call per triple, which
+  /// dominated tight adjacency scans. Index selection stays out-of-line
+  /// in Match.
   template <typename Fn>
   void Scan(const TriplePatternIds& pattern, Fn&& fn) const {
     ScanMatched(Match(pattern), std::forward<Fn>(fn));
   }
 
+  /// Scan with an adaptive probe hint (see ProbeHint).
+  template <typename Fn>
+  void Scan(const TriplePatternIds& pattern, ProbeHint* hint, Fn&& fn) const {
+    ScanMatched(Match(pattern, hint), std::forward<Fn>(fn));
+  }
+
   /// Scan over an already-resolved (possibly sliced) range; yields triples
-  /// in the same order Scan does for the covering pattern.
+  /// in the same order Scan does for the covering pattern (the range's
+  /// permutation order).
   template <typename Fn>
   static void ScanMatched(const MatchedRange& r, Fn&& fn) {
-    for (const Triple& t : r.range) {
-      if (r.filter_o && t.o != r.o) continue;
-      if (!fn(t)) return;
+    if (r.index == nullptr || r.begin >= r.end) return;
+    switch (r.perm) {
+      case Perm::kSpo:
+        WalkRange<Perm::kSpo>(r, fn);
+        break;
+      case Perm::kPos:
+        WalkRange<Perm::kPos>(r, fn);
+        break;
+      default:
+        WalkRange<Perm::kOsp>(r, fn);
+        break;
     }
   }
 
-  /// Exact number of triples matching `pattern` (uses index ranges; O(log n)
-  /// for prefix-shaped patterns, O(n) only for s+o bound without p).
-  size_t Count(const TriplePatternIds& pattern) const;
+  /// Exact number of triples matching `pattern`. O(log n) for every
+  /// pattern shape: all eight bound/unbound combinations resolve to exact
+  /// ranges (the flat layout needed an O(range) residual scan for
+  /// (s, o)-bound patterns).
+  size_t Count(const TriplePatternIds& pattern, ProbeHint* hint = nullptr) const {
+    return Match(pattern, hint).size();
+  }
 
-  /// True if the fully-bound triple is present.
-  bool Contains(const Triple& t) const;
+  /// True if the fully-bound triple is present (level-1 lookup on s plus
+  /// one level-2 binary search for the (p, o) pair).
+  bool Contains(const Triple& t, ProbeHint* hint = nullptr) const;
 
-  /// All triples in SPO order (for iteration and testing).
-  std::span<const Triple> triples() const { return spo_; }
+  /// Random-access view of the triple set in SPO order (iteration and
+  /// testing). Elements materialize on access — there is no flat triple
+  /// array anymore — so operator[] returns by value; sequential iteration
+  /// walks the CSR with an O(1) amortized bucket cursor.
+  class TripleView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = Triple;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Triple*;
+      using reference = Triple;
+
+      iterator() = default;
+
+      Triple operator*() const {
+        return Triple(ix_->firsts[bucket_], ix_->pairs[pos_].second,
+                      ix_->pairs[pos_].third);
+      }
+      iterator& operator++() {
+        ++pos_;
+        if (pos_ < ix_->pairs.size() && ix_->offsets[bucket_ + 1] <= pos_)
+          ++bucket_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++*this;
+        return copy;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.pos_ == b.pos_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return a.pos_ != b.pos_;
+      }
+
+     private:
+      friend class TripleView;
+      iterator(const CsrIndex* ix, size_t pos, size_t bucket)
+          : ix_(ix), pos_(pos), bucket_(bucket) {}
+
+      const CsrIndex* ix_ = nullptr;
+      size_t pos_ = 0;
+      size_t bucket_ = 0;
+    };
+
+    size_t size() const { return ix_->pairs.size(); }
+    bool empty() const { return ix_->pairs.empty(); }
+
+    /// The i-th triple in SPO order (O(log |subjects|) bucket lookup).
+    Triple operator[](size_t i) const {
+      const auto& off = ix_->offsets;
+      size_t b = static_cast<size_t>(
+          std::upper_bound(off.begin(), off.end(), static_cast<CsrOffset>(i)) -
+          off.begin() - 1);
+      return Triple(ix_->firsts[b], ix_->pairs[i].second, ix_->pairs[i].third);
+    }
+
+    iterator begin() const { return iterator(ix_, 0, 0); }
+    iterator end() const { return iterator(ix_, ix_->pairs.size(), 0); }
+
+   private:
+    friend class TripleStore;
+    explicit TripleView(const CsrIndex* ix) : ix_(ix) {}
+
+    const CsrIndex* ix_;
+  };
+
+  /// All triples in SPO order. Only valid after Build().
+  TripleView triples() const {
+    assert(built_ && "triples() before Build");
+    return TripleView(&spo_);
+  }
+
+  /// The level-1 directory of a permutation: its distinct leading
+  /// components, ascending (distinct subjects for SPO, predicates for
+  /// POS, objects for OSP). The single accessor statistics and
+  /// cardinality estimation read the layout through.
+  std::span<const TermId> DistinctFirsts(Perm perm) const {
+    return IndexOf(perm).firsts;
+  }
+
+  /// Invokes `fn(first, pairs)` per level-1 bucket of `perm`, ascending by
+  /// first; `pairs` is the bucket's level-2 span sorted by (second,
+  /// third). Grouped iteration for statistics and compaction consumers.
+  template <typename Fn>
+  void ForEachGroup(Perm perm, Fn&& fn) const {
+    const CsrIndex& ix = IndexOf(perm);
+    for (size_t b = 0; b < ix.firsts.size(); ++b) {
+      fn(ix.firsts[b],
+         std::span<const IdPair>(ix.pairs.data() + ix.offsets[b],
+                                 ix.offsets[b + 1] - ix.offsets[b]));
+    }
+  }
+
+  /// Resident bytes of the three CSR indexes (level-1 directories plus
+  /// level-2 pair arrays). The flat-array layout this replaced held
+  /// 3 * sizeof(Triple) = 36 bytes per triple.
+  size_t IndexBytes() const;
 
  private:
-  std::span<const Triple> EqualRangeSPO(TermId s) const;
-  std::span<const Triple> EqualRangeSPO(TermId s, TermId p) const;
-  std::span<const Triple> EqualRangePOS(TermId p) const;
-  std::span<const Triple> EqualRangePOS(TermId p, TermId o) const;
-  std::span<const Triple> EqualRangeOSP(TermId o) const;
-  std::span<const Triple> EqualRangeOSP(TermId o, TermId s) const;
+  template <Perm P, typename Fn>
+  static void WalkRange(const MatchedRange& r, Fn&& fn) {
+    const CsrIndex& ix = *r.index;
+    const IdPair* pairs = ix.pairs.data();
+    size_t b = r.bucket;
+    size_t pos = r.begin;
+    while (pos < r.end) {
+      // Buckets are non-empty, so after the first (possibly partial)
+      // bucket each outer iteration advances exactly one bucket.
+      const size_t bucket_end = ix.offsets[b + 1];
+      const size_t stop = bucket_end < r.end ? bucket_end : r.end;
+      const TermId first = ix.firsts[b];
+      for (; pos < stop; ++pos) {
+        if (!fn(TripleFrom(P, first, pairs[pos]))) return;
+      }
+      ++b;
+    }
+  }
 
-  std::vector<Triple> spo_;
-  std::vector<Triple> pos_;
-  std::vector<Triple> osp_;
+  const CsrIndex& IndexOf(Perm perm) const {
+    switch (perm) {
+      case Perm::kSpo:
+        return spo_;
+      case Perm::kPos:
+        return pos_;
+      default:
+        return osp_;
+    }
+  }
+
+  void BuildIndexes(ExecutorPool* pool);
+
+  std::vector<Triple> staging_;  ///< Add() target; cleared by Build().
+  CsrIndex spo_;
+  CsrIndex pos_;
+  CsrIndex osp_;
   bool built_ = false;
 };
 

@@ -32,26 +32,48 @@ std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
   }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->plan;
 }
 
 void PlanCache::Put(const std::string& key,
-                    std::shared_ptr<const CachedPlan> plan) {
+                    std::shared_ptr<const CachedPlan> plan, uint64_t version) {
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Concurrent planners can race to insert the same key; keep the newest.
-    it->second->second = std::move(plan);
+    it->second->plan = std::move(plan);
+    it->second->version = version;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(key, std::move(plan));
+  shard.lru.push_front(Entry{key, std::move(plan), version});
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+  }
+}
+
+void PlanCache::EvictUnreachable(
+    uint64_t current_version, const std::vector<uint64_t>& pinned_versions) {
+  auto reachable = [&](uint64_t version) {
+    return version >= current_version ||
+           std::binary_search(pinned_versions.begin(), pinned_versions.end(),
+                              version);
+  };
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (!reachable(it->version)) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->evictions;
+      } else {
+        ++it;
+      }
+    }
   }
 }
 

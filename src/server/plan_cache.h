@@ -49,14 +49,26 @@ class PlanCache {
   std::shared_ptr<const CachedPlan> Get(const std::string& key);
 
   /// Inserts (or replaces) the plan for `key`, evicting the shard's least
-  /// recently used entry when over budget.
-  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+  /// recently used entry when over budget. `version` is the database
+  /// version the plan was built against (it is also baked into the key);
+  /// version-scoped eviction uses it after commits.
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan,
+           uint64_t version = 0);
 
   Stats GetStats() const;
 
-  /// Drops every entry (keeps hit/miss/eviction counters). Called by the
-  /// query service after a commit: entries keyed under older versions can
-  /// never hit again, so they are only occupying LRU budget.
+  /// Drops every entry no reader can reach: one whose version is below
+  /// `current_version` and not in `pinned_versions` (sorted ascending).
+  /// Keeps hit/miss counters; removals count as evictions. The query
+  /// service calls this after each commit with the versions still pinned
+  /// by in-flight requests: plans for pinned older versions survive — a
+  /// request that snapshotted just before the commit still hits — while
+  /// entries for unreachable intermediate versions (published and
+  /// superseded while an old pin was held) stop occupying LRU budget.
+  void EvictUnreachable(uint64_t current_version,
+                        const std::vector<uint64_t>& pinned_versions);
+
+  /// Drops every entry (keeps hit/miss/eviction counters).
   void Clear();
 
   size_t capacity() const { return capacity_; }
@@ -75,15 +87,17 @@ class PlanCache {
                              uint64_t version = 0);
 
  private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+    uint64_t version = 0;  ///< Database version the plan was built against.
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used. The map indexes into the list.
-    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru;
-    std::unordered_map<
-        std::string,
-        std::list<std::pair<std::string,
-                            std::shared_ptr<const CachedPlan>>>::iterator>
-        index;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;

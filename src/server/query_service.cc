@@ -1,6 +1,8 @@
 #include "server/query_service.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "util/timer.h"
 
@@ -136,6 +138,27 @@ std::future<UpdateResponse> QueryService::SubmitUpdate(UpdateRequest request) {
   return future;
 }
 
+QueryService::VersionPin::VersionPin(
+    QueryService* service, std::shared_ptr<const DatabaseVersion>* snap)
+    : service_(service) {
+  // Snapshot + register atomically: a commit whose eviction floor is
+  // computed under the same mutex either runs first (this pin then
+  // snapshots the new version) or sees this pin and keeps the
+  // snapshotted version's plans. Snapshot() only touches the versioned
+  // store's current_mu_, which is never held while mu_ is taken.
+  std::lock_guard<std::mutex> lock(service_->mu_);
+  *snap = service_->db_.Snapshot();
+  version_ = (*snap)->id;
+  service_->pinned_versions_.insert(version_);
+}
+
+QueryService::VersionPin::~VersionPin() {
+  std::lock_guard<std::mutex> lock(service_->mu_);
+  auto it = service_->pinned_versions_.find(version_);
+  if (it != service_->pinned_versions_.end())
+    service_->pinned_versions_.erase(it);
+}
+
 UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
   Timer timer;
   UpdateResponse response;
@@ -152,9 +175,22 @@ UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
   response.status = commit.status();
   if (commit.ok()) {
     response.commit = *commit;
-    // Entries keyed under older versions can never hit again; drop them so
-    // they stop occupying LRU budget.
-    if (options_.enable_plan_cache) cache_.Clear();
+    // Version-scoped eviction: entries reachable by no reader — neither
+    // keyed at the just-committed version nor at a version an in-flight
+    // request still pins — can never hit again, so drop them. Plans for
+    // pinned older versions survive the commit (a queued request that
+    // snapshotted just before it still gets its cache hit), while
+    // intermediate versions a long-running pin would otherwise keep
+    // alive are reclaimed exactly.
+    if (options_.enable_plan_cache) {
+      std::vector<uint64_t> pinned;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pinned.assign(pinned_versions_.begin(), pinned_versions_.end());
+      }
+      pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
+      cache_.EvictUnreachable(response.commit.version, pinned);
+    }
   }
   response.total_ms = timer.ElapsedMillis();
   return response;
@@ -209,7 +245,11 @@ QueryResponse QueryService::Process(Task& task) {
   // Pin the version for the whole plan + execute: a commit that lands
   // mid-request cannot swap the store underneath this query, and the plan
   // cache key carries the pinned version so plans never cross versions.
-  std::shared_ptr<const DatabaseVersion> snap = db_.Snapshot();
+  // The pin snapshots and registers the version in one step; it is the
+  // eviction floor, so a commit landing while this request runs keeps
+  // this version's cached plans.
+  std::shared_ptr<const DatabaseVersion> snap;
+  VersionPin pin(this, &snap);
   response.version = snap->id;
 
   std::shared_ptr<const CachedPlan> plan;
@@ -242,7 +282,7 @@ QueryResponse QueryService::Process(Task& task) {
     }
     built->transform = response.metrics.transform;
     plan = built;
-    if (options_.enable_plan_cache) cache_.Put(key, std::move(built));
+    if (options_.enable_plan_cache) cache_.Put(key, std::move(built), snap->id);
   }
 
   auto result =

@@ -20,7 +20,9 @@
 //   - a sharded LRU plan cache keyed by normalized query text *and the
 //     database version*, so repeated queries skip parsing and tree
 //     transformation entirely while commits implicitly invalidate every
-//     cached plan (the cache is also flushed after each commit),
+//     cached plan (after each commit, eviction is version-scoped: entries
+//     for the new current version or a version an in-flight request still
+//     pins survive, every unreachable entry is dropped),
 //   - serialized, admission-controlled updates (SubmitUpdate) that report
 //     per-commit stats into the service counters,
 //   - thread-safe aggregation of per-query ExecMetrics/BgpEvalCounters into
@@ -35,6 +37,7 @@
 #include <condition_variable>
 #include <future>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "engine/database.h"
@@ -138,8 +141,10 @@ class QueryService {
   /// Submits one update batch. Updates share the worker pool and the
   /// admission bound with queries; commits are serialized against each
   /// other by the versioned store's writer lock. After a successful commit
-  /// the plan cache is flushed (version-keyed entries could never hit
-  /// again anyway). Requires the updatable constructor.
+  /// the plan cache drops every entry no reader can reach (neither the
+  /// new current version nor one an in-flight request still pins) —
+  /// plans for pinned older versions stay hittable until their last
+  /// reader finishes. Requires the updatable constructor.
   std::future<UpdateResponse> SubmitUpdate(UpdateRequest request);
 
   /// Stops accepting new work and waits for all in-flight queries to
@@ -157,6 +162,26 @@ class QueryService {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// RAII pin of the current database version for one in-flight request:
+  /// snapshots and registers the version in pinned_versions_ (the floor
+  /// for version-scoped cache eviction) under one mu_ critical section,
+  /// so a commit can never land between the snapshot read and the
+  /// registration and evict the just-snapshotted version's plans.
+  class VersionPin {
+   public:
+    /// Fills `*snap` with the pinned snapshot (never null).
+    VersionPin(QueryService* service,
+               std::shared_ptr<const DatabaseVersion>* snap);
+    ~VersionPin();
+
+    VersionPin(const VersionPin&) = delete;
+    VersionPin& operator=(const VersionPin&) = delete;
+
+   private:
+    QueryService* service_;
+    uint64_t version_;
   };
 
   QueryResponse Process(Task& task);
@@ -180,6 +205,9 @@ class QueryService {
   std::condition_variable cv_;   ///< Signalled when in_flight_ hits zero.
   size_t in_flight_ = 0;         ///< Submitted to the pool, not yet finished.
   bool shutdown_ = false;
+  /// Versions pinned by in-flight queries; the minimum is the eviction
+  /// floor after commits. Guarded by mu_.
+  std::multiset<uint64_t> pinned_versions_;
 };
 
 }  // namespace sparqluo

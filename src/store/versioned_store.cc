@@ -8,8 +8,8 @@ namespace sparqluo {
 
 VersionedStore::VersionedStore(std::shared_ptr<Dictionary> dict,
                                std::shared_ptr<const TripleStore> base,
-                               EngineKind kind)
-    : dict_(std::move(dict)), kind_(kind) {
+                               EngineKind kind, ExecutorPool* build_pool)
+    : dict_(std::move(dict)), kind_(kind), build_pool_(build_pool) {
   assert(base != nullptr && base->built() &&
          "VersionedStore requires a built base store");
   current_ = MakeVersion(0, std::move(base));
@@ -88,7 +88,7 @@ CommitStats VersionedStore::CommitLocked() {
   auto next = std::make_shared<TripleStore>();
   next->BuildDelta(base,
                    {delta_.added().begin(), delta_.added().end()},
-                   delta_.removed());
+                   delta_.removed(), build_pool_);
   stats.store_size = next->size();
   auto published = MakeVersion(base_version->id + 1, std::move(next));
   stats.version = published->id;

@@ -47,9 +47,12 @@ class VersionedStore {
  public:
   /// Publishes `base` (which must be built) as version 0. The dictionary
   /// is shared with the caller: the store appends to it when staging
-  /// batches that introduce new terms.
+  /// batches that introduce new terms. `build_pool` (not owned, may be
+  /// null) parallelizes the per-permutation CSR merges of each commit;
+  /// it must outlive the last commit.
   VersionedStore(std::shared_ptr<Dictionary> dict,
-                 std::shared_ptr<const TripleStore> base, EngineKind kind);
+                 std::shared_ptr<const TripleStore> base, EngineKind kind,
+                 ExecutorPool* build_pool = nullptr);
 
   VersionedStore(const VersionedStore&) = delete;
   VersionedStore& operator=(const VersionedStore&) = delete;
@@ -85,6 +88,7 @@ class VersionedStore {
 
   std::shared_ptr<Dictionary> dict_;
   EngineKind kind_;
+  ExecutorPool* build_pool_;  ///< Not owned; null = sequential merges.
 
   mutable std::mutex current_mu_;  ///< Guards the current_ pointer swap.
   std::shared_ptr<const DatabaseVersion> current_;

@@ -1,0 +1,349 @@
+// Property tests for the two-level CSR permutation indexes
+// (src/rdf/triple_store.h, docs/index_layout.md).
+//
+// The oracle is a plain deduplicated triple vector filtered linearly per
+// pattern. The CSR store must agree with it — on match sets, counts,
+// iteration order, existence checks, hinted (galloping) probes, morsel
+// slices and delta merges — over randomized graphs covering all eight
+// bound/unbound pattern combinations, with both hitting and missing
+// constants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "util/random.h"
+
+namespace sparqluo {
+namespace {
+
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// Comparator of triples under a permutation order — the order Scan must
+/// yield matches in.
+bool PermLess(Perm perm, const Triple& a, const Triple& b) {
+  auto key = [perm](const Triple& t) {
+    switch (perm) {
+      case Perm::kSpo:
+        return std::array<TermId, 3>{t.s, t.p, t.o};
+      case Perm::kPos:
+        return std::array<TermId, 3>{t.p, t.o, t.s};
+      default:
+        return std::array<TermId, 3>{t.o, t.s, t.p};
+    }
+  };
+  return key(a) < key(b);
+}
+
+bool Matches(const TriplePatternIds& q, const Triple& t) {
+  return (!q.s_bound() || t.s == q.s) && (!q.p_bound() || t.p == q.p) &&
+         (!q.o_bound() || t.o == q.o);
+}
+
+std::vector<Triple> OracleMatches(const std::vector<Triple>& triples,
+                                  const TriplePatternIds& q) {
+  std::vector<Triple> out;
+  for (const Triple& t : triples)
+    if (Matches(q, t)) out.push_back(t);
+  return out;
+}
+
+std::vector<Triple> ScanAll(const TripleStore& store,
+                            const TriplePatternIds& q,
+                            TripleStore::ProbeHint* hint = nullptr) {
+  std::vector<Triple> out;
+  if (hint != nullptr) {
+    store.Scan(q, hint, [&](const Triple& t) {
+      out.push_back(t);
+      return true;
+    });
+  } else {
+    store.Scan(q, [&](const Triple& t) {
+      out.push_back(t);
+      return true;
+    });
+  }
+  return out;
+}
+
+/// A random graph: `n` draws over skewed id universes (small universes
+/// produce dense adjacency and many duplicates; large ones, sparse
+/// single-pair buckets). Returns the deduplicated oracle.
+std::vector<Triple> RandomGraph(Random* rng, size_t n, TermId subjects,
+                                TermId predicates, TermId objects,
+                                TripleStore* store) {
+  std::vector<Triple> oracle;
+  for (size_t i = 0; i < n; ++i) {
+    Triple t(static_cast<TermId>(rng->Uniform(subjects)),
+             static_cast<TermId>(rng->Uniform(predicates)),
+             static_cast<TermId>(rng->Uniform(objects)));
+    store->Add(t);
+    oracle.push_back(t);
+  }
+  std::sort(oracle.begin(), oracle.end(), OrderSpo{});
+  oracle.erase(std::unique(oracle.begin(), oracle.end()), oracle.end());
+  return oracle;
+}
+
+/// One random pattern of the given bound/unbound mask. Half the probes
+/// draw components from a resident triple (hits likely), half draw fresh
+/// ids up to one past the universe (misses likely, including the
+/// never-interned id just outside it).
+TriplePatternIds RandomPattern(Random* rng, const std::vector<Triple>& oracle,
+                               bool bs, bool bp, bool bo, TermId subjects,
+                               TermId predicates, TermId objects) {
+  TriplePatternIds q;
+  if (oracle.empty() || rng->Bernoulli(0.5)) {
+    if (bs) q.s = static_cast<TermId>(rng->Uniform(subjects + 1));
+    if (bp) q.p = static_cast<TermId>(rng->Uniform(predicates + 1));
+    if (bo) q.o = static_cast<TermId>(rng->Uniform(objects + 1));
+  } else {
+    const Triple& t = oracle[rng->Uniform(oracle.size())];
+    if (bs) q.s = t.s;
+    if (bp) q.p = t.p;
+    if (bo) q.o = t.o;
+  }
+  return q;
+}
+
+Perm ExpectedPerm(const TriplePatternIds& q) {
+  if (q.s_bound() && q.o_bound() && !q.p_bound()) return Perm::kOsp;
+  if (q.s_bound()) return Perm::kSpo;
+  if (q.p_bound()) return Perm::kPos;
+  if (q.o_bound()) return Perm::kOsp;
+  return Perm::kSpo;
+}
+
+struct GraphConfig {
+  size_t n;
+  TermId subjects, predicates, objects;
+};
+
+// Dense multigraph-ish, mid-size, and sparse shapes.
+const GraphConfig kConfigs[] = {
+    {0, 4, 2, 4},        // empty store
+    {60, 5, 2, 5},       // dense: heavy duplication, fat buckets
+    {500, 40, 6, 50},    // mid: mixed bucket sizes
+    {900, 700, 3, 800},  // sparse: mostly single-pair buckets
+};
+
+TEST(CsrPropertyTest, MatchScanCountAgreeWithOracleOnAllShapes) {
+  Random rng(0xC5A11);
+  for (const GraphConfig& cfg : kConfigs) {
+    TripleStore store;
+    std::vector<Triple> oracle =
+        RandomGraph(&rng, cfg.n, cfg.subjects, cfg.predicates, cfg.objects,
+                    &store);
+    store.Build();
+    ASSERT_EQ(store.size(), oracle.size());
+
+    for (int mask = 0; mask < 8; ++mask) {
+      const bool bs = mask & 1, bp = mask & 2, bo = mask & 4;
+      for (int probe = 0; probe < 40; ++probe) {
+        TriplePatternIds q =
+            RandomPattern(&rng, oracle, bs, bp, bo, cfg.subjects,
+                          cfg.predicates, cfg.objects);
+        std::vector<Triple> want = OracleMatches(oracle, q);
+        std::vector<Triple> got = ScanAll(store, q);
+
+        // Scan yields the oracle's matches, in the covering permutation's
+        // order (which the oracle reproduces by sorting).
+        Perm perm = ExpectedPerm(q);
+        std::sort(want.begin(), want.end(), [perm](const Triple& a,
+                                                   const Triple& b) {
+          return PermLess(perm, a, b);
+        });
+        ASSERT_EQ(got, want) << "mask " << mask << " probe " << probe;
+        EXPECT_TRUE(std::is_sorted(
+            got.begin(), got.end(),
+            [perm](const Triple& a, const Triple& b) {
+              return PermLess(perm, a, b);
+            }));
+
+        EXPECT_EQ(store.Count(q), want.size());
+        EXPECT_EQ(store.Match(q).size(), want.size());
+        if (bs && bp && bo)
+          EXPECT_EQ(store.Contains(Triple(q.s, q.p, q.o)), !want.empty());
+      }
+    }
+  }
+}
+
+TEST(CsrPropertyTest, HintedProbesAgreeWithColdProbes) {
+  Random rng(0xB0CA);
+  for (const GraphConfig& cfg : kConfigs) {
+    TripleStore store;
+    std::vector<Triple> oracle =
+        RandomGraph(&rng, cfg.n, cfg.subjects, cfg.predicates, cfg.objects,
+                    &store);
+    store.Build();
+
+    // One hint threaded through every probe shape and order: ascending,
+    // descending and random sequences must all stay exact (galloping is a
+    // fast path, never an approximation).
+    TripleStore::ProbeHint hint;
+    for (int mask = 1; mask < 8; ++mask) {
+      const bool bs = mask & 1, bp = mask & 2, bo = mask & 4;
+      std::vector<TriplePatternIds> probes;
+      for (int i = 0; i < 30; ++i)
+        probes.push_back(RandomPattern(&rng, oracle, bs, bp, bo, cfg.subjects,
+                                       cfg.predicates, cfg.objects));
+      auto by_ids = [](const TriplePatternIds& a, const TriplePatternIds& b) {
+        if (a.s != b.s) return a.s < b.s;
+        if (a.p != b.p) return a.p < b.p;
+        return a.o < b.o;
+      };
+      std::sort(probes.begin(), probes.end(), by_ids);
+      for (const TriplePatternIds& q : probes)
+        ASSERT_EQ(store.Count(q, &hint), store.Count(q));
+      for (auto it = probes.rbegin(); it != probes.rend(); ++it)
+        ASSERT_EQ(ScanAll(store, *it, &hint), ScanAll(store, *it));
+    }
+    TripleStore::ProbeHint contains_hint;
+    for (int i = 0; i < 60; ++i) {
+      Triple t(static_cast<TermId>(rng.Uniform(cfg.subjects + 1)),
+               static_cast<TermId>(rng.Uniform(cfg.predicates + 1)),
+               static_cast<TermId>(rng.Uniform(cfg.objects + 1)));
+      ASSERT_EQ(store.Contains(t, &contains_hint), store.Contains(t));
+    }
+  }
+}
+
+TEST(CsrPropertyTest, SlicedRangesConcatenateToFullScan) {
+  Random rng(0x511CE);
+  TripleStore store;
+  std::vector<Triple> oracle = RandomGraph(&rng, 600, 30, 5, 40, &store);
+  store.Build();
+
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool bs = mask & 1, bp = mask & 2, bo = mask & 4;
+    for (int probe = 0; probe < 20; ++probe) {
+      TriplePatternIds q = RandomPattern(&rng, oracle, bs, bp, bo, 30, 5, 40);
+      TripleStore::MatchedRange range = store.Match(q);
+      std::vector<Triple> full;
+      TripleStore::ScanMatched(range, [&](const Triple& t) {
+        full.push_back(t);
+        return true;
+      });
+      ASSERT_EQ(full.size(), range.size());
+
+      // Any chunking of the range must concatenate to the full scan —
+      // the invariant morsel-parallel pattern scans rely on.
+      for (size_t chunks : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+        std::vector<Triple> pieced;
+        size_t per = (range.size() + chunks - 1) / chunks;
+        if (per == 0) per = 1;
+        for (size_t begin = 0; begin < range.size(); begin += per) {
+          size_t end = std::min(begin + per, range.size());
+          TripleStore::ScanMatched(range.Slice(begin, end),
+                                   [&](const Triple& t) {
+                                     pieced.push_back(t);
+                                     return true;
+                                   });
+        }
+        ASSERT_EQ(pieced, full) << "mask " << mask << " chunks " << chunks;
+      }
+    }
+  }
+}
+
+TEST(CsrPropertyTest, EarlyStopAndViewIterationHold) {
+  Random rng(0xE57);
+  TripleStore store;
+  std::vector<Triple> oracle = RandomGraph(&rng, 300, 20, 4, 25, &store);
+  store.Build();
+
+  // Early stop sees exactly the first k of the full scan.
+  TriplePatternIds all;
+  std::vector<Triple> full = ScanAll(store, all);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{7}, full.size()}) {
+    std::vector<Triple> stopped;
+    store.Scan(all, [&](const Triple& t) {
+      if (stopped.size() == k) return false;
+      stopped.push_back(t);
+      return true;
+    });
+    ASSERT_EQ(stopped.size(), std::min(k, full.size()));
+    ASSERT_TRUE(std::equal(stopped.begin(), stopped.end(), full.begin()));
+  }
+
+  // triples() (iteration and indexing) reproduces the sorted oracle.
+  auto view = store.triples();
+  ASSERT_EQ(view.size(), oracle.size());
+  size_t i = 0;
+  for (const Triple& t : view) {
+    ASSERT_EQ(t, oracle[i]);
+    ASSERT_EQ(view[i], oracle[i]);
+    ++i;
+  }
+}
+
+TEST(CsrPropertyTest, RandomDeltaMergeEqualsRebuild) {
+  Random rng(0xDE17A);
+  for (int round = 0; round < 6; ++round) {
+    TripleStore base;
+    std::vector<Triple> net =
+        RandomGraph(&rng, 400, 25, 4, 30, &base);
+    base.Build();
+
+    // Random delta: inserts (some duplicating base) and deletes (some
+    // absent), kept disjoint as StoreDelta guarantees.
+    std::vector<Triple> added;
+    TripleSet removed;
+    for (int i = 0; i < 80; ++i) {
+      Triple t(static_cast<TermId>(rng.Uniform(26)),
+               static_cast<TermId>(rng.Uniform(5)),
+               static_cast<TermId>(rng.Uniform(31)));
+      if (rng.Bernoulli(0.5)) {
+        if (removed.count(t) == 0) added.push_back(t);
+      } else {
+        bool in_added = std::find(added.begin(), added.end(), t) != added.end();
+        if (!in_added) removed.insert(t);
+      }
+    }
+
+    TripleStore merged;
+    merged.BuildDelta(base, added, removed);
+
+    for (const Triple& t : added)
+      if (removed.count(t) == 0 &&
+          std::find(net.begin(), net.end(), t) == net.end())
+        net.push_back(t);
+    net.erase(std::remove_if(net.begin(), net.end(),
+                             [&](const Triple& t) {
+                               return removed.count(t) != 0;
+                             }),
+              net.end());
+    TripleStore rebuilt;
+    for (const Triple& t : net) rebuilt.Add(t);
+    rebuilt.Build();
+
+    ASSERT_EQ(merged.size(), rebuilt.size()) << "round " << round;
+    // Bit-identity across the whole CSR layout: every permutation's
+    // directory and bucket contents match a from-scratch Build.
+    for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+      auto mf = merged.DistinctFirsts(perm);
+      auto rf = rebuilt.DistinctFirsts(perm);
+      ASSERT_TRUE(std::equal(mf.begin(), mf.end(), rf.begin(), rf.end()));
+      std::vector<std::pair<TermId, std::vector<IdPair>>> mg, rg;
+      merged.ForEachGroup(perm, [&](TermId f, std::span<const IdPair> prs) {
+        mg.emplace_back(f, std::vector<IdPair>(prs.begin(), prs.end()));
+      });
+      rebuilt.ForEachGroup(perm, [&](TermId f, std::span<const IdPair> prs) {
+        rg.emplace_back(f, std::vector<IdPair>(prs.begin(), prs.end()));
+      });
+      ASSERT_EQ(mg, rg) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparqluo

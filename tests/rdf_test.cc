@@ -242,11 +242,72 @@ TEST_F(TripleStoreTest, Contains) {
 }
 
 TEST_F(TripleStoreTest, TriplesSortedSpo) {
+  // triples() materializes elements on access (the CSR layout holds no
+  // flat array), so copy each one out before comparing.
   auto ts = store_.triples();
   for (size_t i = 1; i < ts.size(); ++i) {
-    bool ordered = std::tie(ts[i - 1].s, ts[i - 1].p, ts[i - 1].o) <
-                   std::tie(ts[i].s, ts[i].p, ts[i].o);
+    Triple prev = ts[i - 1], cur = ts[i];
+    bool ordered = std::tie(prev.s, prev.p, prev.o) <
+                   std::tie(cur.s, cur.p, cur.o);
     EXPECT_TRUE(ordered);
+  }
+}
+
+TEST_F(TripleStoreTest, TripleViewIterationMatchesIndexing) {
+  auto ts = store_.triples();
+  size_t i = 0;
+  for (const Triple& t : ts) {
+    EXPECT_EQ(t, ts[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, ts.size());
+}
+
+TEST_F(TripleStoreTest, DistinctFirstsPerPermutation) {
+  // Subjects 0..10 (10 gains in-degree only; subjects are 0..9 plus the
+  // dedicated extra edge source 5 — distinct subjects are 0..9).
+  EXPECT_EQ(store_.DistinctFirsts(Perm::kSpo).size(), 10u);
+  EXPECT_EQ(store_.DistinctFirsts(Perm::kPos).size(), 2u);   // p100, p101
+  EXPECT_EQ(store_.DistinctFirsts(Perm::kOsp).size(), 11u);  // objects 0..10
+}
+
+TEST_F(TripleStoreTest, ForEachGroupCoversEveryTriple) {
+  for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+    size_t total = 0;
+    TermId last_first = 0;
+    bool first_group = true;
+    store_.ForEachGroup(perm, [&](TermId first, std::span<const IdPair> pairs) {
+      EXPECT_FALSE(pairs.empty());
+      if (!first_group) EXPECT_GT(first, last_first);
+      first_group = false;
+      last_first = first;
+      EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+      total += pairs.size();
+    });
+    EXPECT_EQ(total, store_.size());
+  }
+}
+
+TEST_F(TripleStoreTest, IndexBytesBelowFlatBaseline) {
+  EXPECT_LT(store_.IndexBytes(), 3 * sizeof(Triple) * store_.size());
+}
+
+TEST_F(TripleStoreTest, ProbeHintedLookupsMatchCold) {
+  // A sorted probe sequence through one hint must agree with cold probes.
+  TripleStore::ProbeHint hint;
+  for (TermId s = 0; s <= 11; ++s) {
+    TriplePatternIds q;
+    q.s = s;
+    EXPECT_EQ(store_.Count(q, &hint), store_.Count(q)) << s;
+  }
+  // Descending and repeated probes exercise the leftward gallop.
+  for (TermId s : {11u, 5u, 5u, 0u, 9u, 2u}) {
+    TriplePatternIds q;
+    q.s = s;
+    EXPECT_EQ(store_.Count(q, &hint), store_.Count(q)) << s;
+    EXPECT_EQ(store_.Contains(Triple(s, 100, s + 1), &hint),
+              store_.Contains(Triple(s, 100, s + 1)))
+        << s;
   }
 }
 

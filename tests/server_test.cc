@@ -299,5 +299,104 @@ TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
   EXPECT_EQ(stats.entries, 2u);
 }
 
+TEST(PlanCacheTest, EvictUnreachableIsVersionScoped) {
+  PlanCache cache(/*capacity=*/8, /*shards=*/2);
+  auto plan = std::make_shared<const CachedPlan>();
+  cache.Put("q1@v0", plan, /*version=*/0);
+  cache.Put("q2@v0", plan, /*version=*/0);
+  cache.Put("q1@v1", plan, /*version=*/1);
+  cache.Put("q1@v2", plan, /*version=*/2);
+
+  // Current v2 with a reader pinned to v1: only the v0 entries go.
+  cache.EvictUnreachable(2, {1});
+  EXPECT_EQ(cache.Get("q1@v0"), nullptr);
+  EXPECT_EQ(cache.Get("q2@v0"), nullptr);
+  EXPECT_NE(cache.Get("q1@v1"), nullptr);
+  EXPECT_NE(cache.Get("q1@v2"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 2u);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+
+  // The v1 pin released: the v1 entry is unreachable at the next commit.
+  cache.EvictUnreachable(2, {});
+  EXPECT_EQ(cache.Get("q1@v1"), nullptr);
+  EXPECT_NE(cache.Get("q1@v2"), nullptr);
+}
+
+TEST(PlanCacheTest, EvictUnreachableReclaimsIntermediateVersions) {
+  // One long-running reader pinned to v0 while commits advance to v4:
+  // entries for the intermediate versions v1..v3 are reachable by no
+  // reader (new snapshots are v4, only v0 is pinned) and must go, while
+  // the pinned v0 entry and the current v4 entry both survive.
+  PlanCache cache(/*capacity=*/8, /*shards=*/1);
+  auto plan = std::make_shared<const CachedPlan>();
+  for (uint64_t v = 0; v <= 4; ++v)
+    cache.Put("q@v" + std::to_string(v), plan, v);
+  cache.EvictUnreachable(4, {0});
+  EXPECT_NE(cache.Get("q@v0"), nullptr);
+  EXPECT_EQ(cache.Get("q@v1"), nullptr);
+  EXPECT_EQ(cache.Get("q@v2"), nullptr);
+  EXPECT_EQ(cache.Get("q@v3"), nullptr);
+  EXPECT_NE(cache.Get("q@v4"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 3u);
+}
+
+TEST(PlanCacheTest, EvictUnreachableAtVersionZeroKeepsEverything) {
+  PlanCache cache(/*capacity=*/4, /*shards=*/1);
+  auto plan = std::make_shared<const CachedPlan>();
+  cache.Put("a", plan, /*version=*/0);
+  cache.Put("b", plan, /*version=*/3);
+  cache.EvictUnreachable(0, {});
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+}
+
+// Service-level version-scoped eviction: a commit with no in-flight
+// readers drops exactly the entries keyed under now-unreachable versions
+// (counted as evictions — the old whole-cache Clear() counted nothing),
+// and plans built after the commit are cached and hittable as usual.
+TEST(QueryServiceUpdateCacheTest, CommitEvictsOnlyUnreachableVersions) {
+  Database db;
+  Term p = Term::Iri("http://ex.org/p");
+  for (int i = 0; i < 4; ++i) {
+    db.AddTriple(Term::Iri("http://ex.org/s" + std::to_string(i)), p,
+                 Term::Iri("http://ex.org/o" + std::to_string(i)));
+  }
+  db.Finalize(EngineKind::kWco);
+
+  QueryService::Options options;
+  options.num_threads = 2;
+  QueryService service(db, options);
+  const std::string q = "SELECT ?s WHERE { ?s <http://ex.org/p> ?o }";
+
+  // Prime the cache under version 0.
+  auto r0 = service.Submit({.text = q}).get();
+  ASSERT_TRUE(r0.status.ok());
+  EXPECT_EQ(r0.version, 0u);
+  EXPECT_EQ(service.CacheStats().entries, 1u);
+
+  // Commit version 1 through the service. With no readers pinned to v0,
+  // the eviction floor is the commit version and the v0 entry goes.
+  UpdateRequest update;
+  update.text =
+      "INSERT DATA { <http://ex.org/s9> <http://ex.org/p> "
+      "<http://ex.org/o9> }";
+  auto committed = service.SubmitUpdate(std::move(update)).get();
+  ASSERT_TRUE(committed.status.ok()) << committed.status.ToString();
+  EXPECT_EQ(committed.commit.version, 1u);
+  PlanCache::Stats after = service.CacheStats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.evictions, 1u);  // version-scoped, not a blanket Clear()
+
+  // Replan under v1 (miss), then hit on the repeat.
+  auto r1 = service.Submit({.text = q}).get();
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.version, 1u);
+  EXPECT_FALSE(r1.plan_cache_hit);
+  auto r2 = service.Submit({.text = q}).get();
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_TRUE(r2.plan_cache_hit);
+}
+
 }  // namespace
 }  // namespace sparqluo

@@ -301,6 +301,83 @@ TEST_P(UpdateTest, CommittedVersionsBitIdenticalToRebuild) {
   }
 }
 
+// The commit path's CSR-aware merge (TripleStore::BuildDelta) must
+// reproduce the *layout* of a from-scratch Build bit for bit — every
+// permutation's level-1 directory and level-2 bucket contents — not just
+// the same triple bag. Query identity (above) would not catch, say, a
+// merge that splits a bucket or reorders pairs within one in a way the
+// current probe paths happen to tolerate.
+TEST_P(UpdateTest, CommittedCsrLayoutIdenticalToRebuild) {
+  uint64_t version = 0;
+  for (const UpdateBatch& batch : UpdateSequence()) {
+    auto commit = db_.Apply(batch);
+    ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+    ++version;
+    net_.Replay(batch);
+
+    std::shared_ptr<const DatabaseVersion> snap = db_.Snapshot();
+    auto canonical = RebuildCanonical(*snap, GetParam());
+    const TripleStore& committed = *snap->store;
+    const TripleStore& rebuilt = canonical->store();
+    ASSERT_EQ(committed.size(), rebuilt.size());
+    ASSERT_EQ(committed.IndexBytes(), rebuilt.IndexBytes());
+    for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+      auto cf = committed.DistinctFirsts(perm);
+      auto rf = rebuilt.DistinctFirsts(perm);
+      ASSERT_TRUE(std::equal(cf.begin(), cf.end(), rf.begin(), rf.end()))
+          << "directory divergence, perm " << static_cast<int>(perm)
+          << " version " << version;
+      std::vector<std::pair<TermId, std::vector<IdPair>>> cg, rg;
+      committed.ForEachGroup(perm,
+                             [&](TermId f, std::span<const IdPair> prs) {
+                               cg.emplace_back(
+                                   f, std::vector<IdPair>(prs.begin(),
+                                                          prs.end()));
+                             });
+      rebuilt.ForEachGroup(perm, [&](TermId f, std::span<const IdPair> prs) {
+        rg.emplace_back(f, std::vector<IdPair>(prs.begin(), prs.end()));
+      });
+      ASSERT_EQ(cg, rg) << "bucket divergence, perm "
+                        << static_cast<int>(perm) << " version " << version;
+    }
+  }
+}
+
+// Pool-parallel index construction — Build fanning the three CSR
+// permutations over an ExecutorPool at Finalize, and BuildDelta merging
+// them in parallel at every commit — must produce exactly the layout the
+// sequential path does. (This is also the test that puts those code
+// paths under the CI sanitizer matrix.)
+TEST_P(UpdateTest, PoolParallelBuildAndCommitMatchSequential) {
+  ExecutorPool pool(3);
+  Database pooled;
+  NetTriples ignored;
+  LoadBase(&pooled, &ignored);
+  pooled.Finalize(GetParam(), &pool);
+
+  auto same_layout = [&](const TripleStore& a, const TripleStore& b) {
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.IndexBytes(), b.IndexBytes());
+    for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+      std::vector<std::pair<TermId, std::vector<IdPair>>> ga, gb;
+      a.ForEachGroup(perm, [&](TermId f, std::span<const IdPair> prs) {
+        ga.emplace_back(f, std::vector<IdPair>(prs.begin(), prs.end()));
+      });
+      b.ForEachGroup(perm, [&](TermId f, std::span<const IdPair> prs) {
+        gb.emplace_back(f, std::vector<IdPair>(prs.begin(), prs.end()));
+      });
+      ASSERT_EQ(ga, gb) << "perm " << static_cast<int>(perm);
+    }
+  };
+  same_layout(pooled.store(), db_.store());
+
+  for (const UpdateBatch& batch : UpdateSequence()) {
+    ASSERT_TRUE(pooled.Apply(batch).ok());  // pool-parallel CSR merge
+    ASSERT_TRUE(db_.Apply(batch).ok());     // sequential merge
+    same_layout(pooled.store(), db_.store());
+  }
+}
+
 // A reader that pinned a snapshot before a commit keeps seeing the old
 // version's data; the database moves on underneath it.
 TEST_P(UpdateTest, PinnedSnapshotIsIsolatedFromCommits) {

@@ -417,7 +417,16 @@ int main(int argc, char** argv) {
     cfg.articles = opts.dbpedia;
     GenerateDbpedia(cfg, &db);
   }
-  db.Finalize(opts.engine);
+  // Intra-query pool for direct execution: N - 1 workers plus the calling
+  // thread (0 = all hardware threads). Created before Finalize so index
+  // construction — and each later commit's permutation merges — fan the
+  // three CSR builds out over the same pool.
+  std::unique_ptr<ExecutorPool> pool;
+  if (opts.parallelism != 1)
+    pool = std::make_unique<ExecutorPool>(
+        opts.parallelism == 0 ? 0 : opts.parallelism - 1);
+
+  db.Finalize(opts.engine, pool.get());
   std::cerr << "# " << db.size() << " triples ready in "
             << load_timer.ElapsedMillis() << " ms (engine "
             << db.engine().name() << ", mode " << opts.exec.Name() << ")\n";
@@ -474,13 +483,6 @@ int main(int argc, char** argv) {
   if (blocks.empty()) return 0;
 
   if (opts.concurrency > 0) return RunService(db, opts, blocks);
-
-  // Intra-query pool for direct execution: N - 1 workers plus the calling
-  // thread (0 = all hardware threads).
-  std::unique_ptr<ExecutorPool> pool;
-  if (opts.parallelism != 1)
-    pool = std::make_unique<ExecutorPool>(
-        opts.parallelism == 0 ? 0 : opts.parallelism - 1);
 
   int rc = 0;
   for (size_t rep = 0; rep < opts.repeat; ++rep) {
