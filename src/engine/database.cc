@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <cassert>
+
 #include "rdf/turtle.h"
 
 #include "sparql/parser.h"
@@ -34,7 +36,14 @@ void Database::Finalize(EngineKind kind, ExecutorPool* pool) {
   if (finalized()) return;
   if (!base_store_->built()) base_store_->Build(pool);
   versions_ = std::make_unique<VersionedStore>(
-      dict_, std::shared_ptr<const TripleStore>(base_store_), kind, pool);
+      dict_, std::shared_ptr<const TripleStore>(base_store_), kind, pool,
+      std::move(loaded_stats_));
+  loaded_stats_.reset();
+}
+
+void Database::AdoptStatistics(Statistics stats) {
+  assert(!finalized() && "AdoptStatistics after Finalize");
+  loaded_stats_ = std::move(stats);
 }
 
 Result<BindingSet> Database::Query(const std::string& text,

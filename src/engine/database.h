@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "engine/executor.h"
@@ -50,8 +51,18 @@ class Database {
   /// the three CSR permutation indexes build in parallel, and later
   /// commits merge their permutations in parallel on the same pool (which
   /// must then outlive the database's last commit).
+  ///
+  /// Skips every rebuild the loader already paid for: a store whose CSR
+  /// indexes were installed by TripleStore::AdoptCsr (the v2 snapshot
+  /// path) is published as-is, and statistics stashed by AdoptStatistics
+  /// are adopted for version 0 instead of recomputed.
   void Finalize(EngineKind kind = EngineKind::kWco,
                 ExecutorPool* pool = nullptr);
+
+  /// Installs statistics precomputed by a snapshot loader; the next
+  /// Finalize() publishes version 0 with these instead of recomputing
+  /// them from the store. Loader-only, before Finalize.
+  void AdoptStatistics(Statistics stats);
 
   /// Parses and executes a query against the current committed version.
   Result<BindingSet> Query(const std::string& text,
@@ -103,6 +114,8 @@ class Database {
   std::shared_ptr<Dictionary> dict_;
   std::shared_ptr<TripleStore> base_store_;   ///< Loading target; version 0.
   std::unique_ptr<VersionedStore> versions_;  ///< Null before Finalize.
+  /// Stats handed over by a snapshot loader, consumed by Finalize().
+  std::optional<Statistics> loaded_stats_;
 };
 
 }  // namespace sparqluo

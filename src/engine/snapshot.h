@@ -1,17 +1,26 @@
 // Binary database snapshots.
 //
-// Serializes a loaded (pre- or post-Finalize) database — dictionary and
-// triples — to a compact binary file, so large generated datasets can be
-// reloaded without re-running the generator or re-parsing N-Triples.
+// Two on-disk formats (docs/snapshot_format.md is the full specification,
+// including layout tables, validation rules and the versioning policy):
 //
-// Format sketch (little-endian; docs/snapshot_format.md is the full
-// specification, including validation rules and versioning policy):
-//   magic "SPQLUO1\n" | u64 term_count | terms | u64 triple_count | triples
-//   term   := u8 kind | u8 qualifier_is_lang | u32 len lexical bytes
-//             | u32 len qualifier bytes
-//   triple := u32 s | u32 p | u32 o
+//   SPQLUO1 — data only: dictionary terms and raw (s, p, o) id records.
+//     Loading streams the records back into the staging store; the caller
+//     then pays a full Finalize() (dictionary interning + three CSR
+//     permutation sorts) to rebuild the indexes.
+//
+//   SPQLUO2 — the finalized database: chunked dictionary, all three CSR
+//     permutation indexes (level-1 directories, offset arrays, level-2
+//     pair arrays) and Statistics, as 8-byte-aligned, individually
+//     CRC-32-checksummed sections behind a table-of-contents header.
+//     Loading mmaps the file (or falls back to one buffered read) and
+//     points the store at the section views — zero per-triple work, so
+//     the follow-up Finalize() only instantiates engine + executor.
+//
+// SaveSnapshot picks the format explicitly; LoadSnapshot dispatches on the
+// magic, so both formats load through one entry point.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "engine/database.h"
@@ -19,11 +28,45 @@
 
 namespace sparqluo {
 
-/// Writes the database's dictionary and triple set to `path`.
-Status SaveSnapshot(const Database& db, const std::string& path);
+/// On-disk snapshot format. kV1 stays both readable and writable for
+/// compatibility; kV2 is the mmap-friendly section format.
+enum class SnapshotFormat : uint8_t { kV1 = 1, kV2 = 2 };
 
-/// Loads a snapshot into an empty database. The caller still runs
-/// db->Finalize() afterwards to build indexes and pick an engine.
-Status LoadSnapshot(const std::string& path, Database* db);
+/// Load-time knobs (defaults are right for production use).
+struct SnapshotLoadOptions {
+  /// v2: mmap the file when possible; off forces the read-into-buffer
+  /// fallback (useful for tests and for filesystems without mmap).
+  bool allow_mmap = true;
+  /// v2: verify the per-section CRC-32 checksums. Leaving this on costs
+  /// one linear pass over the file — still far below a v1 rebuild — and
+  /// is what turns silent corruption into a clean ParseError.
+  bool verify_checksums = true;
+};
+
+/// What LoadSnapshot actually did (optional diagnostics out-param).
+struct SnapshotLoadInfo {
+  SnapshotFormat format = SnapshotFormat::kV1;
+  bool mapped = false;       ///< v2 only: the file is mmap'd, not copied.
+  uint64_t file_bytes = 0;
+};
+
+/// Writes the database to `path`. Both formats require built indexes
+/// (Finalize() or a loaded v2 snapshot): kV1 iterates the SPO index to
+/// emit plain records, kV2 serializes the indexes themselves. The save
+/// pins the *current committed version* — making it the durable
+/// checkpoint target for the updatable store — and publishes the file
+/// atomically (write-to-temporary + rename), so a crash never leaves a
+/// torn snapshot and re-saving over a currently mmap'd file is safe.
+Status SaveSnapshot(const Database& db, const std::string& path,
+                    SnapshotFormat format = SnapshotFormat::kV1);
+
+/// Loads a snapshot of either format into an empty database, dispatching
+/// on the file magic. After a v1 load the caller runs db->Finalize() to
+/// build indexes; after a v2 load Finalize() must still be called but
+/// skips every rebuild (indexes and statistics are adopted from the
+/// file). Errors name the failing section and byte offset.
+Status LoadSnapshot(const std::string& path, Database* db,
+                    const SnapshotLoadOptions& options = {},
+                    SnapshotLoadInfo* info = nullptr);
 
 }  // namespace sparqluo

@@ -9,9 +9,32 @@ Dictionary::~Dictionary() {
   for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
 }
 
+Term* Dictionary::SlotFor(size_t id) {
+  size_t x = (id >> kFirstChunkBits) + 1;
+  size_t c = std::bit_width(x) - 1;
+  size_t offset = id - kFirstChunkSize * ((size_t{1} << c) - 1);
+  Term* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    // Ids are dense, so a chunk is first touched at offset 0 — exactly one
+    // allocation per chunk, done by whichever writer crosses the boundary.
+    chunk = new Term[kFirstChunkSize << c];
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  return chunk + offset;
+}
+
+void Dictionary::EnsureIndexLocked() const {
+  size_t n = size_.load(std::memory_order_relaxed);
+  for (size_t id = indexed_count_; id < n; ++id)
+    index_.emplace(Decode(static_cast<TermId>(id)).CanonicalKey(),
+                   static_cast<TermId>(id));
+  indexed_count_ = n;
+  index_complete_.store(true, std::memory_order_release);
+}
+
 TermId Dictionary::Encode(const Term& term) {
   std::string key = term.CanonicalKey();
-  {
+  if (index_complete_.load(std::memory_order_acquire)) {
     // Fast path: the term is usually already interned (loaders re-encode
     // shared subjects/predicates constantly, update batches mostly touch
     // existing vocabulary).
@@ -20,33 +43,44 @@ TermId Dictionary::Encode(const Term& term) {
     if (it != index_.end()) return it->second;
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // A bulk snapshot load leaves the string index stale; close the gap
+  // before deciding the term is new (a duplicate id would corrupt the
+  // dense-id invariant every version relies on).
+  if (!index_complete_.load(std::memory_order_relaxed)) EnsureIndexLocked();
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;  // raced with another writer
 
   size_t id = size_.load(std::memory_order_relaxed);
   assert(id < static_cast<size_t>(kInvalidTermId) && "dictionary id space full");
-  size_t offset;
-  size_t x = (id >> kFirstChunkBits) + 1;
-  size_t c = std::bit_width(x) - 1;
-  offset = id - kFirstChunkSize * ((size_t{1} << c) - 1);
-  Term* chunk = chunks_[c].load(std::memory_order_relaxed);
-  if (chunk == nullptr) {
-    // Ids are dense, so a chunk is first touched at offset 0 — exactly one
-    // allocation per chunk, done by whichever writer crosses the boundary.
-    chunk = new Term[kFirstChunkSize << c];
-    chunks_[c].store(chunk, std::memory_order_release);
-  }
-  chunk[offset] = term;
+  *SlotFor(id) = term;
   if (term.is_literal()) literal_count_.fetch_add(1, std::memory_order_relaxed);
   index_.emplace(std::move(key), static_cast<TermId>(id));
+  indexed_count_ = id + 1;
   // Publish after the term is fully constructed: a reader that observes
   // size() > id is guaranteed to see the term via the acquire load.
   size_.store(id + 1, std::memory_order_release);
   return static_cast<TermId>(id);
 }
 
+TermId Dictionary::AppendForLoad(Term term) {
+  size_t id = size_.load(std::memory_order_relaxed);
+  assert(id < static_cast<size_t>(kInvalidTermId) && "dictionary id space full");
+  const bool is_literal = term.is_literal();
+  *SlotFor(id) = std::move(term);
+  if (is_literal) literal_count_.fetch_add(1, std::memory_order_relaxed);
+  index_complete_.store(false, std::memory_order_relaxed);
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<TermId>(id);
+}
+
 TermId Dictionary::Lookup(const Term& term) const {
   std::string key = term.CanonicalKey();
+  if (!index_complete_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (!index_complete_.load(std::memory_order_relaxed)) EnsureIndexLocked();
+    auto it = index_.find(key);
+    return it == index_.end() ? kInvalidTermId : it->second;
+  }
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(key);
   return it == index_.end() ? kInvalidTermId : it->second;

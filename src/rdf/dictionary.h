@@ -50,6 +50,17 @@ class Dictionary {
   /// Returns the id of `term` or kInvalidTermId when absent. Never inserts.
   TermId Lookup(const Term& term) const;
 
+  /// Bulk-append fast path for snapshot loading: places `term` at the next
+  /// id without touching the string index (no CanonicalKey hashing, no
+  /// locking). The index is rebuilt lazily, in one pass, the first time
+  /// Encode() or Lookup() needs it — queries that never intern a new term
+  /// pay for at most the constants they mention.
+  ///
+  /// Loader-only: single-threaded, before the dictionary is shared, and
+  /// never interleaved with Encode() (LoadSnapshot's empty-database
+  /// precondition enforces this).
+  TermId AppendForLoad(Term term);
+
   /// Returns the term for a valid id. Precondition: id < size(). Lock-free;
   /// the reference stays valid for the dictionary's lifetime (terms are
   /// never moved once published).
@@ -87,12 +98,27 @@ class Dictionary {
     return chunks_[c].load(std::memory_order_acquire);
   }
 
+  /// Returns the chunk slot for `id`, allocating the chunk on first touch.
+  /// Caller must either hold mu_ exclusively or be the (single-threaded)
+  /// bulk loader.
+  Term* SlotFor(size_t id);
+
+  /// Backfills index_ with every term appended via AppendForLoad. Caller
+  /// must hold mu_ exclusively.
+  void EnsureIndexLocked() const;
+
   std::array<std::atomic<Term*>, kMaxChunks> chunks_{};
   std::atomic<size_t> size_{0};
   std::atomic<size_t> literal_count_{0};
 
   mutable std::shared_mutex mu_;  ///< Guards index_ and appends.
-  std::unordered_map<std::string, TermId> index_;
+  mutable std::unordered_map<std::string, TermId> index_;
+  /// Ids [0, indexed_count_) are present in index_. Smaller than size()
+  /// only after AppendForLoad; the first Encode/Lookup closes the gap
+  /// under the exclusive lock. Reading `true` from index_complete_ (==
+  /// indexed_count_ == size) allows the shared-lock fast path.
+  mutable size_t indexed_count_ = 0;
+  mutable std::atomic<bool> index_complete_{true};
 };
 
 }  // namespace sparqluo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/binary_io.h"
+
 namespace sparqluo {
 
 Statistics Statistics::Compute(const TripleStore& store,
@@ -72,6 +74,57 @@ Statistics Statistics::Compute(const TripleStore& store,
     }
     ++st.num_entities_;
   }
+  return st;
+}
+
+void Statistics::SerializeTo(std::string* out) const {
+  PutU64(out, num_triples_);
+  PutU64(out, num_entities_);
+  PutU64(out, num_predicates_);
+  PutU64(out, num_literals_);
+  std::vector<TermId> preds;
+  preds.reserve(per_predicate_.size());
+  for (const auto& [p, ps] : per_predicate_) preds.push_back(p);
+  std::sort(preds.begin(), preds.end());
+  PutU64(out, preds.size());
+  for (TermId p : preds) {
+    const PredicateStats& ps = per_predicate_.at(p);
+    PutU32(out, p);
+    PutU64(out, ps.count);
+    PutU64(out, ps.distinct_subjects);
+    PutU64(out, ps.distinct_objects);
+  }
+}
+
+Result<Statistics> Statistics::Deserialize(const uint8_t* data, size_t size) {
+  ByteReader in(data, size);
+  Statistics st;
+  uint64_t pred_entries = 0;
+  if (!in.ReadU64(&st.num_triples_) || !in.ReadU64(&st.num_entities_) ||
+      !in.ReadU64(&st.num_predicates_) || !in.ReadU64(&st.num_literals_) ||
+      !in.ReadU64(&pred_entries))
+    return Status::ParseError("statistics: truncated header");
+  // Each entry takes 28 bytes; reject counts the section cannot hold
+  // before reserving anything.
+  if (pred_entries > in.remaining() / 28)
+    return Status::ParseError("statistics: predicate entry count exceeds "
+                              "section size");
+  st.per_predicate_.reserve(pred_entries);
+  TermId last_p = 0;
+  for (uint64_t i = 0; i < pred_entries; ++i) {
+    uint32_t p;
+    PredicateStats ps;
+    if (!in.ReadU32(&p) || !in.ReadU64(&ps.count) ||
+        !in.ReadU64(&ps.distinct_subjects) || !in.ReadU64(&ps.distinct_objects))
+      return Status::ParseError("statistics: truncated predicate entry");
+    if (i > 0 && p <= last_p)
+      return Status::ParseError("statistics: predicate ids not strictly "
+                                "ascending");
+    last_p = p;
+    st.per_predicate_.emplace(p, ps);
+  }
+  if (in.remaining() != 0)
+    return Status::ParseError("statistics: trailing bytes after last entry");
   return st;
 }
 

@@ -47,6 +47,15 @@ class Statistics {
     return it == per_predicate_.end() ? kEmpty : it->second;
   }
 
+  /// Appends the binary image of the whole structure — the SPQLUO2 `stats`
+  /// section (docs/snapshot_format.md). Per-predicate entries are written
+  /// sorted by id, so the encoding is byte-deterministic.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses an image produced by SerializeTo. Rejects truncated or
+  /// malformed input with a ParseError naming the failing field.
+  static Result<Statistics> Deserialize(const uint8_t* data, size_t size);
+
  private:
   uint64_t num_triples_ = 0;
   uint64_t num_entities_ = 0;

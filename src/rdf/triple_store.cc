@@ -83,44 +83,50 @@ void SortByPerm(Perm perm, std::vector<Triple>* v) {
 class CsrBuilder {
  public:
   void Reserve(size_t pairs, size_t firsts_estimate) {
-    out_.pairs.reserve(pairs);
-    out_.firsts.reserve(firsts_estimate);
-    out_.offsets.reserve(firsts_estimate + 1);
+    pairs_.reserve(pairs);
+    firsts_.reserve(firsts_estimate);
+    offsets_.reserve(firsts_estimate + 1);
   }
 
   void Append(const Key3& k) {
-    if (out_.firsts.empty() || out_.firsts.back() != k.first) {
-      out_.firsts.push_back(k.first);
-      out_.offsets.push_back(static_cast<CsrOffset>(out_.pairs.size()));
+    if (firsts_.empty() || firsts_.back() != k.first) {
+      firsts_.push_back(k.first);
+      offsets_.push_back(static_cast<CsrOffset>(pairs_.size()));
     }
-    out_.pairs.push_back(IdPair{k.second, k.third});
+    pairs_.push_back(IdPair{k.second, k.third});
   }
 
   CsrIndex Finish() {
     // Always-on: past 2^32 - 1 pairs the 32-bit offsets would silently
     // truncate in exactly the (Release) builds that could reach that
     // scale, corrupting every subsequent probe. Fail loudly instead.
-    if (out_.pairs.size() >= UINT32_MAX) {
+    if (pairs_.size() >= UINT32_MAX) {
       std::fprintf(stderr,
                    "TripleStore: %zu level-2 entries overflow the 32-bit "
                    "CSR offsets (see docs/index_layout.md)\n",
-                   out_.pairs.size());
+                   pairs_.size());
       std::abort();
     }
-    out_.offsets.push_back(static_cast<CsrOffset>(out_.pairs.size()));
+    offsets_.push_back(static_cast<CsrOffset>(pairs_.size()));
     // Reserve() estimates the directory at |triples|/4; small directories
     // (POS especially — a handful of predicates against megabytes of
     // reserved slots) would otherwise retain that capacity for the life
     // of the version, invisibly to IndexBytes(). Trim to fit so resident
     // memory matches the reported footprint.
-    out_.firsts.shrink_to_fit();
-    out_.offsets.shrink_to_fit();
-    out_.pairs.shrink_to_fit();
-    return std::move(out_);
+    firsts_.shrink_to_fit();
+    offsets_.shrink_to_fit();
+    pairs_.shrink_to_fit();
+    CsrIndex out;
+    out.firsts = std::move(firsts_);
+    out.offsets = std::move(offsets_);
+    out.pairs = std::move(pairs_);
+    return out;
   }
 
  private:
-  CsrIndex out_;
+  std::vector<TermId> firsts_;
+  std::vector<CsrOffset> offsets_;
+  std::vector<IdPair> pairs_;
 };
 
 /// Compresses a `perm`-sorted, deduplicated triple array into a CSR index.
@@ -136,7 +142,7 @@ CsrIndex CompressSorted(Perm perm, const std::vector<Triple>& sorted) {
 /// result, so a sorted probe sequence threading its previous position
 /// through pays amortized O(1) per probe; a cold probe (hint 0) on a
 /// random key degrades to ordinary binary search cost.
-size_t GallopLowerBound(const std::vector<TermId>& v, TermId key,
+size_t GallopLowerBound(const ArrayRef<TermId>& v, TermId key,
                         size_t hint) {
   const size_t n = v.size();
   if (n == 0) return 0;
@@ -189,6 +195,16 @@ size_t FindBucket(const CsrIndex& ix, TermId key, size_t* hint_slot) {
 void TripleStore::Add(const Triple& t) {
   assert(!built_ && "Add after Build");
   staging_.push_back(t);
+}
+
+void TripleStore::AdoptCsr(CsrIndex spo, CsrIndex pos, CsrIndex osp,
+                           std::shared_ptr<const void> backing) {
+  assert(!built_ && staging_.empty() && "AdoptCsr requires an empty store");
+  spo_ = std::move(spo);
+  pos_ = std::move(pos);
+  osp_ = std::move(osp);
+  csr_backing_ = std::move(backing);
+  built_ = true;
 }
 
 void TripleStore::Build(ExecutorPool* pool) {

@@ -29,12 +29,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
+#include "util/array_ref.h"
 
 namespace sparqluo {
 
@@ -95,10 +97,15 @@ using CsrOffset = uint32_t;
 /// leading components ascending; bucket i covers pairs
 /// [offsets[i], offsets[i+1]), each bucket sorted by (second, third).
 /// `offsets` always has firsts.size() + 1 entries with offsets[0] == 0.
+///
+/// The three arrays are ArrayRefs so an index can either own its data
+/// (built by TripleStore::Build / BuildDelta) or borrow it from an mmap'd
+/// snapshot section (installed by TripleStore::AdoptCsr, which pins the
+/// backing buffer). Readers are oblivious to the mode.
 struct CsrIndex {
-  std::vector<TermId> firsts;
-  std::vector<CsrOffset> offsets;
-  std::vector<IdPair> pairs;
+  ArrayRef<TermId> firsts;
+  ArrayRef<CsrOffset> offsets;
+  ArrayRef<IdPair> pairs;
 
   size_t size() const { return pairs.size(); }
 };
@@ -155,6 +162,16 @@ class TripleStore {
   /// absent from base are ignored.
   void BuildDelta(const TripleStore& base, std::vector<Triple> added,
                   const TripleSet& removed, ExecutorPool* pool = nullptr);
+
+  /// Installs pre-built CSR indexes on an empty, un-built store — the
+  /// zero-per-triple load path of v2 snapshots (docs/snapshot_format.md).
+  /// The indexes may borrow their arrays from `backing`, which the store
+  /// keeps alive for its own lifetime; the caller is responsible for the
+  /// CSR invariants (the snapshot loader validates them before adopting).
+  /// Later commits on top copy-on-write as usual: BuildDelta reads the
+  /// borrowed arrays and writes fully owned ones.
+  void AdoptCsr(CsrIndex spo, CsrIndex pos, CsrIndex osp,
+                std::shared_ptr<const void> backing);
 
   bool built() const { return built_; }
 
@@ -330,7 +347,16 @@ class TripleStore {
   /// POS, objects for OSP). The single accessor statistics and
   /// cardinality estimation read the layout through.
   std::span<const TermId> DistinctFirsts(Perm perm) const {
-    return IndexOf(perm).firsts;
+    const CsrIndex& ix = IndexOf(perm);
+    return {ix.firsts.data(), ix.firsts.size()};
+  }
+
+  /// Read-only access to a permutation's whole CSR index — the snapshot
+  /// writer serializes the three arrays through this. Only valid after
+  /// Build()/BuildDelta()/AdoptCsr().
+  const CsrIndex& Csr(Perm perm) const {
+    assert(built_ && "Csr before Build");
+    return IndexOf(perm);
   }
 
   /// Invokes `fn(first, pairs)` per level-1 bucket of `perm`, ascending by
@@ -388,6 +414,9 @@ class TripleStore {
   CsrIndex spo_;
   CsrIndex pos_;
   CsrIndex osp_;
+  /// Keeps the memory behind borrowed CSR arrays alive (the mmap'd
+  /// snapshot image); null when all three indexes own their data.
+  std::shared_ptr<const void> csr_backing_;
   bool built_ = false;
 };
 

@@ -8,11 +8,12 @@ namespace sparqluo {
 
 VersionedStore::VersionedStore(std::shared_ptr<Dictionary> dict,
                                std::shared_ptr<const TripleStore> base,
-                               EngineKind kind, ExecutorPool* build_pool)
+                               EngineKind kind, ExecutorPool* build_pool,
+                               std::optional<Statistics> v0_stats)
     : dict_(std::move(dict)), kind_(kind), build_pool_(build_pool) {
   assert(base != nullptr && base->built() &&
          "VersionedStore requires a built base store");
-  current_ = MakeVersion(0, std::move(base));
+  current_ = MakeVersion(0, std::move(base), std::move(v0_stats));
 }
 
 std::shared_ptr<const DatabaseVersion> VersionedStore::Current() const {
@@ -21,13 +22,15 @@ std::shared_ptr<const DatabaseVersion> VersionedStore::Current() const {
 }
 
 std::shared_ptr<const DatabaseVersion> VersionedStore::MakeVersion(
-    uint64_t id, std::shared_ptr<const TripleStore> store) const {
+    uint64_t id, std::shared_ptr<const TripleStore> store,
+    std::optional<Statistics> stats) const {
   auto v = std::make_shared<DatabaseVersion>();
   v->id = id;
   v->engine_kind = kind_;
   v->dict = dict_;
   v->store = std::move(store);
-  v->stats = Statistics::Compute(*v->store, *dict_);
+  v->stats = stats.has_value() ? std::move(*stats)
+                               : Statistics::Compute(*v->store, *dict_);
   v->engine = MakeEngine(kind_, *v->store, *dict_, v->stats);
   v->executor = std::make_unique<Executor>(*v->engine, *dict_, *v->store);
   return v;

@@ -27,6 +27,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "store/delta.h"
 #include "store/update.h"
@@ -49,10 +50,14 @@ class VersionedStore {
   /// is shared with the caller: the store appends to it when staging
   /// batches that introduce new terms. `build_pool` (not owned, may be
   /// null) parallelizes the per-permutation CSR merges of each commit;
-  /// it must outlive the last commit.
+  /// it must outlive the last commit. `v0_stats`, when given, are adopted
+  /// for version 0 instead of recomputing — the snapshot fast path, which
+  /// already persisted statistics alongside the indexes; later commits
+  /// always recompute.
   VersionedStore(std::shared_ptr<Dictionary> dict,
                  std::shared_ptr<const TripleStore> base, EngineKind kind,
-                 ExecutorPool* build_pool = nullptr);
+                 ExecutorPool* build_pool = nullptr,
+                 std::optional<Statistics> v0_stats = std::nullopt);
 
   VersionedStore(const VersionedStore&) = delete;
   VersionedStore& operator=(const VersionedStore&) = delete;
@@ -82,7 +87,8 @@ class VersionedStore {
 
  private:
   std::shared_ptr<const DatabaseVersion> MakeVersion(
-      uint64_t id, std::shared_ptr<const TripleStore> store) const;
+      uint64_t id, std::shared_ptr<const TripleStore> store,
+      std::optional<Statistics> stats = std::nullopt) const;
   void StageLocked(const UpdateBatch& batch);
   CommitStats CommitLocked();
 

@@ -1,0 +1,90 @@
+// Owned-or-borrowed contiguous array.
+//
+// The storage seam behind zero-copy snapshot loading: a structure whose
+// hot arrays are ArrayRef<T> can either own its data (a std::vector built
+// the normal way) or borrow it from externally managed memory (a section
+// of an mmap'd snapshot file). Readers see one pointer + size either way,
+// so the read path compiles identically for both modes; only construction
+// and lifetime management differ.
+//
+// Borrowed mode does not extend the lifetime of the underlying buffer —
+// whoever installs a borrowed ArrayRef must keep the backing memory alive
+// for as long as the ArrayRef is reachable (TripleStore pins the snapshot
+// buffer with a shared_ptr for exactly this reason).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sparqluo {
+
+/// A read-mostly contiguous array that either owns a vector or borrows a
+/// caller-managed buffer. Elements are immutable once installed.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning: adopts `v`; the data lives inside this ArrayRef.
+  ArrayRef(std::vector<T> v)  // NOLINT(google-explicit-constructor)
+      : own_(std::move(v)), data_(own_.data()), size_(own_.size()) {}
+
+  /// Borrowing: points at `[data, data + size)`, which the caller must
+  /// keep alive and unchanged for the lifetime of this ArrayRef.
+  static ArrayRef Borrowed(const T* data, size_t size) {
+    ArrayRef r;
+    r.borrowed_ = true;
+    r.data_ = data;
+    r.size_ = size;
+    return r;
+  }
+
+  // Moves transfer ownership (a moved vector keeps its heap block, so the
+  // data pointer must be re-anchored); copies deep-copy owned data.
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) {
+      borrowed_ = other.borrowed_;
+      own_ = std::move(other.own_);
+      data_ = borrowed_ ? other.data_ : own_.data();
+      size_ = other.size_;
+      other.borrowed_ = false;
+      other.own_.clear();
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this != &other) {
+      borrowed_ = other.borrowed_;
+      own_ = other.own_;
+      data_ = borrowed_ ? other.data_ : own_.data();
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// True when the data is borrowed from caller-managed memory.
+  bool borrowed() const { return borrowed_; }
+
+ private:
+  bool borrowed_ = false;
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sparqluo

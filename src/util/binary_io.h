@@ -1,0 +1,94 @@
+// Little-endian binary encode/decode helpers shared by the snapshot
+// writers and loaders (docs/snapshot_format.md).
+//
+// Writers append to a std::string buffer; readers consume a bounds-checked
+// ByteReader cursor over an in-memory image. Both sides are explicit about
+// byte order, so the encoded form is identical on every host; the reader
+// additionally tracks its absolute offset so loaders can report *where* a
+// file went bad, not just that it did.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sparqluo {
+
+inline void PutU16(std::string* out, uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out->append(bytes, 2);
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                         static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 24)};
+  out->append(bytes, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+/// Bounds-checked forward cursor over an in-memory byte image. Every Read*
+/// either consumes and returns true, or leaves the cursor unmoved and
+/// returns false; offset() is the absolute position for error messages.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size, size_t base_offset = 0)
+      : data_(data), size_(size), base_(base_offset) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  /// Absolute offset of the cursor (file offset when `base_offset` was the
+  /// section's file position).
+  size_t offset() const { return base_ + pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = static_cast<uint32_t>(data_[pos_]) |
+         static_cast<uint32_t>(data_[pos_ + 1]) << 8 |
+         static_cast<uint32_t>(data_[pos_ + 2]) << 16 |
+         static_cast<uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (remaining() < 8 || !ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+  /// Copies `size` bytes into `out` (which must have room for them).
+  bool ReadBytes(void* out, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  /// Borrows `size` bytes in place (no copy); the pointer stays valid as
+  /// long as the underlying image does.
+  bool Borrow(const uint8_t** out, size_t size) {
+    if (remaining() < size) return false;
+    *out = data_ + pos_;
+    pos_ += size;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t base_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sparqluo

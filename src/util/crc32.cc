@@ -1,0 +1,60 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace sparqluo {
+
+namespace {
+
+/// Slicing-by-8 tables: table[0] is the standard reflected-polynomial
+/// byte table; table[k][b] is the CRC of byte b followed by k zero bytes.
+/// Processing 8 input bytes per iteration with one table lookup each runs
+/// several times faster than the bytewise loop — the checksum pass over a
+/// snapshot's section bytes is on the cold-start critical path.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+Tables BuildTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    tb.t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i)
+    for (int k = 1; k < 8; ++k)
+      tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xFF];
+  return tb;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const Tables kTables = BuildTables();
+  const auto& t = kTables.t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // The slicing formulation reads the input as little-endian u32 words;
+  // big-endian hosts take the (correct, slower) bytewise loop for all of it.
+  while (std::endian::native == std::endian::little && size >= 8) {
+    // The memcpy compiles to one unaligned load.
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  for (size_t i = 0; i < size; ++i)
+    crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace sparqluo

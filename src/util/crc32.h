@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+// snapshot file sections (docs/snapshot_format.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sparqluo {
+
+/// CRC-32 of `[data, data + size)`. `seed` chains incremental computations:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace sparqluo

@@ -1,0 +1,75 @@
+#include "util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPARQLUO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SPARQLUO_HAS_MMAP 0
+#endif
+
+namespace sparqluo {
+
+FileImage::~FileImage() {
+#if SPARQLUO_HAS_MMAP
+  if (map_base_ != nullptr) munmap(map_base_, size_);
+#endif
+}
+
+Result<std::shared_ptr<const FileImage>> FileImage::Open(
+    const std::string& path, bool allow_mmap) {
+  auto image = std::make_shared<FileImage>();
+#if SPARQLUO_HAS_MMAP
+  if (allow_mmap) {
+    int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::NotFound("cannot open: " + path);
+    struct stat st;
+    if (fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      size_t size = static_cast<size_t>(st.st_size);
+      if (size == 0) {
+        // mmap rejects zero-length mappings; an empty file is a valid
+        // (if always-invalid-to-parse) image.
+        close(fd);
+        return std::shared_ptr<const FileImage>(std::move(image));
+      }
+      void* base = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      close(fd);  // The mapping keeps its own reference to the file.
+      if (base != MAP_FAILED) {
+        image->map_base_ = base;
+        image->data_ = static_cast<const uint8_t*>(base);
+        image->size_ = size;
+        image->mapped_ = true;
+        return std::shared_ptr<const FileImage>(std::move(image));
+      }
+      // Mapping failed (e.g. a filesystem without mmap support): fall
+      // through to the buffered read below.
+    } else {
+      close(fd);
+    }
+  }
+#else
+  (void)allow_mmap;
+#endif
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::streamoff size = in.tellg();
+  // Unseekable input (a FIFO, a device) reports -1; surface a Status
+  // instead of resizing the buffer to (size_t)-1.
+  if (size < 0) return Status::Internal("cannot determine size: " + path);
+  in.seekg(0);
+  image->buffer_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(image->buffer_.data()), size))
+    return Status::Internal("read failed: " + path);
+  image->data_ = image->buffer_.data();
+  image->size_ = image->buffer_.size();
+  return std::shared_ptr<const FileImage>(std::move(image));
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,48 @@
+// Read-only whole-file images: mmap where available, read-into-buffer
+// otherwise.
+//
+// The v2 snapshot loader (docs/snapshot_format.md) borrows its index
+// arrays straight out of one of these, so the image must stay alive —
+// and its bytes stable — for as long as anything points into it. Callers
+// hold it through a shared_ptr pinned by the borrowing structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// An immutable in-memory image of a file. `mapped()` says whether the
+/// bytes are a live mmap (shared page cache, lazily faulted) or an owned
+/// heap copy (the portable fallback, also used when mmap is declined).
+class FileImage {
+ public:
+  FileImage() = default;
+  ~FileImage();
+
+  FileImage(const FileImage&) = delete;
+  FileImage& operator=(const FileImage&) = delete;
+
+  /// Opens `path` read-only. With `allow_mmap`, tries mmap first and falls
+  /// back to a buffered read on any mapping failure; without, reads the
+  /// file into an owned buffer directly.
+  static Result<std::shared_ptr<const FileImage>> Open(const std::string& path,
+                                                       bool allow_mmap = true);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return mapped_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_base_ = nullptr;        ///< munmap target when mapped_.
+  std::vector<uint8_t> buffer_;     ///< Owned bytes when !mapped_.
+};
+
+}  // namespace sparqluo

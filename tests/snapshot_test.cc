@@ -102,7 +102,12 @@ TEST_F(SnapshotTest, LoadRejectsTruncatedFile) {
   out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
   out.close();
   Database fresh;
-  EXPECT_EQ(LoadSnapshot(path_, &fresh).code(), StatusCode::kParseError);
+  Status st = LoadSnapshot(path_, &fresh);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  // Regression: short v1 files used to report a generic read error; the
+  // message must now carry the failing section and byte offset.
+  EXPECT_NE(st.message().find("section"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("offset"), std::string::npos) << st.ToString();
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //   ... --save-snapshot FILE.bin               (persist the loaded data)
 //
 // Options:
+//   --snapshot-format v1|v2   format for --save-snapshot (default v2: the
+//                             mmap section format; v1 = data-only records,
+//                             see docs/snapshot_format.md). --snapshot
+//                             loads either format, auto-detected.
 //   --engine wco|hashjoin     BGP engine (default wco)
 //   --mode base|tt|cp|full    optimization level (default full)
 //   --format tsv|csv|json     output format (default tsv)
@@ -64,6 +68,7 @@ struct CliOptions {
   std::string data_file;
   std::string snapshot_in;
   std::string snapshot_out;
+  SnapshotFormat snapshot_format = SnapshotFormat::kV2;
   size_t lubm = 0;
   size_t dbpedia = 0;
   EngineKind engine = EngineKind::kWco;
@@ -141,7 +146,8 @@ int RunUpdate(Database& db, const std::string& text) {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " (--data FILE.nt | --lubm N | --dbpedia N) [--engine "
+            << " (--data FILE.nt | --lubm N | --dbpedia N | --snapshot FILE) "
+               "[--save-snapshot FILE] [--snapshot-format v1|v2] [--engine "
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
                "tsv|csv|json] [--explain] [--stats] [--max-rows N] "
                "[--parallelism N] [--concurrency N] [--repeat K] "
@@ -168,6 +174,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->snapshot_out = v;
+    } else if (arg == "--snapshot-format") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "v1") == 0) {
+        opts->snapshot_format = SnapshotFormat::kV1;
+      } else if (std::strcmp(v, "v2") == 0) {
+        opts->snapshot_format = SnapshotFormat::kV2;
+      } else {
+        return false;
+      }
     } else if (arg == "--lubm") {
       const char* v = next();
       if (!v) return false;
@@ -403,11 +419,16 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else if (!opts.snapshot_in.empty()) {
-    Status st = LoadSnapshot(opts.snapshot_in, &db);
+    SnapshotLoadInfo load_info;
+    Status st = LoadSnapshot(opts.snapshot_in, &db, {}, &load_info);
     if (!st.ok()) {
       std::cerr << "snapshot load failed: " << st.ToString() << "\n";
       return 1;
     }
+    std::cerr << "# snapshot format v"
+              << (load_info.format == SnapshotFormat::kV2 ? 2 : 1) << " ("
+              << (load_info.mapped ? "mmap" : "buffered") << ", "
+              << load_info.file_bytes << " bytes)\n";
   } else if (opts.lubm > 0) {
     LubmConfig cfg;
     cfg.universities = opts.lubm;
@@ -447,12 +468,14 @@ int main(int argc, char** argv) {
   // Saved after --update-file so the snapshot captures the committed
   // state (SaveSnapshot reads the current version).
   if (!opts.snapshot_out.empty()) {
-    Status st = SaveSnapshot(db, opts.snapshot_out);
+    Status st = SaveSnapshot(db, opts.snapshot_out, opts.snapshot_format);
     if (!st.ok()) {
       std::cerr << "snapshot save failed: " << st.ToString() << "\n";
       return 1;
     }
-    std::cerr << "# snapshot written to " << opts.snapshot_out << "\n";
+    std::cerr << "# snapshot written to " << opts.snapshot_out << " (format v"
+              << (opts.snapshot_format == SnapshotFormat::kV2 ? 2 : 1)
+              << ")\n";
   }
 
   if (opts.stats_only) {
