@@ -10,9 +10,21 @@
 //   bench_throughput [--json FILE] [--threads 1,2,4,8] [--repeat N]
 //                    [--datasets lubm,dbpedia] [--engines wco,hashjoin]
 //                    [--modes base,tt,cp,full] [--lubm N] [--dbpedia N]
+//                    [--obs-overhead] [--overhead-trials N]
+//                    [--check-overhead PCT]
 //
 // Defaults keep the run small: LUBM + DBpedia, both engines, full mode,
 // 1/2/4/8 threads. Add --modes base,tt,cp,full for the full matrix.
+//
+// --obs-overhead measures the cost of the observability layer on the LUBM
+// workload: the same timed batch is served with (a) metrics recording off
+// (QueryService::Options::enable_metrics = false — the no-observability
+// baseline), (b) the default config (metrics on, tracing off), and (c)
+// every query traced. Configs are interleaved and the best (minimum) wall
+// time of N trials is kept, which filters scheduler noise on small CI
+// machines. --check-overhead PCT exits nonzero when config (b) is more
+// than PCT percent slower than (a) — the CI gate proving the
+// tracing-disabled hot path stays free.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -133,7 +145,72 @@ Cell RunCell(Database& db, const std::vector<PaperQuery>& workload,
   return cell;
 }
 
-void WriteJson(const std::vector<Cell>& cells, const std::string& path) {
+/// Observability-overhead measurement (see file header). All three configs
+/// share one dataset and workload; wall times are best-of-N over interleaved
+/// trials.
+struct ObsOverhead {
+  size_t queries = 0;
+  size_t trials = 0;
+  double off_ms = 0.0;     ///< enable_metrics = false (baseline).
+  double on_ms = 0.0;      ///< default config: metrics on, tracing off.
+  double traced_ms = 0.0;  ///< trace_queries = true (every query traced).
+  double metrics_overhead_pct = 0.0;
+  double traced_overhead_pct = 0.0;
+};
+
+ObsOverhead RunObsOverhead(Database& db, const std::vector<PaperQuery>& workload,
+                           size_t repeat, size_t trials) {
+  ExecOptions exec = ExecOptions::Full();
+  exec.max_intermediate_rows = kRowLimit;
+
+  // One timed batch through a fresh service with the given observability
+  // config. The plan cache is warmed first so parse/transform cost (identical
+  // across configs, and skipped on the steady-state serving path) does not
+  // dilute the measured overhead.
+  auto run_once = [&](bool metrics, bool traced) -> double {
+    QueryService::Options sopts;
+    sopts.num_threads = 2;
+    sopts.max_queue = workload.size() * repeat + 16;
+    sopts.default_deadline = std::chrono::milliseconds(10000);
+    sopts.enable_metrics = metrics;
+    sopts.trace_queries = traced;
+    QueryService service(db, sopts);
+    {
+      std::vector<QueryRequest> warm;
+      for (const PaperQuery& q : workload)
+        warm.push_back(QueryRequest{q.sparql, exec, {}, nullptr});
+      service.RunBatch(std::move(warm));
+    }
+    std::vector<QueryRequest> batch;
+    batch.reserve(workload.size() * repeat);
+    for (size_t rep = 0; rep < repeat; ++rep)
+      for (const PaperQuery& q : workload)
+        batch.push_back(QueryRequest{q.sparql, exec, {}, nullptr});
+    Timer timer;
+    service.RunBatch(std::move(batch));
+    return timer.ElapsedMillis();
+  };
+
+  ObsOverhead result;
+  result.queries = workload.size() * repeat;
+  result.trials = trials;
+  result.off_ms = result.on_ms = result.traced_ms = 1e300;
+  for (size_t t = 0; t < trials; ++t) {
+    result.off_ms = std::min(result.off_ms, run_once(false, false));
+    result.on_ms = std::min(result.on_ms, run_once(true, false));
+    result.traced_ms = std::min(result.traced_ms, run_once(true, true));
+  }
+  if (result.off_ms > 0.0) {
+    result.metrics_overhead_pct =
+        100.0 * (result.on_ms - result.off_ms) / result.off_ms;
+    result.traced_overhead_pct =
+        100.0 * (result.traced_ms - result.off_ms) / result.off_ms;
+  }
+  return result;
+}
+
+void WriteJson(const std::vector<Cell>& cells, const ObsOverhead* obs,
+               const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"throughput\",\n  \"hardware_threads\": "
       << std::thread::hardware_concurrency() << ",\n  \"cells\": [\n";
@@ -148,7 +225,16 @@ void WriteJson(const std::vector<Cell>& cells, const std::string& path) {
         << ", \"failed\": " << c.failed << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (obs != nullptr) {
+    out << ",\n  \"obs_overhead\": {\"queries\": " << obs->queries
+        << ", \"trials\": " << obs->trials << ", \"metrics_off_ms\": "
+        << obs->off_ms << ", \"metrics_on_ms\": " << obs->on_ms
+        << ", \"traced_ms\": " << obs->traced_ms
+        << ", \"metrics_overhead_pct\": " << obs->metrics_overhead_pct
+        << ", \"traced_overhead_pct\": " << obs->traced_overhead_pct << "}";
+  }
+  out << "\n}\n";
   std::cerr << "# wrote " << path << "\n";
 }
 
@@ -163,6 +249,9 @@ int main(int argc, char** argv) {
   size_t repeat = 4;
   size_t lubm_universities = 3;
   size_t dbpedia_articles = 10000;
+  bool obs_overhead = false;
+  size_t overhead_trials = 5;
+  double check_overhead_pct = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -188,6 +277,13 @@ int main(int argc, char** argv) {
       lubm_universities = static_cast<size_t>(std::atol(v));
     } else if (arg == "--dbpedia" && (v = next())) {
       dbpedia_articles = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--obs-overhead") {
+      obs_overhead = true;
+    } else if (arg == "--overhead-trials" && (v = next())) {
+      overhead_trials = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--check-overhead" && (v = next())) {
+      obs_overhead = true;
+      check_overhead_pct = std::atof(v);
     } else {
       std::cerr << "unknown option " << arg << "\n";
       return 2;
@@ -221,6 +317,24 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!json_path.empty()) WriteJson(cells, json_path);
+  ObsOverhead obs;
+  if (obs_overhead) {
+    auto db = MakeLubm(lubm_universities, EngineKind::kWco);
+    obs = RunObsOverhead(*db, LubmPaperQueries(), repeat, overhead_trials);
+    std::printf(
+        "obs_overhead: off %.2f ms, on %.2f ms (%+.2f%%), traced %.2f ms "
+        "(%+.2f%%), best of %zu trials\n",
+        obs.off_ms, obs.on_ms, obs.metrics_overhead_pct, obs.traced_ms,
+        obs.traced_overhead_pct, obs.trials);
+  }
+  if (!json_path.empty())
+    WriteJson(cells, obs_overhead ? &obs : nullptr, json_path);
+  if (check_overhead_pct >= 0.0 &&
+      obs.metrics_overhead_pct > check_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on overhead %.2f%% exceeds gate %.2f%%\n",
+                 obs.metrics_overhead_pct, check_overhead_pct);
+    return 1;
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algebra/operators.h"
+#include "obs/trace.h"
 
 namespace sparqluo {
 
@@ -88,11 +89,13 @@ BindingSet HashJoinEngine::ParallelScanPattern(const TriplePattern& t,
   std::vector<BindingSet> outs(num_morsels, BindingSet(schema));
   std::vector<BgpEvalCounters> local(num_morsels);
   spec.pool->ParallelFor(num_morsels, spec.EffectiveWorkers(), [&](size_t m) {
+    ScopedSpan morsel_span(spec.trace, "morsel", spec.trace_parent);
     CancelCheckpoint chk(cancel);
     size_t begin = m * per_morsel;
     size_t end = std::min(begin + per_morsel, range.size());
     ScanRangeInto(range.Slice(begin, end), r, schema, cands, &local[m], &chk,
                   &outs[m]);
+    morsel_span.Attr("rows", std::to_string(outs[m].size()));
   });
 
   size_t total = 0;

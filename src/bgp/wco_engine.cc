@@ -18,6 +18,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace sparqluo {
 
 namespace {
@@ -495,6 +497,7 @@ BindingSet WcoEngine::ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands
   std::vector<Rows> outs(num_morsels);
   std::vector<BgpEvalCounters> local(num_morsels);
   spec.pool->ParallelFor(num_morsels, spec.EffectiveWorkers(), [&](size_t m) {
+    ScopedSpan morsel_span(spec.trace, "morsel", spec.trace_parent);
     size_t begin = m * per_morsel;
     size_t end = std::min(begin + per_morsel, rows.size());
     // Morsel ranges are disjoint and `rows` is dead after the ParallelFor,
@@ -503,6 +506,8 @@ BindingSet WcoEngine::ParallelEvaluate(const Bgp& bgp, const CandidateMap* cands
                 std::make_move_iterator(rows.begin() + end));
     outs[m] = CompleteRows(store_, plan, first_step, std::move(subset), cands,
                            &local[m], cancel);
+    morsel_span.Attr("seed_rows", std::to_string(end - begin));
+    morsel_span.Attr("rows", std::to_string(outs[m].size()));
   });
 
   Rows merged;

@@ -126,12 +126,18 @@ class TreeEvaluator {
       if (!cands.empty()) cands_ptr = &cands;
     }
     BgpEvalCounters counters;
-    const ParallelSpec& spec = options_.parallel;
+    ScopedSpan bgp_span(options_.trace, "bgp", options_.trace_parent);
+    ParallelSpec spec = options_.parallel;
+    spec.trace = options_.trace;
+    spec.trace_parent = bgp_span.id();
     BindingSet res =
         spec.enabled()
             ? engine_.ParallelEvaluate(bgp, cands_ptr, &counters,
                                        options_.cancel, spec)
             : engine_.Evaluate(bgp, cands_ptr, &counters, options_.cancel);
+    bgp_span.Attr("patterns", std::to_string(bgp.triples.size()));
+    bgp_span.Attr("rows", std::to_string(res.size()));
+    bgp_span.Attr("pruned", cands_ptr != nullptr ? "true" : "false");
     if (metrics_) metrics_->bgp.Merge(counters);
     return res;
   }
@@ -186,13 +192,17 @@ const char* AbortReasonName(AbortReason reason) {
 BeTree Executor::Plan(const Query& query, const ExecOptions& options,
                       ExecMetrics* metrics) const {
   Timer timer;
+  ScopedSpan plan_span(options.trace, "plan", options.trace_parent);
   BeTree tree = BuildBeTree(query);
   if (options.tree_transform) {
+    ScopedSpan transform_span(options.trace, "transform", plan_span.id());
     CostModel cost(engine_);
     TransformOptions topt;
     topt.skip_cp_equivalent_levels = options.candidate_pruning;
     TransformStats tstats;
     MultiLevelTransform(&tree, cost, topt, &tstats);
+    transform_span.Attr("merges", std::to_string(tstats.merges));
+    transform_span.Attr("injects", std::to_string(tstats.injects));
     if (metrics) metrics->transform = tstats;
   }
   if (metrics) metrics->transform_ms = timer.ElapsedMillis();
@@ -302,7 +312,15 @@ Result<BindingSet> Executor::ExecutePlanned(const Query& query,
                                             ExecMetrics* metrics) const {
   ExecMetrics local;
   ExecMetrics* m = metrics != nullptr ? metrics : &local;
-  BindingSet rows = EvaluateTree(tree, options, m);
+  BindingSet rows;
+  {
+    ScopedSpan eval_span(options.trace, "eval", options.trace_parent);
+    ExecOptions eval_options = options;
+    eval_options.trace_parent = eval_span.id();
+    rows = EvaluateTree(tree, eval_options, m);
+    eval_span.Attr("rows", std::to_string(rows.size()));
+    if (m->aborted) eval_span.Attr("aborted", AbortReasonName(m->abort_reason));
+  }
   if (m->aborted) {
     switch (m->abort_reason) {
       case AbortReason::kDeadline:
@@ -314,6 +332,7 @@ Result<BindingSet> Executor::ExecutePlanned(const Query& query,
             "intermediate result exceeded max_intermediate_rows");
     }
   }
+  ScopedSpan serialize_span(options.trace, "serialize", options.trace_parent);
   if (query.form == QueryForm::kAsk) {
     // ASK reduces to solution existence: a zero-width bag holding one empty
     // mapping for "yes", none for "no".
@@ -328,6 +347,7 @@ Result<BindingSet> Executor::ExecutePlanned(const Query& query,
   if (query.offset > 0 || query.limit != SIZE_MAX)
     rows = Slice(rows, query.offset, query.limit);
   m->result_rows = rows.size();
+  serialize_span.Attr("rows", std::to_string(rows.size()));
   return rows;
 }
 

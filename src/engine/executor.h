@@ -10,6 +10,7 @@
 #include "algebra/binding_set.h"
 #include "betree/be_tree.h"
 #include "bgp/engine.h"
+#include "obs/trace.h"
 #include "optimizer/transformer.h"
 #include "sparql/ast.h"
 #include "util/cancellation.h"
@@ -35,6 +36,14 @@ struct ExecOptions {
   /// owned; may be null (no deadline). The query service points this at a
   /// per-request token to enforce deadlines.
   const CancelToken* cancel = nullptr;
+  /// Query-lifecycle tracing (obs/trace.h). Null disables tracing — the
+  /// hot path then performs only null-pointer checks, no allocation or
+  /// clock reads. Execution-only: does not affect planning, so plans are
+  /// shared between traced and untraced requests. Not owned.
+  TraceContext* trace = nullptr;
+  /// Span under which the executor records its plan/transform/eval/
+  /// serialize children (TraceContext::kNoSpan roots them).
+  TraceContext::SpanId trace_parent = TraceContext::kNoSpan;
   /// Intra-query parallelism (pool, worker cap, morsel size). When
   /// `parallel.enabled()` — a non-null pool and parallelism != 1 — BGP
   /// evaluation dispatches to the engine's morsel-driven ParallelEvaluate

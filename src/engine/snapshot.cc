@@ -16,9 +16,11 @@
 #define SPARQLUO_HAS_FSYNC 0
 #endif
 
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
 #include "util/mmap_file.h"
+#include "util/timer.h"
 
 namespace sparqluo {
 
@@ -664,8 +666,16 @@ Status LoadSnapshotV2(const std::string& path,
 
 Status SaveSnapshot(const Database& db, const std::string& path,
                     SnapshotFormat format) {
-  return format == SnapshotFormat::kV2 ? SaveSnapshotV2(db, path)
-                                       : SaveSnapshotV1(db, path);
+  Timer timer;
+  Status s = format == SnapshotFormat::kV2 ? SaveSnapshotV2(db, path)
+                                           : SaveSnapshotV1(db, path);
+  if (s.ok()) {
+    MetricRegistry::Global()
+        .GetHistogram("sparqluo_snapshot_save_ms",
+                      "Snapshot save latency in milliseconds")
+        ->Observe(timer.ElapsedMillis());
+  }
+  return s;
 }
 
 Status LoadSnapshot(const std::string& path, Database* db,
@@ -673,15 +683,23 @@ Status LoadSnapshot(const std::string& path, Database* db,
                     SnapshotLoadInfo* info) {
   if (db->size() != 0 || db->dict().size() != 0)
     return Status::InvalidArgument("LoadSnapshot requires an empty database");
+  Timer timer;
   auto image = FileImage::Open(path, options.allow_mmap);
   if (!image.ok()) return image.status();
   if ((*image)->size() < 8 ||
       (std::memcmp((*image)->data(), kMagicV1, 8) != 0 &&
        std::memcmp((*image)->data(), kMagicV2, 8) != 0))
     return Status::ParseError("not a sparqluo snapshot: " + path);
-  if (std::memcmp((*image)->data(), kMagicV2, 8) == 0)
-    return LoadSnapshotV2(path, std::move(*image), db, options, info);
-  return LoadSnapshotV1(path, **image, db, info);
+  bool v2 = std::memcmp((*image)->data(), kMagicV2, 8) == 0;
+  Status s = v2 ? LoadSnapshotV2(path, std::move(*image), db, options, info)
+                : LoadSnapshotV1(path, **image, db, info);
+  if (s.ok()) {
+    MetricRegistry::Global()
+        .GetHistogram("sparqluo_snapshot_load_ms",
+                      "Snapshot load latency in milliseconds")
+        ->Observe(timer.ElapsedMillis());
+  }
+  return s;
 }
 
 }  // namespace sparqluo

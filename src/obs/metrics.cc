@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sparqluo {
+
+uint64_t Histogram::Scale(double v) {
+  if (!(v > 0.0)) return 0;  // negatives and NaN clamp to zero
+  double scaled = v * static_cast<double>(uint64_t{1} << kScaleBits);
+  if (scaled >= 9.0e18) return uint64_t{9000000000000000000u};
+  return static_cast<uint64_t>(std::llround(scaled));
+}
+
+size_t Histogram::IndexOf(uint64_t u) {
+  if (u < kSubBuckets) return static_cast<size_t>(u);
+  int msb = 63 - std::countl_zero(u);  // >= kSubBits
+  int shift = msb - kSubBits;
+  size_t sub = static_cast<size_t>(u >> shift) & (kSubBuckets - 1);
+  return static_cast<size_t>(msb - kSubBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::LowerBoundRaw(size_t idx) {
+  if (idx < kSubBuckets) return idx;
+  size_t msb = idx / kSubBuckets + kSubBits - 1;
+  size_t sub = idx % kSubBuckets;
+  return (kSubBuckets + sub) << (msb - kSubBits);
+}
+
+double Histogram::BucketWidth(double v) {
+  size_t idx = IndexOf(Scale(v));
+  uint64_t lo = LowerBoundRaw(idx);
+  uint64_t hi = idx + 1 < kNumBuckets
+                    ? LowerBoundRaw(idx + 1)
+                    : lo + (lo >> kSubBits);  // top bucket: same octave width
+  return Descale(hi - lo == 0 ? 1 : hi - lo);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based (nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank)
+      return Descale(i + 1 < kNumBuckets ? LowerBoundRaw(i + 1)
+                                         : LowerBoundRaw(i));
+  }
+  // Concurrent writers can make `total` exceed the bucket sum momentarily.
+  return Descale(LowerBoundRaw(kNumBuckets - 1));
+}
+
+std::vector<Histogram::BucketView> Histogram::NonEmptyBuckets() const {
+  std::vector<BucketView> out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    out.push_back(BucketView{
+        Descale(i + 1 < kNumBuckets ? LowerBoundRaw(i + 1) : LowerBoundRaw(i)),
+        c});
+  }
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Family* MetricRegistry::FamilyFor(const std::string& name,
+                                                  Type type,
+                                                  const std::string& help) {
+  Family& fam = families_[name];
+  if (fam.counters.empty() && fam.gauges.empty() && fam.histograms.empty()) {
+    fam.type = type;
+    fam.help = help;
+  }
+  return &fam;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, Type::kCounter, help);
+  auto& slot = fam->counters[labels];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, Type::kGauge, help);
+  auto& slot = fam->gauges[labels];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = FamilyFor(name, Type::kHistogram, help);
+  auto& slot = fam->histograms[labels];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+/// %g with enough digits to round-trip bucket bounds.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string SeriesName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// `_bucket` series need an `le` label merged into the user labels.
+std::string BucketSeries(const std::string& name, const std::string& labels,
+                         const std::string& le) {
+  std::string merged = labels.empty() ? "" : labels + ",";
+  merged += "le=\"" + le + "\"";
+  return name + "_bucket{" + merged + "}";
+}
+
+}  // namespace
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) out += "# HELP " + name + " " + fam.help + "\n";
+    switch (fam.type) {
+      case Type::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, c] : fam.counters)
+          out += SeriesName(name, labels) + " " + std::to_string(c->value()) +
+                 "\n";
+        break;
+      case Type::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, g] : fam.gauges)
+          out += SeriesName(name, labels) + " " + std::to_string(g->value()) +
+                 "\n";
+        break;
+      case Type::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, h] : fam.histograms) {
+          uint64_t cum = 0;
+          for (const Histogram::BucketView& b : h->NonEmptyBuckets()) {
+            cum += b.count;
+            out += BucketSeries(name, labels, FormatDouble(b.upper_bound)) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          // One consistent total: concurrent Observe calls between the
+          // bucket snapshot and here must not make +Inf < a bucket's
+          // cumulative count (scrapers reject non-monotone histograms).
+          uint64_t total = std::max(cum, h->Count());
+          out += BucketSeries(name, labels, "+Inf") + " " +
+                 std::to_string(total) + "\n";
+          out += SeriesName(name + "_sum", labels) + " " +
+                 FormatDouble(h->Sum()) + "\n";
+          out += SeriesName(name + "_count", labels) + " " +
+                 std::to_string(total) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,164 @@
+// Process-wide metrics: counters, gauges and log-linear histograms.
+//
+// The observability layer every serving subsystem reports into. Three
+// metric kinds, all safe for concurrent writers:
+//
+//   Counter   — monotonically increasing uint64 (relaxed atomic add).
+//   Gauge     — point-in-time int64 (set/add).
+//   Histogram — HdrHistogram-style log-linear distribution with a fixed
+//               bucket layout: exact buckets for small values, then every
+//               power-of-two range split into 32 linear sub-buckets, so
+//               relative quantile error is bounded by ~3% (one bucket
+//               width) while memory stays fixed (~15 KB per histogram)
+//               no matter how many samples arrive. This is what replaces
+//               the capped latency-sample vector ServiceStats used to
+//               keep: percentiles stay correct under sustained traffic.
+//
+// MetricRegistry owns metrics by (name, labels) and renders the whole set
+// in the Prometheus text exposition format — the data source for the CLI's
+// --metrics-out flag and for a future HTTP /metrics route. Handles returned
+// by Get* are stable for the registry's lifetime; instruments resolve them
+// once at construction and then increment lock-free, so the hot path never
+// touches the registry mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sparqluo {
+
+/// Monotonic counter. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time value (queue depth, store version, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-layout log-linear histogram over non-negative doubles.
+///
+/// Values are scaled by 2^kScaleBits and bucketed: raw values below 2^kSubBits
+/// get exact buckets; above that, each power-of-two range [2^m, 2^(m+1)) is
+/// split into 2^kSubBits linear sub-buckets of width 2^(m-kSubBits). Quantile()
+/// returns the upper bound of the bucket holding the requested rank, so its
+/// error versus the exact sample percentile is at most one bucket width
+/// (BucketWidth(v) in value units — ~3% of v, or 1/1024 absolute for tiny
+/// values). All mutation is relaxed atomics; Observe never allocates.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;                 ///< 32 sub-buckets/octave.
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;
+  static constexpr int kScaleBits = 10;              ///< Value resolution 2^-10.
+  static constexpr size_t kNumBuckets = kSubBuckets * (64 - kSubBits + 1);
+
+  void Observe(double v) {
+    uint64_t u = Scale(v);
+    buckets_[IndexOf(u)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_scaled_.fetch_add(u, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const {
+    return Descale(sum_scaled_.load(std::memory_order_relaxed));
+  }
+
+  /// Upper bound (in value units) of the bucket containing the q-quantile
+  /// sample (q in [0, 1]); 0 when empty. Error <= one bucket width.
+  double Quantile(double q) const;
+
+  /// Width, in value units, of the bucket a value of `v` lands in — the
+  /// worst-case quantile error around v.
+  static double BucketWidth(double v);
+
+  /// One non-empty bucket: Prometheus-style upper bound + its own (not
+  /// cumulative) count.
+  struct BucketView {
+    double upper_bound = 0.0;
+    uint64_t count = 0;
+  };
+  /// Non-empty buckets in ascending bound order (a snapshot; concurrent
+  /// Observe calls may be partially visible).
+  std::vector<BucketView> NonEmptyBuckets() const;
+
+ private:
+  static uint64_t Scale(double v);
+  static double Descale(uint64_t u) {
+    return static_cast<double>(u) /
+           static_cast<double>(uint64_t{1} << kScaleBits);
+  }
+  static size_t IndexOf(uint64_t u);
+  /// Smallest raw value mapping to bucket `idx`; the bucket's exclusive
+  /// upper bound is LowerBoundRaw(idx + 1).
+  static uint64_t LowerBoundRaw(size_t idx);
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_scaled_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Named metric registry with Prometheus text rendering.
+///
+/// Get* interns a metric under (name, labels) and returns a stable pointer;
+/// repeated calls return the same instance, so independent components
+/// naming the same metric share one series. `labels` is a preformatted
+/// Prometheus label list without braces (e.g. `shard="3"`), empty for none.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-global registry every production instrument reports to.
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help = "",
+                          const std::string& labels = "");
+
+  /// Prometheus text exposition format: # HELP / # TYPE per family, then
+  /// one sample line per (labels) series; histograms render cumulative
+  /// non-empty `_bucket{le=...}` lines plus `_sum`/`_count`.
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    // Keyed by label string; only the map matching `type` is populated.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* FamilyFor(const std::string& name, Type type,
+                    const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace sparqluo

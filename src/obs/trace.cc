@@ -1,0 +1,185 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sparqluo {
+
+TraceContext::TraceContext(size_t max_spans)
+    : max_spans_(max_spans == 0 ? 1 : max_spans),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Typical query traces are small; reserving a page's worth keeps the
+  // common case to one allocation without pre-paying the cap.
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.reserve(std::min<size_t>(max_spans_, 64));
+}
+
+uint32_t TraceContext::TidLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  uint32_t dense = static_cast<uint32_t>(tids_.size());
+  tids_.emplace(id, dense);
+  return dense;
+}
+
+TraceContext::SpanId TraceContext::StartSpan(std::string_view name,
+                                             SpanId parent) {
+  return StartSpanAt(name, parent, std::chrono::steady_clock::now());
+}
+
+TraceContext::SpanId TraceContext::StartSpanAt(
+    std::string_view name, SpanId parent,
+    std::chrono::steady_clock::time_point start) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  TraceSpan span;
+  span.parent = parent;
+  span.start_us = NowUs(start);
+  span.tid = TidLocked(std::this_thread::get_id());
+  span.name.assign(name.data(), name.size());
+  spans_.push_back(std::move(span));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void TraceContext::EndSpan(SpanId id) {
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  TraceSpan& span = spans_[id];
+  if (span.dur_us < 0) span.dur_us = std::max<int64_t>(0, NowUs(now) - span.start_us);
+}
+
+void TraceContext::AddAttr(SpanId id, std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].attrs.emplace_back(std::string(key), std::move(value));
+}
+
+size_t TraceContext::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+size_t TraceContext::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+namespace {
+
+std::string FormatMs(int64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+void RenderNode(const std::vector<TraceSpan>& spans,
+                const std::vector<std::vector<size_t>>& children, size_t idx,
+                int depth, std::string* out) {
+  const TraceSpan& s = spans[idx];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += "- " + s.name + " ";
+  *out += s.dur_us < 0 ? "(open)" : FormatMs(s.dur_us) + " ms";
+  if (!s.attrs.empty()) {
+    *out += " {";
+    for (size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += s.attrs[i].first + "=" + s.attrs[i].second;
+    }
+    *out += "}";
+  }
+  *out += "\n";
+  for (size_t child : children[idx])
+    RenderNode(spans, children, child, depth + 1, out);
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceContext::RenderTree() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == kNoSpan || spans[i].parent >= spans.size()) {
+      roots.push_back(i);
+    } else {
+      children[spans[i].parent].push_back(i);
+    }
+  }
+  auto by_start = [&spans](size_t a, size_t b) {
+    return spans[a].start_us != spans[b].start_us
+               ? spans[a].start_us < spans[b].start_us
+               : a < b;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& c : children) std::sort(c.begin(), c.end(), by_start);
+  std::string out;
+  for (size_t root : roots) RenderNode(spans, children, root, 0, &out);
+  size_t d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = dropped_;
+  }
+  if (d > 0) out += "- (" + std::to_string(d) + " spans dropped at cap)\n";
+  return out;
+}
+
+size_t TraceContext::AppendChromeTraceEvents(int pid, int64_t ts_offset_us,
+                                             std::string* out) const {
+  std::vector<TraceSpan> spans = Snapshot();
+  size_t emitted = 0;
+  for (const TraceSpan& s : spans) {
+    if (emitted > 0) *out += ",\n";
+    *out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"cat\":\"query\"," +
+            "\"ph\":\"X\",\"ts\":" +
+            std::to_string(s.start_us + ts_offset_us) + ",\"dur\":" +
+            std::to_string(s.dur_us < 0 ? 0 : s.dur_us) + ",\"pid\":" +
+            std::to_string(pid) + ",\"tid\":" + std::to_string(s.tid);
+    if (!s.attrs.empty()) {
+      *out += ",\"args\":{";
+      for (size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i > 0) *out += ",";
+        *out += "\"" + JsonEscape(s.attrs[i].first) + "\":\"" +
+                JsonEscape(s.attrs[i].second) + "\"";
+      }
+      *out += "}";
+    }
+    *out += "}";
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace sparqluo

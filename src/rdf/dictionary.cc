@@ -3,7 +3,22 @@
 #include <cassert>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace sparqluo {
+
+namespace {
+
+/// Process-wide dictionary-growth counter, resolved once (the bulk loader
+/// interns millions of terms; a registry map lookup per term would show up).
+Counter* TermsInternedCounter() {
+  static Counter* counter = MetricRegistry::Global().GetCounter(
+      "sparqluo_dictionary_terms_total",
+      "Terms interned across all dictionaries");
+  return counter;
+}
+
+}  // namespace
 
 Dictionary::~Dictionary() {
   for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
@@ -56,6 +71,7 @@ TermId Dictionary::Encode(const Term& term) {
   if (term.is_literal()) literal_count_.fetch_add(1, std::memory_order_relaxed);
   index_.emplace(std::move(key), static_cast<TermId>(id));
   indexed_count_ = id + 1;
+  TermsInternedCounter()->Increment();
   // Publish after the term is fully constructed: a reader that observes
   // size() > id is guaranteed to see the term via the acquire load.
   size_.store(id + 1, std::memory_order_release);
@@ -68,6 +84,7 @@ TermId Dictionary::AppendForLoad(Term term) {
   const bool is_literal = term.is_literal();
   *SlotFor(id) = std::move(term);
   if (is_literal) literal_count_.fetch_add(1, std::memory_order_relaxed);
+  TermsInternedCounter()->Increment();
   index_complete_.store(false, std::memory_order_relaxed);
   size_.store(id + 1, std::memory_order_release);
   return static_cast<TermId>(id);

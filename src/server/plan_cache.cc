@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace sparqluo {
 
 PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
@@ -11,8 +13,19 @@ PlanCache::PlanCache(size_t capacity, size_t shards) : capacity_(capacity) {
   shards = std::min(shards, std::max<size_t>(capacity, 1));
   per_shard_capacity_ = std::max<size_t>(1, (capacity + shards - 1) / shards);
   shards_.reserve(shards);
-  for (size_t i = 0; i < shards; ++i)
-    shards_.push_back(std::make_unique<Shard>());
+  MetricRegistry& reg = MetricRegistry::Global();
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    std::string label = "shard=\"" + std::to_string(i) + "\"";
+    shard->hits_metric = reg.GetCounter(
+        "sparqluo_plan_cache_hits_total", "Plan cache lookups served", label);
+    shard->misses_metric = reg.GetCounter("sparqluo_plan_cache_misses_total",
+                                          "Plan cache lookups missed", label);
+    shard->evictions_metric =
+        reg.GetCounter("sparqluo_plan_cache_evictions_total",
+                       "Plan cache entries evicted", label);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 PlanCache::Shard& PlanCache::ShardOf(const std::string& key) {
@@ -28,9 +41,11 @@ std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    shard.misses_metric->Increment();
     return nullptr;
   }
   ++shard.hits;
+  shard.hits_metric->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->plan;
 }
@@ -53,6 +68,7 @@ void PlanCache::Put(const std::string& key,
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    shard.evictions_metric->Increment();
   }
 }
 
@@ -70,6 +86,7 @@ void PlanCache::EvictUnreachable(
         shard->index.erase(it->key);
         it = shard->lru.erase(it);
         ++shard->evictions;
+        shard->evictions_metric->Increment();
       } else {
         ++it;
       }

@@ -22,6 +22,8 @@
 
 namespace sparqluo {
 
+class Counter;  // obs/metrics.h
+
 /// An immutable cached plan: the parsed query plus its (possibly
 /// transformed) BE-tree, already validated.
 struct CachedPlan {
@@ -101,6 +103,11 @@ class PlanCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    // Process-global mirrors (obs/metrics.h) with a shard="N" label,
+    // resolved at construction so the locked paths only bump atomics.
+    Counter* hits_metric = nullptr;
+    Counter* misses_metric = nullptr;
+    Counter* evictions_metric = nullptr;
   };
 
   Shard& ShardOf(const std::string& key);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace sparqluo {
@@ -11,8 +12,14 @@ namespace sparqluo {
 QueryService::QueryService(const Database& db, Options options)
     : db_(db),
       options_(options),
-      cache_(options.plan_cache_capacity, options.plan_cache_shards) {
+      cache_(options.plan_cache_capacity, options.plan_cache_shards),
+      stats_(options.enable_metrics) {
   assert(db.finalized() && "QueryService requires a finalized Database");
+  if (options_.enable_metrics) {
+    pinned_gauge_ = MetricRegistry::Global().GetGauge(
+        "sparqluo_pinned_versions",
+        "Database versions currently pinned by in-flight requests");
+  }
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -67,6 +74,11 @@ bool QueryService::Admit(Status* reject) {
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   auto task = std::make_shared<Task>();
   task->request = std::move(request);
+  // Service-wide tracing creates the context before stamping the submission
+  // time, so the context epoch precedes every span start (the root "query"
+  // span and queue_wait both begin at `submitted`).
+  if (options_.trace_queries && task->request.trace == nullptr)
+    task->request.trace = std::make_shared<TraceContext>(options_.trace_max_spans);
   task->submitted = std::chrono::steady_clock::now();
   std::future<QueryResponse> future = task->promise.get_future();
   Status reject;
@@ -94,6 +106,25 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
     }
     stats_.RecordFinished(response.status, response.metrics, response.total_ms,
                           response.plan_cache_hit, response.rows.size());
+    if (options_.slow_query_ms > 0 &&
+        response.total_ms >= options_.slow_query_ms) {
+      stats_.RecordSlowQuery();
+      uint64_t nth = slow_seen_.fetch_add(1, std::memory_order_relaxed);
+      size_t sample = std::max<size_t>(1, options_.slow_query_sample);
+      if (nth % sample == 0) {
+        // One line per sampled slow query; the text is truncated so a
+        // pathological query cannot flood the log.
+        std::string text = task->request.text;
+        if (text.size() > 200) text = text.substr(0, 200) + "...";
+        SPARQLUO_LOG(kWarn)
+            << "slow query (" << response.total_ms << " ms >= "
+            << options_.slow_query_ms << " ms): status="
+            << (response.status.ok() ? "ok" : response.status.message())
+            << " rows=" << response.rows.size() << " cache_hit="
+            << (response.plan_cache_hit ? "true" : "false") << " version="
+            << response.version << " text=" << text;
+      }
+    }
     task->promise.set_value(std::move(response));
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -150,6 +181,9 @@ QueryService::VersionPin::VersionPin(
   *snap = service_->db_.Snapshot();
   version_ = (*snap)->id;
   service_->pinned_versions_.insert(version_);
+  if (service_->pinned_gauge_ != nullptr)
+    service_->pinned_gauge_->Set(
+        static_cast<int64_t>(service_->pinned_versions_.size()));
 }
 
 QueryService::VersionPin::~VersionPin() {
@@ -157,6 +191,9 @@ QueryService::VersionPin::~VersionPin() {
   auto it = service_->pinned_versions_.find(version_);
   if (it != service_->pinned_versions_.end())
     service_->pinned_versions_.erase(it);
+  if (service_->pinned_gauge_ != nullptr)
+    service_->pinned_gauge_->Set(
+        static_cast<int64_t>(service_->pinned_versions_.size()));
 }
 
 UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
@@ -217,6 +254,26 @@ QueryResponse QueryService::Process(Task& task) {
   QueryResponse response;
   const QueryRequest& req = task.request;
 
+  // Root "query" span: opened at submission time so queue wait is inside
+  // it, closed (with outcome attrs) on every path out of this function.
+  TraceContext* trace = req.trace.get();
+  response.trace = req.trace;
+  TraceContext::SpanId root = TraceContext::kNoSpan;
+  if (trace != nullptr) {
+    root = trace->StartSpanAt("query", TraceContext::kNoSpan, task.submitted);
+    TraceContext::SpanId queue_span =
+        trace->StartSpanAt("queue_wait", root, task.submitted);
+    trace->EndSpan(queue_span);
+  }
+  auto finish_trace = [&](const QueryResponse& r) {
+    if (trace == nullptr) return;
+    trace->AddAttr(root, "version", std::to_string(r.version));
+    trace->AddAttr(root, "cache_hit", r.plan_cache_hit ? "true" : "false");
+    trace->AddAttr(root, "rows", std::to_string(r.rows.size()));
+    trace->AddAttr(root, "status", r.status.ok() ? "ok" : r.status.ToString());
+    trace->EndSpan(root);
+  };
+
   // Effective deadline: per-request, falling back to the service default.
   // It is measured from submission, so time spent queued counts against it.
   std::chrono::milliseconds deadline = req.deadline.count() > 0
@@ -234,6 +291,8 @@ QueryResponse QueryService::Process(Task& task) {
 
   ExecOptions options = req.options;
   options.cancel = cancel;
+  options.trace = trace;
+  options.trace_parent = root;
   // Intra-query parallelism: morsels fan out onto the service's own pool.
   // Requests keeping the default of 1 inherit the service-wide setting
   // unless they opted out (inherit_parallelism = false forces their
@@ -255,8 +314,10 @@ QueryResponse QueryService::Process(Task& task) {
   std::shared_ptr<const CachedPlan> plan;
   std::string key;
   if (options_.enable_plan_cache) {
+    ScopedSpan lookup_span(trace, "plan_cache_lookup", root);
     key = PlanCache::MakeKey(req.text, options, snap->id);
     plan = cache_.Get(key);
+    lookup_span.Attr("hit", plan != nullptr ? "true" : "false");
   }
   if (plan != nullptr) {
     response.plan_cache_hit = true;
@@ -264,10 +325,14 @@ QueryResponse QueryService::Process(Task& task) {
     // no transformation work happened on this request.
     response.metrics.transform = plan->transform;
   } else {
-    auto parsed = db_.Parse(req.text);
+    Result<Query> parsed = [&] {
+      ScopedSpan parse_span(trace, "parse", root);
+      return db_.Parse(req.text);
+    }();
     if (!parsed.ok()) {
       response.status = parsed.status();
       response.total_ms = elapsed_ms();
+      finish_trace(response);
       return response;
     }
     auto built = std::make_shared<CachedPlan>();
@@ -278,6 +343,7 @@ QueryResponse QueryService::Process(Task& task) {
     if (!valid.ok()) {
       response.status = valid;
       response.total_ms = elapsed_ms();
+      finish_trace(response);
       return response;
     }
     built->transform = response.metrics.transform;
@@ -291,6 +357,7 @@ QueryResponse QueryService::Process(Task& task) {
   response.status = result.status();
   if (result.ok()) response.rows = std::move(*result);
   response.total_ms = elapsed_ms();
+  finish_trace(response);
   return response;
 }
 

@@ -33,6 +33,7 @@
 // Finalize, then serve reads from arbitrarily many threads.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -64,6 +65,12 @@ struct QueryRequest {
   /// to take the request's value literally — in particular, 1 then forces
   /// sequential evaluation for this request.
   bool inherit_parallelism = true;
+  /// Per-request trace opt-in: when set, the whole lifecycle (queue wait,
+  /// plan-cache lookup, parse, plan/transform, eval down to morsels,
+  /// serialize) is recorded into this context and echoed back on the
+  /// response. Null (and Options::trace_queries false) means no tracing —
+  /// the request pays only null-pointer checks.
+  std::shared_ptr<TraceContext> trace;
 };
 
 /// Outcome of one query.
@@ -74,6 +81,9 @@ struct QueryResponse {
   bool plan_cache_hit = false;
   double total_ms = 0.0;    ///< Queue wait + parse/plan + execution.
   uint64_t version = 0;     ///< Database version the query executed on.
+  /// The request's trace (or the service-created one when
+  /// Options::trace_queries is set); null when the query was not traced.
+  std::shared_ptr<TraceContext> trace;
 };
 
 /// One update submission: SPARQL INSERT DATA / DELETE DATA text, or a
@@ -114,6 +124,24 @@ class QueryService {
     /// `num_threads` workers. Passing one pool to several services (or to
     /// standalone executors) keeps all work on one set of workers.
     std::shared_ptr<ExecutorPool> pool;
+    /// When false, the service records nothing into its latency histogram
+    /// or the process-global MetricRegistry (plain counters in Stats()
+    /// still work). The bench_throughput overhead gate uses this as the
+    /// no-observability baseline.
+    bool enable_metrics = true;
+    /// Trace every query (requests without their own TraceContext get a
+    /// service-created one, returned on the response). Off by default:
+    /// tracing is per-request opt-in via QueryRequest::trace.
+    bool trace_queries = false;
+    /// Span cap for service-created trace contexts.
+    size_t trace_max_spans = TraceContext::kDefaultMaxSpans;
+    /// Slow-query log: a finished query whose end-to-end latency reaches
+    /// this threshold is counted and (subject to sampling) logged at WARN
+    /// with its text and timings. <= 0 disables.
+    double slow_query_ms = 0.0;
+    /// Log every Nth slow query (1 = all). The counter is service-wide, so
+    /// under sustained slowness the log rate is 1/N of the slow rate.
+    size_t slow_query_sample = 1;
   };
 
   /// Read-only service: `db` must be finalized and must outlive the
@@ -197,6 +225,11 @@ class QueryService {
   Options options_;
   PlanCache cache_;
   ServiceStats stats_;
+  /// Slow queries seen so far; drives every-Nth log sampling.
+  std::atomic<uint64_t> slow_seen_{0};
+  /// Versions currently pinned by in-flight requests (obs/metrics.h);
+  /// null when Options::enable_metrics is false.
+  Gauge* pinned_gauge_ = nullptr;
 
   std::shared_ptr<ExecutorPool> pool_;
   bool owns_pool_ = false;

@@ -1,18 +1,30 @@
 #include "server/service_stats.h"
 
-#include <algorithm>
-
 namespace sparqluo {
 
-namespace {
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+ServiceStats::ServiceStats(bool enable_metrics)
+    : enabled_(enable_metrics), start_(std::chrono::steady_clock::now()) {
+  if (!enabled_) return;
+  MetricRegistry& reg = MetricRegistry::Global();
+  submitted_metric_ = reg.GetCounter("sparqluo_queries_submitted_total",
+                                     "Queries accepted into the queue");
+  rejected_metric_ = reg.GetCounter("sparqluo_queries_rejected_total",
+                                    "Queries refused by admission control");
+  completed_metric_ = reg.GetCounter("sparqluo_queries_completed_total",
+                                     "Queries finished with an OK status");
+  failed_metric_ = reg.GetCounter("sparqluo_queries_failed_total",
+                                  "Queries finished with a non-abort error");
+  aborted_metric_ = reg.GetCounter(
+      "sparqluo_queries_aborted_total",
+      "Queries cut short by a deadline, cancellation or row limit");
+  rows_metric_ = reg.GetCounter("sparqluo_query_rows_total",
+                                "Result rows returned by completed queries");
+  slow_metric_ = reg.GetCounter("sparqluo_slow_queries_total",
+                                "Queries at or over the slow-query threshold");
+  latency_metric_ = reg.GetHistogram(
+      "sparqluo_query_latency_ms",
+      "End-to-end query latency (queue wait included) in milliseconds");
 }
-
-}  // namespace
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,11 +36,10 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
                       out.aborted_cancelled + out.aborted_row_limit;
   out.qps = out.uptime_s > 0.0 ? static_cast<double>(finished) / out.uptime_s
                                : 0.0;
-  std::vector<double> sorted = latencies_;
-  std::sort(sorted.begin(), sorted.end());
-  out.p50_ms = Percentile(sorted, 0.50);
-  out.p99_ms = Percentile(sorted, 0.99);
-  out.latency_samples = sorted.size();
+  out.p50_ms = latency_hist_.Quantile(0.50);
+  out.p99_ms = latency_hist_.Quantile(0.99);
+  out.p999_ms = latency_hist_.Quantile(0.999);
+  out.latency_samples = latency_hist_.Count();
   return out;
 }
 

@@ -2,16 +2,26 @@
 //
 // Workers call Record* after each request; Snapshot() is safe to call
 // concurrently and computes derived figures (QPS, latency percentiles).
+//
+// Latency percentiles come from a fixed-memory log-linear Histogram
+// (obs/metrics.h) instead of a capped sample vector: under sustained
+// traffic the percentiles keep tracking the live distribution instead of
+// freezing at the first 2^18 requests. Each service owns its histogram so
+// Snapshot() reflects this service only, and mirrors its counters into the
+// process-global MetricRegistry (the Prometheus export) unless constructed
+// with enable_metrics = false — that path skips every histogram observe
+// and registry increment and is the "no observability" baseline the
+// bench_throughput overhead gate compares against.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
-#include <vector>
 
 #include "bgp/engine.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
 #include "store/versioned_store.h"
 
 namespace sparqluo {
@@ -28,6 +38,7 @@ struct ServiceStatsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t rows_returned = 0;
+  uint64_t slow_queries = 0;    ///< total_ms >= the service's slow threshold.
   BgpEvalCounters bgp;          ///< Merged engine counters.
   double total_exec_ms = 0.0;
   double total_transform_ms = 0.0;
@@ -35,7 +46,8 @@ struct ServiceStatsSnapshot {
   double qps = 0.0;             ///< Finished queries per second of uptime.
   double p50_ms = 0.0;          ///< End-to-end latency percentiles.
   double p99_ms = 0.0;
-  size_t latency_samples = 0;
+  double p999_ms = 0.0;
+  size_t latency_samples = 0;   ///< Histogram count (never capped).
 
   // Write-path counters (QueryService::SubmitUpdate).
   uint64_t updates_submitted = 0;
@@ -54,15 +66,17 @@ struct ServiceStatsSnapshot {
 
 class ServiceStats {
  public:
-  ServiceStats() : start_(std::chrono::steady_clock::now()) {}
+  explicit ServiceStats(bool enable_metrics = true);
 
   void RecordSubmitted() {
     std::lock_guard<std::mutex> lock(mu_);
     ++snap_.submitted;
+    if (enabled_) submitted_metric_->Increment();
   }
   void RecordRejected() {
     std::lock_guard<std::mutex> lock(mu_);
     ++snap_.rejected;
+    if (enabled_) rejected_metric_->Increment();
   }
 
   /// One finished request: its status-derived outcome, metrics, end-to-end
@@ -73,14 +87,20 @@ class ServiceStats {
     if (status.ok()) {
       ++snap_.completed;
       snap_.rows_returned += rows;
+      if (enabled_) {
+        completed_metric_->Increment();
+        rows_metric_->Increment(rows);
+      }
     } else if (metrics.aborted) {
       switch (metrics.abort_reason) {
         case AbortReason::kDeadline: ++snap_.aborted_deadline; break;
         case AbortReason::kCancelled: ++snap_.aborted_cancelled; break;
         default: ++snap_.aborted_row_limit; break;
       }
+      if (enabled_) aborted_metric_->Increment();
     } else {
       ++snap_.failed;
+      if (enabled_) failed_metric_->Increment();
     }
     if (cache_hit) {
       ++snap_.cache_hits;
@@ -90,8 +110,18 @@ class ServiceStats {
     snap_.bgp.Merge(metrics.bgp);
     snap_.total_exec_ms += metrics.exec_ms;
     snap_.total_transform_ms += metrics.transform_ms;
-    if (latencies_.size() < kMaxLatencySamples)
-      latencies_.push_back(latency_ms);
+    if (enabled_) {
+      latency_hist_.Observe(latency_ms);
+      latency_metric_->Observe(latency_ms);
+    }
+  }
+
+  /// One request at or over the slow-query threshold (counted whether or
+  /// not it was sampled into the log).
+  void RecordSlowQuery() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.slow_queries;
+    if (enabled_) slow_metric_->Increment();
   }
 
   void RecordUpdateSubmitted() {
@@ -113,18 +143,29 @@ class ServiceStats {
     }
   }
 
+  bool metrics_enabled() const { return enabled_; }
+
   ServiceStatsSnapshot Snapshot() const;
 
  private:
-  /// Latency sample budget; enough for every bench/test workload here while
-  /// bounding memory under sustained traffic (later PRs can move to a
-  /// histogram).
-  static constexpr size_t kMaxLatencySamples = 1 << 18;
+  const bool enabled_;
 
   mutable std::mutex mu_;
   ServiceStatsSnapshot snap_;
-  std::vector<double> latencies_;
+  /// Per-service latency distribution (fixed ~15 KB regardless of sample
+  /// count); the source of the snapshot's p50/p99/p999.
+  Histogram latency_hist_;
   std::chrono::steady_clock::time_point start_;
+
+  // Process-global mirrors (valid only when enabled_).
+  Counter* submitted_metric_ = nullptr;
+  Counter* rejected_metric_ = nullptr;
+  Counter* completed_metric_ = nullptr;
+  Counter* failed_metric_ = nullptr;
+  Counter* aborted_metric_ = nullptr;
+  Counter* rows_metric_ = nullptr;
+  Counter* slow_metric_ = nullptr;
+  Histogram* latency_metric_ = nullptr;
 };
 
 }  // namespace sparqluo

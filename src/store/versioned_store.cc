@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace sparqluo {
@@ -101,6 +102,19 @@ CommitStats VersionedStore::CommitLocked() {
   }
   delta_.Clear();
   stats.commit_ms = timer.ElapsedMillis();
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("sparqluo_store_commits_total", "Published store versions")
+      ->Increment();
+  reg.GetHistogram("sparqluo_store_commit_ms",
+                   "Commit latency (staging excluded) in milliseconds")
+      ->Observe(stats.commit_ms);
+  reg.GetHistogram("sparqluo_store_commit_delta_triples",
+                   "Net inserted+deleted triples per commit")
+      ->Observe(static_cast<double>(stats.inserted + stats.deleted));
+  reg.GetGauge("sparqluo_store_version", "Current published store version")
+      ->Set(static_cast<int64_t>(stats.version));
+  reg.GetGauge("sparqluo_store_triples", "Triples in the current version")
+      ->Set(static_cast<int64_t>(stats.store_size));
   return stats;
 }
 

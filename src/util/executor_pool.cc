@@ -1,12 +1,28 @@
 #include "util/executor_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "obs/metrics.h"
 
 namespace sparqluo {
 
 ExecutorPool::ExecutorPool(size_t num_threads) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  queue_depth_metric_ = reg.GetGauge(
+      "sparqluo_executor_queue_depth", "Tasks waiting in the pool queue");
+  tasks_metric_ = reg.GetCounter("sparqluo_executor_tasks_total",
+                                 "Tasks executed by pool workers");
+  busy_us_metric_ =
+      reg.GetCounter("sparqluo_executor_busy_microseconds_total",
+                     "Microseconds pool workers spent running tasks");
+  batches_metric_ = reg.GetCounter("sparqluo_executor_morsel_batches_total",
+                                   "ParallelFor batches dispatched");
+  batch_items_metric_ = reg.GetCounter(
+      "sparqluo_executor_morsel_items_total",
+      "Work items (morsels) claimed across all ParallelFor batches");
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
@@ -37,6 +53,7 @@ void ExecutorPool::Submit(std::function<void()> task, bool front) {
       } else {
         queue_.push_back(std::move(task));
       }
+      queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
       cv_.notify_one();
       return;
     }
@@ -53,14 +70,23 @@ void ExecutorPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_metric_->Set(static_cast<int64_t>(queue_.size()));
     }
+    auto t0 = std::chrono::steady_clock::now();
     task();
+    auto t1 = std::chrono::steady_clock::now();
+    tasks_metric_->Increment();
+    busy_us_metric_->Increment(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count()));
   }
 }
 
 void ExecutorPool::ParallelFor(size_t n, size_t max_workers,
                                const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  batches_metric_->Increment();
+  batch_items_metric_->Increment(n);
   if (max_workers == 0) max_workers = workers_.size() + 1;
   size_t helpers = std::min({max_workers - 1, n - 1, workers_.size()});
   if (helpers == 0) {

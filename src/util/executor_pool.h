@@ -22,6 +22,10 @@
 
 namespace sparqluo {
 
+class Counter;  // obs/metrics.h
+class Gauge;
+class TraceContext;  // obs/trace.h
+
 class ExecutorPool {
  public:
   /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
@@ -59,6 +63,14 @@ class ExecutorPool {
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  // Process-global instruments (obs/metrics.h), resolved once here so the
+  // per-task cost is a handful of relaxed atomic ops.
+  Gauge* queue_depth_metric_;
+  Counter* tasks_metric_;
+  Counter* busy_us_metric_;
+  Counter* batches_metric_;
+  Counter* batch_items_metric_;
 };
 
 /// How a BGP engine should parallelize one evaluation. Carried alongside
@@ -71,6 +83,12 @@ struct ParallelSpec {
   size_t parallelism = 1;
   /// Work items (index triples or partial bindings) per morsel.
   size_t morsel_size = 1024;
+  /// Optional query trace (obs/trace.h) the engines record per-morsel spans
+  /// into, parented under `trace_parent`. Forward-declared so this lowest
+  /// layer stays header-independent of obs/. Not owned; null disables
+  /// morsel tracing.
+  TraceContext* trace = nullptr;
+  uint32_t trace_parent = 0xffffffffu;  ///< TraceContext::kNoSpan.
 
   bool enabled() const { return pool != nullptr && parallelism != 1; }
 

@@ -1,12 +1,28 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace sparqluo {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("SPARQLUO_LOG_LEVEL");
+  return env != nullptr ? ParseLogLevel(env, LogLevel::kWarn) : LogLevel::kWarn;
+}
+
+/// Lazily initialized so the env override applies no matter when the first
+/// log call happens relative to static initialization.
+std::atomic<LogLevel>& Level() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,15 +34,65 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// UTC ISO-8601 with milliseconds, e.g. 2026-08-07T12:34:56.789Z.
+void FormatTimestamp(char* buf, size_t size) {
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+}
+
+/// The OS thread id rendered once per thread (std::thread::id has no
+/// cheap integer accessor; caching the formatted form keeps the per-line
+/// cost to a string copy).
+const std::string& ThisThreadIdString() {
+  thread_local const std::string id = [] {
+    std::ostringstream os;
+    os << std::this_thread::get_id();
+    return os.str();
+  }();
+  return id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
+LogLevel GetLogLevel() { return Level().load(); }
+
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  if (static_cast<int>(level) < static_cast<int>(Level().load())) return;
+  char ts[64];
+  FormatTimestamp(ts, sizeof(ts));
+  std::fprintf(stderr, "%s %s [tid %s] %s\n", ts, LevelName(level),
+               ThisThreadIdString().c_str(), msg.c_str());
 }
 }  // namespace internal
 

@@ -1,4 +1,11 @@
 // Minimal leveled logging used across the library.
+//
+// Lines are written to stderr as
+//   2026-08-07T12:34:56.789Z WARN [tid 140212...] message
+// (UTC ISO-8601 timestamp with milliseconds, level, OS thread id). The
+// threshold defaults to kWarn and can be overridden without code changes
+// through the SPARQLUO_LOG_LEVEL environment variable (debug | info |
+// warn | error | off, case-insensitive), read once at first use.
 #pragma once
 
 #include <sstream>
@@ -8,9 +15,14 @@ namespace sparqluo {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped. Default: kWarn.
+/// Global log threshold; messages below it are dropped. Default: kWarn,
+/// unless the SPARQLUO_LOG_LEVEL environment variable names another level.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "INFO", "warn", "error", "off");
+/// returns `fallback` for anything unrecognized.
+LogLevel ParseLogLevel(const std::string& name, LogLevel fallback);
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg);

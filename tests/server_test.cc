@@ -398,5 +398,80 @@ TEST(QueryServiceUpdateCacheTest, CommitEvictsOnlyUnreachableVersions) {
   EXPECT_TRUE(r2.plan_cache_hit);
 }
 
+// Regression: the old ServiceStats kept at most 2^18 raw latency samples and
+// its percentiles froze once the cap filled. The histogram-backed stats must
+// keep tracking the live distribution long past that point.
+TEST(ServiceStatsTest, PercentilesKeepMovingPastOldSampleCap) {
+  constexpr size_t kOldCap = size_t{1} << 18;
+  ServiceStats stats;
+  ExecMetrics m;
+  Status ok;
+  for (size_t i = 0; i < kOldCap + 500; ++i)
+    stats.RecordFinished(ok, m, /*latency_ms=*/1.0, /*cache_hit=*/true,
+                         /*rows=*/0);
+  ServiceStatsSnapshot before = stats.Snapshot();
+  EXPECT_GT(before.latency_samples, kOldCap);  // never capped
+  EXPECT_NEAR(before.p50_ms, 1.0, 0.1);
+
+  // Everything after the old cap would have been dropped by the vector
+  // design; here it must drag both the median and the tail up.
+  for (size_t i = 0; i < 4 * kOldCap; ++i)
+    stats.RecordFinished(ok, m, /*latency_ms=*/50.0, /*cache_hit=*/true,
+                         /*rows=*/0);
+  ServiceStatsSnapshot after = stats.Snapshot();
+  EXPECT_EQ(after.latency_samples, kOldCap + 500 + 4 * kOldCap);
+  EXPECT_NEAR(after.p50_ms, 50.0, 2.0);
+  EXPECT_NEAR(after.p999_ms, 50.0, 2.0);
+  EXPECT_GT(after.p50_ms, before.p50_ms);
+}
+
+// enable_metrics = false (the bench overhead baseline) still keeps the plain
+// counters but records no latency samples.
+TEST(ServiceStatsTest, DisabledMetricsSkipHistogram) {
+  ServiceStats stats(/*enable_metrics=*/false);
+  EXPECT_FALSE(stats.metrics_enabled());
+  ExecMetrics m;
+  stats.RecordFinished(Status(), m, 5.0, false, 3);
+  ServiceStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.rows_returned, 3u);
+  EXPECT_EQ(snap.latency_samples, 0u);
+  EXPECT_EQ(snap.p50_ms, 0.0);
+}
+
+// A ~0 threshold makes every query slow: the counter matches the workload
+// and sampling (every Nth) only limits the log, never the count.
+TEST(SlowQueryTest, ThresholdCountsEveryFinishedQuery) {
+  Database db;
+  Term p = Term::Iri("http://ex.org/p");
+  db.AddTriple(Term::Iri("http://ex.org/s"), p, Term::Iri("http://ex.org/o"));
+  db.Finalize(EngineKind::kWco);
+
+  QueryService::Options options;
+  options.num_threads = 2;
+  options.slow_query_ms = 1e-9;
+  options.slow_query_sample = 100;  // Log almost nothing; count everything.
+  QueryService service(db, options);
+
+  const std::string q = "SELECT ?s WHERE { ?s <http://ex.org/p> ?o }";
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 7; ++i) batch.push_back({.text = q});
+  auto responses = service.RunBatch(std::move(batch));
+  for (const auto& r : responses) ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(service.Stats().slow_queries, 7u);
+}
+
+TEST(SlowQueryTest, ZeroThresholdDisablesCounting) {
+  Database db;
+  Term p = Term::Iri("http://ex.org/p");
+  db.AddTriple(Term::Iri("http://ex.org/s"), p, Term::Iri("http://ex.org/o"));
+  db.Finalize(EngineKind::kWco);
+
+  QueryService service(db, {.num_threads = 2});
+  auto r = service.Submit({.text = "SELECT ?s WHERE { ?s ?p ?o }"}).get();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(service.Stats().slow_queries, 0u);
+}
+
 }  // namespace
 }  // namespace sparqluo

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -122,6 +123,57 @@ TEST(TimerTest, MeasuresSomething) {
   for (int i = 0; i < 100000; ++i) x += static_cast<uint64_t>(i);
   benchmark_sink_ = x;
   EXPECT_GE(t.ElapsedMicros(), 0);
+}
+
+TEST(LoggingTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none", LogLevel::kWarn), LogLevel::kOff);
+  // Unknown names fall back.
+  EXPECT_EQ(ParseLogLevel("verbose", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+// Line format: ISO-8601 UTC timestamp, level name, thread id, message.
+TEST(LoggingTest, LineFormatHasTimestampLevelAndThreadId) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  SPARQLUO_LOG(kWarn) << "format check " << 42;
+  std::string line = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(saved);
+
+  // 2026-08-07T12:34:56.789Z WARN [tid <id>] format check 42
+  ASSERT_GE(line.size(), 25u) << line;
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" WARN [tid "), std::string::npos) << line;
+  EXPECT_NE(line.find("] format check 42\n"), std::string::npos) << line;
+}
+
+TEST(LoggingTest, BelowThresholdEmitsNothing) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SPARQLUO_LOG(kInfo) << "suppressed";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(saved);
+  EXPECT_TRUE(out.empty()) << out;
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file produced by --metrics-out.
+
+Checks, in order:
+
+1. Syntax — every line is a comment (# HELP / # TYPE) or a sample line
+   `name{labels} value`; label strings are well-formed (quoted values,
+   no stray braces); values parse as numbers.
+2. Metadata — every sample's family has a preceding # TYPE (and # HELP)
+   line, the declared type is counter/gauge/histogram, and histogram
+   families only emit `_bucket` / `_sum` / `_count` samples.
+3. Histogram invariants — per (family, non-le labels) series: bucket
+   `le` bounds strictly increase, cumulative counts are non-decreasing,
+   an `le="+Inf"` bucket exists and equals the `_count` sample.
+4. Coverage — metric families the instrumented engine must always
+   export (see REQUIRED) are present with at least one sample.
+
+Usage: tools/check_metrics.py METRICS_FILE
+Exit status: 0 = valid, 1 = validation errors (all printed).
+"""
+import re
+import sys
+
+# Families the engine exports unconditionally after serving any workload.
+REQUIRED = [
+    ("sparqluo_queries_submitted_total", "counter"),
+    ("sparqluo_queries_completed_total", "counter"),
+    ("sparqluo_query_rows_total", "counter"),
+    ("sparqluo_query_latency_ms", "histogram"),
+    ("sparqluo_plan_cache_hits_total", "counter"),
+    ("sparqluo_plan_cache_misses_total", "counter"),
+    ("sparqluo_executor_tasks_total", "counter"),
+    ("sparqluo_executor_queue_depth", "gauge"),
+    ("sparqluo_dictionary_terms_total", "counter"),
+]
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'       # metric name
+    r'(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?\s*)*)\})?'
+    r'\s+(-?(?:[0-9.eE+-]+|Inf|NaN))\s*$')
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def parse_value(text):
+    if text == "Inf" or text == "+Inf":
+        return float("inf")
+    return float(text)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    errors = []
+    types = {}    # family name -> declared type
+    helps = set()
+    samples = {}  # family name -> list of (labels_str, value)
+
+    def base_family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                if types[name[: -len(suffix)]] == "histogram":
+                    return name[: -len(suffix)]
+        return name
+
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"{path}:{i}: malformed HELP line")
+            else:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                errors.append(f"{path}:{i}: malformed TYPE line: {line!r}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{path}:{i}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            parse_value(value)
+        except ValueError:
+            errors.append(f"{path}:{i}: bad value {value!r}")
+            continue
+        family = base_family(name)
+        if family not in types:
+            errors.append(f"{path}:{i}: sample {name!r} has no # TYPE line")
+            continue
+        if types[family] == "histogram":
+            suffix = name[len(family):]
+            if suffix not in ("_bucket", "_sum", "_count"):
+                errors.append(
+                    f"{path}:{i}: histogram family {family!r} emits "
+                    f"non-histogram sample {name!r}")
+        samples.setdefault(family, []).append((name, labels, value))
+
+    for family in types:
+        if family not in helps:
+            errors.append(f"{path}: family {family!r} has # TYPE but no # HELP")
+
+    # Histogram series invariants.
+    for family, typ in types.items():
+        if typ != "histogram":
+            continue
+        series = {}  # non-le label string -> [(le, cum_count)]
+        counts = {}  # non-le label string -> _count value
+        for name, labels, value in samples.get(family, []):
+            rest = LE_RE.sub("", labels).strip(", ")
+            if name.endswith("_bucket"):
+                le = LE_RE.search(labels)
+                if not le:
+                    errors.append(
+                        f"{path}: {family}_bucket sample without le label")
+                    continue
+                series.setdefault(rest, []).append(
+                    (parse_value(le.group(1)), parse_value(value)))
+            elif name.endswith("_count"):
+                counts[rest] = parse_value(value)
+        for rest, buckets in series.items():
+            prev_le, prev_count = None, -1.0
+            for le, cum in buckets:  # file order == ascending bound order
+                if prev_le is not None and le <= prev_le:
+                    errors.append(
+                        f"{path}: {family}{{{rest}}} bucket bounds not "
+                        f"increasing ({prev_le} then {le})")
+                if cum < prev_count:
+                    errors.append(
+                        f"{path}: {family}{{{rest}}} cumulative counts "
+                        f"decrease ({prev_count} then {cum})")
+                prev_le, prev_count = le, cum
+            if not buckets or buckets[-1][0] != float("inf"):
+                errors.append(f"{path}: {family}{{{rest}}} missing +Inf bucket")
+            elif rest in counts and buckets[-1][1] != counts[rest]:
+                errors.append(
+                    f"{path}: {family}{{{rest}}} +Inf bucket "
+                    f"{buckets[-1][1]} != _count {counts[rest]}")
+
+    for family, typ in REQUIRED:
+        if family not in types:
+            errors.append(f"{path}: required family {family!r} missing")
+        elif types[family] != typ:
+            errors.append(
+                f"{path}: family {family!r} is {types[family]}, expected "
+                f"{typ}")
+        elif not samples.get(family):
+            errors.append(f"{path}: required family {family!r} has no samples")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        n = sum(len(v) for v in samples.values())
+        print(f"{path}: OK ({len(types)} families, {n} samples)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,17 @@
 //   --mode base|tt|cp|full    optimization level (default full)
 //   --format tsv|csv|json     output format (default tsv)
 //   --explain                 print the BE-tree before/after transformation
+//   --explain-analyze         trace each query and print the span tree
+//                             (phase timings, per-BGP/morsel spans) after it
+//   --trace-out FILE          write one Chrome-trace-event JSON file
+//                             covering every executed query (load it in
+//                             Perfetto or chrome://tracing)
+//   --metrics-out FILE        write the process metrics registry in
+//                             Prometheus text format on exit
+//   --paper-queries           append the paper's LUBM benchmark queries
+//                             (Appendix A, q1.1-q2.6) to the query batch
+//   --slow-query-ms N         log queries at/over N ms at WARN (serving)
+//   --slow-query-sample K     log every Kth slow query (default 1 = all)
 //   --stats                   print dataset statistics and exit
 //   --max-rows N              abort when an intermediate exceeds N rows
 //   --parallelism N           intra-query parallelism: evaluate each BGP
@@ -53,12 +64,15 @@
 #include "engine/database.h"
 #include "engine/result_writer.h"
 #include "engine/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/transformer.h"
 #include "optimizer/well_designed.h"
 #include "server/query_service.h"
 #include "util/timer.h"
 #include "workload/dbpedia_generator.h"
 #include "workload/lubm_generator.h"
+#include "workload/paper_queries.h"
 
 namespace {
 
@@ -75,6 +89,12 @@ struct CliOptions {
   ExecOptions exec = ExecOptions::Full();
   ResultFormat format = ResultFormat::kTsv;
   bool explain = false;
+  bool explain_analyze = false;
+  std::string trace_out;
+  std::string metrics_out;
+  bool paper_queries = false;
+  double slow_query_ms = 0.0;
+  size_t slow_query_sample = 1;
   bool stats_only = false;
   size_t concurrency = 0;  ///< > 0 switches to batch serving.
   size_t parallelism = 1;  ///< Intra-query workers; 0 = hardware threads.
@@ -130,6 +150,55 @@ bool LooksLikeUpdate(const std::string& text) {
   return update_pos != std::string::npos && update_pos < query_pos;
 }
 
+/// Collects the trace contexts of executed queries for --trace-out.
+struct TraceSink {
+  bool collect = false;
+  std::vector<std::shared_ptr<TraceContext>> traces;
+
+  void Add(std::shared_ptr<TraceContext> t) {
+    if (collect && t != nullptr) traces.push_back(std::move(t));
+  }
+};
+
+/// Writes one Chrome-trace-event JSON file: each query is a pid lane, all
+/// lanes share the earliest context's epoch as the common timeline origin.
+int WriteTraceFile(const std::string& path,
+                   const std::vector<std::shared_ptr<TraceContext>>& traces) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  auto base = std::chrono::steady_clock::time_point::max();
+  for (const auto& t : traces) base = std::min(base, t->epoch());
+  std::string body;
+  size_t total = 0;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    std::string events;
+    size_t n = traces[i]->AppendChromeTraceEvents(
+        static_cast<int>(i + 1), traces[i]->EpochOffsetUs(base), &events);
+    if (n == 0) continue;
+    if (total > 0) body += ",\n";
+    body += events;
+    total += n;
+  }
+  out << "{\"traceEvents\":[\n" << body << "\n]}\n";
+  std::cerr << "# trace: " << total << " spans over " << traces.size()
+            << " queries written to " << path << "\n";
+  return 0;
+}
+
+int WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << MetricRegistry::Global().RenderPrometheus();
+  std::cerr << "# metrics written to " << path << "\n";
+  return 0;
+}
+
 /// Applies one update block and prints the commit outcome.
 int RunUpdate(Database& db, const std::string& text) {
   auto commit = db.Update(text);
@@ -149,10 +218,12 @@ int Usage(const char* argv0) {
             << " (--data FILE.nt | --lubm N | --dbpedia N | --snapshot FILE) "
                "[--save-snapshot FILE] [--snapshot-format v1|v2] [--engine "
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
-               "tsv|csv|json] [--explain] [--stats] [--max-rows N] "
-               "[--parallelism N] [--concurrency N] [--repeat K] "
-               "[--deadline-ms N] [--no-plan-cache] [--update-file FILE] "
-               "[QUERY | UPDATE]\n";
+               "tsv|csv|json] [--explain] [--explain-analyze] [--trace-out "
+               "FILE] [--metrics-out FILE] [--paper-queries] [--stats] "
+               "[--max-rows N] [--parallelism N] [--concurrency N] "
+               "[--repeat K] [--deadline-ms N] [--slow-query-ms N] "
+               "[--slow-query-sample K] [--no-plan-cache] "
+               "[--update-file FILE] [QUERY | UPDATE]\n";
   return 2;
 }
 
@@ -219,6 +290,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       else return false;
     } else if (arg == "--explain") {
       opts->explain = true;
+    } else if (arg == "--explain-analyze") {
+      opts->explain_analyze = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->metrics_out = v;
+    } else if (arg == "--paper-queries") {
+      opts->paper_queries = true;
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts->slow_query_ms = std::atof(v);
+    } else if (arg == "--slow-query-sample") {
+      const char* v = next();
+      if (!v) return false;
+      opts->slow_query_sample = static_cast<size_t>(std::atol(v));
+      if (opts->slow_query_sample == 0) opts->slow_query_sample = 1;
     } else if (arg == "--stats") {
       opts->stats_only = true;
     } else if (arg == "--max-rows") {
@@ -269,11 +361,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
 /// every pending query drains, the update commits as one version, and
 /// serving resumes against the new version.
 int RunService(Database& db, const CliOptions& opts,
-               const std::vector<std::string>& blocks) {
+               const std::vector<std::string>& blocks, TraceSink* sink) {
   QueryService::Options sopts;
   sopts.num_threads = opts.concurrency;
   sopts.enable_plan_cache = opts.plan_cache;
   sopts.intra_query_parallelism = opts.parallelism;
+  sopts.trace_queries = sink->collect || opts.explain_analyze;
+  sopts.slow_query_ms = opts.slow_query_ms;
+  sopts.slow_query_sample = opts.slow_query_sample;
   // Blocks are submitted up front (between update barriers); size the
   // admission queue to hold them so a big --repeat doesn't trip the
   // overload rejection meant for live traffic.
@@ -298,6 +393,9 @@ int RunService(Database& db, const CliOptions& opts,
         std::cerr << r.status.ToString() << "\n";
         rc = 1;
       }
+      if (opts.explain_analyze && r.trace != nullptr)
+        std::cerr << r.trace->RenderTree();
+      sink->Add(std::move(r.trace));
     }
     pending.clear();
   };
@@ -338,6 +436,9 @@ int RunService(Database& db, const CliOptions& opts,
             << "\n"
             << "p50_ms\t" << stats.p50_ms << "\n"
             << "p99_ms\t" << stats.p99_ms << "\n"
+            << "p999_ms\t" << stats.p999_ms << "\n"
+            << "latency_samples\t" << stats.latency_samples << "\n"
+            << "slow_queries\t" << stats.slow_queries << "\n"
             << "completed\t" << stats.completed << "\n"
             << "failed\t" << stats.failed << "\n"
             << "aborted_deadline\t" << stats.aborted_deadline << "\n"
@@ -353,10 +454,28 @@ int RunService(Database& db, const CliOptions& opts,
 }
 
 int RunQuery(Database& db, const CliOptions& opts, const std::string& text,
-             ExecutorPool* pool) {
-  auto parsed = db.Parse(text);
+             ExecutorPool* pool, TraceSink* sink) {
+  std::shared_ptr<TraceContext> trace;
+  TraceContext::SpanId root = TraceContext::kNoSpan;
+  if (opts.explain_analyze || sink->collect) {
+    trace = std::make_shared<TraceContext>();
+    root = trace->StartSpan("query");
+  }
+  auto finish_trace = [&](size_t rows, const Status& status) {
+    if (trace == nullptr) return;
+    trace->AddAttr(root, "rows", std::to_string(rows));
+    trace->AddAttr(root, "status", status.ok() ? "ok" : status.ToString());
+    trace->EndSpan(root);
+    if (opts.explain_analyze) std::cerr << trace->RenderTree();
+    sink->Add(std::move(trace));
+  };
+  Result<Query> parsed = [&] {
+    ScopedSpan parse_span(trace.get(), "parse", root);
+    return db.Parse(text);
+  }();
   if (!parsed.ok()) {
     std::cerr << "parse error: " << parsed.status().ToString() << "\n";
+    finish_trace(0, parsed.status());
     return 1;
   }
   if (opts.explain) {
@@ -383,11 +502,15 @@ int RunQuery(Database& db, const CliOptions& opts, const std::string& text,
   if (opts.deadline_ms > 0) exec.cancel = &token;
   exec.parallel.pool = pool;
   exec.parallel.parallelism = pool != nullptr ? opts.parallelism : 1;
+  exec.trace = trace.get();
+  exec.trace_parent = root;
   auto result = db.executor().Execute(*parsed, exec, &metrics);
   if (!result.ok()) {
     std::cerr << "query failed: " << result.status().ToString() << "\n";
+    finish_trace(0, result.status());
     return 1;
   }
+  finish_trace(result->size(), Status::OK());
   if (parsed->form == QueryForm::kAsk) {
     std::cout << (result->empty() ? "false" : "true") << "\n";
   } else {
@@ -486,8 +609,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Collect the block batch: positional arg, query file, or stdin blocks.
-  // Blocks may mix queries and INSERT DATA / DELETE DATA updates.
+  // Collect the block batch: positional arg, query file, or stdin blocks
+  // (skipped when --paper-queries supplies the batch). Blocks may mix
+  // queries and INSERT DATA / DELETE DATA updates.
   std::vector<std::string> blocks;
   if (!opts.query_file.empty()) {
     std::ifstream in(opts.query_file);
@@ -500,19 +624,29 @@ int main(int argc, char** argv) {
     blocks.push_back(buf.str());
   } else if (!opts.query.empty()) {
     blocks.push_back(opts.query);
-  } else {
+  } else if (!opts.paper_queries) {
     blocks = SplitBlocks(std::cin);
   }
+  if (opts.paper_queries)
+    for (const PaperQuery& q : LubmPaperQueries()) blocks.push_back(q.sparql);
   if (blocks.empty()) return 0;
 
-  if (opts.concurrency > 0) return RunService(db, opts, blocks);
+  TraceSink sink;
+  sink.collect = !opts.trace_out.empty();
 
   int rc = 0;
-  for (size_t rep = 0; rep < opts.repeat; ++rep) {
-    for (const std::string& block : blocks) {
-      rc |= LooksLikeUpdate(block) ? RunUpdate(db, block)
-                                   : RunQuery(db, opts, block, pool.get());
+  if (opts.concurrency > 0) {
+    rc = RunService(db, opts, blocks, &sink);
+  } else {
+    for (size_t rep = 0; rep < opts.repeat; ++rep) {
+      for (const std::string& block : blocks) {
+        rc |= LooksLikeUpdate(block)
+                  ? RunUpdate(db, block)
+                  : RunQuery(db, opts, block, pool.get(), &sink);
+      }
     }
   }
+  if (!opts.trace_out.empty()) rc |= WriteTraceFile(opts.trace_out, sink.traces);
+  if (!opts.metrics_out.empty()) rc |= WriteMetricsFile(opts.metrics_out);
   return rc;
 }
