@@ -1,0 +1,282 @@
+// Closed-loop load benchmark for the networked SPARQL endpoint.
+//
+// Starts an in-process SparqlEndpoint over a LUBM store, then drives it
+// through real TCP connections (the blocking test client from
+// tests/http_client.h) at several concurrency levels: each level keeps N
+// keep-alive connections in flight, with a pool of driver threads
+// batch-sending and batch-reading across their connection sets. Reported
+// per level: aggregate QPS and p50/p99/p999 end-to-end request latency
+// (send start to response fully read).
+//
+// Usage:
+//   bench_http [--json FILE] [--connections 100,1000,5000]
+//              [--duration-ms 2000] [--lubm N] [--threads N]
+//              [--client-threads N] [--smoke] [--min-qps QPS]
+//
+// --smoke shrinks the run to one 100-connection level over LUBM(1) and
+// enforces --min-qps (default 500) as a CI regression gate. Concurrency
+// levels above the process fd limit are skipped with a note.
+// BENCH_http.json schema: docs/benchmarks.md.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../tests/http_client.h"
+#include "bench_common.h"
+#include "server/query_service.h"
+#include "server/sparql_endpoint.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+using Clock = std::chrono::steady_clock;
+
+struct LevelResult {
+  size_t connections = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+std::vector<size_t> ParseList(const std::string& csv) {
+  std::vector<size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(static_cast<size_t>(std::atol(item.c_str())));
+  return out;
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// One driver thread's share of the connection set: connect + one warmup
+/// round, rendezvous at the start barrier, then until the deadline send a
+/// request on every connection and collect every response, measuring each
+/// round-trip individually. Closed-loop: each connection always has
+/// exactly one request outstanding.
+void DriveConnections(uint16_t port, size_t connections,
+                      const std::string& request,
+                      std::atomic<size_t>* ready,
+                      const std::atomic<bool>* go,
+                      const Clock::time_point* deadline_ptr,
+                      size_t* requests_out, size_t* errors_out,
+                      std::vector<double>* latencies_out) {
+  std::vector<std::unique_ptr<testhttp::TestHttpClient>> conns;
+  conns.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto c = std::make_unique<testhttp::TestHttpClient>(port);
+    if (!c->connected()) {
+      ++*errors_out;
+      continue;
+    }
+    conns.push_back(std::move(c));
+  }
+  // Warmup round (also primes the server's plan cache), off the clock.
+  for (auto& c : conns) {
+    if (!c->Request(request).ok) ++*errors_out;
+  }
+  ready->fetch_add(1);
+  while (!go->load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Clock::time_point deadline = *deadline_ptr;
+  std::vector<Clock::time_point> sent(conns.size());
+  while (Clock::now() < deadline) {
+    for (size_t i = 0; i < conns.size(); ++i) {
+      sent[i] = Clock::now();
+      if (!conns[i]->SendRaw(request)) ++*errors_out;
+    }
+    for (size_t i = 0; i < conns.size(); ++i) {
+      testhttp::Response r = conns[i]->ReadResponse(30000);
+      if (r.ok && r.status == 200) {
+        ++*requests_out;
+        latencies_out->push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - sent[i])
+                .count());
+      } else {
+        ++*errors_out;
+      }
+    }
+  }
+}
+
+LevelResult RunLevel(uint16_t port, size_t connections, size_t client_threads,
+                     const std::string& request, double duration_ms) {
+  size_t threads = std::min(client_threads, connections);
+  std::vector<size_t> requests(threads, 0), errors(threads, 0);
+  std::vector<std::vector<double>> latencies(threads);
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  Clock::time_point deadline;
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < threads; ++t) {
+    size_t share = connections / threads + (t < connections % threads ? 1 : 0);
+    pool.emplace_back(DriveConnections, port, share, std::cref(request),
+                      &ready, &go, &deadline, &requests[t], &errors[t],
+                      &latencies[t]);
+  }
+  // Wait until every thread is connected and warmed up, then start the
+  // clock for all of them at once.
+  while (ready.load() < threads)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Clock::time_point start = Clock::now();
+  deadline = start + std::chrono::microseconds(
+                         static_cast<int64_t>(duration_ms * 1000.0));
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  LevelResult result;
+  result.connections = connections;
+  result.wall_ms = wall_ms;
+  std::vector<double> all;
+  for (size_t t = 0; t < threads; ++t) {
+    result.requests += requests[t];
+    result.errors += errors[t];
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+  }
+  std::sort(all.begin(), all.end());
+  result.qps = wall_ms > 0 ? 1000.0 * static_cast<double>(result.requests) /
+                                 wall_ms
+                           : 0.0;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  result.p999_ms = Percentile(all, 0.999);
+  return result;
+}
+
+size_t FdLimit() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  return static_cast<size_t>(lim.rlim_cur);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_http.json";
+  std::string connections_csv = "100,1000,5000";
+  double duration_ms = 2000.0;
+  size_t lubm = 1;
+  size_t server_threads = 0;  // 0 = hardware concurrency
+  size_t client_threads = 8;
+  bool smoke = false;
+  double min_qps = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--json") json_path = next();
+    else if (arg == "--connections") connections_csv = next();
+    else if (arg == "--duration-ms") duration_ms = std::atof(next());
+    else if (arg == "--lubm") lubm = static_cast<size_t>(std::atol(next()));
+    else if (arg == "--threads") server_threads = static_cast<size_t>(std::atol(next()));
+    else if (arg == "--client-threads") client_threads = static_cast<size_t>(std::atol(next()));
+    else if (arg == "--smoke") smoke = true;
+    else if (arg == "--min-qps") min_qps = std::atof(next());
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (smoke) {
+    connections_csv = "100";
+    if (min_qps <= 0.0) min_qps = 500.0;
+  }
+
+  std::cerr << "# building LUBM(" << lubm << ")...\n";
+  auto db = MakeLubm(lubm, EngineKind::kWco);
+
+  QueryService::Options sopts;
+  sopts.num_threads = server_threads;
+  sopts.max_queue = 8192;
+  QueryService service(*db, sopts);
+  SparqlEndpoint::Options eopts;
+  SparqlEndpoint endpoint(service, db->dict(), eopts);
+  Status started = endpoint.Start();
+  if (!started.ok()) {
+    std::cerr << "endpoint start failed: " << started.ToString() << "\n";
+    return 1;
+  }
+
+  // A selective plan-cache-friendly query (a few dozen rows): the level
+  // measures protocol + service overhead, not join evaluation.
+  const std::string query =
+      "SELECT ?x WHERE { ?x "
+      "<http://swat.cse.lehigh.edu/onto/univ-bench.owl#headOf> ?d }";
+  std::string request = "GET /sparql?query=" + testhttp::UrlEncode(query) +
+                        " HTTP/1.1\r\nHost: bench\r\n"
+                        "Accept: application/sparql-results+json\r\n\r\n";
+
+  size_t fd_budget = FdLimit();
+  std::vector<LevelResult> results;
+  bool gate_failed = false;
+  for (size_t connections : ParseList(connections_csv)) {
+    // Client fds + server fds for the same connections + headroom.
+    if (2 * connections + 64 > fd_budget) {
+      std::cerr << "# skipping " << connections << " connections (fd limit "
+                << fd_budget << ")\n";
+      continue;
+    }
+    LevelResult r =
+        RunLevel(endpoint.port(), connections, client_threads, request,
+                 duration_ms);
+    std::cerr << "# connections=" << r.connections << " requests="
+              << r.requests << " errors=" << r.errors << " qps="
+              << static_cast<size_t>(r.qps) << " p50=" << r.p50_ms
+              << "ms p99=" << r.p99_ms << "ms p999=" << r.p999_ms << "ms\n";
+    if (min_qps > 0.0 && r.qps < min_qps) {
+      std::cerr << "# FAIL: qps " << r.qps << " below gate " << min_qps
+                << "\n";
+      gate_failed = true;
+    }
+    if (r.errors > r.requests / 100) {
+      std::cerr << "# FAIL: error rate above 1%\n";
+      gate_failed = true;
+    }
+    results.push_back(r);
+  }
+  endpoint.Stop();
+  service.Shutdown();
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"http\",\n  \"config\": {\n"
+      << "    \"lubm_universities\": " << lubm << ",\n"
+      << "    \"duration_ms\": " << duration_ms << ",\n"
+      << "    \"client_threads\": " << client_threads << ",\n"
+      << "    \"query\": \"?x ub:headOf ?d\"\n"
+      << "  },\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LevelResult& r = results[i];
+    out << "    {\"connections\": " << r.connections << ", \"requests\": "
+        << r.requests << ", \"errors\": " << r.errors << ", \"wall_ms\": "
+        << r.wall_ms << ", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
+        << ", \"p99_ms\": " << r.p99_ms << ", \"p999_ms\": " << r.p999_ms
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "# wrote " << json_path << "\n";
+  return gate_failed ? 1 : 0;
+}

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sparql/result_writer.h"
 #include "util/string_util.h"
 
 namespace sparqluo {
@@ -35,26 +36,12 @@ std::string CsvValue(const Term& term) {
   return "";
 }
 
-void WriteJsonString(const std::string& s, std::ostream& out) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+/// Adapts an ostream to the streaming writer's Sink interface.
+StreamingResultWriter::Sink OstreamSink(std::ostream& out) {
+  return [&out](std::string_view piece) {
+    out.write(piece.data(), static_cast<std::streamsize>(piece.size()));
+    return true;  // preserve the historical "best effort" ostream behavior
+  };
 }
 
 }  // namespace
@@ -76,63 +63,20 @@ void WriteCsv(const BindingSet& rows, const VarTable& vars,
   }
 }
 
+// TSV and JSON delegate to the streaming writer in src/sparql/
+// result_writer.h — the single serializer the HTTP endpoint also streams
+// through, so in-process FormatResults output and over-the-wire bodies
+// are bit-identical by construction.
 void WriteTsv(const BindingSet& rows, const VarTable& vars,
               const Dictionary& dict, std::ostream& out) {
-  for (size_t c = 0; c < rows.schema().size(); ++c) {
-    if (c > 0) out << '\t';
-    out << '?' << vars.Name(rows.schema()[c]);
-  }
-  out << '\n';
-  for (size_t r = 0; r < rows.size(); ++r) {
-    for (size_t c = 0; c < rows.width(); ++c) {
-      if (c > 0) out << '\t';
-      TermId id = rows.At(r, c);
-      if (id != kUnboundTerm) out << dict.Decode(id).ToString();
-    }
-    out << '\n';
-  }
+  StreamingResultWriter writer(WireFormat::kTsv, OstreamSink(out));
+  writer.WriteAll(rows, vars, dict);
 }
 
 void WriteJson(const BindingSet& rows, const VarTable& vars,
                const Dictionary& dict, std::ostream& out) {
-  out << "{\"head\":{\"vars\":[";
-  for (size_t c = 0; c < rows.schema().size(); ++c) {
-    if (c > 0) out << ',';
-    WriteJsonString(vars.Name(rows.schema()[c]), out);
-  }
-  out << "]},\"results\":{\"bindings\":[";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    if (r > 0) out << ',';
-    out << '{';
-    bool first = true;
-    for (size_t c = 0; c < rows.width(); ++c) {
-      TermId id = rows.At(r, c);
-      if (id == kUnboundTerm) continue;  // unbound vars are omitted
-      if (!first) out << ',';
-      first = false;
-      const Term& term = dict.Decode(id);
-      WriteJsonString(vars.Name(rows.schema()[c]), out);
-      out << ":{\"type\":";
-      switch (term.kind) {
-        case TermKind::kIri: out << "\"uri\""; break;
-        case TermKind::kLiteral: out << "\"literal\""; break;
-        case TermKind::kBlank: out << "\"bnode\""; break;
-      }
-      out << ",\"value\":";
-      WriteJsonString(term.lexical, out);
-      if (term.is_literal() && !term.qualifier.empty()) {
-        if (term.qualifier_is_lang) {
-          out << ",\"xml:lang\":";
-        } else {
-          out << ",\"datatype\":";
-        }
-        WriteJsonString(term.qualifier, out);
-      }
-      out << '}';
-    }
-    out << '}';
-  }
-  out << "]}}";
+  StreamingResultWriter writer(WireFormat::kJson, OstreamSink(out));
+  writer.WriteAll(rows, vars, dict);
 }
 
 std::string FormatResults(const BindingSet& rows, const VarTable& vars,

@@ -1,0 +1,474 @@
+#include "http/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "sparql/result_writer.h"
+#include "util/string_util.h"
+
+namespace sparqluo {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const HttpHeader& h : headers)
+    if (AsciiEqualsIgnoreCase(h.name, name)) return &h.value;
+  return nullptr;
+}
+
+HttpRequestParser::HttpRequestParser(Limits limits) : limits_(limits) {}
+
+void HttpRequestParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+}
+
+bool HttpRequestParser::NextLine(std::string_view* line) {
+  size_t nl = buffer_.find('\n', pos_);
+  if (nl == std::string::npos) return false;
+  size_t end = nl;
+  if (end > pos_ && buffer_[end - 1] == '\r') --end;
+  *line = std::string_view(buffer_).substr(pos_, end - pos_);
+  pos_ = nl + 1;
+  return true;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+  if (state_ != State::kComplete) Parse();
+  return state_;
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest taken = std::move(request_);
+  request_ = HttpRequest();
+  phase_ = Phase::kRequestLine;
+  state_ = State::kNeedMore;
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  body_chunked_ = false;
+  Parse();  // a pipelined request may already be fully buffered
+  return taken;
+}
+
+void HttpRequestParser::Parse() {
+  while (state_ == State::kNeedMore) {
+    switch (phase_) {
+      case Phase::kRequestLine: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          if (buffer_.size() - pos_ > limits_.max_request_line)
+            Fail(414, "request line exceeds limit");
+          goto done;
+        }
+        if (line.empty()) continue;  // ignore leading blank lines (RFC 9112)
+        if (line.size() > limits_.max_request_line) {
+          Fail(414, "request line exceeds limit");
+          goto done;
+        }
+        if (!ParseRequestLine(line)) goto done;
+        phase_ = Phase::kHeaders;
+        break;
+      }
+      case Phase::kHeaders: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          if (buffer_.size() - pos_ > limits_.max_header_bytes)
+            Fail(431, "header section exceeds limit");
+          goto done;
+        }
+        header_bytes_ += line.size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          Fail(431, "header section exceeds limit");
+          goto done;
+        }
+        if (line.empty()) {
+          if (!FinishHeaders()) goto done;
+          break;
+        }
+        if (!ParseHeaderLine(line)) goto done;
+        break;
+      }
+      case Phase::kBody: {
+        size_t avail = buffer_.size() - pos_;
+        size_t take = std::min(avail, body_expected_);
+        request_.body.append(buffer_, pos_, take);
+        pos_ += take;
+        body_expected_ -= take;
+        if (body_expected_ > 0) goto done;
+        phase_ = Phase::kDone;
+        break;
+      }
+      case Phase::kChunkSize: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          if (buffer_.size() - pos_ > limits_.max_request_line)
+            Fail(400, "chunk size line exceeds limit");
+          goto done;
+        }
+        // chunk-size [";" extensions] — hex digits, at least one.
+        size_t i = 0;
+        uint64_t size = 0;
+        for (; i < line.size() && HexValue(line[i]) >= 0; ++i) {
+          if (size > (uint64_t{1} << 50)) break;  // absurd; caught below
+          size = size * 16 + static_cast<uint64_t>(HexValue(line[i]));
+        }
+        if (i == 0 || (i < line.size() && line[i] != ';')) {
+          Fail(400, "malformed chunk size");
+          goto done;
+        }
+        if (size > limits_.max_body_bytes ||
+            request_.body.size() + size > limits_.max_body_bytes) {
+          Fail(413, "chunked body exceeds limit");
+          goto done;
+        }
+        if (size == 0) {
+          phase_ = Phase::kChunkTrailer;
+        } else {
+          body_expected_ = static_cast<size_t>(size);
+          phase_ = Phase::kChunkData;
+        }
+        break;
+      }
+      case Phase::kChunkData: {
+        size_t avail = buffer_.size() - pos_;
+        size_t take = std::min(avail, body_expected_);
+        request_.body.append(buffer_, pos_, take);
+        pos_ += take;
+        body_expected_ -= take;
+        if (body_expected_ > 0) goto done;
+        phase_ = Phase::kChunkDataEnd;
+        break;
+      }
+      case Phase::kChunkDataEnd: {
+        std::string_view line;
+        if (!NextLine(&line)) goto done;
+        if (!line.empty()) {
+          Fail(400, "missing CRLF after chunk data");
+          goto done;
+        }
+        phase_ = Phase::kChunkSize;
+        break;
+      }
+      case Phase::kChunkTrailer: {
+        std::string_view line;
+        if (!NextLine(&line)) {
+          if (buffer_.size() - pos_ > limits_.max_header_bytes)
+            Fail(431, "trailer section exceeds limit");
+          goto done;
+        }
+        header_bytes_ += line.size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          Fail(431, "trailer section exceeds limit");
+          goto done;
+        }
+        if (line.empty()) phase_ = Phase::kDone;  // trailers are discarded
+        break;
+      }
+      case Phase::kDone:
+        state_ = State::kComplete;
+        break;
+    }
+  }
+done:
+  // Compact the consumed prefix so long-lived keep-alive connections do
+  // not accrete memory.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+bool HttpRequestParser::ParseRequestLine(std::string_view line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    Fail(400, "malformed method token");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+    request_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+    request_.keep_alive = false;
+  } else if (StartsWith(version, "HTTP/")) {
+    Fail(505, "unsupported HTTP version");
+    return false;
+  } else {
+    Fail(400, "malformed HTTP version");
+    return false;
+  }
+  if (target.empty() || target[0] != '/') {
+    Fail(400, "only origin-form request targets are supported");
+    return false;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  size_t qmark = target.find('?');
+  std::string_view raw_path = target.substr(0, qmark);
+  if (qmark != std::string_view::npos)
+    request_.query_string = std::string(target.substr(qmark + 1));
+  if (!PercentDecode(raw_path, /*plus_as_space=*/false, &request_.path)) {
+    Fail(400, "malformed percent-encoding in request path");
+    return false;
+  }
+  return true;
+}
+
+bool HttpRequestParser::ParseHeaderLine(std::string_view line) {
+  if (line[0] == ' ' || line[0] == '\t') {
+    // Obsolete line folding (RFC 9112 §5.2): reject rather than guess.
+    Fail(400, "obsolete header line folding");
+    return false;
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    Fail(400, "header line missing ':'");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Catches both empty names and the security-relevant "Name :" form
+    // (whitespace before the colon smuggles headers past some proxies).
+    Fail(400, "malformed header field name");
+    return false;
+  }
+  std::string_view value = TrimString(line.substr(colon + 1));
+  request_.headers.push_back({std::string(name), std::string(value)});
+  return true;
+}
+
+bool HttpRequestParser::FinishHeaders() {
+  const std::string* te = request_.FindHeader("Transfer-Encoding");
+  const std::string* cl = nullptr;
+  for (const HttpHeader& h : request_.headers) {
+    if (!AsciiEqualsIgnoreCase(h.name, "Content-Length")) continue;
+    if (cl != nullptr && *cl != h.value) {
+      Fail(400, "conflicting Content-Length headers");
+      return false;
+    }
+    cl = &h.value;
+  }
+  if (te != nullptr) {
+    if (!AsciiEqualsIgnoreCase(TrimString(*te), "chunked")) {
+      Fail(501, "unsupported Transfer-Encoding");
+      return false;
+    }
+    if (cl != nullptr) {
+      // Request smuggling vector (RFC 9112 §6.1): never reconcile.
+      Fail(400, "both Transfer-Encoding and Content-Length present");
+      return false;
+    }
+    body_chunked_ = true;
+  } else if (cl != nullptr) {
+    if (cl->empty() ||
+        !std::all_of(cl->begin(), cl->end(),
+                     [](char c) { return c >= '0' && c <= '9'; }) ||
+        cl->size() > 15) {
+      Fail(400, "malformed Content-Length");
+      return false;
+    }
+    uint64_t length = std::strtoull(cl->c_str(), nullptr, 10);
+    if (length > limits_.max_body_bytes) {
+      Fail(413, "request body exceeds limit");
+      return false;
+    }
+    body_expected_ = static_cast<size_t>(length);
+  }
+
+  if (const std::string* conn = request_.FindHeader("Connection")) {
+    for (std::string& token : SplitString(*conn, ',')) {
+      std::string_view t = TrimString(token);
+      if (AsciiEqualsIgnoreCase(t, "close")) request_.keep_alive = false;
+      if (AsciiEqualsIgnoreCase(t, "keep-alive")) request_.keep_alive = true;
+    }
+  }
+
+  if (body_chunked_) {
+    phase_ = Phase::kChunkSize;
+  } else if (body_expected_ > 0) {
+    request_.body.reserve(body_expected_);
+    phase_ = Phase::kBody;
+  } else {
+    phase_ = Phase::kDone;
+  }
+  return true;
+}
+
+bool PercentDecode(std::string_view in, bool plus_as_space, std::string* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      int hi = HexValue(in[i + 1]);
+      int lo = HexValue(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out->push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (c == '+' && plus_as_space) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  return true;
+}
+
+bool ParseFormUrlEncoded(
+    std::string_view in,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= in.size()) {
+    size_t amp = in.find('&', start);
+    std::string_view pair = in.substr(
+        start, amp == std::string_view::npos ? std::string_view::npos
+                                             : amp - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      std::string_view raw_key = pair.substr(0, eq);
+      std::string_view raw_value =
+          eq == std::string_view::npos ? std::string_view() : pair.substr(eq + 1);
+      std::string key, value;
+      if (!PercentDecode(raw_key, /*plus_as_space=*/true, &key)) return false;
+      if (!PercentDecode(raw_value, /*plus_as_space=*/true, &value))
+        return false;
+      out->emplace_back(std::move(key), std::move(value));
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return true;
+}
+
+std::string MediaTypeOf(std::string_view content_type) {
+  size_t semi = content_type.find(';');
+  return AsciiLower(TrimString(content_type.substr(0, semi)));
+}
+
+bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out) {
+  if (TrimString(accept).empty()) {
+    if (format_out != nullptr) *format_out = WireFormat::kJson;
+    return true;
+  }
+  // Best (q, specificity) seen per format. Specificity: exact type 3,
+  // type wildcard 2, full wildcard 1.
+  double json_q = -1.0, tsv_q = -1.0;
+  int json_spec = 0, tsv_spec = 0;
+  for (const std::string& entry : SplitString(accept, ',')) {
+    std::vector<std::string> parts = SplitString(entry, ';');
+    if (parts.empty()) continue;
+    std::string media = AsciiLower(TrimString(parts[0]));
+    double q = 1.0;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string_view param = TrimString(parts[i]);
+      if (param.size() >= 2 &&
+          (param[0] == 'q' || param[0] == 'Q') && param[1] == '=') {
+        q = std::atof(std::string(param.substr(2)).c_str());
+      }
+    }
+    int json_match = 0, tsv_match = 0;
+    if (media == "application/sparql-results+json" ||
+        media == "application/json") {
+      json_match = 3;
+    } else if (media == "application/*") {
+      json_match = 2;
+    }
+    if (media == "text/tab-separated-values") {
+      tsv_match = 3;
+    } else if (media == "text/*") {
+      tsv_match = 2;
+    }
+    if (media == "*/*") {
+      json_match = 1;
+      tsv_match = 1;
+    }
+    if (json_match > 0 &&
+        (q > json_q || (q == json_q && json_match > json_spec))) {
+      json_q = q;
+      json_spec = json_match;
+    }
+    if (tsv_match > 0 && (q > tsv_q || (q == tsv_q && tsv_match > tsv_spec))) {
+      tsv_q = q;
+      tsv_spec = tsv_match;
+    }
+  }
+  bool json_ok = json_q > 0.0;
+  bool tsv_ok = tsv_q > 0.0;
+  if (!json_ok && !tsv_ok) return false;
+  WireFormat chosen;
+  if (json_ok && tsv_ok) {
+    if (tsv_q > json_q) {
+      chosen = WireFormat::kTsv;
+    } else if (json_q > tsv_q) {
+      chosen = WireFormat::kJson;
+    } else {
+      // Equal q: the more specific match wins; JSON breaks exact ties.
+      chosen = tsv_spec > json_spec ? WireFormat::kTsv : WireFormat::kJson;
+    }
+  } else {
+    chosen = json_ok ? WireFormat::kJson : WireFormat::kTsv;
+  }
+  if (format_out != nullptr) *format_out = chosen;
+  return true;
+}
+
+}  // namespace sparqluo

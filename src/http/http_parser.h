@@ -1,0 +1,146 @@
+// Incremental HTTP/1.1 request parsing (RFC 9112 subset) plus the URL /
+// form / Accept-header decoding helpers the SPARQL Protocol endpoint
+// needs. Pure byte-level code with no socket dependency, so the torture
+// suite can drive it through every truncation and split without a server.
+//
+// HttpRequestParser is a resumable state machine: Feed() it arbitrary
+// byte slices (a TCP stream's reads) and it consumes request line,
+// headers, and body — Content-Length or chunked — across any split
+// points, enforcing configurable size limits. When a request completes,
+// leftover bytes stay buffered for the next pipelined request:
+//
+//   parser.Feed(bytes);
+//   while (parser.state() == HttpRequestParser::State::kComplete) {
+//     HttpRequest req = parser.TakeRequest();   // re-parses any leftover
+//     ...handle req...
+//   }
+//   if (parser.state() == State::kError) ...send parser.error_status()...
+//
+// Errors are sticky and carry the HTTP status code the server should
+// answer with (400, 413, 414, 431, 501, 505).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sparqluo {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// ASCII case-insensitive string equality (header names, token values).
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// One fully-parsed request.
+struct HttpRequest {
+  std::string method;        ///< As sent (methods are case-sensitive tokens).
+  std::string target;        ///< Raw request target (path + "?" + query).
+  std::string path;          ///< Percent-decoded path component.
+  std::string query_string;  ///< Raw (still-encoded) part after '?'.
+  int version_minor = 1;     ///< 1 for HTTP/1.1, 0 for HTTP/1.0.
+  std::vector<HttpHeader> headers;
+  std::string body;
+  bool keep_alive = true;    ///< After Connection / version defaulting.
+
+  /// First header value whose name matches case-insensitively, or null.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_request_line = 8 * 1024;   ///< Overrun -> 414.
+    size_t max_header_bytes = 64 * 1024;  ///< All header lines -> 431.
+    size_t max_body_bytes = 16 * 1024 * 1024;  ///< -> 413.
+  };
+
+  enum class State { kNeedMore, kComplete, kError };
+
+  HttpRequestParser() : HttpRequestParser(Limits()) {}
+  explicit HttpRequestParser(Limits limits);
+
+  /// Appends bytes and advances the state machine as far as possible.
+  State Feed(std::string_view data);
+
+  State state() const { return state_; }
+
+  /// Valid in kComplete: moves the request out and immediately resumes
+  /// parsing any buffered leftover bytes (pipelining) — check state()
+  /// again afterwards.
+  HttpRequest TakeRequest();
+
+  /// Valid in kError: the HTTP status the connection should answer with
+  /// before closing, and a one-line diagnostic.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Unconsumed bytes currently buffered (leftover pipelined data).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class Phase {
+    kRequestLine,
+    kHeaders,
+    kBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,
+    kChunkTrailer,
+    kDone,
+  };
+
+  void Parse();
+  bool ParseRequestLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+  bool FinishHeaders();
+  void Fail(int status, std::string message);
+  /// Extracts the next line (up to LF) from buffer_ starting at pos_,
+  /// stripping the line ending; returns false when no full line is
+  /// buffered yet. CRLF and bare LF both terminate a line.
+  bool NextLine(std::string_view* line);
+
+  Limits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kRequestLine;
+  std::string buffer_;
+  size_t pos_ = 0;  ///< Consumed prefix of buffer_ (compacted in Parse).
+  HttpRequest request_;
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;   ///< Remaining Content-Length / chunk bytes.
+  bool body_chunked_ = false;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Percent-decodes `in` into `*out` (cleared first). With `plus_as_space`,
+/// '+' decodes to ' ' (the application/x-www-form-urlencoded rule).
+/// Returns false on a malformed escape (%, %X, %GG); UTF-8 and arbitrary
+/// bytes pass through as-is.
+bool PercentDecode(std::string_view in, bool plus_as_space, std::string* out);
+
+/// Parses an application/x-www-form-urlencoded string (also the format of
+/// a URL query string) into decoded key/value pairs, preserving order and
+/// duplicates. Returns false on a malformed escape in any key or value.
+bool ParseFormUrlEncoded(std::string_view in,
+                         std::vector<std::pair<std::string, std::string>>* out);
+
+/// The media type of a Content-Type header value: the part before any
+/// ';' parameters, trimmed and lowercased.
+std::string MediaTypeOf(std::string_view content_type);
+
+/// SPARQL result content negotiation over an Accept header value: picks
+/// JSON (application/sparql-results+json, application/json, application/*)
+/// or TSV (text/tab-separated-values, text/*) by highest q-value, with
+/// more specific matches beating wildcards at equal q and JSON winning
+/// exact ties. Returns false when nothing acceptable matches (-> 406).
+/// An empty/absent header accepts anything (JSON). `format_out` may be
+/// null to just test acceptability.
+enum class WireFormat;  // sparql/result_writer.h
+bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out);
+
+}  // namespace sparqluo

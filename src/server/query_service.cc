@@ -9,6 +9,26 @@
 
 namespace sparqluo {
 
+namespace {
+
+/// Runs a completion hook, swallowing anything it throws: hooks run on
+/// pool workers (or the submitting thread on rejection) where an escaped
+/// exception would std::terminate the process.
+template <typename Response>
+void InvokeCompletion(const std::function<void(const Response&)>& hook,
+                      const Response& response) {
+  if (!hook) return;
+  try {
+    hook(response);
+  } catch (const std::exception& e) {
+    SPARQLUO_LOG(kError) << "completion hook threw: " << e.what();
+  } catch (...) {
+    SPARQLUO_LOG(kError) << "completion hook threw an unknown exception";
+  }
+}
+
+}  // namespace
+
 QueryService::QueryService(const Database& db, Options options)
     : db_(db),
       options_(options),
@@ -56,15 +76,16 @@ bool QueryService::Admit(Status* reject) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     stats_.RecordRejected();
-    *reject = Status::Internal("query service is shut down");
+    *reject = Status::Overloaded("query service is shut down");
     return false;
   }
   // Admission control: pool size requests can run, max_queue more can
-  // wait; everything beyond bounces immediately.
+  // wait; everything beyond bounces immediately. kOverloaded (not
+  // ResourceExhausted) so callers — the HTTP endpoint in particular — can
+  // tell "retry later" apart from a query that died mid-flight.
   if (in_flight_ >= pool_->num_threads() + options_.max_queue) {
     stats_.RecordRejected();
-    *reject =
-        Status::ResourceExhausted("admission queue full, request rejected");
+    *reject = Status::Overloaded("admission queue full, request rejected");
     return false;
   }
   ++in_flight_;
@@ -85,6 +106,7 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   if (!Admit(&reject)) {
     QueryResponse rejected;
     rejected.status = std::move(reject);
+    InvokeCompletion(task->request.on_complete, rejected);
     task->promise.set_value(std::move(rejected));
     return future;
   }
@@ -125,6 +147,7 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
             << response.version << " text=" << text;
       }
     }
+    InvokeCompletion(task->request.on_complete, response);
     task->promise.set_value(std::move(response));
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -143,6 +166,7 @@ std::future<UpdateResponse> QueryService::SubmitUpdate(UpdateRequest request) {
   if (!Admit(&reject)) {
     UpdateResponse rejected;
     rejected.status = std::move(reject);
+    InvokeCompletion(state->first.on_complete, rejected);
     state->second.set_value(std::move(rejected));
     return future;
   }
@@ -160,6 +184,7 @@ std::future<UpdateResponse> QueryService::SubmitUpdate(UpdateRequest request) {
       response.status = Status::Internal("update threw an unknown exception");
     }
     stats_.RecordUpdateFinished(response.status, response.commit);
+    InvokeCompletion(state->first.on_complete, response);
     state->second.set_value(std::move(response));
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -356,6 +381,9 @@ QueryResponse QueryService::Process(Task& task) {
                                      &response.metrics);
   response.status = result.status();
   if (result.ok()) response.rows = std::move(*result);
+  // Hand the plan back so consumers can serialize `rows` (variable names
+  // and the SELECT/ASK form live in plan->query).
+  response.plan = std::move(plan);
   response.total_ms = elapsed_ms();
   finish_trace(response);
   return response;

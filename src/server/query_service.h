@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <set>
@@ -47,6 +48,8 @@
 #include "util/executor_pool.h"
 
 namespace sparqluo {
+
+struct QueryResponse;
 
 /// One query submission.
 struct QueryRequest {
@@ -71,6 +74,15 @@ struct QueryRequest {
   /// response. Null (and Options::trace_queries false) means no tracing —
   /// the request pays only null-pointer checks.
   std::shared_ptr<TraceContext> trace;
+  /// Completion hook for push-style consumers (the HTTP endpoint streams
+  /// the response body from here instead of blocking a thread on the
+  /// future). Runs on the worker that finished the request — or inline on
+  /// the submitting thread when admission rejects — after stats are
+  /// recorded and just before the future resolves. The response is passed
+  /// by reference; the hook may read it but the future still receives the
+  /// full (moved-from-here-afterwards) value. Exceptions thrown by the
+  /// hook are swallowed (a worker must never unwind).
+  std::function<void(const QueryResponse&)> on_complete;
 };
 
 /// Outcome of one query.
@@ -84,13 +96,11 @@ struct QueryResponse {
   /// The request's trace (or the service-created one when
   /// Options::trace_queries is set); null when the query was not traced.
   std::shared_ptr<TraceContext> trace;
-};
-
-/// One update submission: SPARQL INSERT DATA / DELETE DATA text, or a
-/// pre-built batch (used when `text` is empty).
-struct UpdateRequest {
-  std::string text;
-  UpdateBatch batch;
+  /// The executed plan (cache hit or freshly built): carries the parsed
+  /// Query — its VarTable and form — which serializers need to render
+  /// `rows`. Null when the request failed before a plan existed (parse
+  /// error, admission rejection).
+  std::shared_ptr<const CachedPlan> plan;
 };
 
 /// Outcome of one update.
@@ -98,6 +108,15 @@ struct UpdateResponse {
   Status status;        ///< OK once the batch is durably committed.
   CommitStats commit;   ///< Valid when status.ok().
   double total_ms = 0.0;
+};
+
+/// One update submission: SPARQL INSERT DATA / DELETE DATA text, or a
+/// pre-built batch (used when `text` is empty).
+struct UpdateRequest {
+  std::string text;
+  UpdateBatch batch;
+  /// Same contract as QueryRequest::on_complete.
+  std::function<void(const UpdateResponse&)> on_complete;
 };
 
 class QueryService {

@@ -1,0 +1,165 @@
+#include "sparql/result_writer.h"
+
+#include <cstdio>
+
+namespace sparqluo {
+
+std::string_view WireFormatContentType(WireFormat format) {
+  switch (format) {
+    case WireFormat::kJson: return "application/sparql-results+json";
+    case WireFormat::kTsv: return "text/tab-separated-values";
+  }
+  return "application/octet-stream";
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+StreamingResultWriter::StreamingResultWriter(WireFormat format, Sink sink,
+                                             size_t flush_bytes)
+    : format_(format),
+      sink_(std::move(sink)),
+      flush_bytes_(flush_bytes == 0 ? 1 : flush_bytes) {}
+
+bool StreamingResultWriter::MaybeFlush() {
+  if (buffer_.size() > max_buffered_) max_buffered_ = buffer_.size();
+  if (buffer_.size() < flush_bytes_) return !failed_;
+  return FlushAll();
+}
+
+bool StreamingResultWriter::FlushAll() {
+  if (failed_) return false;
+  if (buffer_.size() > max_buffered_) max_buffered_ = buffer_.size();
+  if (buffer_.empty()) return true;
+  bytes_emitted_ += buffer_.size();
+  if (!sink_(buffer_)) {
+    failed_ = true;
+    buffer_.clear();
+    return false;
+  }
+  buffer_.clear();
+  return true;
+}
+
+bool StreamingResultWriter::BeginSelect(const std::vector<VarId>& schema,
+                                        const VarTable& vars) {
+  if (failed_ || began_) return !failed_;
+  began_ = true;
+  schema_ = schema;
+  vars_ = &vars;
+  if (format_ == WireFormat::kJson) {
+    buffer_ += "{\"head\":{\"vars\":[";
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      if (c > 0) buffer_ += ',';
+      AppendJsonString(vars.Name(schema_[c]), &buffer_);
+    }
+    buffer_ += "]},\"results\":{\"bindings\":[";
+  } else {
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      if (c > 0) buffer_ += '\t';
+      buffer_ += '?';
+      buffer_ += vars.Name(schema_[c]);
+    }
+    buffer_ += '\n';
+  }
+  return MaybeFlush();
+}
+
+bool StreamingResultWriter::WriteRow(const TermId* row, size_t width,
+                                     const Dictionary& dict) {
+  if (failed_) return false;
+  if (format_ == WireFormat::kJson) {
+    if (rows_written_ > 0) buffer_ += ',';
+    buffer_ += '{';
+    bool first = true;
+    for (size_t c = 0; c < width; ++c) {
+      TermId id = row[c];
+      if (id == kUnboundTerm) continue;  // unbound vars are omitted
+      if (!first) buffer_ += ',';
+      first = false;
+      const Term& term = dict.Decode(id);
+      AppendJsonString(vars_->Name(schema_[c]), &buffer_);
+      buffer_ += ":{\"type\":";
+      switch (term.kind) {
+        case TermKind::kIri: buffer_ += "\"uri\""; break;
+        case TermKind::kLiteral: buffer_ += "\"literal\""; break;
+        case TermKind::kBlank: buffer_ += "\"bnode\""; break;
+      }
+      buffer_ += ",\"value\":";
+      AppendJsonString(term.lexical, &buffer_);
+      if (term.is_literal() && !term.qualifier.empty()) {
+        buffer_ += term.qualifier_is_lang ? ",\"xml:lang\":" : ",\"datatype\":";
+        AppendJsonString(term.qualifier, &buffer_);
+      }
+      buffer_ += '}';
+    }
+    buffer_ += '}';
+  } else {
+    for (size_t c = 0; c < width; ++c) {
+      if (c > 0) buffer_ += '\t';
+      TermId id = row[c];
+      if (id != kUnboundTerm) buffer_ += dict.Decode(id).ToString();
+    }
+    buffer_ += '\n';
+  }
+  ++rows_written_;
+  return MaybeFlush();
+}
+
+bool StreamingResultWriter::WriteAll(const BindingSet& rows,
+                                     const VarTable& vars,
+                                     const Dictionary& dict) {
+  if (!BeginSelect(rows.schema(), vars)) return false;
+  size_t width = rows.width();
+  if (width == 0) {
+    // Zero-width results (e.g. a fully-bound BGP that matched): each
+    // mapping renders as an empty JSON object / blank TSV line.
+    static const TermId kNoCells = kUnboundTerm;
+    for (size_t r = 0; r < rows.size(); ++r)
+      if (!WriteRow(&kNoCells, 0, dict)) return false;
+  } else {
+    for (size_t r = 0; r < rows.size(); ++r)
+      if (!WriteRow(rows.Row(r), width, dict)) return false;
+  }
+  return Finish();
+}
+
+bool StreamingResultWriter::WriteBoolean(bool value) {
+  if (failed_ || finished_) return !failed_;
+  finished_ = true;
+  if (format_ == WireFormat::kJson) {
+    buffer_ += value ? "{\"head\":{},\"boolean\":true}"
+                     : "{\"head\":{},\"boolean\":false}";
+  } else {
+    buffer_ += value ? "true\n" : "false\n";
+  }
+  return FlushAll();
+}
+
+bool StreamingResultWriter::Finish() {
+  if (failed_ || finished_) return !failed_;
+  finished_ = true;
+  if (began_ && format_ == WireFormat::kJson) buffer_ += "]}}";
+  return FlushAll();
+}
+
+}  // namespace sparqluo

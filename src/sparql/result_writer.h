@@ -1,0 +1,100 @@
+// Incremental (streaming) serialization of query results in the W3C
+// SPARQL 1.1 results formats served over the wire: the JSON results format
+// (https://www.w3.org/TR/sparql11-results-json/) and TSV
+// (https://www.w3.org/TR/sparql11-results-csv-tsv/).
+//
+// The writer emits into a caller-supplied Sink in bounded flushes: rows
+// are appended to an internal buffer that is handed off whenever it
+// reaches `flush_bytes`, so serializing an arbitrarily large BindingSet
+// never materializes more than ~one flush worth of text at a time. The
+// HTTP endpoint points the sink at a chunked-transfer connection write
+// (which applies socket backpressure); the in-process writers in
+// src/engine/result_writer.cc point it at an ostream — both paths share
+// this code, which is what makes over-the-wire bodies bit-identical to
+// in-process FormatResults output.
+//
+// A Sink returning false aborts serialization (client disconnected, write
+// stalled): every later call becomes a no-op returning false, and nothing
+// further is buffered.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/binding_set.h"
+
+namespace sparqluo {
+
+/// Wire formats the streaming writer can produce.
+enum class WireFormat { kJson, kTsv };
+
+/// The SPARQL results media type for `format` (no parameters).
+std::string_view WireFormatContentType(WireFormat format);
+
+/// Appends `s` as a JSON string token (including the surrounding quotes),
+/// escaping quotes, backslashes and control characters. UTF-8 bytes pass
+/// through unmodified.
+void AppendJsonString(std::string_view s, std::string* out);
+
+class StreamingResultWriter {
+ public:
+  /// Receives each flushed piece of output, in order. Returns false to
+  /// abort serialization (e.g. the client hung up).
+  using Sink = std::function<bool(std::string_view)>;
+
+  static constexpr size_t kDefaultFlushBytes = 64 * 1024;
+
+  StreamingResultWriter(WireFormat format, Sink sink,
+                        size_t flush_bytes = kDefaultFlushBytes);
+
+  /// Starts a SELECT result: JSON head object / TSV header line over the
+  /// result schema. Call exactly once, before any WriteRow.
+  bool BeginSelect(const std::vector<VarId>& schema, const VarTable& vars);
+
+  /// Appends one solution mapping (`width` cells; kUnboundTerm cells are
+  /// omitted in JSON and empty in TSV). Returns false once aborted.
+  bool WriteRow(const TermId* row, size_t width, const Dictionary& dict);
+
+  /// Convenience: BeginSelect + every row of `rows` + Finish.
+  bool WriteAll(const BindingSet& rows, const VarTable& vars,
+                const Dictionary& dict);
+
+  /// Serializes an ASK result (complete on its own: do not mix with
+  /// BeginSelect/WriteRow). JSON: {"head":{},"boolean":b}; TSV: a single
+  /// "true"/"false" line.
+  bool WriteBoolean(bool value);
+
+  /// Closes the enclosing structure and flushes everything buffered.
+  bool Finish();
+
+  /// False once the sink rejected a flush; no further output is produced.
+  bool ok() const { return !failed_; }
+
+  size_t rows_written() const { return rows_written_; }
+  /// Total bytes handed to the sink so far.
+  size_t bytes_emitted() const { return bytes_emitted_; }
+  /// High-water mark of the internal buffer: the bounded-memory guarantee
+  /// under test — stays O(flush_bytes + one row) regardless of row count.
+  size_t max_buffered() const { return max_buffered_; }
+
+ private:
+  bool MaybeFlush();
+  bool FlushAll();
+
+  WireFormat format_;
+  Sink sink_;
+  size_t flush_bytes_;
+  std::string buffer_;
+  std::vector<VarId> schema_;
+  const VarTable* vars_ = nullptr;
+  bool began_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+  size_t rows_written_ = 0;
+  size_t bytes_emitted_ = 0;
+  size_t max_buffered_ = 0;
+};
+
+}  // namespace sparqluo

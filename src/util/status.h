@@ -23,6 +23,11 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kFailedPrecondition,
+  /// Admission control refused the request (queue full or shutting down).
+  /// Distinct from kResourceExhausted — which a query earns mid-flight by
+  /// blowing a row/deadline guard — so front-ends can map overload to a
+  /// retryable HTTP 503 while in-flight aborts map to 408.
+  kOverloaded,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -37,6 +42,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }
@@ -73,6 +79,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

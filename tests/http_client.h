@@ -1,0 +1,278 @@
+// Minimal blocking HTTP/1.1 test client used by the protocol conformance
+// and torture suites (and bench_http). Deliberately independent of
+// src/http so the tests exercise the server through a second, trivially
+// auditable implementation: raw sockets, poll-based timeouts, and its own
+// response parsing (Content-Length, chunked, and close-delimited bodies).
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sparqluo {
+namespace testhttp {
+
+struct Response {
+  bool ok = false;  ///< A complete response was read and parsed.
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const {
+    for (const auto& [key, value] : headers) {
+      if (key.size() != name.size()) continue;
+      bool match = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(key[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class TestHttpClient {
+ public:
+  explicit TestHttpClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestHttpClient() { Close(); }
+  TestHttpClient(const TestHttpClient&) = delete;
+  TestHttpClient& operator=(const TestHttpClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Half-closes the write side (the server sees EOF after our bytes).
+  void ShutdownWrite() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  bool SendRaw(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads every byte until EOF or timeout; returns what arrived.
+  std::string ReadAll(int timeout_ms = 5000) {
+    std::string out;
+    char buf[16 * 1024];
+    for (;;) {
+      int n = PollRead(timeout_ms);
+      if (n <= 0) break;
+      ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  /// Reads a single chunk (at most 16 KB) once data is available, waiting
+  /// up to timeout_ms for the first byte. Empty on timeout or EOF.
+  std::string ReadSome(int timeout_ms = 5000) {
+    char buf[16 * 1024];
+    if (PollRead(timeout_ms) <= 0) return {};
+    ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got <= 0) return {};
+    return std::string(buf, static_cast<size_t>(got));
+  }
+
+  /// True when the server has closed the connection (EOF observed within
+  /// the timeout).
+  bool WaitForClose(int timeout_ms) {
+    char buf[1024];
+    for (;;) {
+      int n = PollRead(timeout_ms);
+      if (n <= 0) return false;  // timed out: still open
+      ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+      if (got == 0) return true;
+      if (got < 0) return errno != EINTR;
+    }
+  }
+
+  /// Reads and parses one full response (headers + framed body).
+  Response ReadResponse(int timeout_ms = 10000) {
+    Response response;
+    // Headers.
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!FillBuffer(timeout_ms)) return response;
+    }
+    std::string head = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end + 4);
+    size_t line_end = head.find("\r\n");
+    std::string status_line =
+        head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+    if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0)
+      return response;
+    response.status = std::atoi(status_line.c_str() + 9);
+    size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      response.headers.emplace_back(name, line.substr(vstart));
+    }
+    // Body framing.
+    const std::string* te = response.FindHeader("Transfer-Encoding");
+    const std::string* cl = response.FindHeader("Content-Length");
+    if (te != nullptr && te->find("chunked") != std::string::npos) {
+      if (!ReadChunkedBody(&response.body, timeout_ms)) return response;
+    } else if (cl != nullptr) {
+      size_t want = static_cast<size_t>(std::atoll(cl->c_str()));
+      while (buffer_.size() < want) {
+        if (!FillBuffer(timeout_ms)) return response;
+      }
+      response.body = buffer_.substr(0, want);
+      buffer_.erase(0, want);
+    } else {
+      // Close-delimited: everything until EOF.
+      while (FillBuffer(timeout_ms)) {
+      }
+      response.body = std::move(buffer_);
+      buffer_.clear();
+    }
+    response.ok = true;
+    return response;
+  }
+
+  /// Sends a raw request and reads one response.
+  Response Request(std::string_view raw, int timeout_ms = 10000) {
+    if (!SendRaw(raw)) return {};
+    return ReadResponse(timeout_ms);
+  }
+
+ private:
+  int PollRead(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      int n = ::poll(&pfd, 1, timeout_ms);
+      if (n < 0 && errno == EINTR) continue;
+      return n;
+    }
+  }
+
+  /// Appends the next chunk of socket data to buffer_; false on EOF/timeout.
+  bool FillBuffer(int timeout_ms) {
+    if (PollRead(timeout_ms) <= 0) return false;
+    char buf[16 * 1024];
+    ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got <= 0) return false;
+    buffer_.append(buf, static_cast<size_t>(got));
+    return true;
+  }
+
+  bool ReadChunkedBody(std::string* body, int timeout_ms) {
+    for (;;) {
+      size_t eol;
+      while ((eol = buffer_.find("\r\n")) == std::string::npos) {
+        if (!FillBuffer(timeout_ms)) return false;
+      }
+      size_t size = std::strtoull(buffer_.c_str(), nullptr, 16);
+      buffer_.erase(0, eol + 2);
+      if (size == 0) {
+        while (buffer_.find("\r\n") == std::string::npos) {
+          if (!FillBuffer(timeout_ms)) return false;
+        }
+        buffer_.erase(0, buffer_.find("\r\n") + 2);
+        return true;
+      }
+      while (buffer_.size() < size + 2) {
+        if (!FillBuffer(timeout_ms)) return false;
+      }
+      body->append(buffer_, 0, size);
+      buffer_.erase(0, size + 2);  // chunk data + trailing CRLF
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Percent-encodes for a URL query parameter value.
+inline std::string UrlEncode(std::string_view s) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(static_cast<char>(c));
+    } else if (c == ' ') {
+      out.push_back('+');
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+/// One-shot convenience: connect, send, read one response.
+inline Response Fetch(uint16_t port, std::string_view raw_request,
+                      int timeout_ms = 10000) {
+  TestHttpClient client(port);
+  if (!client.connected()) return {};
+  return client.Request(raw_request, timeout_ms);
+}
+
+/// Builds a GET /sparql request for a query (with optional Accept header).
+inline std::string SparqlGet(std::string_view query,
+                             std::string_view accept = "",
+                             std::string_view extra_params = "") {
+  std::string req = "GET /sparql?query=" + UrlEncode(query);
+  if (!extra_params.empty()) req += "&" + std::string(extra_params);
+  req += " HTTP/1.1\r\nHost: test\r\n";
+  if (!accept.empty()) req += "Accept: " + std::string(accept) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  return req;
+}
+
+}  // namespace testhttp
+}  // namespace sparqluo

@@ -1,0 +1,186 @@
+// Golden-output and bounded-memory tests for the streaming result writer
+// (src/sparql/result_writer.h) — the single serializer behind both the
+// in-process FormatResults API and the HTTP endpoint's chunked bodies.
+#include "sparql/result_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/result_writer.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace sparqluo {
+namespace {
+
+/// Collects every flushed piece (and can abort after a fixed count).
+struct CollectingSink {
+  std::vector<std::string> pieces;
+  size_t accept_limit = SIZE_MAX;
+
+  StreamingResultWriter::Sink AsSink() {
+    return [this](std::string_view piece) {
+      if (pieces.size() >= accept_limit) return false;
+      pieces.emplace_back(piece);
+      return true;
+    };
+  }
+
+  std::string Joined() const {
+    std::string all;
+    for (const std::string& p : pieces) all += p;
+    return all;
+  }
+};
+
+class ResultWriterTest : public ::testing::Test {
+ protected:
+  ResultWriterTest() {
+    x_ = vars_.Intern("x");
+    y_ = vars_.Intern("y");
+    iri_ = dict_.Encode(Term::Iri("http://example.org/s"));
+    escapes_ = dict_.Encode(
+        Term::Literal("he said \"hi\"\n\tback\\slash\x01"));
+    lang_ = dict_.Encode(Term::LangLiteral("bonjour", "fr"));
+    typed_ = dict_.Encode(Term::TypedLiteral(
+        "42", "http://www.w3.org/2001/XMLSchema#integer"));
+    blank_ = dict_.Encode(Term::Blank("b0"));
+    utf8_ = dict_.Encode(Term::Literal("h\xC3\xA9llo"));
+  }
+
+  /// The three-row fixture: escaping, lang/typed literals, a blank node,
+  /// an unbound cell and pass-through UTF-8.
+  BindingSet Rows() {
+    BindingSet rows({x_, y_});
+    rows.AppendRow({iri_, escapes_});
+    rows.AppendRow({lang_, kUnboundTerm});
+    rows.AppendRow({typed_, blank_});
+    rows.AppendRow({utf8_, iri_});
+    return rows;
+  }
+
+  std::string Render(WireFormat format, const BindingSet& rows) {
+    CollectingSink sink;
+    StreamingResultWriter writer(format, sink.AsSink());
+    EXPECT_TRUE(writer.WriteAll(rows, vars_, dict_));
+    return sink.Joined();
+  }
+
+  VarTable vars_;
+  VarId x_, y_;
+  Dictionary dict_;
+  TermId iri_, escapes_, lang_, typed_, blank_, utf8_;
+};
+
+TEST_F(ResultWriterTest, JsonGolden) {
+  std::string expected =
+      "{\"head\":{\"vars\":[\"x\",\"y\"]},\"results\":{\"bindings\":["
+      "{\"x\":{\"type\":\"uri\",\"value\":\"http://example.org/s\"},"
+      "\"y\":{\"type\":\"literal\",\"value\":"
+      "\"he said \\\"hi\\\"\\n\\tback\\\\slash\\u0001\"}},"
+      "{\"x\":{\"type\":\"literal\",\"value\":\"bonjour\","
+      "\"xml:lang\":\"fr\"}},"
+      "{\"x\":{\"type\":\"literal\",\"value\":\"42\",\"datatype\":"
+      "\"http://www.w3.org/2001/XMLSchema#integer\"},"
+      "\"y\":{\"type\":\"bnode\",\"value\":\"b0\"}},"
+      "{\"x\":{\"type\":\"literal\",\"value\":\"h\xC3\xA9llo\"},"
+      "\"y\":{\"type\":\"uri\",\"value\":\"http://example.org/s\"}}"
+      "]}}";
+  EXPECT_EQ(Render(WireFormat::kJson, Rows()), expected);
+}
+
+TEST_F(ResultWriterTest, TsvGolden) {
+  std::string expected =
+      "?x\t?y\n"
+      "<http://example.org/s>\t\"he said \\\"hi\\\"\\n\\tback\\\\slash\x01\"\n"
+      "\"bonjour\"@fr\t\n"
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>\t_:b0\n"
+      "\"h\xC3\xA9llo\"\t<http://example.org/s>\n";
+  EXPECT_EQ(Render(WireFormat::kTsv, Rows()), expected);
+}
+
+TEST_F(ResultWriterTest, EmptyResultSet) {
+  BindingSet empty({x_});
+  EXPECT_EQ(Render(WireFormat::kJson, empty),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}");
+  EXPECT_EQ(Render(WireFormat::kTsv, empty), "?x\n");
+}
+
+TEST_F(ResultWriterTest, ZeroWidthMappings) {
+  // ASK-style / fully-bound BGP results: mappings with no columns.
+  BindingSet rows;
+  rows.AppendEmptyMappings(2);
+  EXPECT_EQ(Render(WireFormat::kJson, rows),
+            "{\"head\":{\"vars\":[]},\"results\":{\"bindings\":[{},{}]}}");
+  EXPECT_EQ(Render(WireFormat::kTsv, rows), "\n\n\n");
+}
+
+TEST_F(ResultWriterTest, AskBoolean) {
+  for (bool value : {true, false}) {
+    CollectingSink sink;
+    StreamingResultWriter writer(WireFormat::kJson, sink.AsSink());
+    EXPECT_TRUE(writer.WriteBoolean(value));
+    EXPECT_EQ(sink.Joined(), value ? "{\"head\":{},\"boolean\":true}"
+                                   : "{\"head\":{},\"boolean\":false}");
+  }
+  CollectingSink sink;
+  StreamingResultWriter writer(WireFormat::kTsv, sink.AsSink());
+  EXPECT_TRUE(writer.WriteBoolean(true));
+  EXPECT_EQ(sink.Joined(), "true\n");
+}
+
+TEST_F(ResultWriterTest, EngineWritersAreBitIdenticalToStreaming) {
+  // WriteJson/WriteTsv delegate to the streaming writer, so the in-process
+  // formats and the over-the-wire bodies cannot drift apart.
+  BindingSet rows = Rows();
+  EXPECT_EQ(FormatResults(rows, vars_, dict_, ResultFormat::kJson),
+            Render(WireFormat::kJson, rows));
+  EXPECT_EQ(FormatResults(rows, vars_, dict_, ResultFormat::kTsv),
+            Render(WireFormat::kTsv, rows));
+}
+
+TEST_F(ResultWriterTest, SinkAbortStopsSerialization) {
+  CollectingSink sink;
+  sink.accept_limit = 1;
+  StreamingResultWriter writer(WireFormat::kJson, sink.AsSink(),
+                               /*flush_bytes=*/16);
+  BindingSet rows = Rows();
+  EXPECT_FALSE(writer.WriteAll(rows, vars_, dict_));
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(sink.pieces.size(), 1u);
+  // Everything after the abort is a cheap no-op.
+  EXPECT_FALSE(writer.WriteRow(nullptr, 0, dict_));
+  EXPECT_FALSE(writer.Finish());
+  EXPECT_EQ(sink.pieces.size(), 1u);
+}
+
+TEST_F(ResultWriterTest, MillionRowsBoundedMemory) {
+  // The streaming guarantee: serializing 1M rows never buffers more than
+  // ~one flush unit + one row, regardless of total output size.
+  constexpr size_t kRows = 1'000'000;
+  constexpr size_t kFlushBytes = 4 * 1024;
+  size_t total_bytes = 0, pieces = 0;
+  StreamingResultWriter writer(
+      WireFormat::kJson,
+      [&](std::string_view piece) {
+        total_bytes += piece.size();
+        ++pieces;
+        return true;
+      },
+      kFlushBytes);
+  ASSERT_TRUE(writer.BeginSelect({x_, y_}, vars_));
+  TermId row[2] = {iri_, lang_};
+  for (size_t i = 0; i < kRows; ++i) ASSERT_TRUE(writer.WriteRow(row, 2, dict_));
+  ASSERT_TRUE(writer.Finish());
+  EXPECT_EQ(writer.rows_written(), kRows);
+  EXPECT_EQ(writer.bytes_emitted(), total_bytes);
+  EXPECT_GT(total_bytes, kRows * 50);  // ~100 bytes per row of JSON
+  EXPECT_GT(pieces, total_bytes / (2 * kFlushBytes));
+  // High-water mark stays O(flush unit + one row), nowhere near the body.
+  EXPECT_LT(writer.max_buffered(), kFlushBytes + 1024);
+}
+
+}  // namespace
+}  // namespace sparqluo

@@ -167,7 +167,10 @@ TEST_P(QueryServiceTest, PlanCacheHitSkipsTransformAndMatches) {
   EXPECT_EQ(cache.entries, 1u);
 }
 
-// Admission control: a full queue rejects with ResourceExhausted.
+// Admission control: a full queue rejects with kOverloaded — a status
+// distinct from the kResourceExhausted an admitted query earns by blowing
+// a deadline/row guard, so front-ends can map "retry later" (503) apart
+// from "your query died" (408).
 TEST_P(QueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
   QueryService::Options sopts;
   sopts.num_threads = 1;
@@ -199,8 +202,8 @@ TEST_P(QueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
   size_t rejected = 0, finished_ok = 0;
   for (auto& f : futures) {
     QueryResponse r = f.get();
-    if (r.status.code() == StatusCode::kResourceExhausted &&
-        !r.metrics.aborted) {
+    if (r.status.code() == StatusCode::kOverloaded) {
+      EXPECT_FALSE(r.metrics.aborted);  // never ran at all
       ++rejected;
     } else if (r.status.ok()) {
       ++finished_ok;
@@ -208,6 +211,8 @@ TEST_P(QueryServiceTest, AdmissionControlRejectsWhenQueueFull) {
   }
   QueryResponse br = blocked.get();
   EXPECT_TRUE(br.metrics.aborted);
+  // The admitted-then-cancelled blocker keeps the in-flight abort code.
+  EXPECT_EQ(br.status.code(), StatusCode::kResourceExhausted);
   // Queue depth 2 with a busy worker: at least 8 of the 10 must bounce, and
   // everything admitted must finish.
   EXPECT_GE(rejected, 8u);
@@ -227,6 +232,37 @@ TEST_P(QueryServiceTest, SubmitAfterShutdownResolves) {
                                {}, nullptr})
           .get();
   EXPECT_FALSE(r.status.ok());
+}
+
+// The completion hook fires before the future resolves — on the worker
+// for processed requests, inline for rejected ones — and successful
+// responses carry the executed plan (VarTable + query form) so push-style
+// consumers can serialize rows without re-parsing.
+TEST_P(QueryServiceTest, CompletionHookAndPlanOnResponse) {
+  QueryService service(db_, {.num_threads = 2});
+  std::promise<QueryResponse> hooked;
+  QueryRequest req;
+  req.text = "SELECT ?x WHERE { ?x ?p ?o } LIMIT 3";
+  req.on_complete = [&](const QueryResponse& r) { hooked.set_value(r); };
+  QueryResponse via_future = service.Submit(std::move(req)).get();
+  QueryResponse via_hook = hooked.get_future().get();
+  ASSERT_TRUE(via_future.status.ok()) << via_future.status.ToString();
+  ASSERT_NE(via_future.plan, nullptr);
+  EXPECT_EQ(via_future.plan->query.form, QueryForm::kSelect);
+  EXPECT_EQ(via_hook.rows.size(), via_future.rows.size());
+
+  // Rejection path: the hook still runs, with the kOverloaded status.
+  service.Shutdown();
+  bool rejected_hook = false;
+  QueryRequest after;
+  after.text = "ASK { ?s ?p ?o }";
+  after.on_complete = [&](const QueryResponse& r) {
+    rejected_hook = true;
+    EXPECT_EQ(r.status.code(), StatusCode::kOverloaded);
+    EXPECT_EQ(r.plan, nullptr);
+  };
+  service.Submit(std::move(after)).get();
+  EXPECT_TRUE(rejected_hook);
 }
 
 // Parse errors surface through the future, not as crashes.

@@ -15,7 +15,10 @@ Checks, in order:
 4. Coverage — metric families the instrumented engine must always
    export (see REQUIRED) are present with at least one sample.
 
-Usage: tools/check_metrics.py METRICS_FILE
+Usage: tools/check_metrics.py METRICS_FILE [--require NAME:TYPE ...]
+Each --require adds a family to the coverage check (e.g.
+--require sparqluo_http_requests_total:counter, as the http-smoke CI job
+does for the endpoint's request metrics).
 Exit status: 0 = valid, 1 = validation errors (all printed).
 """
 import re
@@ -48,10 +51,28 @@ def parse_value(text):
 
 
 def main():
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    required = list(REQUIRED)
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--require":
+            if i + 1 >= len(args) or ":" not in args[i + 1]:
+                print("--require needs NAME:TYPE", file=sys.stderr)
+                return 2
+            name, typ = args[i + 1].rsplit(":", 1)
+            if typ not in ("counter", "gauge", "histogram"):
+                print(f"--require: bad type {typ!r}", file=sys.stderr)
+                return 2
+            required.append((name, typ))
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    path = sys.argv[1]
+    path = paths[0]
     with open(path, encoding="utf-8") as f:
         lines = f.read().splitlines()
 
@@ -150,7 +171,7 @@ def main():
                     f"{path}: {family}{{{rest}}} +Inf bucket "
                     f"{buckets[-1][1]} != _count {counts[rest]}")
 
-    for family, typ in REQUIRED:
+    for family, typ in required:
         if family not in types:
             errors.append(f"{path}: required family {family!r} missing")
         elif types[family] != typ:

@@ -41,6 +41,14 @@
 //   --update-file FILE        apply SPARQL INSERT DATA / DELETE DATA
 //                             blocks (blank-line separated) after loading,
 //                             each block committed as one version
+//   --serve PORT              serve the loaded data over HTTP as a SPARQL
+//                             Protocol endpoint (docs/http_endpoint.md):
+//                             GET/POST /sparql, POST /update, /metrics,
+//                             /healthz. PORT 0 picks an ephemeral port
+//                             (printed on startup). --concurrency sizes the
+//                             worker pool, --deadline-ms the default query
+//                             deadline. SIGINT/SIGTERM shut down gracefully.
+//   --bind ADDR               listen address for --serve (default 127.0.0.1)
 //
 // Without a query argument, reads blocks from stdin (one per blank-line-
 // separated block; end with EOF). A block whose first operation is INSERT
@@ -51,12 +59,16 @@
 // resumes), and aggregate service stats (QPS, p50/p99, cache hit rate,
 // commits) are printed instead of result rows.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "betree/builder.h"
@@ -69,6 +81,7 @@
 #include "optimizer/transformer.h"
 #include "optimizer/well_designed.h"
 #include "server/query_service.h"
+#include "server/sparql_endpoint.h"
 #include "util/timer.h"
 #include "workload/dbpedia_generator.h"
 #include "workload/lubm_generator.h"
@@ -104,6 +117,8 @@ struct CliOptions {
   std::string query;
   std::string query_file;
   std::string update_file;
+  long serve_port = -1;  ///< >= 0 switches to HTTP serving (0 = ephemeral).
+  std::string bind_address = "127.0.0.1";
 };
 
 /// Splits text into blank-line-separated blocks.
@@ -223,7 +238,8 @@ int Usage(const char* argv0) {
                "[--max-rows N] [--parallelism N] [--concurrency N] "
                "[--repeat K] [--deadline-ms N] [--slow-query-ms N] "
                "[--slow-query-sample K] [--no-plan-cache] "
-               "[--update-file FILE] [QUERY | UPDATE]\n";
+               "[--update-file FILE] [--serve PORT [--bind ADDR]] "
+               "[QUERY | UPDATE]\n";
   return 2;
 }
 
@@ -344,6 +360,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->update_file = v;
+    } else if (arg == "--serve") {
+      const char* v = next();
+      if (!v) return false;
+      opts->serve_port = std::atol(v);
+      if (opts->serve_port < 0 || opts->serve_port > 65535) return false;
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (!v) return false;
+      opts->bind_address = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return false;
@@ -451,6 +476,53 @@ int RunService(Database& db, const CliOptions& opts,
             << "triples_inserted\t" << stats.triples_inserted << "\n"
             << "triples_deleted\t" << stats.triples_deleted << "\n";
   return rc;
+}
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void RequestShutdown(int) { g_shutdown_requested.store(true); }
+
+/// --serve mode: a SPARQL Protocol endpoint over the loaded database,
+/// running until SIGINT/SIGTERM.
+int RunServe(Database& db, const CliOptions& opts) {
+  QueryService::Options sopts;
+  sopts.num_threads = opts.concurrency;  // 0 = hardware threads
+  sopts.enable_plan_cache = opts.plan_cache;
+  sopts.intra_query_parallelism = opts.parallelism;
+  sopts.slow_query_ms = opts.slow_query_ms;
+  sopts.slow_query_sample = opts.slow_query_sample;
+  if (opts.deadline_ms > 0)
+    sopts.default_deadline = std::chrono::milliseconds(opts.deadline_ms);
+  QueryService service(db, sopts);
+
+  SparqlEndpoint::Options eopts;
+  eopts.http.bind_address = opts.bind_address;
+  eopts.http.port = static_cast<uint16_t>(opts.serve_port);
+  SparqlEndpoint endpoint(service, db.dict(), eopts);
+  Status status = endpoint.Start();
+  if (!status.ok()) {
+    std::cerr << "serve failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "# serving SPARQL on http://" << opts.bind_address << ":"
+            << endpoint.port() << "/sparql (POST /update, GET /metrics, "
+            << "GET /healthz); " << service.num_threads()
+            << " workers; Ctrl-C stops\n";
+  std::signal(SIGINT, RequestShutdown);
+  std::signal(SIGTERM, RequestShutdown);
+  while (!g_shutdown_requested.load(std::memory_order_relaxed))
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::cerr << "# shutting down\n";
+  // Endpoint first (closes connections, unblocking any streaming worker),
+  // then the service (drains in-flight queries).
+  endpoint.Stop();
+  service.Shutdown();
+  ServiceStatsSnapshot stats = service.Stats();
+  std::cerr << "# served " << stats.completed << " queries ("
+            << stats.failed << " failed, " << stats.rejected
+            << " rejected), p50 " << stats.p50_ms << " ms, p99 "
+            << stats.p99_ms << " ms\n";
+  return 0;
 }
 
 int RunQuery(Database& db, const CliOptions& opts, const std::string& text,
@@ -599,6 +671,12 @@ int main(int argc, char** argv) {
     std::cerr << "# snapshot written to " << opts.snapshot_out << " (format v"
               << (opts.snapshot_format == SnapshotFormat::kV2 ? 2 : 1)
               << ")\n";
+  }
+
+  if (opts.serve_port >= 0) {
+    int rc = RunServe(db, opts);
+    if (!opts.metrics_out.empty()) rc |= WriteMetricsFile(opts.metrics_out);
+    return rc;
   }
 
   if (opts.stats_only) {
