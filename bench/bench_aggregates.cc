@@ -1,0 +1,207 @@
+// Aggregation / SPARQL 1.1 surface benchmark.
+//
+// Times the four PR-8 feature families on LUBM-scale data: GROUP BY hash
+// aggregation (sequential vs morsel-parallel on the shared pool), a
+// property-path closure, and CONSTRUCT template instantiation. Every
+// parallel run is verified bit-identical to the sequential run before its
+// time is reported — parallel aggregation merges morsel partials in
+// morsel order precisely so this holds.
+//
+// Usage:
+//   bench_aggregates [--json FILE] [--parallelism 1,2,4,8] [--repeat N]
+//                    [--lubm N] [--morsel N]
+//
+// The recorded JSON includes `hardware_threads`: on a single-core
+// container the thread-scaling cells are flat by construction, and the
+// field is what distinguishes "no speedup available" from "no speedup
+// achieved".
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/executor_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+constexpr const char* kPrologue =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> "
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> ";
+
+struct BenchQuery {
+  const char* id;
+  std::string sparql;
+};
+
+std::vector<BenchQuery> Workload() {
+  return {
+      {"count-per-class",
+       std::string(kPrologue) +
+           "SELECT ?t (COUNT(*) AS ?n) WHERE { ?x rdf:type ?t } GROUP BY ?t"},
+      {"count-distinct-advisees",
+       std::string(kPrologue) +
+           "SELECT ?a (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ub:advisor ?a } "
+           "GROUP BY ?a"},
+      {"minmax-name-per-dept",
+       std::string(kPrologue) +
+           "SELECT ?d (MIN(?n) AS ?lo) (MAX(?n) AS ?hi) (COUNT(?n) AS ?c) "
+           "WHERE { ?x ub:memberOf ?d . ?x ub:name ?n } GROUP BY ?d"},
+      {"count-enrollments",
+       std::string(kPrologue) +
+           "SELECT (COUNT(*) AS ?n) (COUNT(DISTINCT ?c) AS ?d) WHERE "
+           "{ ?s ub:takesCourse ?c }"},
+      {"suborg-closure",
+       std::string(kPrologue) +
+           "SELECT ?x ?y WHERE { ?x ub:subOrganizationOf+ ?y }"},
+      {"construct-members",
+       std::string(kPrologue) +
+           "CONSTRUCT { ?d ub:hasMember ?x } WHERE { ?x ub:memberOf ?d }"},
+  };
+}
+
+struct Cell {
+  std::string query;
+  size_t parallelism = 0;
+  double ms = 0.0;       ///< Best-of-repeat wall time.
+  double speedup = 1.0;  ///< Sequential ms / this ms.
+  size_t rows = 0;
+  bool ok = false;
+};
+
+bool BitIdentical(const BindingSet& a, const BindingSet& b) {
+  if (a.schema() != b.schema() || a.size() != b.size()) return false;
+  for (size_t r = 0; r < a.size(); ++r)
+    for (size_t c = 0; c < a.width(); ++c)
+      if (a.At(r, c) != b.At(r, c)) return false;
+  return true;
+}
+
+std::vector<size_t> SplitSizes(const std::string& csv) {
+  std::vector<size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(static_cast<size_t>(std::atol(item.c_str())));
+  return out;
+}
+
+void WriteJson(const std::vector<Cell>& cells, size_t morsel_size,
+               size_t universities, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"aggregates\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"lubm_universities\": " << universities
+      << ",\n  \"morsel_size\": " << morsel_size << ",\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"query\": \"" << c.query << "\", \"parallelism\": "
+        << c.parallelism << ", \"ms\": " << c.ms << ", \"speedup\": "
+        << c.speedup << ", \"rows\": " << c.rows << ", \"ok\": "
+        << (c.ok ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "# wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<size_t> degrees = {1, 2, 4, 8};
+  size_t repeat = 3;
+  size_t universities = LubmUniversities();
+  size_t morsel_size = 1024;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--json" && (v = next())) {
+      json_path = v;
+    } else if (arg == "--parallelism" && (v = next())) {
+      degrees = SplitSizes(v);
+    } else if (arg == "--repeat" && (v = next())) {
+      repeat = std::max<size_t>(1, static_cast<size_t>(std::atol(v)));
+    } else if (arg == "--lubm" && (v = next())) {
+      universities = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--morsel" && (v = next())) {
+      morsel_size = static_cast<size_t>(std::atol(v));
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // Degree 1 runs first: it is the bit-identity reference and the speedup
+  // denominator for every other degree.
+  {
+    std::vector<size_t> normalized{1};
+    for (size_t d : degrees)
+      if (d != 1) normalized.push_back(d);
+    degrees = std::move(normalized);
+  }
+
+  size_t max_degree = 1;
+  for (size_t d : degrees) max_degree = std::max(max_degree, d);
+  ExecutorPool pool(max_degree > 1 ? max_degree - 1 : 1);
+
+  auto db = MakeLubm(universities, EngineKind::kWco);
+
+  std::vector<Cell> cells;
+  bool all_ok = true;
+  std::printf("%-24s %12s %10s %9s %10s\n", "query", "parallelism", "ms",
+              "speedup", "rows");
+  for (const BenchQuery& q : Workload()) {
+    double seq_ms = 0.0;
+    Result<BindingSet> reference = Status::Internal("unset");
+    for (size_t degree : degrees) {
+      ExecOptions opts = ExecOptions::Full();
+      opts.max_intermediate_rows = kRowLimit;
+      opts.parallel.parallelism = degree;
+      opts.parallel.morsel_size = morsel_size;
+      opts.parallel.pool = degree > 1 ? &pool : nullptr;
+
+      Cell cell;
+      cell.query = q.id;
+      cell.parallelism = degree;
+      cell.ms = 1e300;
+      for (size_t rep = 0; rep < repeat; ++rep) {
+        Timer timer;
+        auto r = db->Query(q.sparql, opts);
+        cell.ms = std::min(cell.ms, timer.ElapsedMillis());
+        cell.ok = r.ok();
+        if (r.ok()) {
+          cell.rows = r->size();
+          if (degree == 1 && !reference.ok()) {
+            reference = std::move(r);
+          } else if (reference.ok() && !BitIdentical(*r, *reference)) {
+            std::cerr << "# MISMATCH: " << q.id << " at parallelism " << degree
+                      << " diverged from sequential\n";
+            cell.ok = false;
+          }
+        }
+      }
+      if (degree == 1) seq_ms = cell.ms;
+      cell.speedup = cell.ms > 0.0 && seq_ms > 0.0 ? seq_ms / cell.ms : 1.0;
+      all_ok = all_ok && cell.ok;
+      std::printf("%-24s %12zu %10.2f %9.2f %10zu\n", cell.query.c_str(),
+                  cell.parallelism, cell.ms, cell.speedup, cell.rows);
+      std::fflush(stdout);
+      cells.push_back(cell);
+    }
+  }
+  if (!json_path.empty()) WriteJson(cells, morsel_size, universities, json_path);
+  return all_ok ? 0 : 1;
+}

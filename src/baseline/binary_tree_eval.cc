@@ -2,6 +2,7 @@
 
 #include "algebra/operators.h"
 #include "bgp/cardinality.h"
+#include "engine/path_eval.h"
 
 namespace sparqluo {
 
@@ -55,6 +56,10 @@ BindingSet BinaryTreeEvaluator::EvalGroup(const GroupGraphPattern& group) const 
         break;
       case PatternElement::Kind::kFilter:
         acc = ApplyFilter(acc, e.filter, dict_);
+        break;
+      case PatternElement::Kind::kPath:
+        acc = Join(acc, EvaluatePath(e.path, store_, dict_, nullptr, nullptr,
+                                     ParallelSpec{}));
         break;
     }
   }

@@ -35,6 +35,9 @@ Result<std::unique_ptr<GosnNode>> BuildGoSN(const GroupGraphPattern& group) {
         return Status::Unsupported("LBR does not handle UNION");
       case PatternElement::Kind::kFilter:
         return Status::Unsupported("LBR baseline does not handle FILTER");
+      case PatternElement::Kind::kPath:
+        return Status::Unsupported(
+            "LBR baseline does not handle property paths");
     }
   }
   return node;

@@ -9,6 +9,7 @@ std::unique_ptr<BeNode> BeNode::Clone() const {
   auto copy = std::make_unique<BeNode>(type);
   copy->bgp = bgp;
   copy->filter = filter;
+  copy->path = path;
   copy->children.reserve(children.size());
   for (const auto& c : children) copy->children.push_back(c->Clone());
   return copy;
@@ -20,6 +21,11 @@ void BeNode::CollectVariables(std::vector<VarId>* out) const {
   };
   if (is_bgp()) {
     for (VarId v : bgp.Variables()) add(v);
+    return;
+  }
+  if (is_path()) {
+    if (path.subject.is_var) add(path.subject.var);
+    if (path.object.is_var) add(path.object.var);
     return;
   }
   for (const auto& c : children) c->CollectVariables(out);
@@ -60,6 +66,11 @@ Status ValidateNode(const BeNode& node, bool is_root) {
       if (is_root) return Status::Internal("BE-tree root must be a group node");
       if (!node.children.empty())
         return Status::Internal("FILTER node must be a leaf");
+      return Status::OK();
+    case BeNode::Type::kPath:
+      if (is_root) return Status::Internal("BE-tree root must be a group node");
+      if (!node.children.empty())
+        return Status::Internal("PATH node must be a leaf");
       return Status::OK();
   }
   return Status::Internal("unknown node type");
@@ -105,6 +116,14 @@ void Render(const BeNode& node, const VarTable& vars, int indent,
     case BeNode::Type::kUnion: *out += pad + "UNION\n"; break;
     case BeNode::Type::kOptional: *out += pad + "OPTIONAL\n"; break;
     case BeNode::Type::kFilter: *out += pad + "FILTER\n"; break;
+    case BeNode::Type::kPath: {
+      auto slot = [&vars](const PatternSlot& s) {
+        return s.is_var ? "?" + vars.Name(s.var) : s.term.ToString();
+      };
+      *out += pad + "PATH " + slot(node.path.subject) + " " +
+              slot(node.path.object) + "\n";
+      break;
+    }
   }
   for (const auto& c : node.children) Render(*c, vars, indent + 1, out);
 }

@@ -10,6 +10,10 @@
 //   kFilter   — retained from the query for semantic completeness; applied
 //               to the running result when encountered. Filters are opaque
 //               to the merge/inject transformations.
+//   kPath     — leaf holding a `*`/`+` property-path closure, evaluated by
+//               iterative reachability (src/engine/path_eval) and joined
+//               into the running result like a BGP. Opaque to the
+//               merge/inject transformations.
 #pragma once
 
 #include <memory>
@@ -23,11 +27,12 @@
 namespace sparqluo {
 
 struct BeNode {
-  enum class Type { kGroup, kBgp, kUnion, kOptional, kFilter };
+  enum class Type { kGroup, kBgp, kUnion, kOptional, kFilter, kPath };
 
   Type type = Type::kGroup;
   Bgp bgp;            ///< kBgp payload.
   FilterExpr filter;  ///< kFilter payload.
+  PathPattern path;   ///< kPath payload.
   std::vector<std::unique_ptr<BeNode>> children;
 
   explicit BeNode(Type t) : type(t) {}
@@ -37,6 +42,7 @@ struct BeNode {
   bool is_union() const { return type == Type::kUnion; }
   bool is_optional() const { return type == Type::kOptional; }
   bool is_filter() const { return type == Type::kFilter; }
+  bool is_path() const { return type == Type::kPath; }
 
   /// Deep copy.
   std::unique_ptr<BeNode> Clone() const;

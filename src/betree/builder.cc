@@ -47,6 +47,11 @@ std::unique_ptr<BeNode> BuildElement(const PatternElement& e) {
       node->filter = e.filter;
       return node;
     }
+    case PatternElement::Kind::kPath: {
+      auto node = std::make_unique<BeNode>(BeNode::Type::kPath);
+      node->path = e.path;
+      return node;
+    }
     case PatternElement::Kind::kTriple:
       break;  // handled by the caller's coalescing pass
   }

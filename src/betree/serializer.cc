@@ -78,6 +78,19 @@ void RenderNode(const BeNode& node, const VarTable& vars, int indent,
         *out += body.substr(open + 1, close - open - 1);
       break;
     }
+    case BeNode::Type::kPath: {
+      GroupGraphPattern g;
+      PatternElement e;
+      e.kind = PatternElement::Kind::kPath;
+      e.path = node.path;
+      g.elements.push_back(std::move(e));
+      std::string body = ToString(g, vars, indent);
+      size_t open = body.find('\n');
+      size_t close = body.rfind('}');
+      if (open != std::string::npos && close != std::string::npos)
+        *out += body.substr(open + 1, close - open - 1);
+      break;
+    }
   }
 }
 

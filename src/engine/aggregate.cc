@@ -1,0 +1,266 @@
+#include "engine/aggregate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sparqluo {
+
+namespace {
+
+constexpr const char* kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+constexpr const char* kXsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal";
+constexpr const char* kXsdDouble = "http://www.w3.org/2001/XMLSchema#double";
+constexpr const char* kXsdFloat = "http://www.w3.org/2001/XMLSchema#float";
+
+/// Fixed morsel size used by the sequential AND the parallel path, so both
+/// merge the same partials in the same order.
+constexpr size_t kAggMorsel = 1024;
+
+/// True when `t` is a typed numeric literal whose lexical parses fully.
+bool NumericValue(const Term& t, bool* is_int, double* value) {
+  if (!t.is_literal() || t.qualifier_is_lang) return false;
+  if (t.qualifier != kXsdInteger && t.qualifier != kXsdDecimal &&
+      t.qualifier != kXsdDouble && t.qualifier != kXsdFloat)
+    return false;
+  const char* begin = t.lexical.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return false;
+  *is_int = t.qualifier == kXsdInteger;
+  *value = v;
+  return true;
+}
+
+/// Running state of one aggregate within one group.
+struct AggAccum {
+  uint64_t count = 0;        ///< Rows (COUNT *), bound (COUNT), numeric (AVG).
+  bool all_int = true;       ///< Every numeric input so far was xsd:integer.
+  bool numeric_ok = true;    ///< No non-numeric bound input seen (SUM/AVG).
+  bool any = false;          ///< At least one numeric input seen.
+  long long isum = 0;        ///< Exact sum while all_int holds.
+  double dsum = 0.0;         ///< Floating sum (morsel-order deterministic).
+  TermId best = kUnboundTerm;  ///< MIN/MAX champion (first seen wins ties).
+  std::set<TermId> dset;     ///< DISTINCT input ids (ordered for finalize).
+};
+
+void AccumulateNumeric(AggAccum* a, const Term& t) {
+  bool is_int = false;
+  double v = 0.0;
+  if (!NumericValue(t, &is_int, &v)) {
+    a->numeric_ok = false;
+    return;
+  }
+  a->any = true;
+  ++a->count;
+  a->all_int = a->all_int && is_int;
+  if (is_int) a->isum += std::strtoll(t.lexical.c_str(), nullptr, 10);
+  a->dsum += v;
+}
+
+void UpdateAccum(AggAccum* a, const AggregateSpec& s, TermId val,
+                 const Dictionary& dict) {
+  if (s.func == AggFunc::kCount && s.count_star) {
+    ++a->count;
+    return;
+  }
+  if (val == kUnboundTerm) return;  // aggregates range over bound values
+  switch (s.func) {
+    case AggFunc::kCount:
+      if (s.distinct)
+        a->dset.insert(val);
+      else
+        ++a->count;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (s.distinct)
+        a->dset.insert(val);  // numeric folding deferred to finalize
+      else
+        AccumulateNumeric(a, dict.Decode(val));
+      return;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (a->best == kUnboundTerm) {
+        a->best = val;
+        return;
+      }
+      int c = CompareTermsForOrdering(dict.Decode(val), dict.Decode(a->best));
+      if ((s.func == AggFunc::kMin && c < 0) ||
+          (s.func == AggFunc::kMax && c > 0))
+        a->best = val;
+      return;
+    }
+  }
+}
+
+/// Merges a later morsel's accumulator into an earlier one. Addition order
+/// is fixed by morsel order, keeping floating sums deterministic.
+void MergeAccum(AggAccum* a, const AggAccum& b, const AggregateSpec& s,
+                const Dictionary& dict) {
+  a->count += b.count;
+  a->isum += b.isum;
+  a->dsum += b.dsum;
+  a->all_int = a->all_int && b.all_int;
+  a->numeric_ok = a->numeric_ok && b.numeric_ok;
+  a->any = a->any || b.any;
+  if (b.best != kUnboundTerm) {
+    if (a->best == kUnboundTerm) {
+      a->best = b.best;
+    } else {
+      int c = CompareTermsForOrdering(dict.Decode(b.best),
+                                      dict.Decode(a->best));
+      if ((s.func == AggFunc::kMin && c < 0) ||
+          (s.func == AggFunc::kMax && c > 0))
+        a->best = b.best;
+    }
+  }
+  a->dset.insert(b.dset.begin(), b.dset.end());
+}
+
+/// Hash-aggregation state of one morsel (or of the merged whole).
+struct Partial {
+  std::unordered_map<std::string, size_t> index;  ///< key bytes -> group idx
+  std::vector<std::vector<TermId>> keys;          ///< first-occurrence order
+  std::vector<std::vector<AggAccum>> groups;      ///< [group][spec]
+
+  std::vector<AggAccum>* FindOrCreate(const std::vector<TermId>& key,
+                                      size_t spec_count) {
+    std::string bytes(reinterpret_cast<const char*>(key.data()),
+                      key.size() * sizeof(TermId));
+    auto [it, inserted] = index.emplace(std::move(bytes), keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      groups.emplace_back(spec_count);
+    }
+    return &groups[it->second];
+  }
+};
+
+TermId Finalize(const AggAccum& frozen, const AggregateSpec& s,
+                const Dictionary& dict, Dictionary* intern) {
+  AggAccum a = frozen;
+  if (s.distinct && (s.func == AggFunc::kSum || s.func == AggFunc::kAvg)) {
+    // Fold the distinct ids in ascending TermId order: deterministic, and
+    // identical no matter which morsels the duplicates landed in.
+    for (TermId id : a.dset) AccumulateNumeric(&a, dict.Decode(id));
+  }
+  switch (s.func) {
+    case AggFunc::kCount: {
+      uint64_t n = s.distinct ? a.dset.size() : a.count;
+      return intern->Encode(Term::TypedLiteral(std::to_string(n), kXsdInteger));
+    }
+    case AggFunc::kSum:
+      if (!a.numeric_ok) return kUnboundTerm;
+      if (!a.any)
+        return intern->Encode(Term::TypedLiteral("0", kXsdInteger));
+      if (a.all_int)
+        return intern->Encode(
+            Term::TypedLiteral(std::to_string(a.isum), kXsdInteger));
+      return intern->Encode(
+          Term::TypedLiteral(FormatDecimal(a.dsum), kXsdDecimal));
+    case AggFunc::kAvg:
+      if (!a.numeric_ok) return kUnboundTerm;
+      if (!a.any)
+        return intern->Encode(Term::TypedLiteral("0", kXsdInteger));
+      return intern->Encode(Term::TypedLiteral(
+          FormatDecimal(a.dsum / static_cast<double>(a.count)), kXsdDecimal));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return a.best;
+  }
+  return kUnboundTerm;
+}
+
+}  // namespace
+
+std::string FormatDecimal(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+Result<BindingSet> EvaluateAggregates(const BindingSet& rows,
+                                      const Query& query,
+                                      const Dictionary& dict,
+                                      Dictionary* intern,
+                                      const CancelToken* cancel,
+                                      const ParallelSpec& parallel) {
+  if (intern == nullptr)
+    return Status::Internal(
+        "aggregate evaluation requires an interning dictionary");
+
+  const auto& specs = query.aggregates;
+  std::vector<size_t> group_cols(query.group_by.size());
+  for (size_t j = 0; j < query.group_by.size(); ++j)
+    group_cols[j] = rows.ColumnOf(query.group_by[j]);
+  std::vector<size_t> input_cols(specs.size(), SIZE_MAX);
+  for (size_t i = 0; i < specs.size(); ++i)
+    if (!specs[i].count_star) input_cols[i] = rows.ColumnOf(specs[i].input);
+
+  auto eval_morsel = [&](size_t begin, size_t end, Partial* out) {
+    CancelCheckpoint chk(cancel);
+    std::vector<TermId> key(group_cols.size());
+    for (size_t r = begin; r < end; ++r) {
+      chk.Poll();
+      for (size_t j = 0; j < group_cols.size(); ++j)
+        key[j] =
+            group_cols[j] == SIZE_MAX ? kUnboundTerm : rows.At(r, group_cols[j]);
+      std::vector<AggAccum>* accums = out->FindOrCreate(key, specs.size());
+      for (size_t i = 0; i < specs.size(); ++i) {
+        TermId val = input_cols[i] == SIZE_MAX ? kUnboundTerm
+                                               : rows.At(r, input_cols[i]);
+        UpdateAccum(&(*accums)[i], specs[i], val, dict);
+      }
+    }
+  };
+
+  size_t n = rows.size();
+  size_t morsels = (n + kAggMorsel - 1) / kAggMorsel;
+  std::vector<Partial> partial(morsels);
+  if (parallel.enabled() && morsels > 1) {
+    parallel.pool->ParallelFor(morsels, parallel.EffectiveWorkers(),
+                               [&](size_t m) {
+                                 eval_morsel(m * kAggMorsel,
+                                             std::min((m + 1) * kAggMorsel, n),
+                                             &partial[m]);
+                               });
+  } else {
+    for (size_t m = 0; m < morsels; ++m)
+      eval_morsel(m * kAggMorsel, std::min((m + 1) * kAggMorsel, n),
+                  &partial[m]);
+  }
+
+  // Merge partials in morsel order: global group order = first occurrence
+  // in row order, exactly as a single sequential pass would produce.
+  Partial global;
+  for (Partial& p : partial) {
+    for (size_t g = 0; g < p.keys.size(); ++g) {
+      std::vector<AggAccum>* accums =
+          global.FindOrCreate(p.keys[g], specs.size());
+      for (size_t i = 0; i < specs.size(); ++i)
+        MergeAccum(&(*accums)[i], p.groups[g][i], specs[i], dict);
+    }
+  }
+
+  // With no GROUP BY clause the whole input forms one group, present even
+  // when the input is empty (COUNT(*) over nothing is 0).
+  if (query.group_by.empty() && global.keys.empty())
+    global.FindOrCreate({}, specs.size());
+
+  std::vector<VarId> schema = query.group_by;
+  for (const AggregateSpec& s : specs) schema.push_back(s.output);
+  BindingSet out(std::move(schema));
+  for (size_t g = 0; g < global.keys.size(); ++g) {
+    std::vector<TermId> row = global.keys[g];
+    for (size_t i = 0; i < specs.size(); ++i)
+      row.push_back(Finalize(global.groups[g][i], specs[i], dict, intern));
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,43 @@
+// GROUP BY / aggregate evaluation (COUNT, SUM, MIN, MAX, AVG).
+//
+// Hash aggregation over the solution bag produced by pattern matching.
+// Input rows are split into fixed-size morsels; each morsel builds a local
+// hash table keyed by the GROUP BY columns, and the partials are merged in
+// morsel order. The sequential path runs the *same* morsel decomposition
+// and merge, so the parallel result — group order, sums, every cell — is
+// bit-identical to the sequential one (floating-point additions happen in
+// the same order either way).
+//
+// Group output order is first occurrence in row order. Semantics of the
+// dialect (documented in docs/sparql_surface.md): aggregates range over the
+// bound values of their input variable; COUNT(*) counts rows; SUM/AVG of a
+// group containing a non-numeric bound value are unbound; SUM/AVG over no
+// values are 0; MIN/MAX over no values are unbound.
+#pragma once
+
+#include "algebra/binding_set.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "util/cancellation.h"
+#include "util/executor_pool.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Evaluates `query`'s GROUP BY / aggregate clause over `rows`. The result
+/// schema is [group_by vars..., aggregate outputs...]; the projection step
+/// downstream reorders to SELECT order. Computed terms (counts, sums) are
+/// interned through `intern`, which must be non-null.
+Result<BindingSet> EvaluateAggregates(const BindingSet& rows,
+                                      const Query& query,
+                                      const Dictionary& dict,
+                                      Dictionary* intern,
+                                      const CancelToken* cancel,
+                                      const ParallelSpec& parallel);
+
+/// Canonical lexical form used for computed xsd:decimal values ("%.12g").
+/// Shared with the reference evaluator so both sides of the differential
+/// harness format averages identically.
+std::string FormatDecimal(double v);
+
+}  // namespace sparqluo

@@ -8,6 +8,61 @@
 
 namespace sparqluo {
 
+namespace {
+
+/// Resolves a template slot under solution `r`; false when the slot's
+/// variable is unbound (the solution then produces no triple for this
+/// template, mirroring CONSTRUCT).
+bool ResolveSlot(const PatternSlot& slot, const BindingSet& rows, size_t r,
+                 const Dictionary& dict, Term* out) {
+  if (!slot.is_var) {
+    *out = slot.term;
+    return true;
+  }
+  TermId id = rows.Value(r, slot.var);
+  if (id == kUnboundTerm) return false;
+  *out = dict.Decode(id);
+  return true;
+}
+
+/// Instantiates one pattern update against a pinned version: evaluates the
+/// WHERE group sequentially on that version's executor, then expands every
+/// delete template before every insert template (SPARQL 1.1 Update: all
+/// deletes of an operation happen before its inserts). Unbound template
+/// variables and ill-formed triples are skipped, not errors.
+Result<UpdateBatch> InstantiatePatternUpdate(const UpdateCommand& cmd,
+                                             const DatabaseVersion& version) {
+  Query q;
+  q.vars = cmd.vars;
+  q.where = cmd.pattern.where;
+  Result<BindingSet> rows = version.executor->Execute(q, ExecOptions::Full());
+  if (!rows.ok()) return rows.status();
+  const Dictionary& dict = *version.dict;
+  UpdateBatch batch;
+  auto expand = [&](const std::vector<TriplePattern>& templates,
+                    UpdateOp::Kind kind) {
+    for (size_t r = 0; r < rows->size(); ++r) {
+      for (const TriplePattern& t : templates) {
+        Term s, p, o;
+        if (!ResolveSlot(t.s, *rows, r, dict, &s) ||
+            !ResolveSlot(t.p, *rows, r, dict, &p) ||
+            !ResolveSlot(t.o, *rows, r, dict, &o))
+          continue;
+        if (s.is_literal() || !p.is_iri()) continue;
+        if (kind == UpdateOp::Kind::kDelete)
+          batch.Delete(std::move(s), std::move(p), std::move(o));
+        else
+          batch.Insert(std::move(s), std::move(p), std::move(o));
+      }
+    }
+  };
+  expand(cmd.pattern.delete_templates, UpdateOp::Kind::kDelete);
+  expand(cmd.pattern.insert_templates, UpdateOp::Kind::kInsert);
+  return batch;
+}
+
+}  // namespace
+
 Database::Database()
     : dict_(std::make_shared<Dictionary>()),
       base_store_(std::make_shared<TripleStore>()) {}
@@ -68,9 +123,33 @@ std::shared_ptr<const DatabaseVersion> Database::Snapshot() const {
 }
 
 Result<CommitStats> Database::Update(const std::string& update_text) {
-  auto batch = ParseUpdate(update_text);
-  if (!batch.ok()) return batch.status();
-  return Apply(*batch);
+  if (!UpdateTextHasPatternOp(update_text)) {
+    // DATA-only scripts keep the original one-batch/one-commit path.
+    auto batch = ParseUpdate(update_text);
+    if (!batch.ok()) return batch.status();
+    return Apply(*batch);
+  }
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  auto commands = ParseUpdateScript(update_text);
+  if (!commands.ok()) return commands.status();
+  // Each command commits as its own version, so later commands see earlier
+  // commands' effects (SPARQL 1.1 Update sequence semantics).
+  CommitStats last;
+  last.version = versions_->version();
+  last.store_size = versions_->Current()->store->size();
+  for (const UpdateCommand& cmd : *commands) {
+    if (!cmd.is_pattern) {
+      last = versions_->Apply(cmd.data);
+      continue;
+    }
+    auto stats = versions_->ApplyWith([&cmd](const DatabaseVersion& v) {
+      return InstantiatePatternUpdate(cmd, v);
+    });
+    if (!stats.ok()) return stats.status();
+    last = *stats;
+  }
+  return last;
 }
 
 Result<CommitStats> Database::Apply(const UpdateBatch& batch) {

@@ -4,6 +4,8 @@
 
 #include "algebra/operators.h"
 #include "betree/builder.h"
+#include "engine/aggregate.h"
+#include "engine/path_eval.h"
 #include "util/timer.h"
 
 namespace sparqluo {
@@ -25,10 +27,10 @@ struct EvalResult {
 class TreeEvaluator {
  public:
   TreeEvaluator(const BgpEngine& engine, const Dictionary& dict,
-                const TripleStore& store, const ExecOptions& options,
-                ExecMetrics* metrics)
-      : engine_(engine), dict_(dict), store_(store), options_(options),
-        metrics_(metrics), chk_(options.cancel) {}
+                const TripleStore& store, Dictionary* intern,
+                const ExecOptions& options, ExecMetrics* metrics)
+      : engine_(engine), dict_(dict), store_(store), intern_(intern),
+        options_(options), metrics_(metrics), chk_(options.cancel) {}
 
   /// Algorithm 1 over a group node. `inherited` is the modified algorithm's
   /// third argument `cand`: the caller's current bindings, used to prune
@@ -94,6 +96,21 @@ class TreeEvaluator {
         }
         case BeNode::Type::kFilter: {
           acc.rows = ApplyFilter(acc.rows, child->filter, dict_);
+          break;
+        }
+        case BeNode::Type::kPath: {
+          // Closure paths are opaque to candidate pruning; their result
+          // joins into the accumulator like a BGP child's.
+          ScopedSpan path_span(options_.trace, "path", options_.trace_parent);
+          ParallelSpec spec = options_.parallel;
+          spec.trace = options_.trace;
+          spec.trace_parent = path_span.id();
+          BindingSet res = EvaluatePath(child->path, store_, dict_, intern_,
+                                        options_.cancel, spec);
+          path_span.Attr("rows", std::to_string(res.size()));
+          acc.js *= static_cast<double>(std::max<size_t>(res.size(), 1));
+          acc.rows = first ? std::move(res)
+                           : Join(acc.rows, res, options_.cancel);
           break;
         }
       }
@@ -172,6 +189,7 @@ class TreeEvaluator {
   const BgpEngine& engine_;
   const Dictionary& dict_;
   const TripleStore& store_;
+  Dictionary* intern_;
   const ExecOptions& options_;
   ExecMetrics* metrics_;
   CancelCheckpoint chk_;
@@ -212,7 +230,7 @@ BeTree Executor::Plan(const Query& query, const ExecOptions& options,
 BindingSet Executor::EvaluateTree(const BeTree& tree, const ExecOptions& options,
                                   ExecMetrics* metrics) const {
   Timer timer;
-  TreeEvaluator eval(engine_, dict_, store_, options, metrics);
+  TreeEvaluator eval(engine_, dict_, store_, intern_, options, metrics);
   EvalResult res;
   try {
     res = eval.EvalGroup(*tree.root, nullptr);
@@ -332,6 +350,25 @@ Result<BindingSet> Executor::ExecutePlanned(const Query& query,
             "intermediate result exceeded max_intermediate_rows");
     }
   }
+  if (!query.group_by.empty() || !query.aggregates.empty()) {
+    ScopedSpan agg_span(options.trace, "aggregate", options.trace_parent);
+    ParallelSpec spec = options.parallel;
+    spec.trace = options.trace;
+    spec.trace_parent = agg_span.id();
+    try {
+      Result<BindingSet> agg =
+          EvaluateAggregates(rows, query, dict_, intern_, options.cancel, spec);
+      if (!agg.ok()) return agg.status();
+      rows = std::move(*agg);
+    } catch (const CancelledError& e) {
+      m->aborted = true;
+      m->abort_reason =
+          e.deadline ? AbortReason::kDeadline : AbortReason::kCancelled;
+      return Status::ResourceExhausted(e.deadline ? "query deadline exceeded"
+                                                  : "query cancelled");
+    }
+    agg_span.Attr("groups", std::to_string(rows.size()));
+  }
   ScopedSpan serialize_span(options.trace, "serialize", options.trace_parent);
   if (query.form == QueryForm::kAsk) {
     // ASK reduces to solution existence: a zero-width bag holding one empty
@@ -342,13 +379,85 @@ Result<BindingSet> Executor::ExecutePlanned(const Query& query,
     return ask;
   }
   if (!query.order_by.empty()) rows = OrderRows(rows, query.order_by);
-  if (!query.projection.empty()) rows = rows.Project(query.projection);
+  if (query.form == QueryForm::kConstruct) {
+    // Solution modifiers apply to the WHERE solutions, then the template
+    // instantiates per surviving solution.
+    if (query.offset > 0 || query.limit != SIZE_MAX)
+      rows = Slice(rows, query.offset, query.limit);
+    Result<BindingSet> triples = ConstructTriples(query, rows);
+    if (!triples.ok()) return triples.status();
+    m->result_rows = triples->size();
+    serialize_span.Attr("rows", std::to_string(triples->size()));
+    return triples;
+  }
+  if (!query.projection.empty()) {
+    rows = rows.Project(query.projection);
+  } else {
+    // SELECT *: hidden variables introduced by path desugaring (names
+    // starting with '.') are implementation detail, not solutions.
+    std::vector<VarId> visible;
+    bool hidden = false;
+    for (VarId v : rows.schema()) {
+      const std::string& name = query.vars.Name(v);
+      if (!name.empty() && name[0] == '.')
+        hidden = true;
+      else
+        visible.push_back(v);
+    }
+    if (hidden) rows = rows.Project(visible);
+  }
   if (query.distinct) rows = rows.Distinct();
   if (query.offset > 0 || query.limit != SIZE_MAX)
     rows = Slice(rows, query.offset, query.limit);
   m->result_rows = rows.size();
   serialize_span.Attr("rows", std::to_string(rows.size()));
   return rows;
+}
+
+Result<BindingSet> Executor::ConstructTriples(const Query& query,
+                                              const BindingSet& rows) const {
+  if (intern_ == nullptr)
+    return Status::Internal("CONSTRUCT requires an interning dictionary");
+  // Resolve template constants to dictionary ids once, up front.
+  struct Slot {
+    bool is_var;
+    VarId var;
+    TermId cid;
+  };
+  struct Template {
+    Slot s, p, o;
+  };
+  auto resolve = [this](const PatternSlot& ps) {
+    Slot slot;
+    slot.is_var = ps.is_var;
+    slot.var = ps.is_var ? ps.var : kInvalidVarId;
+    slot.cid = ps.is_var ? kUnboundTerm : intern_->Encode(ps.term);
+    return slot;
+  };
+  std::vector<Template> templates;
+  templates.reserve(query.construct_template.size());
+  for (const TriplePattern& t : query.construct_template)
+    templates.push_back({resolve(t.s), resolve(t.p), resolve(t.o)});
+
+  BindingSet out(std::vector<VarId>{query.construct_s, query.construct_p,
+                                    query.construct_o});
+  TripleSet seen;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (const Template& t : templates) {
+      TermId s = t.s.is_var ? rows.Value(r, t.s.var) : t.s.cid;
+      TermId p = t.p.is_var ? rows.Value(r, t.p.var) : t.p.cid;
+      TermId o = t.o.is_var ? rows.Value(r, t.o.var) : t.o.cid;
+      // A solution that leaves a template variable unbound produces no
+      // triple for this template, per SPARQL 1.1 §16.2.
+      if (s == kUnboundTerm || p == kUnboundTerm || o == kUnboundTerm)
+        continue;
+      if (intern_->Decode(s).is_literal() || !intern_->Decode(p).is_iri())
+        continue;  // ill-formed triple: skipped, not an error
+      if (!seen.insert(Triple{s, p, o}).second) continue;
+      out.AppendRow({s, p, o});
+    }
+  }
+  return out;
 }
 
 }  // namespace sparqluo

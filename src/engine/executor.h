@@ -105,9 +105,14 @@ struct ExecMetrics {
 /// Evaluates queries against one store/engine pair.
 class Executor {
  public:
+  /// `intern` is a mutable handle to the SAME dictionary as `dict`, used to
+  /// intern computed terms (aggregate results, CONSTRUCT constants,
+  /// zero-length path endpoints). When null those features return an
+  /// Internal error / drop the affected rows; plain SELECT/ASK evaluation
+  /// is unaffected, so existing three-argument call sites keep working.
   Executor(const BgpEngine& engine, const Dictionary& dict,
-           const TripleStore& store)
-      : engine_(engine), dict_(dict), store_(store) {}
+           const TripleStore& store, Dictionary* intern = nullptr)
+      : engine_(engine), dict_(dict), store_(store), intern_(intern) {}
 
   /// Parses nothing: takes a parsed query, builds + (optionally) transforms
   /// the BE-tree, evaluates it, applies projection/DISTINCT.
@@ -139,9 +144,18 @@ class Executor {
   /// OFFSET/LIMIT slice.
   static BindingSet Slice(const BindingSet& rows, size_t offset, size_t limit);
 
+  /// CONSTRUCT instantiation: applies the template to every solution (in
+  /// row order, template order within a row), drops rows with unbound
+  /// template variables and ill-formed triples (literal subject, non-IRI
+  /// predicate), and deduplicates keeping first occurrence. Returns a
+  /// three-column BindingSet over the hidden construct_s/p/o variables.
+  Result<BindingSet> ConstructTriples(const Query& query,
+                                      const BindingSet& rows) const;
+
   const BgpEngine& engine_;
   const Dictionary& dict_;
   const TripleStore& store_;
+  Dictionary* intern_;
 };
 
 }  // namespace sparqluo

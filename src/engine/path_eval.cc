@@ -1,0 +1,255 @@
+#include "engine/path_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sparqluo {
+
+namespace {
+
+/// Start nodes per parallel morsel. One start costs a whole BFS, so morsels
+/// are much smaller than the row-level morsel size used by the BGP engines.
+constexpr size_t kPathMorselStarts = 64;
+
+/// Applies path sub-expressions one step at a time against the CSR indexes.
+/// One instance per worker: the predicate-id cache is not synchronised.
+class PathStepper {
+ public:
+  PathStepper(const TripleStore& store, const Dictionary& dict,
+              const CancelToken* cancel)
+      : store_(store), dict_(dict), chk_(cancel) {}
+
+  /// Every node reachable from `start` through the closure `p` (root kind
+  /// kStar or kPlus), sorted ascending. kStar includes `start` itself;
+  /// kPlus includes it only when a cycle leads back.
+  std::vector<TermId> Closure(TermId start, const PathExpr& p, bool forward) {
+    const PathExpr& inner = p.children[0];
+    std::unordered_set<TermId> seen;
+    std::vector<TermId> frontier;
+    auto visit = [&](TermId y) {
+      if (seen.insert(y).second) frontier.push_back(y);
+    };
+    if (p.kind == PathExpr::Kind::kStar) {
+      visit(start);
+    } else {
+      Step(start, inner, forward, visit);
+    }
+    std::vector<TermId> current;
+    while (!frontier.empty()) {
+      chk_.Poll();
+      current.swap(frontier);
+      frontier.clear();
+      for (TermId x : current) Step(x, inner, forward, visit);
+    }
+    std::vector<TermId> out(seen.begin(), seen.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// True iff `target` is reachable from `start` through the closure `p`.
+  /// Early-exits as soon as the target enters the frontier.
+  bool Reaches(TermId start, TermId target, const PathExpr& p) {
+    if (p.kind == PathExpr::Kind::kStar && start == target) return true;
+    const PathExpr& inner = p.children[0];
+    std::unordered_set<TermId> seen;
+    std::vector<TermId> frontier;
+    bool found = false;
+    auto visit = [&](TermId y) {
+      if (y == target) found = true;
+      if (seen.insert(y).second) frontier.push_back(y);
+    };
+    Step(start, inner, true, visit);
+    std::vector<TermId> current;
+    while (!found && !frontier.empty()) {
+      chk_.Poll();
+      current.swap(frontier);
+      frontier.clear();
+      for (TermId x : current) {
+        Step(x, inner, true, visit);
+        if (found) break;
+      }
+    }
+    return found;
+  }
+
+ private:
+  /// One application of `e` from node `x`. Forward emits every y with
+  /// (x, e, y); backward emits every y with (y, e, x). Duplicates may be
+  /// emitted — callers dedup through their visited set.
+  void Step(TermId x, const PathExpr& e, bool forward,
+            const std::function<void(TermId)>& emit) {
+    switch (e.kind) {
+      case PathExpr::Kind::kLink: {
+        TermId pid = PredicateId(e);
+        if (pid == kInvalidTermId) return;
+        if (forward) {
+          store_.Scan(TriplePatternIds{x, pid, kInvalidTermId},
+                      [&](const Triple& t) {
+                        emit(t.o);
+                        return true;
+                      });
+        } else {
+          store_.Scan(TriplePatternIds{kInvalidTermId, pid, x},
+                      [&](const Triple& t) {
+                        emit(t.s);
+                        return true;
+                      });
+        }
+        return;
+      }
+      case PathExpr::Kind::kSeq: {
+        // Fold the elements left to right (right to left when walking
+        // backward), carrying the set of intermediate nodes.
+        std::vector<TermId> current{x};
+        std::unordered_set<TermId> next;
+        size_t n = e.children.size();
+        for (size_t i = 0; i < n; ++i) {
+          const PathExpr& c = e.children[forward ? i : n - 1 - i];
+          next.clear();
+          for (TermId node : current)
+            Step(node, c, forward, [&](TermId y) { next.insert(y); });
+          if (next.empty()) return;
+          current.assign(next.begin(), next.end());
+        }
+        for (TermId y : current) emit(y);
+        return;
+      }
+      case PathExpr::Kind::kAlt:
+        for (const PathExpr& c : e.children) Step(x, c, forward, emit);
+        return;
+      case PathExpr::Kind::kStar:
+      case PathExpr::Kind::kPlus:
+        // Nested closure: a full inner reachability expansion is one step.
+        for (TermId y : Closure(x, e, forward)) emit(y);
+        return;
+    }
+  }
+
+  /// Dictionary id of a link's predicate; kInvalidTermId when the IRI does
+  /// not occur in the data (the link then matches nothing). Cached per
+  /// expression node — node addresses are stable during evaluation.
+  TermId PredicateId(const PathExpr& e) {
+    auto it = pred_ids_.find(&e);
+    if (it != pred_ids_.end()) return it->second;
+    TermId id = dict_.Lookup(e.iri);
+    pred_ids_.emplace(&e, id);
+    return id;
+  }
+
+  const TripleStore& store_;
+  const Dictionary& dict_;
+  CancelCheckpoint chk_;
+  std::unordered_map<const PathExpr*, TermId> pred_ids_;
+};
+
+/// Distinct subject and object node ids of the store, ascending: the
+/// candidate endpoints of a zero-or-more path with two free variables.
+std::vector<TermId> GraphNodes(const TripleStore& store) {
+  std::span<const TermId> subjects = store.DistinctFirsts(Perm::kSpo);
+  std::span<const TermId> objects = store.DistinctFirsts(Perm::kOsp);
+  std::vector<TermId> nodes;
+  nodes.reserve(subjects.size() + objects.size());
+  std::set_union(subjects.begin(), subjects.end(), objects.begin(),
+                 objects.end(), std::back_inserter(nodes));
+  return nodes;
+}
+
+/// Resolves a constant endpoint to its dictionary id; when the term is
+/// absent from the data it is interned so zero-length `*` matches can still
+/// bind it. Returns kInvalidTermId only when interning is unavailable.
+TermId EndpointId(const Term& term, const Dictionary& dict,
+                  Dictionary* intern) {
+  TermId id = dict.Lookup(term);
+  if (id != kInvalidTermId) return id;
+  return intern != nullptr ? intern->Encode(term) : kInvalidTermId;
+}
+
+}  // namespace
+
+BindingSet EvaluatePath(const PathPattern& pattern, const TripleStore& store,
+                        const Dictionary& dict, Dictionary* intern,
+                        const CancelToken* cancel,
+                        const ParallelSpec& parallel) {
+  const PathExpr& path = pattern.path;
+  const bool s_var = pattern.subject.is_var;
+  const bool o_var = pattern.object.is_var;
+  const bool zero_len = path.kind == PathExpr::Kind::kStar;
+
+  // --- Both endpoints constant: a single reachability probe. -------------
+  if (!s_var && !o_var) {
+    TermId s = dict.Lookup(pattern.subject.term);
+    TermId o = dict.Lookup(pattern.object.term);
+    BindingSet out(std::vector<VarId>{});
+    bool match;
+    if (zero_len && pattern.subject.term == pattern.object.term) {
+      match = true;  // zero-length path from a term to itself, in data or not
+    } else if (s == kInvalidTermId || o == kInvalidTermId) {
+      match = false;
+    } else {
+      PathStepper stepper(store, dict, cancel);
+      match = stepper.Reaches(s, o, path);
+    }
+    if (match) out.AppendEmptyMappings(1);
+    return out;
+  }
+
+  // --- One endpoint constant: one BFS, forward or backward. --------------
+  if (s_var != o_var) {
+    const bool forward = !s_var;  // subject bound => walk forward
+    const PatternSlot& bound = forward ? pattern.subject : pattern.object;
+    VarId free_var = forward ? pattern.object.var : pattern.subject.var;
+    BindingSet out(std::vector<VarId>{free_var});
+    TermId start = zero_len ? EndpointId(bound.term, dict, intern)
+                            : dict.Lookup(bound.term);
+    if (start == kInvalidTermId) return out;  // `+` from an absent term
+    PathStepper stepper(store, dict, cancel);
+    for (TermId end : stepper.Closure(start, path, forward))
+      out.AppendRow({end});
+    return out;
+  }
+
+  // --- Both endpoints variables: one forward BFS per graph node. ---------
+  const bool same_var = pattern.subject.var == pattern.object.var;
+  std::vector<VarId> schema =
+      same_var ? std::vector<VarId>{pattern.subject.var}
+               : std::vector<VarId>{pattern.subject.var, pattern.object.var};
+  std::vector<TermId> starts = GraphNodes(store);
+
+  auto eval_morsel = [&](size_t begin, size_t end, BindingSet* out) {
+    PathStepper stepper(store, dict, cancel);
+    for (size_t i = begin; i < end; ++i) {
+      TermId s = starts[i];
+      std::vector<TermId> ends = stepper.Closure(s, path, /*forward=*/true);
+      if (same_var) {
+        if (std::binary_search(ends.begin(), ends.end(), s))
+          out->AppendRow({s});
+      } else {
+        for (TermId e : ends) out->AppendRow({s, e});
+      }
+    }
+  };
+
+  size_t morsels =
+      (starts.size() + kPathMorselStarts - 1) / kPathMorselStarts;
+  BindingSet result(schema);
+  if (parallel.enabled() && morsels > 1) {
+    std::vector<BindingSet> partial(morsels, BindingSet(schema));
+    parallel.pool->ParallelFor(morsels, parallel.EffectiveWorkers(),
+                               [&](size_t m) {
+                                 size_t begin = m * kPathMorselStarts;
+                                 size_t end = std::min(
+                                     begin + kPathMorselStarts, starts.size());
+                                 eval_morsel(begin, end, &partial[m]);
+                               });
+    // Morsel-order concatenation reproduces the sequential row order.
+    for (BindingSet& p : partial) result.Append(p);
+  } else {
+    eval_morsel(0, starts.size(), &result);
+  }
+  return result;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,42 @@
+// Property-path closure evaluation (`*` / `+`) by iterative reachability
+// over the CSR permutation indexes.
+//
+// Only the closure operators reach this layer: `/` and `|` are desugared by
+// the parser into hidden-variable chains and UNION. A closure wraps an
+// arbitrary nested path expression (link, sequence, alternative, or another
+// closure), applied one step at a time by a BFS whose frontier expansion
+// polls the cancel token.
+//
+// Determinism contract (the bit-identity discipline of the test suite):
+// result rows are ordered by ascending start node, then ascending end node.
+// The parallel path decomposes the start list into fixed-size morsels and
+// concatenates per-morsel results in morsel order, which reproduces the
+// sequential order bit for bit.
+#pragma once
+
+#include "algebra/binding_set.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "util/cancellation.h"
+#include "util/executor_pool.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Evaluates one `*`/`+` path pattern. Result schema:
+///   - both endpoints variables (distinct): [subject_var, object_var]
+///   - both endpoints the same variable:    [var] (start == end solutions)
+///   - one endpoint constant:               [the variable endpoint]
+///   - both endpoints constant:             zero-width (1 empty mapping per
+///                                          match, i.e. 0 or 1)
+///
+/// `intern` is needed for zero-length `*` matches whose endpoint term is
+/// not in the dictionary yet (e.g. `<absent> <p>* ?x` binds ?x to
+/// <absent>); when null such rows are dropped.
+BindingSet EvaluatePath(const PathPattern& pattern, const TripleStore& store,
+                        const Dictionary& dict, Dictionary* intern,
+                        const CancelToken* cancel,
+                        const ParallelSpec& parallel);
+
+}  // namespace sparqluo

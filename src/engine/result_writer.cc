@@ -79,6 +79,12 @@ void WriteJson(const BindingSet& rows, const VarTable& vars,
   writer.WriteAll(rows, vars, dict);
 }
 
+void WriteNTriples(const BindingSet& rows, const VarTable& vars,
+                   const Dictionary& dict, std::ostream& out) {
+  StreamingResultWriter writer(WireFormat::kNTriples, OstreamSink(out));
+  writer.WriteAll(rows, vars, dict);
+}
+
 std::string FormatResults(const BindingSet& rows, const VarTable& vars,
                           const Dictionary& dict, ResultFormat format) {
   std::ostringstream out;
@@ -86,6 +92,7 @@ std::string FormatResults(const BindingSet& rows, const VarTable& vars,
     case ResultFormat::kCsv: WriteCsv(rows, vars, dict, out); break;
     case ResultFormat::kTsv: WriteTsv(rows, vars, dict, out); break;
     case ResultFormat::kJson: WriteJson(rows, vars, dict, out); break;
+    case ResultFormat::kNTriples: WriteNTriples(rows, vars, dict, out); break;
   }
   return out.str();
 }

@@ -26,8 +26,14 @@ void WriteTsv(const BindingSet& rows, const VarTable& vars,
 void WriteJson(const BindingSet& rows, const VarTable& vars,
                const Dictionary& dict, std::ostream& out);
 
+/// Writes `rows` as N-Triples statements, one per row (CONSTRUCT results:
+/// three subject/predicate/object columns). No header; rows with unbound
+/// cells render their bound cells only, like TSV.
+void WriteNTriples(const BindingSet& rows, const VarTable& vars,
+                   const Dictionary& dict, std::ostream& out);
+
 /// Convenience: renders with the chosen writer into a string.
-enum class ResultFormat { kCsv, kTsv, kJson };
+enum class ResultFormat { kCsv, kTsv, kJson, kNTriples };
 std::string FormatResults(const BindingSet& rows, const VarTable& vars,
                           const Dictionary& dict, ResultFormat format);
 

@@ -411,8 +411,8 @@ bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out) {
   }
   // Best (q, specificity) seen per format. Specificity: exact type 3,
   // type wildcard 2, full wildcard 1.
-  double json_q = -1.0, tsv_q = -1.0;
-  int json_spec = 0, tsv_spec = 0;
+  double json_q = -1.0, tsv_q = -1.0, nt_q = -1.0;
+  int json_spec = 0, tsv_spec = 0, nt_spec = 0;
   for (const std::string& entry : SplitString(accept, ',')) {
     std::vector<std::string> parts = SplitString(entry, ';');
     if (parts.empty()) continue;
@@ -425,7 +425,7 @@ bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out) {
         q = std::atof(std::string(param.substr(2)).c_str());
       }
     }
-    int json_match = 0, tsv_match = 0;
+    int json_match = 0, tsv_match = 0, nt_match = 0;
     if (media == "application/sparql-results+json" ||
         media == "application/json") {
       json_match = 3;
@@ -437,6 +437,9 @@ bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out) {
     } else if (media == "text/*") {
       tsv_match = 2;
     }
+    // N-Triples must be requested exactly: wildcards never select the
+    // statements-only CONSTRUCT format over a bindings format.
+    if (media == "application/n-triples") nt_match = 3;
     if (media == "*/*") {
       json_match = 1;
       tsv_match = 1;
@@ -450,24 +453,32 @@ bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out) {
       tsv_q = q;
       tsv_spec = tsv_match;
     }
-  }
-  bool json_ok = json_q > 0.0;
-  bool tsv_ok = tsv_q > 0.0;
-  if (!json_ok && !tsv_ok) return false;
-  WireFormat chosen;
-  if (json_ok && tsv_ok) {
-    if (tsv_q > json_q) {
-      chosen = WireFormat::kTsv;
-    } else if (json_q > tsv_q) {
-      chosen = WireFormat::kJson;
-    } else {
-      // Equal q: the more specific match wins; JSON breaks exact ties.
-      chosen = tsv_spec > json_spec ? WireFormat::kTsv : WireFormat::kJson;
+    if (nt_match > 0 && (q > nt_q || (q == nt_q && nt_match > nt_spec))) {
+      nt_q = q;
+      nt_spec = nt_match;
     }
-  } else {
-    chosen = json_ok ? WireFormat::kJson : WireFormat::kTsv;
   }
-  if (format_out != nullptr) *format_out = chosen;
+  // Highest q wins; specificity breaks q ties; listing order (JSON, TSV,
+  // N-Triples) breaks exact ties.
+  struct Candidate {
+    double q;
+    int spec;
+    WireFormat format;
+  };
+  const Candidate candidates[] = {
+      {json_q, json_spec, WireFormat::kJson},
+      {tsv_q, tsv_spec, WireFormat::kTsv},
+      {nt_q, nt_spec, WireFormat::kNTriples},
+  };
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.q <= 0.0) continue;
+    if (best == nullptr || c.q > best->q ||
+        (c.q == best->q && c.spec > best->spec))
+      best = &c;
+  }
+  if (best == nullptr) return false;
+  if (format_out != nullptr) *format_out = best->format;
   return true;
 }
 

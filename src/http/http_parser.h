@@ -134,12 +134,14 @@ bool ParseFormUrlEncoded(std::string_view in,
 std::string MediaTypeOf(std::string_view content_type);
 
 /// SPARQL result content negotiation over an Accept header value: picks
-/// JSON (application/sparql-results+json, application/json, application/*)
-/// or TSV (text/tab-separated-values, text/*) by highest q-value, with
-/// more specific matches beating wildcards at equal q and JSON winning
-/// exact ties. Returns false when nothing acceptable matches (-> 406).
-/// An empty/absent header accepts anything (JSON). `format_out` may be
-/// null to just test acceptability.
+/// JSON (application/sparql-results+json, application/json, application/*),
+/// TSV (text/tab-separated-values, text/*) or N-Triples
+/// (application/n-triples, exact match only — wildcards never select it)
+/// by highest q-value, with more specific matches beating wildcards at
+/// equal q and JSON winning exact ties. Returns false when nothing
+/// acceptable matches (-> 406). An empty/absent header accepts anything
+/// (JSON; the endpoint upgrades CONSTRUCT responses to N-Triples itself).
+/// `format_out` may be null to just test acceptability.
 enum class WireFormat;  // sparql/result_writer.h
 bool NegotiateResultFormat(std::string_view accept, WireFormat* format_out);
 

@@ -25,6 +25,15 @@ double CostModel::EstimateResultSize(const BeNode& node) const {
       return EstimateResultSize(*node.children[0]);
     case BeNode::Type::kFilter:
       return 1.0;
+    case BeNode::Type::kPath: {
+      // Reachability over one closure: bounded by pairs of distinct
+      // endpoints; a bound endpoint turns it into one BFS frontier.
+      const bool s_bound = !node.path.subject.is_var;
+      const bool o_bound = !node.path.object.is_var;
+      if (s_bound && o_bound) return 1.0;
+      if (s_bound || o_bound) return 32.0;
+      return 1024.0;
+    }
   }
   return 1.0;
 }

@@ -184,6 +184,53 @@ std::string PlanCache::NormalizeQuery(const std::string& text) {
   return out;
 }
 
+namespace {
+
+/// First standalone query-form keyword in normalized text, as a tag char:
+/// 'S' SELECT, 'A' ASK, 'C' CONSTRUCT, '?' none found. Case-insensitive,
+/// word-boundary matched so IRIs or literal content containing the letters
+/// don't trigger.
+char QueryFormTag(const std::string& normalized) {
+  auto word_at = [&](size_t pos, const char* word, size_t len) {
+    if (pos + len > normalized.size()) return false;
+    for (size_t i = 0; i < len; ++i) {
+      if (std::toupper(static_cast<unsigned char>(normalized[pos + i])) !=
+          word[i])
+        return false;
+    }
+    bool start_ok = pos == 0 || !std::isalnum(static_cast<unsigned char>(
+                                    normalized[pos - 1]));
+    bool end_ok = pos + len >= normalized.size() ||
+                  !std::isalnum(static_cast<unsigned char>(
+                      normalized[pos + len]));
+    return start_ok && end_ok;
+  };
+  char quote = '\0';
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    char c = normalized[i];
+    if (quote != '\0') {
+      if (c == '\\') ++i;
+      else if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (c == '<') {  // IRI ref: skip to '>'
+      size_t end = normalized.find('>', i);
+      if (end != std::string::npos) i = end;
+      continue;
+    }
+    if (word_at(i, "SELECT", 6)) return 'S';
+    if (word_at(i, "ASK", 3)) return 'A';
+    if (word_at(i, "CONSTRUCT", 9)) return 'C';
+  }
+  return '?';
+}
+
+}  // namespace
+
 std::string PlanCache::MakeKey(const std::string& text,
                                const ExecOptions& options,
                                uint64_t version) {
@@ -192,7 +239,17 @@ std::string PlanCache::MakeKey(const std::string& text,
   // Execution-time knobs (thresholds, row limits, cancel tokens) do not
   // change the plan, so requests differing only in those share an entry.
   // The version suffix partitions entries per committed DatabaseVersion.
-  std::string key = NormalizeQuery(text);
+  //
+  // The leading form tag partitions entries by query form (SELECT / ASK /
+  // CONSTRUCT) explicitly rather than relying on the form keyword's
+  // presence in the normalized text, so a CONSTRUCT and a SELECT that ever
+  // normalize to related text can never serve each other's plans.
+  std::string normalized = NormalizeQuery(text);
+  std::string key;
+  key.reserve(normalized.size() + 16);
+  key.push_back(QueryFormTag(normalized));
+  key.push_back('\x1f');
+  key += normalized;
   key.push_back('\x1f');
   key.push_back(options.tree_transform ? 'T' : 't');
   key.push_back(options.candidate_pruning ? 'C' : 'c');

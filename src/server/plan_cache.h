@@ -80,9 +80,11 @@ class PlanCache {
   /// a cache entry.
   static std::string NormalizeQuery(const std::string& text);
 
-  /// Cache key: normalized text + the option fields that affect planning +
-  /// the database version the plan was built against. Versioning the key
-  /// makes cross-version hits impossible: after a commit, a repeated query
+  /// Cache key: a query-form tag (SELECT / ASK / CONSTRUCT) + normalized
+  /// text + the option fields that affect planning + the database version
+  /// the plan was built against. The form tag keeps plans for different
+  /// query forms in disjoint key spaces; versioning the key makes
+  /// cross-version hits impossible: after a commit, a repeated query
   /// misses and replans against the new version's statistics.
   static std::string MakeKey(const std::string& text,
                              const ExecOptions& options,

@@ -196,9 +196,16 @@ void SparqlEndpoint::HandleSparql(
   if (!NegotiateResultFormat(accept != nullptr ? *accept : "", &format))
     return Reply(exchange, 406,
                  "not acceptable: supported result formats are "
-                 "application/sparql-results+json and "
-                 "text/tab-separated-values\n",
+                 "application/sparql-results+json, "
+                 "text/tab-separated-values and "
+                 "application/n-triples (CONSTRUCT only)\n",
                  metrics_on);
+  // With no Accept preference a CONSTRUCT response upgrades to N-Triples
+  // (the natural triples format); the decision needs the parsed query
+  // form, so it happens in the completion hook.
+  const bool accept_empty =
+      accept == nullptr ||
+      accept->find_first_not_of(" \t") == std::string::npos;
 
   QueryRequest qr;
   qr.text = std::move(query_text);
@@ -207,7 +214,7 @@ void SparqlEndpoint::HandleSparql(
   // inline on rejection) and must not reference the endpoint — only
   // self-contained state — since the endpoint can be torn down while a
   // query is still in flight.
-  qr.on_complete = [exchange, dict = &dict_, format,
+  qr.on_complete = [exchange, dict = &dict_, format, accept_empty,
                     flush_bytes = options_.flush_bytes,
                     retry_after = options_.retry_after_seconds, metrics_on,
                     start = SteadyClock::now()](const QueryResponse& r) {
@@ -219,14 +226,36 @@ void SparqlEndpoint::HandleSparql(
       ReplyStatus(exchange, status, &r.metrics, retry_after, metrics_on);
       return;
     }
+    const bool is_construct = r.plan->query.form == QueryForm::kConstruct;
+    WireFormat fmt = format;
+    if (accept_empty && is_construct) fmt = WireFormat::kNTriples;
+    if (fmt == WireFormat::kNTriples && !is_construct) {
+      Reply(exchange, 406,
+            "not acceptable: application/n-triples serves CONSTRUCT "
+            "results only\n",
+            metrics_on);
+      return;
+    }
     if (Counter* c = ResponseCounter(200, metrics_on)) c->Increment();
-    if (!exchange->BeginStreaming(200, WireFormatContentType(format))) return;
+    if (!exchange->BeginStreaming(200, WireFormatContentType(fmt))) return;
     StreamingResultWriter writer(
-        format,
+        fmt,
         [&exchange](std::string_view piece) { return exchange->Write(piece); },
         flush_bytes);
     if (r.plan->query.form == QueryForm::kAsk) {
       writer.WriteBoolean(!r.rows.empty());
+    } else if (is_construct && fmt != WireFormat::kNTriples) {
+      // CONSTRUCT in a bindings format: present the three triple columns
+      // under surface names instead of the parser's hidden variables.
+      VarTable names;
+      std::vector<VarId> schema{names.Intern("subject"),
+                                names.Intern("predicate"),
+                                names.Intern("object")};
+      if (writer.BeginSelect(schema, names)) {
+        for (size_t i = 0; i < r.rows.size(); ++i)
+          if (!writer.WriteRow(r.rows.Row(i), r.rows.width(), *dict)) break;
+        writer.Finish();
+      }
     } else {
       writer.WriteAll(r.rows, r.plan->query.vars, *dict);
     }

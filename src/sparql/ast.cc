@@ -46,6 +46,10 @@ void CollectFromElement(const PatternElement& e, std::vector<VarId>* out) {
     case PatternElement::Kind::kFilter:
       // FILTER does not bind variables.
       break;
+    case PatternElement::Kind::kPath:
+      if (e.path.subject.is_var) add(e.path.subject.var);
+      if (e.path.object.is_var) add(e.path.object.var);
+      break;
     default:
       for (const GroupGraphPattern& g : e.groups) CollectVariables(g, out);
   }
@@ -54,6 +58,35 @@ void CollectFromElement(const PatternElement& e, std::vector<VarId>* out) {
 std::string SlotToString(const PatternSlot& s, const VarTable& vars) {
   if (s.is_var) return "?" + vars.Name(s.var);
   return s.term.ToString();
+}
+
+std::string PathExprToString(const PathExpr& p) {
+  using Kind = PathExpr::Kind;
+  switch (p.kind) {
+    case Kind::kLink:
+      return p.iri.ToString();
+    case Kind::kSeq: {
+      std::string out;
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i > 0) out += "/";
+        out += PathExprToString(p.children[i]);
+      }
+      return "(" + out + ")";
+    }
+    case Kind::kAlt: {
+      std::string out;
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i > 0) out += "|";
+        out += PathExprToString(p.children[i]);
+      }
+      return "(" + out + ")";
+    }
+    case Kind::kStar:
+      return PathExprToString(p.children[0]) + "*";
+    case Kind::kPlus:
+      return PathExprToString(p.children[0]) + "+";
+  }
+  return "";
 }
 
 std::string FilterToString(const FilterExpr& f, const VarTable& vars) {
@@ -121,6 +154,11 @@ std::string ToString(const GroupGraphPattern& g, const VarTable& vars,
       case PatternElement::Kind::kFilter:
         out += inner_pad + "FILTER(" + FilterToString(e.filter, vars) + ")\n";
         break;
+      case PatternElement::Kind::kPath:
+        out += inner_pad + SlotToString(e.path.subject, vars) + " " +
+               PathExprToString(e.path.path) + " " +
+               SlotToString(e.path.object, vars) + " .\n";
+        break;
     }
   }
   out += pad + "}";
@@ -128,15 +166,51 @@ std::string ToString(const GroupGraphPattern& g, const VarTable& vars,
 }
 
 std::string ToString(const Query& q) {
+  if (q.form == QueryForm::kConstruct) {
+    std::string out = "CONSTRUCT {\n";
+    for (const TriplePattern& t : q.construct_template)
+      out += "  " + ToString(t, q.vars) + "\n";
+    out += "} WHERE ";
+    out += ToString(q.where, q.vars, 0);
+    return out;
+  }
   std::string out = "SELECT";
   if (q.distinct) out += " DISTINCT";
-  if (q.projection.empty()) {
+  if (q.projection.empty() && q.aggregates.empty()) {
     out += " *";
   } else {
-    for (VarId v : q.projection) out += " ?" + q.vars.Name(v);
+    auto agg_for = [&q](VarId v) -> const AggregateSpec* {
+      for (const AggregateSpec& a : q.aggregates)
+        if (a.output == v) return &a;
+      return nullptr;
+    };
+    auto agg_name = [](AggFunc f) {
+      switch (f) {
+        case AggFunc::kCount: return "COUNT";
+        case AggFunc::kSum: return "SUM";
+        case AggFunc::kMin: return "MIN";
+        case AggFunc::kMax: return "MAX";
+        case AggFunc::kAvg: return "AVG";
+      }
+      return "COUNT";
+    };
+    for (VarId v : q.projection) {
+      if (const AggregateSpec* a = agg_for(v)) {
+        out += std::string(" (") + agg_name(a->func) + "(";
+        if (a->distinct) out += "DISTINCT ";
+        out += a->count_star ? "*" : "?" + q.vars.Name(a->input);
+        out += ") AS ?" + q.vars.Name(v) + ")";
+      } else {
+        out += " ?" + q.vars.Name(v);
+      }
+    }
   }
   out += " WHERE ";
   out += ToString(q.where, q.vars, 0);
+  if (!q.group_by.empty()) {
+    out += "\nGROUP BY";
+    for (VarId v : q.group_by) out += " ?" + q.vars.Name(v);
+  }
   return out;
 }
 

@@ -105,15 +105,41 @@ struct FilterExpr {
   std::vector<FilterExpr> children;
 };
 
+/// A property path expression. `/` and `|` are desugared at parse time
+/// (sequence -> hidden-variable chain, alternative -> UNION), so only the
+/// closure operators `*` and `+` survive into the algebra, where they wrap
+/// an arbitrary nested path expression evaluated by iterative reachability
+/// (src/engine/path_eval).
+struct PathExpr {
+  enum class Kind {
+    kLink,  ///< a single IRI step (iri holds the predicate)
+    kSeq,   ///< children evaluated left-to-right
+    kAlt,   ///< union of children
+    kStar,  ///< zero-or-more of children[0]
+    kPlus,  ///< one-or-more of children[0]
+  };
+  Kind kind = Kind::kLink;
+  Term iri;                        ///< kLink
+  std::vector<PathExpr> children;  ///< kSeq/kAlt: 1+; kStar/kPlus: 1
+};
+
+/// A subject/object pattern connected by a closure path (`*` or `+`).
+struct PathPattern {
+  PatternSlot subject;
+  PathExpr path;
+  PatternSlot object;
+};
+
 struct GroupGraphPattern;
 
 /// One element of a group graph pattern.
 struct PatternElement {
-  enum class Kind { kTriple, kGroup, kUnion, kOptional, kFilter };
+  enum class Kind { kTriple, kGroup, kUnion, kOptional, kFilter, kPath };
   Kind kind = Kind::kTriple;
   TriplePattern triple;                  ///< kTriple
   std::vector<GroupGraphPattern> groups; ///< kGroup: 1; kUnion: 2+; kOptional: 1
   FilterExpr filter;                     ///< kFilter
+  PathPattern path;                      ///< kPath
 };
 
 /// A group graph pattern `{ e1 . e2 . ... }` (Definition 6).
@@ -122,8 +148,8 @@ struct GroupGraphPattern {
 };
 
 /// Query forms supported by the engine. (The paper's scope is SELECT; ASK
-/// is provided as the natural boolean variant over the same evaluation.)
-enum class QueryForm { kSelect, kAsk };
+/// and CONSTRUCT are the natural variants over the same evaluation.)
+enum class QueryForm { kSelect, kAsk, kConstruct };
 
 /// One ORDER BY key.
 struct OrderKey {
@@ -131,7 +157,19 @@ struct OrderKey {
   bool ascending = true;
 };
 
-/// A parsed SELECT or ASK query with its solution modifiers.
+/// Aggregate functions over a group.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+/// One `(AGG(?in) AS ?out)` projection item.
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;    ///< AGG(DISTINCT ?in)
+  bool count_star = false;  ///< COUNT(*): counts rows, `input` unused
+  VarId input = kInvalidVarId;
+  VarId output = kInvalidVarId;
+};
+
+/// A parsed SELECT, ASK or CONSTRUCT query with its solution modifiers.
 struct Query {
   VarTable vars;
   QueryForm form = QueryForm::kSelect;
@@ -142,6 +180,19 @@ struct Query {
   std::vector<OrderKey> order_by;
   size_t limit = SIZE_MAX;
   size_t offset = 0;
+  /// GROUP BY keys, in surface order. Aggregation is active iff
+  /// `!group_by.empty() || !aggregates.empty()` (an aggregate with no
+  /// GROUP BY makes the whole solution set one implicit group).
+  std::vector<VarId> group_by;
+  std::vector<AggregateSpec> aggregates;
+  /// kConstruct only: the template instantiated per solution, and the
+  /// three synthetic output columns the executor emits triples under
+  /// (hidden names ".cs"/".cp"/".co" interned by the parser — '.' cannot
+  /// occur in surface variable names, so they never collide).
+  std::vector<TriplePattern> construct_template;
+  VarId construct_s = kInvalidVarId;
+  VarId construct_p = kInvalidVarId;
+  VarId construct_o = kInvalidVarId;
 };
 
 /// Collects every variable mentioned anywhere under `g` into `out`

@@ -12,7 +12,9 @@ const char* kKeywords[] = {"SELECT", "WHERE",  "UNION",    "OPTIONAL",
                            "FILTER", "PREFIX", "DISTINCT", "REDUCED",
                            "BOUND",  "ASK",    "LIMIT",    "OFFSET",
                            "BASE",   "ORDER",  "BY",       "ASC",
-                           "DESC",   "INSERT", "DELETE",   "DATA"};
+                           "DESC",   "INSERT", "DELETE",   "DATA",
+                           "CONSTRUCT", "GROUP", "AS",      "COUNT",
+                           "SUM",    "MIN",    "MAX",      "AVG"};
 
 bool IsKeyword(const std::string& upper) {
   for (const char* k : kKeywords)
@@ -56,6 +58,9 @@ const char* TokenTypeName(TokenType type) {
     case TokenType::kAndAnd: return "&&";
     case TokenType::kOrOr: return "||";
     case TokenType::kBang: return "!";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPipe: return "|";
+    case TokenType::kPlus: return "+";
   }
   return "?";
 }
@@ -190,6 +195,8 @@ Result<std::vector<Token>> Tokenize(std::string_view in) {
       case ';': make(TokenType::kSemicolon, ";"); advance(1); continue;
       case ',': make(TokenType::kComma, ","); advance(1); continue;
       case '*': make(TokenType::kStar, "*"); advance(1); continue;
+      case '/': make(TokenType::kSlash, "/"); advance(1); continue;
+      case '+': make(TokenType::kPlus, "+"); advance(1); continue;
       case '=': make(TokenType::kEq, "="); advance(1); continue;
       case '>':
         if (i + 1 < in.size() && in[i + 1] == '=') {
@@ -220,9 +227,11 @@ Result<std::vector<Token>> Tokenize(std::string_view in) {
         if (i + 1 < in.size() && in[i + 1] == '|') {
           make(TokenType::kOrOr, "||");
           advance(2);
-          continue;
+        } else {
+          make(TokenType::kPipe, "|");
+          advance(1);
         }
-        return Status::ParseError("stray '|' at line " + std::to_string(line));
+        continue;
       default: break;
     }
     // Bare word: keyword, 'a', or prefixed name (possibly with empty prefix).

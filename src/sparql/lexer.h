@@ -24,6 +24,9 @@ enum class TokenType {
   kDot, kSemicolon, kComma, kStar,
   kEq, kNeq, kLt, kGt, kLe, kGe,
   kAndAnd, kOrOr, kBang,
+  kSlash,       ///< / — property-path sequence
+  kPipe,        ///< | — property-path alternative (|| stays kOrOr)
+  kPlus,        ///< + — property-path one-or-more
 };
 
 struct Token {

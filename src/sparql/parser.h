@@ -1,9 +1,15 @@
 // Recursive-descent SPARQL parser producing the AST of sparql/ast.h.
 //
-// Supported grammar (the SPARQL-UO fragment of the paper plus conveniences):
-//   Query        := Prologue SelectQuery
+// Supported grammar (the SPARQL-UO fragment of the paper plus the SPARQL
+// 1.1 surface documented in docs/sparql_surface.md):
+//   Query        := Prologue (SelectQuery | AskQuery | ConstructQuery)
 //   Prologue     := (PREFIX pname: <iri>)*
-//   SelectQuery  := SELECT [DISTINCT] (Var* | '*')? WHERE GroupGraphPattern
+//   SelectQuery  := SELECT [DISTINCT] (SelectItem* | '*')? WHERE
+//                   GroupGraphPattern Modifiers
+//   SelectItem   := Var | '(' Agg '(' [DISTINCT] (Var|'*') ')' AS Var ')'
+//   Agg          := COUNT | SUM | MIN | MAX | AVG
+//   ConstructQuery := CONSTRUCT '{' Template '}' WHERE GroupGraphPattern
+//   Modifiers    := [GROUP BY Var+] [ORDER BY ...] [LIMIT n] [OFFSET n]
 //   GroupGraphPattern := '{' ( TriplesBlock
 //                            | GroupOrUnion
 //                            | OPTIONAL GroupGraphPattern
@@ -11,7 +17,15 @@
 //   GroupOrUnion := GroupGraphPattern (UNION GroupGraphPattern)*
 //   TriplesBlock := Subject PropertyList ('.' | &'}' )
 //   PropertyList := Verb ObjectList (';' Verb ObjectList)*
+//   Verb         := Var | Path
+//   Path         := PathSeq ('|' PathSeq)*
+//   PathSeq      := PathElt ('/' PathElt)*
+//   PathElt      := PathPrimary ('*' | '+')?
+//   PathPrimary  := iri | 'a' | '(' Path ')'
 //   ObjectList   := Object (',' Object)*
+//
+// `/` and `|` paths are desugared at parse time (hidden-variable chains and
+// UNION); only the `*`/`+` closures reach the algebra as kPath elements.
 //
 // The bare `SELECT WHERE { ... }` form used by the paper's appendix is
 // accepted and treated as SELECT *.
@@ -24,7 +38,7 @@
 
 namespace sparqluo {
 
-/// Parses a complete SELECT query.
+/// Parses a complete SELECT, ASK or CONSTRUCT query.
 Result<Query> ParseQuery(std::string_view text);
 
 /// Parses just a group graph pattern `{ ... }` against a caller-provided

@@ -8,6 +8,7 @@ std::string_view WireFormatContentType(WireFormat format) {
   switch (format) {
     case WireFormat::kJson: return "application/sparql-results+json";
     case WireFormat::kTsv: return "text/tab-separated-values";
+    case WireFormat::kNTriples: return "application/n-triples";
   }
   return "application/octet-stream";
 }
@@ -73,7 +74,7 @@ bool StreamingResultWriter::BeginSelect(const std::vector<VarId>& schema,
       AppendJsonString(vars.Name(schema_[c]), &buffer_);
     }
     buffer_ += "]},\"results\":{\"bindings\":[";
-  } else {
+  } else if (format_ == WireFormat::kTsv) {
     for (size_t c = 0; c < schema_.size(); ++c) {
       if (c > 0) buffer_ += '\t';
       buffer_ += '?';
@@ -81,6 +82,7 @@ bool StreamingResultWriter::BeginSelect(const std::vector<VarId>& schema,
     }
     buffer_ += '\n';
   }
+  // kNTriples: statements only, no header.
   return MaybeFlush();
 }
 
@@ -113,6 +115,13 @@ bool StreamingResultWriter::WriteRow(const TermId* row, size_t width,
       buffer_ += '}';
     }
     buffer_ += '}';
+  } else if (format_ == WireFormat::kNTriples) {
+    for (size_t c = 0; c < width; ++c) {
+      if (c > 0) buffer_ += ' ';
+      TermId id = row[c];
+      if (id != kUnboundTerm) buffer_ += dict.Decode(id).ToString();
+    }
+    buffer_ += " .\n";
   } else {
     for (size_t c = 0; c < width; ++c) {
       if (c > 0) buffer_ += '\t';

@@ -27,8 +27,11 @@
 
 namespace sparqluo {
 
-/// Wire formats the streaming writer can produce.
-enum class WireFormat { kJson, kTsv };
+/// Wire formats the streaming writer can produce. kNTriples serializes
+/// CONSTRUCT results (three-column subject/predicate/object rows) as one
+/// N-Triples statement per row; it has no header and ignores variable
+/// names.
+enum class WireFormat { kJson, kTsv, kNTriples };
 
 /// The SPARQL results media type for `format` (no parameters).
 std::string_view WireFormatContentType(WireFormat format);

@@ -206,4 +206,12 @@ Result<UpdateBatch> ParseUpdate(std::string_view text) {
   return p.Parse();
 }
 
+bool UpdateTextHasPatternOp(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return false;  // let the real parser report the error
+  for (const Token& t : *tokens)
+    if (t.type == TokenType::kKeyword && t.text == "WHERE") return true;
+  return false;
+}
+
 }  // namespace sparqluo

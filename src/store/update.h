@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rdf/term.h"
+#include "sparql/ast.h"
 #include "util/status.h"
 
 namespace sparqluo {
@@ -55,5 +56,44 @@ struct UpdateBatch {
 /// predicate/object list abbreviations — but no variables: data blocks
 /// must be ground, and a variable is a parse error.
 Result<UpdateBatch> ParseUpdate(std::string_view text);
+
+/// One pattern-based update: `DELETE {t} INSERT {t} WHERE {g}` and its
+/// single-template forms. The WHERE group is evaluated against the current
+/// store version; each solution instantiates the delete templates first,
+/// then the insert templates (SPARQL 1.1 Update semantics: all deletes of
+/// an operation happen before its inserts).
+struct PatternUpdateOp {
+  std::vector<TriplePattern> delete_templates;
+  std::vector<TriplePattern> insert_templates;
+  GroupGraphPattern where;
+};
+
+/// One `;`-separated operation of an update script: either a ground DATA
+/// batch or a pattern update. Each command commits as its own version, so
+/// later commands see earlier commands' effects.
+struct UpdateCommand {
+  bool is_pattern = false;
+  UpdateBatch data;       ///< !is_pattern
+  PatternUpdateOp pattern;///< is_pattern
+  VarTable vars;          ///< variable table for `pattern`
+};
+
+/// Parses the full SPARQL 1.1 Update fragment including pattern-based
+/// operations:
+///
+///   Prologue ( INSERT DATA {..} | DELETE DATA {..}
+///            | DELETE {t} [INSERT {t}] WHERE {g}
+///            | INSERT {t} WHERE {g}
+///            | DELETE WHERE {t} )  (';' ...)* ';'?
+///
+/// Implemented by the query parser (sparql/parser.cc), which owns the
+/// template/pattern grammar. DATA-only texts should keep using
+/// ParseUpdate, which merges every operation into one batch (one commit).
+Result<std::vector<UpdateCommand>> ParseUpdateScript(std::string_view text);
+
+/// True when the update text contains a pattern-based operation (a WHERE
+/// keyword outside comments/strings) and must go through
+/// ParseUpdateScript; DATA-only texts return false.
+bool UpdateTextHasPatternOp(std::string_view text);
 
 }  // namespace sparqluo

@@ -33,7 +33,8 @@ std::shared_ptr<const DatabaseVersion> VersionedStore::MakeVersion(
   v->stats = stats.has_value() ? std::move(*stats)
                                : Statistics::Compute(*v->store, *dict_);
   v->engine = MakeEngine(kind_, *v->store, *dict_, v->stats);
-  v->executor = std::make_unique<Executor>(*v->engine, *dict_, *v->store);
+  v->executor =
+      std::make_unique<Executor>(*v->engine, *dict_, *v->store, dict_.get());
   return v;
 }
 
@@ -66,6 +67,16 @@ CommitStats VersionedStore::Commit() {
 CommitStats VersionedStore::Apply(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   StageLocked(batch);
+  return CommitLocked();
+}
+
+Result<CommitStats> VersionedStore::ApplyWith(
+    const std::function<Result<UpdateBatch>(const DatabaseVersion&)>&
+        make_batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<UpdateBatch> batch = make_batch(*Current());
+  if (!batch.ok()) return batch.status();
+  StageLocked(*batch);
   return CommitLocked();
 }
 

@@ -25,6 +25,7 @@
 //     append-only so dictionary order never shifts underneath a version.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -78,6 +79,15 @@ class VersionedStore {
 
   /// Stage + Commit as one writer critical section.
   CommitStats Apply(const UpdateBatch& batch);
+
+  /// Pattern-update commit (DELETE/INSERT ... WHERE): runs `make_batch`
+  /// against the current version inside the writer critical section —
+  /// serializing the read-evaluate-write cycle against concurrent writers —
+  /// and applies the returned batch as one new version. Readers still never
+  /// block: they keep pinning the version current before the commit.
+  Result<CommitStats> ApplyWith(
+      const std::function<Result<UpdateBatch>(const DatabaseVersion&)>&
+          make_batch);
 
   /// Pending (staged, uncommitted) delta sizes — diagnostic only.
   size_t pending_adds() const;

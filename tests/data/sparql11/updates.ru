@@ -1,0 +1,5 @@
+INSERT DATA { <http://ex.org/g> <http://ex.org/knows> <http://ex.org/a> . <http://ex.org/g> <http://ex.org/type> <http://ex.org/C2> }
+
+DELETE { ?s <http://ex.org/knows> ?o } INSERT { ?o <http://ex.org/knownBy> ?s } WHERE { ?s <http://ex.org/knows> ?o . ?s <http://ex.org/type> <http://ex.org/C1> }
+
+DELETE { ?s <http://ex.org/age> ?v } WHERE { ?s <http://ex.org/type> <http://ex.org/C2> . ?s <http://ex.org/age> ?v }

@@ -1,0 +1,728 @@
+#include "reference_eval.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "engine/aggregate.h"  // FormatDecimal: shared formatting only
+
+namespace sparqluo {
+namespace testing {
+namespace {
+
+constexpr const char* kXsdInteger = "http://www.w3.org/2001/XMLSchema#integer";
+constexpr const char* kXsdDecimal = "http://www.w3.org/2001/XMLSchema#decimal";
+constexpr const char* kXsdDouble = "http://www.w3.org/2001/XMLSchema#double";
+constexpr const char* kXsdFloat = "http://www.w3.org/2001/XMLSchema#float";
+
+/// A solution mapping: bound variables only (absent = unbound).
+using RefBinding = std::map<VarId, TermId>;
+using RefRows = std::vector<RefBinding>;
+
+TermId ValueOf(const RefBinding& row, VarId v) {
+  auto it = row.find(v);
+  return it == row.end() ? kUnboundTerm : it->second;
+}
+
+/// µ1 ~ µ2: agreement on every variable bound in both.
+bool Compatible(const RefBinding& a, const RefBinding& b) {
+  for (const auto& [v, id] : a) {
+    auto it = b.find(v);
+    if (it != b.end() && it->second != id) return false;
+  }
+  return true;
+}
+
+RefBinding Merge(const RefBinding& a, const RefBinding& b) {
+  RefBinding out = a;
+  out.insert(b.begin(), b.end());  // a's bindings win (they agree anyway)
+  return out;
+}
+
+RefRows JoinSets(const RefRows& a, const RefRows& b) {
+  RefRows out;
+  for (const RefBinding& x : a)
+    for (const RefBinding& y : b)
+      if (Compatible(x, y)) out.push_back(Merge(x, y));
+  return out;
+}
+
+RefRows LeftJoinSets(const RefRows& a, const RefRows& b) {
+  RefRows out;
+  for (const RefBinding& x : a) {
+    bool matched = false;
+    for (const RefBinding& y : b) {
+      if (Compatible(x, y)) {
+        matched = true;
+        out.push_back(Merge(x, y));
+      }
+    }
+    if (!matched) out.push_back(x);
+  }
+  return out;
+}
+
+/// Evaluation context: the triple list and the (shared, mutable)
+/// dictionary.
+struct Ctx {
+  const std::vector<Triple>& triples;
+  Dictionary* dict;
+};
+
+RefRows EvalTriple(const TriplePattern& t, const Ctx& ctx) {
+  // Constants absent from the dictionary can never match.
+  auto slot_id = [&](const PatternSlot& s, TermId* out) {
+    if (s.is_var) return true;
+    *out = ctx.dict->Lookup(s.term);
+    return *out != kInvalidTermId;
+  };
+  TermId cs = kInvalidTermId, cp = kInvalidTermId, co = kInvalidTermId;
+  if (!slot_id(t.s, &cs) || !slot_id(t.p, &cp) || !slot_id(t.o, &co))
+    return {};
+  RefRows out;
+  for (const Triple& tr : ctx.triples) {
+    if (!t.s.is_var && tr.s != cs) continue;
+    if (!t.p.is_var && tr.p != cp) continue;
+    if (!t.o.is_var && tr.o != co) continue;
+    RefBinding row;
+    bool ok = true;
+    auto bind = [&](const PatternSlot& s, TermId val) {
+      if (!s.is_var) return;
+      auto [it, inserted] = row.emplace(s.var, val);
+      if (!inserted && it->second != val) ok = false;  // repeated var
+    };
+    bind(t.s, tr.s);
+    bind(t.p, tr.p);
+    bind(t.o, tr.o);
+    if (ok) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Property paths: textbook BFS over the triple list.
+// ---------------------------------------------------------------------
+
+void Closure(TermId start, const PathExpr& closure, bool forward,
+             const Ctx& ctx, std::set<TermId>* out);
+
+/// One application of `e` from `x`, emitting successors into `out`.
+void Step(TermId x, const PathExpr& e, bool forward, const Ctx& ctx,
+          std::set<TermId>* out) {
+  switch (e.kind) {
+    case PathExpr::Kind::kLink: {
+      TermId pid = ctx.dict->Lookup(e.iri);
+      if (pid == kInvalidTermId) return;
+      for (const Triple& t : ctx.triples) {
+        if (t.p != pid) continue;
+        if (forward && t.s == x) out->insert(t.o);
+        if (!forward && t.o == x) out->insert(t.s);
+      }
+      return;
+    }
+    case PathExpr::Kind::kSeq: {
+      std::set<TermId> frontier = {x};
+      size_t n = e.children.size();
+      for (size_t i = 0; i < n; ++i) {
+        const PathExpr& child =
+            forward ? e.children[i] : e.children[n - 1 - i];
+        std::set<TermId> next;
+        for (TermId y : frontier) Step(y, child, forward, ctx, &next);
+        frontier = std::move(next);
+      }
+      out->insert(frontier.begin(), frontier.end());
+      return;
+    }
+    case PathExpr::Kind::kAlt:
+      for (const PathExpr& child : e.children)
+        Step(x, child, forward, ctx, out);
+      return;
+    case PathExpr::Kind::kStar:
+    case PathExpr::Kind::kPlus:
+      Closure(x, e, forward, ctx, out);
+      return;
+  }
+}
+
+void Closure(TermId start, const PathExpr& closure, bool forward,
+             const Ctx& ctx, std::set<TermId>* out) {
+  const PathExpr& inner = closure.children[0];
+  std::set<TermId> frontier;
+  if (closure.kind == PathExpr::Kind::kStar) {
+    frontier.insert(start);
+  } else {
+    Step(start, inner, forward, ctx, &frontier);
+  }
+  std::set<TermId> seen = frontier;
+  out->insert(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    std::set<TermId> next;
+    for (TermId y : frontier) Step(y, inner, forward, ctx, &next);
+    frontier.clear();
+    for (TermId y : next) {
+      if (seen.insert(y).second) {
+        frontier.insert(y);
+        out->insert(y);
+      }
+    }
+  }
+}
+
+RefRows EvalPath(const PathPattern& p, const Ctx& ctx) {
+  const bool is_star = p.path.kind == PathExpr::Kind::kStar;
+  RefRows out;
+  if (!p.subject.is_var && !p.object.is_var) {
+    // Both endpoints constant: one empty mapping on reachability. A
+    // zero-length `*` between equal terms matches even when the term is
+    // absent from the data.
+    if (is_star && p.subject.term == p.object.term) {
+      out.emplace_back();
+      return out;
+    }
+    TermId s = ctx.dict->Lookup(p.subject.term);
+    TermId o = ctx.dict->Lookup(p.object.term);
+    if (s == kInvalidTermId || o == kInvalidTermId) return out;
+    std::set<TermId> ends;
+    Closure(s, p.path, /*forward=*/true, ctx, &ends);
+    if (ends.count(o) > 0) out.emplace_back();
+    return out;
+  }
+  if (p.subject.is_var != p.object.is_var) {
+    // One constant endpoint: BFS from it (forward from a constant subject,
+    // backward from a constant object). `*` interns an absent endpoint so
+    // the zero-length binding still surfaces; `+` needs it present.
+    const bool forward = !p.subject.is_var;
+    const PatternSlot& konst = forward ? p.subject : p.object;
+    VarId var = forward ? p.object.var : p.subject.var;
+    TermId start = is_star ? ctx.dict->Encode(konst.term)
+                           : ctx.dict->Lookup(konst.term);
+    if (start == kInvalidTermId) return out;
+    std::set<TermId> ends;
+    Closure(start, p.path, forward, ctx, &ends);
+    for (TermId e : ends) out.push_back({{var, e}});
+    return out;
+  }
+  // Both ends variables: closure from every graph node (every subject or
+  // object in the data).
+  std::set<TermId> nodes;
+  for (const Triple& t : ctx.triples) {
+    nodes.insert(t.s);
+    nodes.insert(t.o);
+  }
+  const bool same_var = p.subject.var == p.object.var;
+  for (TermId n : nodes) {
+    std::set<TermId> ends;
+    Closure(n, p.path, /*forward=*/true, ctx, &ends);
+    for (TermId e : ends) {
+      if (same_var) {
+        if (e == n) out.push_back({{p.subject.var, n}});
+      } else {
+        out.push_back({{p.subject.var, n}, {p.object.var, e}});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// FILTER: the engine's three-valued semantics (algebra/operators.cc) over
+// map bindings. Errors (unbound operands) drop the row.
+// ---------------------------------------------------------------------
+
+enum class Ternary { kTrue, kFalse, kError };
+
+Ternary EvalFilter(const FilterExpr& f, const RefBinding& row,
+                   const Ctx& ctx) {
+  using Op = FilterExpr::Op;
+  auto resolve = [&](const PatternSlot& slot) {
+    if (slot.is_var) return ValueOf(row, slot.var);
+    return ctx.dict->Lookup(slot.term);
+  };
+  switch (f.op) {
+    case Op::kAnd: {
+      Ternary l = EvalFilter(f.children[0], row, ctx);
+      Ternary r = EvalFilter(f.children[1], row, ctx);
+      if (l == Ternary::kFalse || r == Ternary::kFalse) return Ternary::kFalse;
+      if (l == Ternary::kError || r == Ternary::kError) return Ternary::kError;
+      return Ternary::kTrue;
+    }
+    case Op::kOr: {
+      Ternary l = EvalFilter(f.children[0], row, ctx);
+      Ternary r = EvalFilter(f.children[1], row, ctx);
+      if (l == Ternary::kTrue || r == Ternary::kTrue) return Ternary::kTrue;
+      if (l == Ternary::kError || r == Ternary::kError) return Ternary::kError;
+      return Ternary::kFalse;
+    }
+    case Op::kNot: {
+      Ternary t = EvalFilter(f.children[0], row, ctx);
+      if (t == Ternary::kError) return t;
+      return t == Ternary::kTrue ? Ternary::kFalse : Ternary::kTrue;
+    }
+    case Op::kBound:
+      if (!f.lhs.is_var) return Ternary::kError;
+      return ValueOf(row, f.lhs.var) != kUnboundTerm ? Ternary::kTrue
+                                                     : Ternary::kFalse;
+    default: {
+      TermId lv = resolve(f.lhs);
+      TermId rv = resolve(f.rhs);
+      bool l_unbound = f.lhs.is_var && lv == kUnboundTerm;
+      bool r_unbound = f.rhs.is_var && rv == kUnboundTerm;
+      if (l_unbound || r_unbound) return Ternary::kError;
+      if (f.op == Op::kEq || f.op == Op::kNeq) {
+        bool eq;
+        if (lv != kUnboundTerm && rv != kUnboundTerm) {
+          eq = lv == rv;
+        } else {
+          Term lt = f.lhs.is_var ? ctx.dict->Decode(lv) : f.lhs.term;
+          Term rt = f.rhs.is_var ? ctx.dict->Decode(rv) : f.rhs.term;
+          eq = lt == rt;
+        }
+        return (eq == (f.op == Op::kEq)) ? Ternary::kTrue : Ternary::kFalse;
+      }
+      Term lt =
+          f.lhs.is_var || lv != kUnboundTerm ? ctx.dict->Decode(lv) : f.lhs.term;
+      Term rt =
+          f.rhs.is_var || rv != kUnboundTerm ? ctx.dict->Decode(rv) : f.rhs.term;
+      int c = CompareTermsForOrdering(lt, rt);
+      bool result = false;
+      switch (f.op) {
+        case Op::kLt: result = c < 0; break;
+        case Op::kGt: result = c > 0; break;
+        case Op::kLe: result = c <= 0; break;
+        case Op::kGe: result = c >= 0; break;
+        default: return Ternary::kError;
+      }
+      return result ? Ternary::kTrue : Ternary::kFalse;
+    }
+  }
+}
+
+/// Group elements combine left-to-right, the engine's documented rule.
+RefRows EvalGroup(const GroupGraphPattern& g, const Ctx& ctx) {
+  RefRows acc;
+  acc.emplace_back();  // the unit bag: one empty mapping
+  for (const PatternElement& e : g.elements) {
+    switch (e.kind) {
+      case PatternElement::Kind::kTriple:
+        acc = JoinSets(acc, EvalTriple(e.triple, ctx));
+        break;
+      case PatternElement::Kind::kGroup:
+        acc = JoinSets(acc, EvalGroup(e.groups[0], ctx));
+        break;
+      case PatternElement::Kind::kUnion: {
+        RefRows u;
+        for (const GroupGraphPattern& branch : e.groups) {
+          RefRows b = EvalGroup(branch, ctx);
+          u.insert(u.end(), b.begin(), b.end());
+        }
+        acc = JoinSets(acc, u);
+        break;
+      }
+      case PatternElement::Kind::kOptional:
+        acc = LeftJoinSets(acc, EvalGroup(e.groups[0], ctx));
+        break;
+      case PatternElement::Kind::kFilter: {
+        RefRows kept;
+        for (const RefBinding& row : acc)
+          if (EvalFilter(e.filter, row, ctx) == Ternary::kTrue)
+            kept.push_back(row);
+        acc = std::move(kept);
+        break;
+      }
+      case PatternElement::Kind::kPath:
+        acc = JoinSets(acc, EvalPath(e.path, ctx));
+        break;
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------
+// Aggregation: one sequential pass mirroring the engine dialect
+// (docs/sparql_surface.md). Exact agreement on floating sums needs
+// integer-valued inputs — see the header caveat.
+// ---------------------------------------------------------------------
+
+bool NumericValue(const Term& t, bool* is_int, double* value) {
+  if (!t.is_literal() || t.qualifier_is_lang) return false;
+  if (t.qualifier != kXsdInteger && t.qualifier != kXsdDecimal &&
+      t.qualifier != kXsdDouble && t.qualifier != kXsdFloat)
+    return false;
+  const char* begin = t.lexical.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') return false;
+  *is_int = t.qualifier == kXsdInteger;
+  *value = v;
+  return true;
+}
+
+struct RefAccum {
+  uint64_t count = 0;
+  bool all_int = true;
+  bool numeric_ok = true;
+  bool any = false;
+  long long isum = 0;
+  double dsum = 0.0;
+  TermId best = kUnboundTerm;
+  std::set<TermId> dset;
+};
+
+void AccumulateNumeric(RefAccum* a, const Term& t) {
+  bool is_int = false;
+  double v = 0.0;
+  if (!NumericValue(t, &is_int, &v)) {
+    a->numeric_ok = false;
+    return;
+  }
+  a->any = true;
+  ++a->count;
+  a->all_int = a->all_int && is_int;
+  if (is_int) a->isum += std::strtoll(t.lexical.c_str(), nullptr, 10);
+  a->dsum += v;
+}
+
+void Update(RefAccum* a, const AggregateSpec& s, TermId val, const Ctx& ctx) {
+  if (s.func == AggFunc::kCount && s.count_star) {
+    ++a->count;
+    return;
+  }
+  if (val == kUnboundTerm) return;
+  switch (s.func) {
+    case AggFunc::kCount:
+      if (s.distinct)
+        a->dset.insert(val);
+      else
+        ++a->count;
+      return;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (s.distinct)
+        a->dset.insert(val);
+      else
+        AccumulateNumeric(a, ctx.dict->Decode(val));
+      return;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (a->best == kUnboundTerm) {
+        a->best = val;
+        return;
+      }
+      int c = CompareTermsForOrdering(ctx.dict->Decode(val),
+                                      ctx.dict->Decode(a->best));
+      if ((s.func == AggFunc::kMin && c < 0) ||
+          (s.func == AggFunc::kMax && c > 0))
+        a->best = val;
+      return;
+    }
+  }
+}
+
+TermId FinalizeAccum(const RefAccum& frozen, const AggregateSpec& s,
+                     const Ctx& ctx) {
+  RefAccum a = frozen;
+  if (s.distinct && (s.func == AggFunc::kSum || s.func == AggFunc::kAvg)) {
+    for (TermId id : a.dset) AccumulateNumeric(&a, ctx.dict->Decode(id));
+  }
+  switch (s.func) {
+    case AggFunc::kCount: {
+      uint64_t n = s.distinct ? a.dset.size() : a.count;
+      return ctx.dict->Encode(
+          Term::TypedLiteral(std::to_string(n), kXsdInteger));
+    }
+    case AggFunc::kSum:
+      if (!a.numeric_ok) return kUnboundTerm;
+      if (!a.any)
+        return ctx.dict->Encode(Term::TypedLiteral("0", kXsdInteger));
+      if (a.all_int)
+        return ctx.dict->Encode(
+            Term::TypedLiteral(std::to_string(a.isum), kXsdInteger));
+      return ctx.dict->Encode(
+          Term::TypedLiteral(FormatDecimal(a.dsum), kXsdDecimal));
+    case AggFunc::kAvg:
+      if (!a.numeric_ok) return kUnboundTerm;
+      if (!a.any)
+        return ctx.dict->Encode(Term::TypedLiteral("0", kXsdInteger));
+      return ctx.dict->Encode(Term::TypedLiteral(
+          FormatDecimal(a.dsum / static_cast<double>(a.count)), kXsdDecimal));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return a.best;
+  }
+  return kUnboundTerm;
+}
+
+RefRows Aggregate(const RefRows& rows, const Query& q, const Ctx& ctx) {
+  std::map<std::vector<TermId>, std::vector<RefAccum>> groups;
+  for (const RefBinding& row : rows) {
+    std::vector<TermId> key;
+    key.reserve(q.group_by.size());
+    for (VarId v : q.group_by) key.push_back(ValueOf(row, v));
+    auto [it, inserted] =
+        groups.try_emplace(key, q.aggregates.size(), RefAccum());
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      const AggregateSpec& s = q.aggregates[i];
+      TermId val = s.count_star ? kUnboundTerm : ValueOf(row, s.input);
+      Update(&it->second[i], s, val, ctx);
+    }
+  }
+  // No GROUP BY: the whole (possibly empty) input is one group.
+  if (q.group_by.empty() && groups.empty())
+    groups.try_emplace({}, q.aggregates.size(), RefAccum());
+  RefRows out;
+  for (const auto& [key, accums] : groups) {
+    RefBinding row;
+    for (size_t j = 0; j < q.group_by.size(); ++j)
+      if (key[j] != kUnboundTerm) row[q.group_by[j]] = key[j];
+    for (size_t i = 0; i < q.aggregates.size(); ++i) {
+      TermId val = FinalizeAccum(accums[i], q.aggregates[i], ctx);
+      if (val != kUnboundTerm) row[q.aggregates[i].output] = val;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+/// Mirrors Executor::OrderRows: stable sort, unbound sorts before bound,
+/// CompareTermsForOrdering between bound terms.
+void OrderRef(RefRows* rows, const std::vector<OrderKey>& keys,
+              const Ctx& ctx) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [&](const RefBinding& x, const RefBinding& y) {
+                     for (const OrderKey& k : keys) {
+                       TermId vx = ValueOf(x, k.var);
+                       TermId vy = ValueOf(y, k.var);
+                       if (vx == vy) continue;
+                       int c;
+                       if (vx == kUnboundTerm) {
+                         c = -1;
+                       } else if (vy == kUnboundTerm) {
+                         c = 1;
+                       } else {
+                         c = CompareTermsForOrdering(ctx.dict->Decode(vx),
+                                                     ctx.dict->Decode(vy));
+                       }
+                       if (c == 0) continue;
+                       return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+}
+
+void SliceRef(RefRows* rows, size_t offset, size_t limit) {
+  if (offset >= rows->size()) {
+    rows->clear();
+    return;
+  }
+  rows->erase(rows->begin(), rows->begin() + static_cast<ptrdiff_t>(offset));
+  if (limit != SIZE_MAX && rows->size() > limit)
+    rows->resize(limit);
+}
+
+std::string Statement(const Term& s, const Term& p, const Term& o) {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+/// CONSTRUCT instantiation: per row, per template, skipping unbound
+/// variables and ill-formed triples (literal subject, non-IRI predicate);
+/// first-occurrence deduplication.
+std::vector<std::string> Instantiate(const RefRows& rows, const Query& q,
+                                     const Ctx& ctx) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const RefBinding& row : rows) {
+    for (const TriplePattern& t : q.construct_template) {
+      auto resolve = [&](const PatternSlot& slot, Term* term) {
+        if (!slot.is_var) {
+          *term = slot.term;
+          return true;
+        }
+        TermId id = ValueOf(row, slot.var);
+        if (id == kUnboundTerm) return false;
+        *term = ctx.dict->Decode(id);
+        return true;
+      };
+      Term s, p, o;
+      if (!resolve(t.s, &s) || !resolve(t.p, &p) || !resolve(t.o, &o))
+        continue;
+      if (s.is_literal() || !p.is_iri()) continue;
+      std::string stmt = Statement(s, p, o);
+      if (seen.insert(stmt).second) out.push_back(std::move(stmt));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RefOutput ReferenceEvaluate(const Query& query,
+                            const std::vector<Triple>& triples,
+                            Dictionary* dict) {
+  Ctx ctx{triples, dict};
+  RefRows rows = EvalGroup(query.where, ctx);
+  if (!query.group_by.empty() || !query.aggregates.empty())
+    rows = Aggregate(rows, query, ctx);
+  RefOutput out;
+  if (query.form == QueryForm::kAsk) {
+    out.ask = true;
+    out.ask_value = !rows.empty();
+    return out;
+  }
+  if (!query.order_by.empty()) OrderRef(&rows, query.order_by, ctx);
+  if (query.form == QueryForm::kConstruct) {
+    if (query.offset > 0 || query.limit != SIZE_MAX)
+      SliceRef(&rows, query.offset, query.limit);
+    for (std::string& stmt : Instantiate(rows, query, ctx))
+      out.rows.push_back({std::move(stmt)});
+    return out;
+  }
+  // Projection: explicit list, or all visible (non-'.'-hidden) variables.
+  RefRows projected;
+  projected.reserve(rows.size());
+  for (const RefBinding& row : rows) {
+    RefBinding p;
+    if (!query.projection.empty()) {
+      for (VarId v : query.projection) {
+        TermId id = ValueOf(row, v);
+        if (id != kUnboundTerm) p[v] = id;
+      }
+    } else {
+      for (const auto& [v, id] : row)
+        if (query.vars.Name(v)[0] != '.') p[v] = id;
+    }
+    projected.push_back(std::move(p));
+  }
+  if (query.distinct) {
+    RefRows unique;
+    std::set<RefBinding> seen;
+    for (RefBinding& row : projected)
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    projected = std::move(unique);
+  }
+  SliceRef(&projected, query.offset, query.limit);
+  for (const RefBinding& row : projected) {
+    CanonicalRow c;
+    for (const auto& [v, id] : row)
+      c.push_back("?" + query.vars.Name(v) + "=" + dict->Decode(id).ToString());
+    std::sort(c.begin(), c.end());
+    out.rows.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<CanonicalRow> CanonicalizeEngineRows(const BindingSet& rows,
+                                                 const Query& query,
+                                                 const Dictionary& dict) {
+  std::vector<CanonicalRow> out;
+  out.reserve(rows.size());
+  if (query.form == QueryForm::kConstruct) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      CanonicalRow c = {Statement(dict.Decode(rows.At(r, 0)),
+                                  dict.Decode(rows.At(r, 1)),
+                                  dict.Decode(rows.At(r, 2)))};
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CanonicalRow c;
+    for (size_t col = 0; col < rows.width(); ++col) {
+      TermId id = rows.At(r, col);
+      if (id == kUnboundTerm) continue;
+      const std::string& name = query.vars.Name(rows.schema()[col]);
+      if (!name.empty() && name[0] == '.') continue;
+      c.push_back("?" + name + "=" + dict.Decode(id).ToString());
+    }
+    std::sort(c.begin(), c.end());
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<CanonicalRow> SortedCanonical(std::vector<CanonicalRow> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::set<std::string> ReferenceUpdate(
+    const std::vector<UpdateCommand>& commands,
+    const std::vector<Triple>& initial, Dictionary* dict) {
+  // State as Term-level statements, with a parallel Term-triple list that
+  // re-encodes per command so pattern WHERE clauses evaluate over term ids
+  // from the shared dictionary.
+  std::set<std::string> state = StatementSet(initial, *dict);
+  std::vector<std::array<Term, 3>> terms;
+  for (const Triple& t : initial)
+    terms.push_back(
+        {dict->Decode(t.s), dict->Decode(t.p), dict->Decode(t.o)});
+
+  auto insert_triple = [&](const std::array<Term, 3>& t) {
+    if (state.insert(Statement(t[0], t[1], t[2])).second) terms.push_back(t);
+  };
+  auto delete_triple = [&](const std::array<Term, 3>& t) {
+    if (state.erase(Statement(t[0], t[1], t[2])) > 0) {
+      std::string stmt = Statement(t[0], t[1], t[2]);
+      terms.erase(std::remove_if(terms.begin(), terms.end(),
+                                 [&](const std::array<Term, 3>& u) {
+                                   return Statement(u[0], u[1], u[2]) == stmt;
+                                 }),
+                  terms.end());
+    }
+  };
+
+  for (const UpdateCommand& cmd : commands) {
+    if (!cmd.is_pattern) {
+      for (const UpdateOp& op : cmd.data.ops) {
+        std::array<Term, 3> t = {op.triple.s, op.triple.p, op.triple.o};
+        if (op.kind == UpdateOp::Kind::kInsert)
+          insert_triple(t);
+        else
+          delete_triple(t);
+      }
+      continue;
+    }
+    // Pattern command: evaluate WHERE over the current state, expand all
+    // delete templates before all insert templates.
+    std::vector<Triple> current;
+    current.reserve(terms.size());
+    for (const std::array<Term, 3>& t : terms)
+      current.push_back(Triple(dict->Encode(t[0]), dict->Encode(t[1]),
+                               dict->Encode(t[2])));
+    Ctx ctx{current, dict};
+    RefRows rows = EvalGroup(cmd.pattern.where, ctx);
+    auto expand = [&](const std::vector<TriplePattern>& templates,
+                      std::vector<std::array<Term, 3>>* out) {
+      for (const RefBinding& row : rows) {
+        for (const TriplePattern& tp : templates) {
+          auto resolve = [&](const PatternSlot& slot, Term* term) {
+            if (!slot.is_var) {
+              *term = slot.term;
+              return true;
+            }
+            TermId id = ValueOf(row, slot.var);
+            if (id == kUnboundTerm) return false;
+            *term = dict->Decode(id);
+            return true;
+          };
+          std::array<Term, 3> t;
+          if (!resolve(tp.s, &t[0]) || !resolve(tp.p, &t[1]) ||
+              !resolve(tp.o, &t[2]))
+            continue;
+          if (t[0].is_literal() || !t[1].is_iri()) continue;
+          out->push_back(std::move(t));
+        }
+      }
+    };
+    std::vector<std::array<Term, 3>> deletes, inserts;
+    expand(cmd.pattern.delete_templates, &deletes);
+    expand(cmd.pattern.insert_templates, &inserts);
+    for (const auto& t : deletes) delete_triple(t);
+    for (const auto& t : inserts) insert_triple(t);
+  }
+  return state;
+}
+
+}  // namespace testing
+}  // namespace sparqluo

@@ -1,0 +1,91 @@
+// Reference SPARQL evaluator for differential testing.
+//
+// A deliberately naive interpreter over the parsed AST: solution mappings
+// are std::map<VarId, TermId>, every operator is a nested loop, property
+// paths are textbook BFS over a triple list, aggregation is a single
+// sequential pass. No indexes, no morsels, no BE-trees — so a bug in the
+// engine's clever machinery (CSR scans, worst-case-optimal joins, morsel
+// parallelism, plan transformation) cannot also hide here.
+//
+// Semantics mirror the engine's documented dialect (docs/sparql_surface.md):
+// elements of a group combine left-to-right, FILTER errors drop rows,
+// aggregates range over bound values, `*` includes zero-length paths, and
+// CONSTRUCT deduplicates after applying solution modifiers.
+//
+// Caveat on floating-point sums: the engine accumulates SUM/AVG per
+// 1024-row morsel and merges partials in morsel order; the reference
+// accumulates in its own row order. The two agree exactly only when every
+// numeric input is integer-valued (sums exact in double) — which is what
+// the differential generator emits. Decimal-lexical inputs are covered by
+// the hand-written conformance fixtures instead.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/binding_set.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "sparql/ast.h"
+#include "store/update.h"
+
+namespace sparqluo {
+namespace testing {
+
+/// One solution row in canonical form: the sorted "?name=<N-Triples term>"
+/// pairs of its bound variables. CONSTRUCT rows are a single
+/// "<s> <p> <o> ." statement. Engines guarantee bag equality, not row
+/// order, for unordered queries — callers sort the outer vector before
+/// comparing.
+using CanonicalRow = std::vector<std::string>;
+
+struct RefOutput {
+  bool ask = false;        ///< Query was an ASK.
+  bool ask_value = false;  ///< ASK verdict (rows is empty then).
+  std::vector<CanonicalRow> rows;
+};
+
+/// Evaluates `query` naively over `triples`. `dict` must be the SAME
+/// dictionary the engine under test reads: DISTINCT-aggregate folding and
+/// MIN/MAX tie-breaks depend on shared term ids, and aggregate results /
+/// absent zero-length path endpoints intern new terms into it.
+RefOutput ReferenceEvaluate(const Query& query,
+                            const std::vector<Triple>& triples,
+                            Dictionary* dict);
+
+/// Renders engine output rows into the same canonical form (hidden
+/// '.'-prefixed variables skipped; CONSTRUCT's three columns rendered as
+/// one statement).
+std::vector<CanonicalRow> CanonicalizeEngineRows(const BindingSet& rows,
+                                                 const Query& query,
+                                                 const Dictionary& dict);
+
+/// Sorted canonical rows — the form differential tests compare.
+std::vector<CanonicalRow> SortedCanonical(std::vector<CanonicalRow> rows);
+
+/// Applies a parsed update script naively: data commands apply their
+/// ground triples, pattern commands evaluate WHERE with ReferenceEvaluate
+/// machinery against the evolving state, expand all delete templates
+/// before all insert templates, and skip unbound or ill-formed
+/// instantiations. Returns the expected final statement set, one
+/// "<s> <p> <o> ." line per triple.
+std::set<std::string> ReferenceUpdate(
+    const std::vector<UpdateCommand>& commands,
+    const std::vector<Triple>& initial, Dictionary* dict);
+
+/// The store's current triples as canonical statements (for comparing an
+/// engine commit against ReferenceUpdate).
+template <typename TripleRange>
+std::set<std::string> StatementSet(const TripleRange& triples,
+                                   const Dictionary& dict) {
+  std::set<std::string> out;
+  for (const Triple& t : triples) {
+    out.insert(dict.Decode(t.s).ToString() + " " + dict.Decode(t.p).ToString() +
+               " " + dict.Decode(t.o).ToString() + " .");
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace sparqluo

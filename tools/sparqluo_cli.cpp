@@ -14,7 +14,8 @@
 //                             loads either format, auto-detected.
 //   --engine wco|hashjoin     BGP engine (default wco)
 //   --mode base|tt|cp|full    optimization level (default full)
-//   --format tsv|csv|json     output format (default tsv)
+//   --format tsv|csv|json|nt  output format (default tsv; CONSTRUCT
+//                             queries default to nt = N-Triples)
 //   --explain                 print the BE-tree before/after transformation
 //   --explain-analyze         trace each query and print the span tree
 //                             (phase timings, per-BGP/morsel spans) after it
@@ -101,6 +102,7 @@ struct CliOptions {
   EngineKind engine = EngineKind::kWco;
   ExecOptions exec = ExecOptions::Full();
   ResultFormat format = ResultFormat::kTsv;
+  bool format_set = false;  ///< --format given: overrides CONSTRUCT's NT default.
   bool explain = false;
   bool explain_analyze = false;
   std::string trace_out;
@@ -161,7 +163,8 @@ bool LooksLikeUpdate(const std::string& text) {
     return std::string::npos;
   };
   size_t update_pos = std::min(first_word_at("INSERT"), first_word_at("DELETE"));
-  size_t query_pos = std::min(first_word_at("SELECT"), first_word_at("ASK"));
+  size_t query_pos = std::min({first_word_at("SELECT"), first_word_at("ASK"),
+                               first_word_at("CONSTRUCT")});
   return update_pos != std::string::npos && update_pos < query_pos;
 }
 
@@ -233,7 +236,7 @@ int Usage(const char* argv0) {
             << " (--data FILE.nt | --lubm N | --dbpedia N | --snapshot FILE) "
                "[--save-snapshot FILE] [--snapshot-format v1|v2] [--engine "
                "wco|hashjoin] [--mode base|tt|cp|full] [--format "
-               "tsv|csv|json] [--explain] [--explain-analyze] [--trace-out "
+               "tsv|csv|json|nt] [--explain] [--explain-analyze] [--trace-out "
                "FILE] [--metrics-out FILE] [--paper-queries] [--stats] "
                "[--max-rows N] [--parallelism N] [--concurrency N] "
                "[--repeat K] [--deadline-ms N] [--slow-query-ms N] "
@@ -303,7 +306,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (std::strcmp(v, "tsv") == 0) opts->format = ResultFormat::kTsv;
       else if (std::strcmp(v, "csv") == 0) opts->format = ResultFormat::kCsv;
       else if (std::strcmp(v, "json") == 0) opts->format = ResultFormat::kJson;
+      else if (std::strcmp(v, "nt") == 0) opts->format = ResultFormat::kNTriples;
       else return false;
+      opts->format_set = true;
     } else if (arg == "--explain") {
       opts->explain = true;
     } else if (arg == "--explain-analyze") {
@@ -586,7 +591,12 @@ int RunQuery(Database& db, const CliOptions& opts, const std::string& text,
   if (parsed->form == QueryForm::kAsk) {
     std::cout << (result->empty() ? "false" : "true") << "\n";
   } else {
-    std::cout << FormatResults(*result, parsed->vars, db.dict(), opts.format);
+    // CONSTRUCT results are triples; render them as N-Triples unless the
+    // user asked for a bindings format explicitly.
+    ResultFormat format = opts.format;
+    if (parsed->form == QueryForm::kConstruct && !opts.format_set)
+      format = ResultFormat::kNTriples;
+    std::cout << FormatResults(*result, parsed->vars, db.dict(), format);
   }
   std::cerr << "# " << result->size() << " rows in " << timer.ElapsedMillis()
             << " ms (exec " << metrics.exec_ms << " ms, plan "
