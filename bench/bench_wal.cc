@@ -1,0 +1,268 @@
+// Durability benchmark: commit latency under each WAL fsync policy, plus
+// recovery cost and a correctness gate.
+//
+// Two experiments over a LUBM base store:
+//
+//   commit    — per-policy commit latency: apply K insert batches through
+//               a WAL configured fsync=off | interval | always and report
+//               mean/p50/p99 commit latency and log bytes. The spread is
+//               the price of the durability guarantee — `always` pays one
+//               (group-committed) fsync per commit, `interval` a bounded
+//               loss window, `off` only the page-cache write.
+//   recovery  — reopen each WAL directory into a fresh database and time
+//               snapshot-free replay; verifies the recovered version and
+//               store size match what was committed.
+//
+// Usage:
+//   bench_wal [--json FILE] [--lubm N] [--batches K] [--batch-size N]
+//             [--interval-ms D] [--engine wco|hashjoin] [--check-recovery]
+//
+// --check-recovery is the CI smoke gate: exit 1 unless every policy's
+// replay reproduces the committed version and triple count exactly.
+// BENCH_wal.json in the repo root records the last accepted numbers
+// (schema in docs/benchmarks.md).
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "store/wal.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace sparqluo;
+using namespace sparqluo::bench;
+
+UpdateBatch MakeInsertBatch(size_t n, size_t* counter) {
+  UpdateBatch batch;
+  Term pred = Term::Iri("http://bench.sparqluo/wal/links");
+  for (size_t i = 0; i < n; ++i) {
+    size_t id = (*counter)++;
+    batch.Insert(Term::Iri("http://bench.sparqluo/wal/s" + std::to_string(id)),
+                 pred,
+                 Term::Iri("http://bench.sparqluo/wal/s" +
+                           std::to_string(id / 7)));
+  }
+  return batch;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  FileOps* ops = FileOps::Default();
+  auto names = ops->ListDir(dir);
+  if (!names.ok()) return 0;
+  uint64_t total = 0;
+  for (const std::string& n : *names) {
+    std::ifstream in(dir + "/" + n, std::ios::binary | std::ios::ate);
+    if (in.is_open()) total += static_cast<uint64_t>(in.tellg());
+  }
+  return total;
+}
+
+struct PolicyCell {
+  std::string policy;
+  size_t batches = 0;
+  size_t batch_size = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double commits_per_sec = 0.0;
+  uint64_t wal_bytes = 0;
+  uint64_t version = 0;
+  size_t store_size = 0;
+};
+
+struct RecoveryCell {
+  std::string policy;
+  uint64_t records = 0;
+  double recover_ms = 0.0;
+  uint64_t version = 0;
+  size_t store_size = 0;
+  bool exact = false;  ///< Replay reproduced version and triple count.
+};
+
+void WriteJson(const std::vector<PolicyCell>& commits,
+               const std::vector<RecoveryCell>& recoveries, size_t lubm,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"wal\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n  \"lubm_universities\": "
+      << lubm << ",\n  \"commit_latency\": [\n";
+  for (size_t i = 0; i < commits.size(); ++i) {
+    const PolicyCell& c = commits[i];
+    out << "    {\"policy\": \"" << c.policy << "\", \"batches\": "
+        << c.batches << ", \"batch_size\": " << c.batch_size
+        << ", \"mean_ms\": " << c.mean_ms << ", \"p50_ms\": " << c.p50_ms
+        << ", \"p99_ms\": " << c.p99_ms << ", \"commits_per_sec\": "
+        << c.commits_per_sec << ", \"wal_bytes\": " << c.wal_bytes
+        << ", \"version\": " << c.version << ", \"store_size\": "
+        << c.store_size << "}" << (i + 1 < commits.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"recovery\": [\n";
+  for (size_t i = 0; i < recoveries.size(); ++i) {
+    const RecoveryCell& c = recoveries[i];
+    out << "    {\"policy\": \"" << c.policy << "\", \"records\": "
+        << c.records << ", \"recover_ms\": " << c.recover_ms
+        << ", \"version\": " << c.version << ", \"store_size\": "
+        << c.store_size << ", \"exact\": " << (c.exact ? "true" : "false")
+        << "}" << (i + 1 < recoveries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t lubm = LubmUniversities();
+  size_t batches = 64;
+  size_t batch_size = 500;
+  int interval_ms = 10;
+  EngineKind engine = EngineKind::kWco;
+  bool check_recovery = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--json") {
+      const char* v = next();
+      if (v) json_path = v;
+    } else if (arg == "--lubm") {
+      const char* v = next();
+      if (v) lubm = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--batches") {
+      const char* v = next();
+      if (v) batches = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--batch-size") {
+      const char* v = next();
+      if (v) batch_size = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (v) interval_ms = std::atoi(v);
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v && std::strcmp(v, "hashjoin") == 0) engine = EngineKind::kHashJoin;
+    } else if (arg == "--check-recovery") {
+      check_recovery = true;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  struct PolicySpec {
+    const char* name;
+    FsyncPolicy policy;
+  };
+  const PolicySpec specs[] = {{"off", FsyncPolicy::kOff},
+                              {"interval", FsyncPolicy::kInterval},
+                              {"always", FsyncPolicy::kAlways}};
+
+  std::vector<PolicyCell> cells;
+  std::vector<RecoveryCell> recoveries;
+  for (const PolicySpec& spec : specs) {
+    std::string dir = std::string("bench_wal.") + spec.name + ".d";
+    std::string cleanup = "rm -rf " + dir;
+    if (std::system(cleanup.c_str()) != 0) return 1;
+
+    uint64_t committed_version = 0;
+    size_t committed_size = 0;
+    {
+      auto db = MakeLubm(lubm, engine);
+      Wal::Options wopts;
+      wopts.fsync = spec.policy;
+      wopts.interval_ms = interval_ms;
+      auto opened = db->OpenWal(dir, wopts);
+      if (!opened.ok()) {
+        std::cerr << "wal open failed: " << opened.status().ToString() << "\n";
+        return 1;
+      }
+      size_t counter = 0;
+      std::vector<double> latencies;
+      latencies.reserve(batches);
+      Timer wall;
+      for (size_t k = 0; k < batches; ++k) {
+        UpdateBatch batch = MakeInsertBatch(batch_size, &counter);
+        Timer t;
+        auto commit = db->Apply(batch);
+        if (!commit.ok()) {
+          std::cerr << "commit failed: " << commit.status().ToString() << "\n";
+          return 1;
+        }
+        latencies.push_back(t.ElapsedMillis());
+        committed_version = commit->version;
+        committed_size = commit->store_size;
+      }
+      double wall_ms = wall.ElapsedMillis();
+      if (Status s = db->wal()->Close(); !s.ok()) {
+        std::cerr << "wal close failed: " << s.ToString() << "\n";
+        return 1;
+      }
+
+      PolicyCell cell;
+      cell.policy = spec.name;
+      cell.batches = batches;
+      cell.batch_size = batch_size;
+      double sum = 0.0;
+      for (double v : latencies) sum += v;
+      cell.mean_ms = latencies.empty() ? 0.0 : sum / latencies.size();
+      cell.p50_ms = Percentile(latencies, 0.50);
+      cell.p99_ms = Percentile(latencies, 0.99);
+      cell.commits_per_sec = wall_ms > 0.0 ? 1000.0 * batches / wall_ms : 0.0;
+      cell.wal_bytes = DirBytes(dir);
+      cell.version = committed_version;
+      cell.store_size = committed_size;
+      cells.push_back(cell);
+      std::cout << "commit policy=" << cell.policy << " mean="
+                << cell.mean_ms << "ms p50=" << cell.p50_ms << "ms p99="
+                << cell.p99_ms << "ms commits/s=" << cell.commits_per_sec
+                << " wal_bytes=" << cell.wal_bytes << "\n";
+    }
+
+    // Recovery: fresh base, replay the whole log, verify exactness.
+    {
+      auto db = MakeLubm(lubm, engine);
+      Timer t;
+      auto recovered = db->OpenWal(dir, {});
+      double recover_ms = t.ElapsedMillis();
+      RecoveryCell cell;
+      cell.policy = spec.name;
+      cell.recover_ms = recover_ms;
+      if (recovered.ok()) {
+        cell.records = recovered->records_replayed;
+        cell.version = db->version();
+        cell.store_size = db->size();
+        cell.exact = cell.version == committed_version &&
+                     cell.store_size == committed_size;
+      }
+      recoveries.push_back(cell);
+      std::cout << "recovery policy=" << cell.policy << " records="
+                << cell.records << " recover=" << cell.recover_ms
+                << "ms version=" << cell.version << " exact="
+                << (cell.exact ? "yes" : "no") << "\n";
+      if (check_recovery && !cell.exact) {
+        std::cerr << "recovery gate failed for policy " << spec.name
+                  << ": replay did not reproduce the committed state\n";
+        return 1;
+      }
+    }
+    if (std::system(cleanup.c_str()) != 0) return 1;
+  }
+
+  if (!json_path.empty()) WriteJson(cells, recoveries, lubm, json_path);
+  return 0;
+}

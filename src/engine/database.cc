@@ -140,7 +140,9 @@ Result<CommitStats> Database::Update(const std::string& update_text) {
   last.store_size = versions_->Current()->store->size();
   for (const UpdateCommand& cmd : *commands) {
     if (!cmd.is_pattern) {
-      last = versions_->Apply(cmd.data);
+      auto stats = versions_->Apply(cmd.data);
+      if (!stats.ok()) return stats.status();
+      last = *stats;
       continue;
     }
     auto stats = versions_->ApplyWith([&cmd](const DatabaseVersion& v) {
@@ -169,6 +171,18 @@ Result<CommitStats> Database::Commit() {
   if (!finalized())
     return Status::Internal("Database::Finalize() must be called first");
   return versions_->Commit();
+}
+
+Result<WalRecoveryInfo> Database::OpenWal(const std::string& dir,
+                                          const Wal::Options& options) {
+  if (!finalized())
+    return Status::Internal("Database::Finalize() must be called first");
+  SPARQLUO_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal, Wal::Open(dir, options));
+  return versions_->AttachWal(std::move(wal));
+}
+
+Wal* Database::wal() const {
+  return finalized() ? versions_->wal() : nullptr;
 }
 
 uint64_t Database::version() const {

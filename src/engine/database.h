@@ -92,6 +92,18 @@ class Database {
   /// Publishes all staged batches as one new version.
   Result<CommitStats> Commit();
 
+  /// Opens (creating if needed) the write-ahead log at `dir` and attaches
+  /// it to the store: recovery replays every logged commit past the
+  /// version the loaded snapshot checkpointed, then new commits start
+  /// logging. Must run right after Finalize (version 0, nothing staged).
+  /// Returns what recovery found; see src/store/wal.h and
+  /// docs/durability.md.
+  Result<WalRecoveryInfo> OpenWal(const std::string& dir,
+                                  const Wal::Options& options = {});
+
+  /// The attached write-ahead log, or null when none is open.
+  Wal* wal() const;
+
   /// Current committed version id (0 right after Finalize).
   uint64_t version() const;
 

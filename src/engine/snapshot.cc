@@ -1,24 +1,22 @@
 #include "engine/snapshot.h"
 
+#include <fcntl.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#define SPARQLUO_HAS_FSYNC 1
-#include <fcntl.h>
-#include <unistd.h>
-#else
-#define SPARQLUO_HAS_FSYNC 0
-#endif
-
 #include "obs/metrics.h"
+#include "rdf/term_codec.h"
+#include "store/wal.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
+#include "util/logging.h"
 #include "util/mmap_file.h"
 #include "util/timer.h"
 
@@ -29,8 +27,8 @@ namespace {
 constexpr char kMagicV1[8] = {'S', 'P', 'Q', 'L', 'U', 'O', '1', '\n'};
 constexpr char kMagicV2[8] = {'S', 'P', 'Q', 'L', 'U', 'O', '2', '\n'};
 
-// Sanity cap shared by both formats: no single term string exceeds 16 MiB.
-constexpr uint32_t kMaxTermBytes = 16u << 20;
+// Term records use the shared codec in rdf/term_codec.h (the committed
+// golden v1 fixture pins its byte shape).
 
 std::string Offset(size_t off) {
   return "offset " + std::to_string(off);
@@ -53,43 +51,62 @@ struct SaveSource {
   }
 };
 
-/// Atomically publishes the finished temporary file as `path`. Writing to
-/// a sibling temporary, fsyncing it, and renaming keeps three hazards
-/// away: a crash mid-write never leaves a half-written snapshot at
-/// `path`, a crash shortly *after* a successful save cannot surface an
+/// Writes `pieces` back to back into a fresh `tmp_path` and fsyncs it —
+/// the file is fully durable (under its temporary name) when this
+/// returns. All I/O goes through `ops` so tests can inject write/fsync
+/// failures and crash points.
+Status WriteTmpDurably(FileOps* ops, const std::string& tmp_path,
+                       const std::vector<std::string_view>& pieces) {
+  Result<int> fd = ops->Open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC);
+  if (!fd.ok()) {
+    return Status::NotFound("cannot open for write: " + tmp_path + ": " +
+                            fd.status().message());
+  }
+  Status st = Status::OK();
+  for (std::string_view piece : pieces) {
+    if (piece.empty()) continue;
+    st = ops->WriteAll(*fd, piece.data(), piece.size());
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = ops->Fsync(*fd);
+  Status close_st = ops->Close(*fd);
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    (void)ops->Remove(tmp_path);
+    return Status::Unavailable("write failed: " + tmp_path + ": " +
+                               st.message());
+  }
+  return Status::OK();
+}
+
+/// Atomically publishes the finished (already fsynced) temporary file as
+/// `path`: rename, then fsync the parent directory so the rename itself
+/// is durable. Writing to a sibling temporary and renaming keeps three
+/// hazards away: a crash mid-write never leaves a half-written snapshot
+/// at `path`, a crash shortly *after* a successful save cannot surface an
 /// empty delayed-allocation inode there either, and re-saving over a
 /// currently mmap'd snapshot cannot truncate the pages a live store is
 /// borrowing (the old inode survives until the last mapping drops).
-Status PublishFile(const std::string& tmp_path, const std::string& path) {
-#if SPARQLUO_HAS_FSYNC
-  int fd = open(tmp_path.c_str(), O_RDONLY);
-  if (fd < 0 || fsync(fd) != 0) {
-    if (fd >= 0) close(fd);
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot fsync " + tmp_path);
+Status PublishFile(FileOps* ops, const std::string& tmp_path,
+                   const std::string& path) {
+  ops->Crash(CrashPoint::kCheckpointAfterTmpWrite);
+  Status st = ops->Rename(tmp_path, path);
+  if (!st.ok()) {
+    (void)ops->Remove(tmp_path);
+    return Status::Unavailable("cannot rename " + tmp_path + " -> " + path +
+                               ": " + st.message());
   }
-  close(fd);
-#else
-  // Non-POSIX rename refuses to replace an existing destination; drop it
-  // first. The window between remove and rename is the price of the
-  // platform — POSIX hosts keep the fully atomic path above.
-  std::remove(path.c_str());
-#endif
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot rename " + tmp_path + " -> " + path);
-  }
-#if SPARQLUO_HAS_FSYNC
-  // Best-effort directory sync so the rename itself is durable; failure
-  // (e.g. a path with no directory component on an odd filesystem) does
-  // not un-publish the data.
+  ops->Crash(CrashPoint::kCheckpointAfterRename);
+  // Directory sync makes the rename durable. A failure here means the
+  // publish may not survive power loss — report it; the caller must not
+  // checkpoint the WAL against a snapshot that might vanish.
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (int dfd = open(dir.c_str(), O_RDONLY); dfd >= 0) {
-    fsync(dfd);
-    close(dfd);
+  st = ops->SyncDir(dir);
+  if (!st.ok()) {
+    return Status::Unavailable("snapshot published but not durable: " +
+                               st.message());
   }
-#endif
   return Status::OK();
 }
 
@@ -102,32 +119,12 @@ Status OversizeTermError(TermId id) {
       "size cap and would be rejected on load");
 }
 
-bool TermFitsRecord(const Term& t) {
-  return t.lexical.size() <= kMaxTermBytes &&
-         t.qualifier.size() <= kMaxTermBytes;
-}
-
-/// Appends the term record shape both formats share (u8 kind, u8
-/// qualifier_is_lang, two length-prefixed strings) — the single encoder
-/// counterpart of ReadTermRecord below.
-void AppendTermRecord(std::string* out, const Term& t) {
-  out->push_back(static_cast<char>(t.kind));
-  out->push_back(t.qualifier_is_lang ? 1 : 0);
-  PutU32(out, static_cast<uint32_t>(t.lexical.size()));
-  PutBytes(out, t.lexical.data(), t.lexical.size());
-  PutU32(out, static_cast<uint32_t>(t.qualifier.size()));
-  PutBytes(out, t.qualifier.data(), t.qualifier.size());
-}
-
 // ---------------------------------------------------------------------
 // SPQLUO1: data-only stream format
 // ---------------------------------------------------------------------
 
-Status SaveSnapshotV1(const Database& db, const std::string& path) {
-  // Capture the version and the dictionary size once: the dictionary is
-  // append-only, so a concurrent Encode past this point neither moves
-  // existing terms nor invalidates any id the pinned store references.
-  SaveSource src(db);
+Status SaveSnapshotV1(const Database& db, const SaveSource& src,
+                      const std::string& path, FileOps* ops) {
   if (!src.store->built())
     return Status::FailedPrecondition(
         "SaveSnapshot requires built indexes (the triple view is CSR-"
@@ -153,59 +150,8 @@ Status SaveSnapshotV1(const Database& db, const std::string& path) {
   }
 
   const std::string tmp_path = path + ".tmp";
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open for write: " + tmp_path);
-  }
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  out.flush();
-  out.close();
-  if (!out.good()) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("write failed: " + tmp_path);
-  }
-  return PublishFile(tmp_path, path);
-}
-
-/// Reads one length-prefixed string; false on truncation or a length above
-/// the sanity cap.
-bool ReadTermString(ByteReader* in, std::string* s) {
-  uint32_t len;
-  if (!in->ReadU32(&len) || len > kMaxTermBytes) return false;
-  const uint8_t* bytes;
-  if (!in->Borrow(&bytes, len)) return false;
-  s->assign(reinterpret_cast<const char*>(bytes), len);
-  return true;
-}
-
-/// Decodes one term record — the shape both formats share (v1 'terms'
-/// stream, v2 'dict' section). On failure fills `msg` with the inner
-/// error text (record context included) for the caller to wrap with its
-/// format/path prefix.
-bool ReadTermRecord(ByteReader* in, const char* section, uint64_t i,
-                    uint64_t count, Term* t, std::string* msg) {
-  const size_t record_off = in->offset();
-  auto at = [&] {
-    return std::string("(section '") + section + "', term " +
-           std::to_string(i) + " of " + std::to_string(count) + ", " +
-           Offset(record_off) + ")";
-  };
-  uint8_t kind, is_lang;
-  if (!in->ReadU8(&kind) || !in->ReadU8(&is_lang)) {
-    *msg = "truncated term record " + at();
-    return false;
-  }
-  if (kind > 2) {
-    *msg = "corrupt term record: kind " + std::to_string(kind) + " " + at();
-    return false;
-  }
-  t->kind = static_cast<TermKind>(kind);
-  t->qualifier_is_lang = is_lang != 0;
-  if (!ReadTermString(in, &t->lexical) || !ReadTermString(in, &t->qualifier)) {
-    *msg = "truncated term record " + at();
-    return false;
-  }
-  return true;
+  SPARQLUO_RETURN_NOT_OK(WriteTmpDurably(ops, tmp_path, {body}));
+  return PublishFile(ops, tmp_path, path);
 }
 
 Status LoadSnapshotV1(const std::string& path, const FileImage& image,
@@ -305,15 +251,12 @@ constexpr size_t kHeaderBytes = 16;  // magic + section_count + toc_crc
 
 constexpr uint64_t Align8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
 
-Status SaveSnapshotV2(const Database& db, const std::string& path) {
+Status SaveSnapshotV2(const Database& db, const SaveSource& src,
+                      const std::string& path, FileOps* ops) {
   if constexpr (std::endian::native != std::endian::little)
     return Status::Unsupported(
         "v2 snapshots are little-endian raw-array images; this host is "
         "big-endian");
-  // Pin one version (see SaveSource): the checkpoint must be internally
-  // consistent even while a writer commits, and the dictionary size is
-  // captured once for the same reason.
-  SaveSource src(db);
   const TripleStore& store = *src.store;
   if (!store.built())
     return Status::FailedPrecondition(
@@ -377,29 +320,21 @@ Status SaveSnapshotV2(const Database& db, const std::string& path) {
   PutU32(&header, Crc32(toc.data(), toc.size()));
   header += toc;
 
-  const std::string tmp_path = path + ".tmp";
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open for write: " + tmp_path);
-  }
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  std::vector<std::string_view> pieces;
+  pieces.emplace_back(header);
   uint64_t written = header.size();
   static constexpr char kZeros[8] = {};
   for (const SectionOut& s : sections) {
     uint64_t target = Align8(written);
-    out.write(kZeros, static_cast<std::streamsize>(target - written));
+    pieces.emplace_back(kZeros, target - written);
     if (s.length > 0)
-      out.write(static_cast<const char*>(s.data),
-                static_cast<std::streamsize>(s.length));
+      pieces.emplace_back(static_cast<const char*>(s.data), s.length);
     written = target + s.length;
   }
-  out.flush();
-  out.close();
-  if (!out.good()) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("write failed: " + tmp_path);
-  }
-  return PublishFile(tmp_path, path);
+
+  const std::string tmp_path = path + ".tmp";
+  SPARQLUO_RETURN_NOT_OK(WriteTmpDurably(ops, tmp_path, pieces));
+  return PublishFile(ops, tmp_path, path);
 }
 
 struct TocEntry {
@@ -665,15 +600,35 @@ Status LoadSnapshotV2(const std::string& path,
 }  // namespace
 
 Status SaveSnapshot(const Database& db, const std::string& path,
-                    SnapshotFormat format) {
+                    SnapshotFormat format, FileOps* ops) {
   Timer timer;
-  Status s = format == SnapshotFormat::kV2 ? SaveSnapshotV2(db, path)
-                                           : SaveSnapshotV1(db, path);
+  ops = ResolveFileOps(ops);
+  // Capture one version for the whole save (see SaveSource): the
+  // checkpoint must be internally consistent even while a writer commits,
+  // and its id is what a successful save checkpoints the WAL to.
+  SaveSource src(db);
+  Status s = format == SnapshotFormat::kV2
+                 ? SaveSnapshotV2(db, src, path, ops)
+                 : SaveSnapshotV1(db, src, path, ops);
   if (s.ok()) {
     MetricRegistry::Global()
         .GetHistogram("sparqluo_snapshot_save_ms",
                       "Snapshot save latency in milliseconds")
         ->Observe(timer.ElapsedMillis());
+  }
+  // The snapshot now durably holds everything through the pinned version:
+  // record that in the WAL directory and retire segments it covers. A
+  // checkpoint failure doesn't invalidate the save — the log just stays
+  // longer than it needed to — so the save still reports success.
+  if (s.ok() && src.pin != nullptr) {
+    if (Wal* wal = db.wal()) {
+      Status ckpt = wal->Checkpoint(src.pin->id, src.store->size());
+      if (!ckpt.ok()) {
+        SPARQLUO_LOG(kWarn)
+            << "wal checkpoint after snapshot save failed: "
+            << ckpt.ToString();
+      }
+    }
   }
   return s;
 }

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "engine/database.h"
+#include "util/fault_fs.h"
 #include "util/status.h"
 
 namespace sparqluo {
@@ -55,10 +56,20 @@ struct SnapshotLoadInfo {
 /// emit plain records, kV2 serializes the indexes themselves. The save
 /// pins the *current committed version* — making it the durable
 /// checkpoint target for the updatable store — and publishes the file
-/// atomically (write-to-temporary + rename), so a crash never leaves a
-/// torn snapshot and re-saving over a currently mmap'd file is safe.
+/// atomically and durably: write-to-temporary, fsync the file, rename,
+/// fsync the parent directory. A crash never leaves a torn snapshot,
+/// re-saving over a currently mmap'd file is safe, and a published
+/// snapshot survives power loss.
+///
+/// With a WAL attached to `db`, a successful save also checkpoints the
+/// log: the saved version is recorded in the WAL directory's marker and
+/// segments it fully covers are retired (docs/durability.md).
+///
+/// `ops` routes the durable-write syscalls (tests inject faults through
+/// it); null uses the real filesystem.
 Status SaveSnapshot(const Database& db, const std::string& path,
-                    SnapshotFormat format = SnapshotFormat::kV1);
+                    SnapshotFormat format = SnapshotFormat::kV1,
+                    FileOps* ops = nullptr);
 
 /// Loads a snapshot of either format into an empty database, dispatching
 /// on the file magic. After a v1 load the caller runs db->Finalize() to

@@ -1,0 +1,62 @@
+#include "rdf/term_codec.h"
+
+namespace sparqluo {
+
+namespace {
+
+std::string Offset(size_t off) {
+  return "offset " + std::to_string(off);
+}
+
+}  // namespace
+
+bool TermFitsRecord(const Term& t) {
+  return t.lexical.size() <= kMaxTermBytes &&
+         t.qualifier.size() <= kMaxTermBytes;
+}
+
+void AppendTermRecord(std::string* out, const Term& t) {
+  out->push_back(static_cast<char>(t.kind));
+  out->push_back(t.qualifier_is_lang ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(t.lexical.size()));
+  PutBytes(out, t.lexical.data(), t.lexical.size());
+  PutU32(out, static_cast<uint32_t>(t.qualifier.size()));
+  PutBytes(out, t.qualifier.data(), t.qualifier.size());
+}
+
+bool ReadTermString(ByteReader* in, std::string* s) {
+  uint32_t len;
+  if (!in->ReadU32(&len) || len > kMaxTermBytes) return false;
+  const uint8_t* bytes;
+  if (!in->Borrow(&bytes, len)) return false;
+  s->assign(reinterpret_cast<const char*>(bytes), len);
+  return true;
+}
+
+bool ReadTermRecord(ByteReader* in, const char* section, uint64_t i,
+                    uint64_t count, Term* t, std::string* msg) {
+  const size_t record_off = in->offset();
+  auto at = [&] {
+    return std::string("(section '") + section + "', term " +
+           std::to_string(i) + " of " + std::to_string(count) + ", " +
+           Offset(record_off) + ")";
+  };
+  uint8_t kind, is_lang;
+  if (!in->ReadU8(&kind) || !in->ReadU8(&is_lang)) {
+    *msg = "truncated term record " + at();
+    return false;
+  }
+  if (kind > 2) {
+    *msg = "corrupt term record: kind " + std::to_string(kind) + " " + at();
+    return false;
+  }
+  t->kind = static_cast<TermKind>(kind);
+  t->qualifier_is_lang = is_lang != 0;
+  if (!ReadTermString(in, &t->lexical) || !ReadTermString(in, &t->qualifier)) {
+    *msg = "truncated term record " + at();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,40 @@
+// Shared binary term-record codec.
+//
+// One term record is: u8 kind, u8 qualifier_is_lang, then two
+// length-prefixed (u32) strings — lexical and qualifier. The shape is
+// shared by the v1 snapshot 'terms' stream, the v2 snapshot 'dict'
+// section, and WAL update records; extracting it here keeps all three
+// byte-identical (the committed golden v1 fixture pins the encoding).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/term.h"
+#include "util/binary_io.h"
+
+namespace sparqluo {
+
+/// Sanity cap shared by every reader of the record shape: no single term
+/// string exceeds 16 MiB.
+inline constexpr uint32_t kMaxTermBytes = 16u << 20;
+
+/// True when both strings of `t` fit under kMaxTermBytes. Writers must
+/// check before encoding — a record that encodes but can never decode
+/// again is worse than a failed write.
+bool TermFitsRecord(const Term& t);
+
+/// Appends one term record to `out`.
+void AppendTermRecord(std::string* out, const Term& t);
+
+/// Reads one length-prefixed string; false on truncation or a length above
+/// the sanity cap.
+bool ReadTermString(ByteReader* in, std::string* s);
+
+/// Decodes one term record. On failure fills `msg` with the inner error
+/// text — including the section name, record index `i` of `count`, and
+/// byte offset — for the caller to wrap with its format/path prefix.
+bool ReadTermRecord(ByteReader* in, const char* section, uint64_t i,
+                    uint64_t count, Term* t, std::string* msg);
+
+}  // namespace sparqluo

@@ -40,7 +40,8 @@ int HttpStatusFor(const Status& status, const ExecMetrics* metrics) {
     case StatusCode::kOk:
       return 200;
     case StatusCode::kOverloaded:
-      return 503;
+    case StatusCode::kUnavailable:  // durable-I/O failure: commit refused,
+      return 503;                   // reads keep serving — retryable
     case StatusCode::kResourceExhausted:
       if (metrics != nullptr &&
           (metrics->abort_reason == AbortReason::kDeadline ||

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace sparqluo {
@@ -57,17 +58,21 @@ void VersionedStore::StageLocked(const UpdateBatch& batch) {
       delta_.Delete(t);
     }
   }
+  if (wal_ != nullptr) {
+    pending_ops_.insert(pending_ops_.end(), batch.ops.begin(),
+                        batch.ops.end());
+  }
 }
 
-CommitStats VersionedStore::Commit() {
+Result<CommitStats> VersionedStore::Commit() {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return CommitLocked();
+  return CommitLocked(/*log_to_wal=*/true);
 }
 
-CommitStats VersionedStore::Apply(const UpdateBatch& batch) {
+Result<CommitStats> VersionedStore::Apply(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   StageLocked(batch);
-  return CommitLocked();
+  return CommitLocked(/*log_to_wal=*/true);
 }
 
 Result<CommitStats> VersionedStore::ApplyWith(
@@ -77,14 +82,17 @@ Result<CommitStats> VersionedStore::ApplyWith(
   Result<UpdateBatch> batch = make_batch(*Current());
   if (!batch.ok()) return batch.status();
   StageLocked(*batch);
-  return CommitLocked();
+  return CommitLocked(/*log_to_wal=*/true);
 }
 
-CommitStats VersionedStore::CommitLocked() {
+Result<CommitStats> VersionedStore::CommitLocked(bool log_to_wal) {
   Timer timer;
   std::shared_ptr<const DatabaseVersion> base_version = Current();
   CommitStats stats;
   if (delta_.empty()) {
+    // Ops that netted to nothing change no state, publish no version, and
+    // need no log record.
+    pending_ops_.clear();
     stats.version = base_version->id;
     stats.store_size = base_version->store->size();
     stats.commit_ms = timer.ElapsedMillis();
@@ -105,6 +113,17 @@ CommitStats VersionedStore::CommitLocked() {
                    {delta_.added().begin(), delta_.added().end()},
                    delta_.removed(), build_pool_);
   stats.store_size = next->size();
+  // Write-ahead: the batch must be on disk (durable per policy) before any
+  // reader can observe the version it produces. On failure nothing
+  // publishes — the delta and pending ops stay staged for a retry, and
+  // readers continue on the prior version.
+  if (log_to_wal && wal_ != nullptr) {
+    Status st = wal_->Append(base_version->id + 1, pending_ops_);
+    if (!st.ok()) {
+      return Status::Unavailable("commit refused, version not published: " +
+                                 st.message());
+    }
+  }
   auto published = MakeVersion(base_version->id + 1, std::move(next));
   stats.version = published->id;
   {
@@ -112,6 +131,7 @@ CommitStats VersionedStore::CommitLocked() {
     current_ = std::move(published);
   }
   delta_.Clear();
+  pending_ops_.clear();
   stats.commit_ms = timer.ElapsedMillis();
   MetricRegistry& reg = MetricRegistry::Global();
   reg.GetCounter("sparqluo_store_commits_total", "Published store versions")
@@ -127,6 +147,65 @@ CommitStats VersionedStore::CommitLocked() {
   reg.GetGauge("sparqluo_store_triples", "Triples in the current version")
       ->Set(static_cast<int64_t>(stats.store_size));
   return stats;
+}
+
+Result<WalRecoveryInfo> VersionedStore::AttachWal(std::unique_ptr<Wal> wal) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  if (!delta_.empty()) {
+    return Status::FailedPrecondition(
+        "AttachWal requires an empty staged delta");
+  }
+  if (Current()->id != 0) {
+    return Status::FailedPrecondition(
+        "AttachWal must run before any commit (current version " +
+        std::to_string(Current()->id) + ")");
+  }
+
+  // The loaded base IS the checkpointed snapshot: rebase version 0 to the
+  // version the marker recorded so replayed commits continue the pre-crash
+  // numbering.
+  const uint64_t ckpt = wal->checkpoint_version();
+  if (ckpt > 0) {
+    auto cur = Current();
+    if (wal->checkpoint_store_size() != cur->store->size()) {
+      // Warn, don't fail: replay is idempotent, and the mismatch is also
+      // the expected residue of a crash between snapshot publish and
+      // marker write. A truly wrong pairing fails the version-gap check.
+      SPARQLUO_LOG(kWarn)
+          << "wal checkpoint recorded " << wal->checkpoint_store_size()
+          << " triples but the loaded snapshot has " << cur->store->size()
+          << " — verify the WAL directory pairs with this snapshot";
+    }
+    auto rebased = MakeVersion(ckpt, cur->store, cur->stats);
+    std::lock_guard<std::mutex> current_lock(current_mu_);
+    current_ = std::move(rebased);
+  }
+
+  WalRecoveryInfo info;
+  SPARQLUO_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                            wal->Recover(Current()->id, &info));
+  for (const WalRecord& rec : records) {
+    const uint64_t expected = Current()->id + 1;
+    if (rec.version != expected) {
+      return Status::ParseError(
+          "wal replay gap: expected version " + std::to_string(expected) +
+          ", log holds " + std::to_string(rec.version) +
+          " — the WAL directory does not pair with this snapshot");
+    }
+    StageLocked(rec.batch);
+    SPARQLUO_ASSIGN_OR_RETURN(CommitStats stats,
+                              CommitLocked(/*log_to_wal=*/false));
+    if (stats.version != rec.version) {
+      return Status::Internal("wal replay published version " +
+                              std::to_string(stats.version) + " for record " +
+                              std::to_string(rec.version));
+    }
+  }
+  wal_ = std::move(wal);
+  return info;
 }
 
 size_t VersionedStore::pending_adds() const {

@@ -29,10 +29,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "store/delta.h"
 #include "store/update.h"
 #include "store/version.h"
+#include "store/wal.h"
 
 namespace sparqluo {
 
@@ -75,10 +77,15 @@ class VersionedStore {
   /// Publishes the pending delta as a new version and clears it. With an
   /// empty delta this is a no-op: no new version is published and the
   /// returned stats carry the current version unchanged.
-  CommitStats Commit();
+  ///
+  /// With a WAL attached, the batch is logged (and made durable per the
+  /// fsync policy) *before* the version publishes. A failed append returns
+  /// kUnavailable and publishes nothing — the delta stays staged, readers
+  /// keep the prior version, and the commit can be retried.
+  Result<CommitStats> Commit();
 
   /// Stage + Commit as one writer critical section.
-  CommitStats Apply(const UpdateBatch& batch);
+  Result<CommitStats> Apply(const UpdateBatch& batch);
 
   /// Pattern-update commit (DELETE/INSERT ... WHERE): runs `make_batch`
   /// against the current version inside the writer critical section —
@@ -95,12 +102,29 @@ class VersionedStore {
 
   const std::shared_ptr<Dictionary>& dict() const { return dict_; }
 
+  /// Arms write-ahead logging and replays what the log holds beyond the
+  /// state already published. Must be called on a freshly finalized store
+  /// (version 0, nothing staged, nothing committed): the published version
+  /// is rebased to the log's checkpoint version — the snapshot the WAL
+  /// directory pairs with — every record past it is replayed as its own
+  /// commit, and only then do new commits start appending to the log.
+  /// Replay is idempotent, so a snapshot newer than the checkpoint marker
+  /// (a crash between snapshot publish and marker write) converges to the
+  /// same final state.
+  Result<WalRecoveryInfo> AttachWal(std::unique_ptr<Wal> wal);
+
+  /// The attached log, or null. Used by checkpointing (SaveSnapshot) and
+  /// shutdown; lifetime is the store's.
+  Wal* wal() const { return wal_.get(); }
+
  private:
   std::shared_ptr<const DatabaseVersion> MakeVersion(
       uint64_t id, std::shared_ptr<const TripleStore> store,
       std::optional<Statistics> stats = std::nullopt) const;
   void StageLocked(const UpdateBatch& batch);
-  CommitStats CommitLocked();
+  /// `log_to_wal` is false only during AttachWal replay, where the record
+  /// being committed already lives in the log.
+  Result<CommitStats> CommitLocked(bool log_to_wal);
 
   std::shared_ptr<Dictionary> dict_;
   EngineKind kind_;
@@ -111,6 +135,11 @@ class VersionedStore {
 
   mutable std::mutex writer_mu_;  ///< Serializes Stage/Commit/Apply.
   StoreDelta delta_;              ///< Guarded by writer_mu_.
+  /// Staged ops in stage order, the exact sequence a WAL record replays —
+  /// the delta nets ops and loses ordering, which bit-identity needs.
+  /// Guarded by writer_mu_; maintained only while a WAL is attached.
+  std::vector<UpdateOp> pending_ops_;
+  std::unique_ptr<Wal> wal_;  ///< Null until AttachWal.
 };
 
 }  // namespace sparqluo

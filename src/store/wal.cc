@@ -1,0 +1,575 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "rdf/term_codec.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/timer.h"
+
+namespace sparqluo {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'S', 'P', 'Q', 'L', 'W', 'A', 'L', '1'};
+constexpr char kMarkerMagic[8] = {'S', 'P', 'Q', 'L', 'C', 'K', 'P', '1'};
+constexpr size_t kRecordHeaderBytes = 16;  // u32 crc, u32 len, u64 version
+constexpr char kMarkerName[] = "checkpoint";
+
+// --- metrics ----------------------------------------------------------
+
+Counter* AppendsCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_appends_total", "WAL records appended");
+}
+Counter* AppendedBytesCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_appended_bytes_total", "Bytes appended to WAL segments");
+}
+Counter* AppendFailuresCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_append_failures_total",
+      "WAL appends that failed (commit refused, nothing published)");
+}
+Counter* ReplayedCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_records_replayed_total",
+      "WAL records replayed during recovery");
+}
+Counter* CheckpointsCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_checkpoints_total", "WAL checkpoints written");
+}
+Counter* RetiredCounter() {
+  return MetricRegistry::Global().GetCounter(
+      "sparqluo_wal_segments_retired_total",
+      "WAL segments retired by checkpoints");
+}
+Histogram* FsyncHistogram() {
+  return MetricRegistry::Global().GetHistogram(
+      "sparqluo_wal_fsync_ms", "WAL fsync latency (ms)");
+}
+Histogram* RecoveryHistogram() {
+  return MetricRegistry::Global().GetHistogram(
+      "sparqluo_wal_recovery_ms", "WAL recovery (scan + replay read) time (ms)");
+}
+
+// --- segment names ----------------------------------------------------
+
+std::string SegmentName(uint64_t first_version) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_version));
+  return buf;
+}
+
+/// Parses "wal-<digits>.log"; false for any other name.
+bool ParseSegmentName(const std::string& name, uint64_t* first_version) {
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+      name.compare(24, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *first_version = v;
+  return true;
+}
+
+/// File size via stat (read-side helper; not part of the fault seam).
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::Unavailable("stat " + path + ": " + std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// Serializes one batch into the record payload shape (see wal.h).
+Status SerializePayload(const std::vector<UpdateOp>& ops, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(ops.size()));
+  for (const UpdateOp& op : ops) {
+    for (const Term* t : {&op.triple.s, &op.triple.p, &op.triple.o}) {
+      if (!TermFitsRecord(*t)) {
+        return Status::InvalidArgument(
+            "update term exceeds the 16 MiB record size cap");
+      }
+    }
+    out->push_back(op.kind == UpdateOp::Kind::kDelete ? 1 : 0);
+    AppendTermRecord(out, op.triple.s);
+    AppendTermRecord(out, op.triple.p);
+    AppendTermRecord(out, op.triple.o);
+  }
+  return Status::OK();
+}
+
+/// Decodes one record payload; false (with `msg`) on malformed bytes.
+bool ParsePayload(const uint8_t* data, size_t size, UpdateBatch* batch,
+                  std::string* msg) {
+  ByteReader in(data, size);
+  uint32_t op_count;
+  if (!in.ReadU32(&op_count)) {
+    *msg = "truncated op count";
+    return false;
+  }
+  batch->ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    uint8_t kind;
+    if (!in.ReadU8(&kind) || kind > 1) {
+      *msg = "bad op kind (op " + std::to_string(i) + ")";
+      return false;
+    }
+    UpdateOp op;
+    op.kind = kind == 1 ? UpdateOp::Kind::kDelete : UpdateOp::Kind::kInsert;
+    for (Term* t : {&op.triple.s, &op.triple.p, &op.triple.o}) {
+      if (!ReadTermRecord(&in, "wal", i, op_count, t, msg)) return false;
+    }
+    batch->ops.push_back(std::move(op));
+  }
+  if (in.remaining() != 0) {
+    *msg = "trailing bytes after ops";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text,
+                                     int* interval_ms) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "off") return FsyncPolicy::kOff;
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() && *end == '\0' && v > 0) {
+    *interval_ms = static_cast<int>(v);
+    return FsyncPolicy::kInterval;
+  }
+  return Status::InvalidArgument(
+      "--fsync must be 'always', 'off', or a positive interval in ms, got '" +
+      text + "'");
+}
+
+Wal::Wal(std::string dir, const Options& opts)
+    : dir_(std::move(dir)), opts_(opts), ops_(ResolveFileOps(opts.ops)) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       const Options& opts) {
+  auto wal = std::unique_ptr<Wal>(new Wal(dir, opts));
+  SPARQLUO_RETURN_NOT_OK(wal->ops_->Mkdir(dir));
+  SPARQLUO_RETURN_NOT_OK(wal->ReadCheckpointMarker());
+  // The newest existing segment (if any) becomes the append target; its fd
+  // opens lazily on the first Append, after Recover has had the chance to
+  // truncate a torn tail off it.
+  SPARQLUO_ASSIGN_OR_RETURN(std::vector<std::string> segments,
+                            wal->ListSegments());
+  if (!segments.empty()) {
+    wal->active_path_ = dir + "/" + segments.back();
+    SPARQLUO_ASSIGN_OR_RETURN(wal->active_bytes_,
+                              FileSize(wal->active_path_));
+  }
+  if (opts.fsync == FsyncPolicy::kInterval) wal->StartFlusher();
+  return wal;
+}
+
+Wal::~Wal() { (void)Close(); }
+
+Result<std::vector<std::string>> Wal::ListSegments() const {
+  SPARQLUO_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            ops_->ListDir(dir_));
+  std::vector<std::string> segments;
+  for (const std::string& name : names) {
+    uint64_t v;
+    if (ParseSegmentName(name, &v)) segments.push_back(name);
+  }
+  // Zero-padded fixed-width names: lexicographic == numeric order.
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Status Wal::ReadCheckpointMarker() {
+  const std::string path = dir_ + "/" + kMarkerName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::OK();  // no checkpoint yet
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto err = [&](const std::string& msg) {
+    return Status::ParseError("wal checkpoint marker '" + path + "': " + msg);
+  };
+  if (blob.size() != 28) return err("expected 28 bytes, found " +
+                                    std::to_string(blob.size()));
+  if (std::memcmp(blob.data(), kMarkerMagic, 8) != 0) return err("bad magic");
+  ByteReader reader(reinterpret_cast<const uint8_t*>(blob.data() + 8), 20);
+  uint64_t version, store_size;
+  uint32_t crc;
+  reader.ReadU64(&version);
+  reader.ReadU64(&store_size);
+  reader.ReadU32(&crc);
+  if (crc != Crc32(blob.data() + 8, 16)) return err("checksum mismatch");
+  checkpoint_version_.store(version, std::memory_order_relaxed);
+  checkpoint_store_size_ = store_size;
+  return Status::OK();
+}
+
+Status Wal::WriteCheckpointMarker(uint64_t version, uint64_t store_size) {
+  std::string blob(kMarkerMagic, 8);
+  PutU64(&blob, version);
+  PutU64(&blob, store_size);
+  PutU32(&blob, Crc32(blob.data() + 8, 16));
+
+  const std::string path = dir_ + "/" + kMarkerName;
+  const std::string tmp = path + ".tmp";
+  SPARQLUO_ASSIGN_OR_RETURN(
+      int fd, ops_->Open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  Status st = ops_->WriteAll(fd, blob.data(), blob.size());
+  if (st.ok()) st = ops_->Fsync(fd);
+  Status close_st = ops_->Close(fd);
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    (void)ops_->Remove(tmp);
+    return Status::Unavailable("wal checkpoint marker write failed: " +
+                               st.message());
+  }
+  SPARQLUO_RETURN_NOT_OK(ops_->Rename(tmp, path));
+  SPARQLUO_RETURN_NOT_OK(ops_->SyncDir(dir_));
+  checkpoint_version_.store(version, std::memory_order_relaxed);
+  checkpoint_store_size_ = store_size;
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> Wal::Recover(uint64_t from_version,
+                                            WalRecoveryInfo* info) {
+  Timer timer;
+  WalRecoveryInfo local;
+  local.checkpoint_version = checkpoint_version();
+  local.checkpoint_store_size = checkpoint_store_size_;
+  std::vector<WalRecord> records;
+
+  SPARQLUO_ASSIGN_OR_RETURN(std::vector<std::string> segments, ListSegments());
+  for (size_t seg = 0; seg < segments.size(); ++seg) {
+    const bool last = seg + 1 == segments.size();
+    const std::string path = dir_ + "/" + segments[seg];
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::Unavailable("cannot open wal segment: " + path);
+    }
+    std::string blob((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ++local.segments_scanned;
+
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("wal segment '" + path + "': " + msg);
+    };
+    if (blob.size() < 8 || std::memcmp(blob.data(), kSegmentMagic, 8) != 0) {
+      // A header shorter than the magic can only be a torn creation of the
+      // newest segment; anywhere else the log is damaged.
+      if (last && blob.size() < 8) {
+        local.torn_tail_truncated = true;
+        local.truncated_bytes += blob.size();
+        SPARQLUO_RETURN_NOT_OK(ops_->Remove(path));
+        SPARQLUO_RETURN_NOT_OK(ops_->SyncDir(dir_));
+        std::lock_guard<std::mutex> lock(append_mu_);
+        if (active_path_ == path) {
+          active_path_.clear();
+          active_bytes_ = 0;
+        }
+        continue;
+      }
+      return err("bad segment magic");
+    }
+
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(blob.data());
+    size_t off = 8;
+    while (off < blob.size()) {
+      // Anything that doesn't parse as a whole CRC-valid record is a torn
+      // tail if it sits at the end of the newest segment — the expected
+      // residue of a crash mid-append — and corruption anywhere else.
+      std::string torn_reason;
+      uint64_t version = 0;
+      uint32_t payload_len = 0;
+      const size_t remaining = blob.size() - off;
+      if (remaining < kRecordHeaderBytes) {
+        torn_reason = "partial record header";
+      } else {
+        ByteReader header(data + off, kRecordHeaderBytes, off);
+        uint32_t crc;
+        header.ReadU32(&crc);
+        header.ReadU32(&payload_len);
+        header.ReadU64(&version);
+        if (payload_len > remaining - kRecordHeaderBytes) {
+          torn_reason = "record length past end of file";
+        } else if (crc != Crc32(data + off + 4, 12 + payload_len)) {
+          torn_reason = "record checksum mismatch";
+        }
+      }
+      if (!torn_reason.empty()) {
+        if (!last) {
+          return err(torn_reason + " (offset " + std::to_string(off) +
+                     ") in a sealed segment");
+        }
+        local.torn_tail_truncated = true;
+        local.truncated_bytes += blob.size() - off;
+        SPARQLUO_ASSIGN_OR_RETURN(int fd, ops_->Open(path, O_WRONLY, 0644));
+        Status st = ops_->Truncate(fd, off);
+        if (st.ok()) st = ops_->Fsync(fd);
+        Status close_st = ops_->Close(fd);
+        if (st.ok()) st = close_st;
+        if (!st.ok()) {
+          return Status::Unavailable("truncating torn wal tail failed: " +
+                                     st.message());
+        }
+        std::lock_guard<std::mutex> lock(append_mu_);
+        if (active_path_ == path) active_bytes_ = off;
+        break;
+      }
+
+      // CRC-valid bytes that fail to decode were written wrong, not torn.
+      if (version > from_version) {
+        WalRecord rec;
+        rec.version = version;
+        std::string msg;
+        if (!ParsePayload(data + off + kRecordHeaderBytes, payload_len,
+                          &rec.batch, &msg)) {
+          return err("corrupt record payload at offset " +
+                     std::to_string(off) + ": " + msg);
+        }
+        records.push_back(std::move(rec));
+      }
+      off += kRecordHeaderBytes + payload_len;
+    }
+  }
+
+  local.records_replayed = records.size();
+  ReplayedCounter()->Increment(records.size());
+  RecoveryHistogram()->Observe(timer.ElapsedMillis());
+  if (info != nullptr) *info = local;
+  return records;
+}
+
+Status Wal::OpenSegmentLocked(const std::string& path, bool create,
+                              uint64_t existing_bytes) {
+  int flags = O_WRONLY | O_APPEND | (create ? O_CREAT | O_EXCL : 0);
+  SPARQLUO_ASSIGN_OR_RETURN(int fd, ops_->Open(path, flags, 0644));
+  if (create) {
+    // Make the new segment's directory entry durable: a sealed predecessor
+    // must never outlive a successor that vanished with the dir entry. Any
+    // failure removes the half-created file so a retry can create again.
+    Status st = ops_->WriteAll(fd, kSegmentMagic, 8);
+    if (st.ok()) st = ops_->SyncDir(dir_);
+    if (!st.ok()) {
+      (void)ops_->Close(fd);
+      (void)ops_->Remove(path);
+      return Status::Unavailable("wal segment create failed: " + st.message());
+    }
+    existing_bytes = 8;
+  }
+  fd_ = fd;
+  active_path_ = path;
+  active_bytes_ = existing_bytes;
+  return Status::OK();
+}
+
+Status Wal::RotateLocked(uint64_t first_version) {
+  if (fd_ >= 0) {
+    // Seal the outgoing segment: everything in it becomes durable here, so
+    // group commit never needs a closed fd.
+    Timer timer;
+    Status st = ops_->Fsync(fd_);
+    FsyncHistogram()->Observe(timer.ElapsedMillis());
+    if (!st.ok()) return Status::Unavailable("wal seal failed: " + st.message());
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      synced_lsn_ = written_lsn_;
+    }
+    SPARQLUO_RETURN_NOT_OK(ops_->Close(fd_));
+    fd_ = -1;
+  }
+  return OpenSegmentLocked(dir_ + "/" + SegmentName(first_version),
+                           /*create=*/true, 0);
+}
+
+Status Wal::Append(uint64_t version, const std::vector<UpdateOp>& ops) {
+  std::string record;
+  record.reserve(kRecordHeaderBytes + 64 * ops.size());
+  record.resize(4);  // crc placeholder
+  std::string payload;
+  SPARQLUO_RETURN_NOT_OK(SerializePayload(ops, &payload));
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU64(&record, version);
+  record.append(payload);
+  const uint32_t crc = Crc32(record.data() + 4, record.size() - 4);
+  record[0] = static_cast<char>(crc);
+  record[1] = static_cast<char>(crc >> 8);
+  record[2] = static_cast<char>(crc >> 16);
+  record[3] = static_cast<char>(crc >> 24);
+
+  uint64_t my_lsn = 0;
+  int my_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    if (closed_) return Status::Unavailable("wal is closed");
+    if (!wedged_.ok()) return wedged_;
+    ops_->Crash(CrashPoint::kWalBeforeAppend);
+    if (fd_ < 0) {
+      // Lazy open: resume the newest on-disk segment (post-Recover size),
+      // or start the first one.
+      if (active_path_.empty()) {
+        SPARQLUO_RETURN_NOT_OK(RotateLocked(version));
+      } else {
+        SPARQLUO_RETURN_NOT_OK(
+            OpenSegmentLocked(active_path_, /*create=*/false, active_bytes_));
+      }
+    } else if (active_bytes_ >= opts_.segment_bytes) {
+      SPARQLUO_RETURN_NOT_OK(RotateLocked(version));
+    }
+    Status st = ops_->WriteAll(fd_, record.data(), record.size());
+    if (!st.ok()) {
+      AppendFailuresCounter()->Increment();
+      // Roll the partial record back so the tail stays clean for the next
+      // try; if even that fails the log wedges rather than risk feeding a
+      // later reader a half-record it would mistake for a crash tail.
+      Status trunc = ops_->Truncate(fd_, active_bytes_);
+      if (!trunc.ok()) {
+        wedged_ = Status::Unavailable(
+            "wal wedged: append failed (" + st.message() +
+            ") and rollback truncate failed (" + trunc.message() + ")");
+        return wedged_;
+      }
+      return Status::Unavailable("wal append failed: " + st.message());
+    }
+    active_bytes_ += record.size();
+    written_lsn_ += record.size();
+    my_lsn = written_lsn_;
+    my_fd = fd_;
+    ops_->Crash(CrashPoint::kWalAfterAppend);
+  }
+  AppendsCounter()->Increment();
+  AppendedBytesCounter()->Increment(record.size());
+
+  if (opts_.fsync == FsyncPolicy::kAlways) {
+    Status st = SyncTo(my_lsn, my_fd);
+    if (!st.ok()) {
+      AppendFailuresCounter()->Increment();
+      return st;
+    }
+    ops_->Crash(CrashPoint::kWalAfterFsync);
+  }
+  return Status::OK();
+}
+
+Status Wal::SyncTo(uint64_t lsn, int fd) {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  // Group commit: a concurrent appender's fsync that started after our
+  // write already covered our bytes.
+  if (synced_lsn_ >= lsn) return Status::OK();
+  // Our bytes are below synced_lsn_ only in the active segment — rotation
+  // seals (fsyncs) a segment before closing it — so `fd` is still open.
+  Timer timer;
+  Status st = ops_->Fsync(fd);
+  FsyncHistogram()->Observe(timer.ElapsedMillis());
+  if (!st.ok()) {
+    return Status::Unavailable("wal fsync failed: " + st.message());
+  }
+  synced_lsn_ = std::max(synced_lsn_, lsn);
+  return Status::OK();
+}
+
+Status Wal::Flush() {
+  uint64_t lsn;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    if (!wedged_.ok()) return wedged_;
+    if (fd_ < 0) return Status::OK();
+    lsn = written_lsn_;
+    fd = fd_;
+  }
+  return SyncTo(lsn, fd);
+}
+
+Status Wal::Checkpoint(uint64_t version, uint64_t store_size) {
+  SPARQLUO_RETURN_NOT_OK(Flush());
+  {
+    // Rotate so the records now covered by the snapshot don't share a
+    // segment with future ones — otherwise the active segment could never
+    // retire. active_bytes_ > 8 covers the lazily-unopened case too: a
+    // recovered segment awaiting its first post-restart append still
+    // rotates away so the checkpoint can retire it.
+    std::lock_guard<std::mutex> lock(append_mu_);
+    if (closed_) return Status::Unavailable("wal is closed");
+    if (active_bytes_ > 8) {
+      SPARQLUO_RETURN_NOT_OK(RotateLocked(version + 1));
+    }
+  }
+  SPARQLUO_RETURN_NOT_OK(WriteCheckpointMarker(version, store_size));
+  CheckpointsCounter()->Increment();
+  ops_->Crash(CrashPoint::kCheckpointAfterMarker);
+
+  // A segment is obsolete once a successor exists whose first version is
+  // already covered records-wise: every record it holds is ≤ `version`.
+  SPARQLUO_ASSIGN_OR_RETURN(std::vector<std::string> segments, ListSegments());
+  size_t retired = 0;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    uint64_t next_first;
+    if (!ParseSegmentName(segments[i + 1], &next_first)) continue;
+    if (next_first <= version + 1) {
+      SPARQLUO_RETURN_NOT_OK(ops_->Remove(dir_ + "/" + segments[i]));
+      ++retired;
+    } else {
+      break;
+    }
+  }
+  if (retired > 0) {
+    SPARQLUO_RETURN_NOT_OK(ops_->SyncDir(dir_));
+    RetiredCounter()->Increment(retired);
+  }
+  ops_->Crash(CrashPoint::kCheckpointAfterRetire);
+  return Status::OK();
+}
+
+void Wal::StartFlusher() {
+  flusher_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(flusher_mu_);
+    while (!flusher_stop_) {
+      flusher_cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms));
+      if (flusher_stop_) break;
+      lock.unlock();
+      (void)Flush();  // policy kInterval acknowledges before durability
+      lock.lock();
+    }
+  });
+}
+
+Status Wal::Close() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flusher_mu_);
+      flusher_stop_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  Status flush_st = Status::OK();
+  if (opts_.fsync != FsyncPolicy::kOff) flush_st = Flush();
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (fd_ >= 0) {
+    Status close_st = ops_->Close(fd_);
+    fd_ = -1;
+    if (flush_st.ok()) flush_st = close_st;
+  }
+  return flush_st;
+}
+
+}  // namespace sparqluo

@@ -1,0 +1,183 @@
+// Segment-based write-ahead log for the versioned store.
+//
+// Durability tier under the copy-on-write commit path: before a commit
+// publishes version N, the serialized UpdateBatch that produced it is
+// appended to the log and (per the configured fsync policy) made durable.
+// On restart, recovery loads the latest snapshot and replays every record
+// past its version; because the dictionary assigns TermIds in
+// first-appearance order and records replay in commit order, the rebuilt
+// store is bit-identical to the pre-crash one (docs/durability.md).
+//
+// On-disk layout (all integers little-endian):
+//
+//   <dir>/wal-<20-digit first version>.log     segment files
+//   <dir>/checkpoint                           checkpoint marker
+//
+// Segment: 8-byte magic "SPQLWAL1", then records back to back. Record:
+//
+//   u32 crc        CRC-32 of the 12 following header+payload bytes onward
+//                  (payload_length, version, payload)
+//   u32 payload_length
+//   u64 version    the version id this batch committed as
+//   payload        u32 op_count, then per op: u8 kind (0 insert, 1
+//                  delete) + three term records (rdf/term_codec.h)
+//
+// A torn tail — a partial record at the end of the *last* segment, the
+// signature of a crash mid-append — is detected by CRC/length and
+// truncated away on recovery. The same damage in an earlier segment has
+// no innocent explanation and fails recovery instead.
+//
+// Checkpoint marker: "SPQLCKP1", u64 version, u64 store_size, u32 CRC-32
+// of the 16 payload bytes. It records which snapshot the WAL dir pairs
+// with; segments wholly at or below the marker version are retired by
+// Checkpoint().
+//
+// Thread safety: Append may be called from any number of threads (the
+// versioned store serializes writers today, but the log does not rely on
+// it); group commit coalesces concurrent fsyncs — every appender whose
+// record was written before an fsync started is acknowledged by that one
+// fsync.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/update.h"
+#include "util/fault_fs.h"
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// When an Append is acknowledged as durable.
+enum class FsyncPolicy {
+  kAlways,    ///< fsync before every Append returns (group-committed).
+  kInterval,  ///< background fsync every interval_ms; bounded loss window.
+  kOff,       ///< never fsync; the OS decides. Loss window unbounded.
+};
+
+/// Parses "always" | "off" | a positive integer (interval in ms).
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text, int* interval_ms);
+
+/// One recovered log record: the batch that committed `version`.
+struct WalRecord {
+  uint64_t version = 0;
+  UpdateBatch batch;
+};
+
+/// What recovery found and did — surfaced to the operator at startup.
+struct WalRecoveryInfo {
+  uint64_t checkpoint_version = 0;  ///< From the marker; 0 if none.
+  uint64_t checkpoint_store_size = 0;
+  uint64_t records_replayed = 0;
+  uint64_t segments_scanned = 0;
+  bool torn_tail_truncated = false;
+  uint64_t truncated_bytes = 0;
+};
+
+class Wal {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kAlways;
+    int interval_ms = 50;       ///< kInterval flush period.
+    uint64_t segment_bytes = 64ull << 20;  ///< Rotate past this size.
+    FileOps* ops = nullptr;     ///< null = FileOps::Default().
+  };
+
+  /// Opens (creating if needed) the log directory: reads the checkpoint
+  /// marker, scans segment files, and readies the newest segment for
+  /// appending. Does not replay anything — call Recover next.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const Options& opts);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Reads every record with version > `from_version`, in file order.
+  /// Truncates a torn tail in the last segment (recording it in `info`);
+  /// corruption anywhere else is a ParseError.
+  Result<std::vector<WalRecord>> Recover(uint64_t from_version,
+                                         WalRecoveryInfo* info);
+
+  /// Appends the record for `version` and, under FsyncPolicy::kAlways,
+  /// makes it durable before returning. A write failure is rolled back
+  /// (the segment is truncated to its pre-record size) and reported as
+  /// kUnavailable; if even the rollback fails the log wedges and every
+  /// later Append returns the sticky error — reads are unaffected.
+  Status Append(uint64_t version, const std::vector<UpdateOp>& ops);
+
+  /// Fsyncs everything appended so far (any policy).
+  Status Flush();
+
+  /// Durably records that `version` is captured by a snapshot of
+  /// `store_size` triples, then retires segments whose records are all at
+  /// or below it. Called by SaveSnapshot after a successful publish.
+  Status Checkpoint(uint64_t version, uint64_t store_size);
+
+  /// Version recorded by the checkpoint marker (0 = no checkpoint yet).
+  uint64_t checkpoint_version() const {
+    return checkpoint_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Store size the checkpoint marker recorded — a sanity cross-check that
+  /// the WAL directory is paired with the right snapshot.
+  uint64_t checkpoint_store_size() const { return checkpoint_store_size_; }
+
+  /// Flushes and closes the active segment. Idempotent; called by the
+  /// destructor. After Close every Append fails.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Wal(std::string dir, const Options& opts);
+
+  /// Opens segment `path` for appending (creating it with a magic header
+  /// when `create`). Caller holds append_mu_.
+  Status OpenSegmentLocked(const std::string& path, bool create,
+                           uint64_t existing_bytes);
+  /// Seals the active segment and starts a new one whose name records
+  /// `first_version`. Caller holds append_mu_.
+  Status RotateLocked(uint64_t first_version);
+  /// Group commit: returns once every byte up to `lsn` is fsynced. `fd` is
+  /// the segment the caller's bytes landed in (still open if they are not
+  /// yet covered — rotation seals segments before closing them).
+  Status SyncTo(uint64_t lsn, int fd);
+  /// Re-reads segment file names, sorted by first version.
+  Result<std::vector<std::string>> ListSegments() const;
+  Status WriteCheckpointMarker(uint64_t version, uint64_t store_size);
+  Status ReadCheckpointMarker();
+  void StartFlusher();
+
+  const std::string dir_;
+  const Options opts_;
+  FileOps* ops_;  ///< Resolved, never null.
+
+  std::mutex append_mu_;  ///< Serializes segment writes and rotation.
+  int fd_ = -1;                     ///< Active segment; guarded by append_mu_.
+  std::string active_path_;         ///< Guarded by append_mu_.
+  uint64_t active_bytes_ = 0;       ///< Bytes in the active segment.
+  uint64_t written_lsn_ = 0;        ///< Log-wide bytes appended OK so far.
+  Status wedged_ = Status::OK();    ///< Sticky failure after a bad rollback.
+  bool closed_ = false;
+
+  std::mutex sync_mu_;  ///< Serializes fsyncs (group commit).
+  uint64_t synced_lsn_ = 0;         ///< Bytes known durable.
+
+  std::atomic<uint64_t> checkpoint_version_{0};
+  uint64_t checkpoint_store_size_ = 0;
+
+  std::thread flusher_;  ///< kInterval background fsync.
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+};
+
+}  // namespace sparqluo

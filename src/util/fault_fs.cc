@@ -1,0 +1,262 @@
+#include "util/fault_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sparqluo {
+
+namespace {
+
+/// Exit code a FaultInjectionFileOps crash dies with; the crash-recovery
+/// suite checks it to distinguish an injected crash from a real failure.
+constexpr int kCrashExitCode = 86;
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::Unavailable(std::string(op) + " " + path + ": " +
+                         std::strerror(err));
+}
+
+Status ErrnoStatusFd(const char* op, int fd, int err) {
+  return Status::Unavailable(std::string(op) + " fd=" + std::to_string(fd) + ": " +
+                         std::strerror(err));
+}
+
+}  // namespace
+
+const char* CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kWalBeforeAppend:
+      return "wal-before-append";
+    case CrashPoint::kWalAfterAppend:
+      return "wal-after-append";
+    case CrashPoint::kWalAfterFsync:
+      return "wal-after-fsync";
+    case CrashPoint::kCheckpointAfterTmpWrite:
+      return "checkpoint-after-tmp-write";
+    case CrashPoint::kCheckpointAfterRename:
+      return "checkpoint-after-rename";
+    case CrashPoint::kCheckpointAfterMarker:
+      return "checkpoint-after-marker";
+    case CrashPoint::kCheckpointAfterRetire:
+      return "checkpoint-after-retire";
+  }
+  return "unknown";
+}
+
+Result<int> FileOps::Open(const std::string& path, int flags, int mode) {
+  int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  return fd;
+}
+
+Result<size_t> FileOps::Write(int fd, const void* data, size_t size) {
+  ssize_t n = ::write(fd, data, size);
+  if (n < 0) return ErrnoStatusFd("write", fd, errno);
+  return static_cast<size_t>(n);
+}
+
+Status FileOps::Fsync(int fd) {
+  if (::fsync(fd) != 0) return ErrnoStatusFd("fsync", fd, errno);
+  return Status::OK();
+}
+
+Status FileOps::Close(int fd) {
+  if (::close(fd) != 0) return ErrnoStatusFd("close", fd, errno);
+  return Status::OK();
+}
+
+Status FileOps::Truncate(int fd, uint64_t size) {
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatusFd("ftruncate", fd, errno);
+  }
+  return Status::OK();
+}
+
+Status FileOps::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status FileOps::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+  return Status::OK();
+}
+
+Status FileOps::Mkdir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", path, errno);
+  }
+  return Status::OK();
+}
+
+Status FileOps::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir, errno);
+  Status st = Fsync(fd);
+  ::close(fd);
+  if (!st.ok()) return Status::Unavailable("fsync dir " + dir + ": " + st.message());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FileOps::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoStatus("opendir", dir, errno);
+  std::vector<std::string> names;
+  while (dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return names;
+}
+
+Status FileOps::WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    SPARQLUO_ASSIGN_OR_RETURN(size_t n, Write(fd, p, remaining));
+    if (n == 0) {
+      return Status::Unavailable("short write: 0 of " +
+                                 std::to_string(remaining) + " bytes written");
+    }
+    p += n;
+    remaining -= n;
+  }
+  return Status::OK();
+}
+
+FileOps* FileOps::Default() {
+  static FileOps* instance = new FileOps();
+  return instance;
+}
+
+bool FaultInjectionFileOps::Countdown::Fire() {
+  int cur = remaining.load(std::memory_order_relaxed);
+  while (cur >= 0) {
+    // sticky faults stay armed at 0 once reached
+    int next = (cur == 0) ? (sticky ? 0 : -1) : cur - 1;
+    if (remaining.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return cur == 0;
+    }
+  }
+  return false;
+}
+
+void FaultInjectionFileOps::FailWrite(int nth, int error_code, bool sticky) {
+  fail_write_.error_code = error_code;
+  fail_write_.sticky = sticky;
+  fail_write_.remaining.store(nth);
+}
+
+void FaultInjectionFileOps::FailFsync(int nth, int error_code, bool sticky) {
+  fail_fsync_.error_code = error_code;
+  fail_fsync_.sticky = sticky;
+  fail_fsync_.remaining.store(nth);
+}
+
+void FaultInjectionFileOps::ShortWrite(int nth) {
+  short_write_.sticky = false;
+  short_write_.remaining.store(nth);
+}
+
+void FaultInjectionFileOps::FailTruncate(int error_code) {
+  fail_truncate_errno_.store(error_code);
+}
+
+void FaultInjectionFileOps::CrashAt(CrashPoint point, int nth) {
+  crash_countdown_.store(nth);
+  crash_point_.store(static_cast<int>(point));
+}
+
+void FaultInjectionFileOps::Disarm() {
+  fail_write_.remaining.store(-1);
+  fail_fsync_.remaining.store(-1);
+  short_write_.remaining.store(-1);
+  fail_truncate_errno_.store(0);
+  crash_point_.store(0);
+}
+
+Result<int> FaultInjectionFileOps::Open(const std::string& path, int flags,
+                                        int mode) {
+  return base_->Open(path, flags, mode);
+}
+
+Result<size_t> FaultInjectionFileOps::Write(int fd, const void* data,
+                                            size_t size) {
+  writes_.fetch_add(1);
+  if (fail_write_.Fire()) {
+    return ErrnoStatusFd("write", fd, fail_write_.error_code);
+  }
+  if (short_write_.Fire() && size > 1) {
+    return base_->Write(fd, data, size / 2);
+  }
+  return base_->Write(fd, data, size);
+}
+
+Status FaultInjectionFileOps::Fsync(int fd) {
+  fsyncs_.fetch_add(1);
+  if (fail_fsync_.Fire()) {
+    return ErrnoStatusFd("fsync", fd, fail_fsync_.error_code);
+  }
+  return base_->Fsync(fd);
+}
+
+Status FaultInjectionFileOps::Close(int fd) { return base_->Close(fd); }
+
+Status FaultInjectionFileOps::Truncate(int fd, uint64_t size) {
+  int err = fail_truncate_errno_.load();
+  if (err != 0) return ErrnoStatusFd("ftruncate", fd, err);
+  return base_->Truncate(fd, size);
+}
+
+Status FaultInjectionFileOps::Rename(const std::string& from,
+                                     const std::string& to) {
+  renames_.fetch_add(1);
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectionFileOps::Remove(const std::string& path) {
+  removes_.fetch_add(1);
+  return base_->Remove(path);
+}
+
+Status FaultInjectionFileOps::Mkdir(const std::string& path) {
+  return base_->Mkdir(path);
+}
+
+Status FaultInjectionFileOps::SyncDir(const std::string& dir) {
+  dir_syncs_.fetch_add(1);
+  if (fail_fsync_.Fire()) {
+    return Status::Unavailable("fsync dir " + dir + ": " +
+                           std::strerror(fail_fsync_.error_code));
+  }
+  return base_->SyncDir(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectionFileOps::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+void FaultInjectionFileOps::Crash(CrashPoint point) {
+  if (crash_point_.load(std::memory_order_relaxed) !=
+      static_cast<int>(point)) {
+    return;
+  }
+  if (crash_countdown_.fetch_sub(1) > 0) return;
+  // _exit skips atexit handlers and stdio flushing — the closest userspace
+  // approximation of SIGKILL that still lets gtest children arm it.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace sparqluo

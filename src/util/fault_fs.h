@@ -1,0 +1,166 @@
+// Fault-injectable file operations — the seam between durable-write code
+// (the WAL, snapshot publishing) and the operating system.
+//
+// Production code performs every write-path syscall through a FileOps
+// pointer. The default implementation (FileOps::Default()) is a plain
+// POSIX passthrough with zero overhead beyond the virtual call; tests
+// substitute a FaultInjectionFileOps to make the failure modes that are
+// otherwise unreachable in CI actually happen:
+//
+//   - fsync/write failing with EIO or ENOSPC (a full disk, a dying one),
+//   - short writes (a partially applied append, the torn-write precursor),
+//   - process death at *numbered crash points* — well-defined instants in
+//     the commit/checkpoint protocols (see CrashPoint) at which the
+//     recovery suite kills the process and then proves the store recovers
+//     to a correct state.
+//
+// The crash points double as executable documentation of the durability
+// protocol: every ordering claim in docs/durability.md has a crash point
+// on each side of it, and tests/crash_recovery_test.cc kills at every one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sparqluo {
+
+/// Numbered instants in the WAL-commit and checkpoint protocols at which a
+/// FaultInjectionFileOps can abort the process. The catalog (and what a
+/// correct recovery must look like after dying at each) is specified in
+/// docs/durability.md.
+enum class CrashPoint : int {
+  kNone = 0,
+  /// Commit: before any record byte reaches the segment file.
+  kWalBeforeAppend = 1,
+  /// Commit: record bytes written, not yet fsynced.
+  kWalAfterAppend = 2,
+  /// Commit: record durable, new version not yet published to readers.
+  kWalAfterFsync = 3,
+  /// Checkpoint: snapshot temporary written + fsynced, not yet renamed.
+  kCheckpointAfterTmpWrite = 4,
+  /// Checkpoint: snapshot renamed into place, directory not yet fsynced.
+  kCheckpointAfterRename = 5,
+  /// Checkpoint: marker file durable, obsolete segments not yet retired.
+  kCheckpointAfterMarker = 6,
+  /// Checkpoint: obsolete segments retired (protocol complete).
+  kCheckpointAfterRetire = 7,
+};
+inline constexpr int kCrashPointCount = 8;
+
+/// Name of a crash point, for CLI/env arming and test diagnostics.
+const char* CrashPointName(CrashPoint p);
+
+/// File operations used on durable-write paths. All methods are
+/// thread-safe in both implementations. Errors come back as Status with
+/// the failing path/errno in the message — callers add protocol context.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// open(2). `flags` is the usual O_* bitmask; returns the fd.
+  virtual Result<int> Open(const std::string& path, int flags, int mode = 0644);
+  /// write(2): may write fewer than `size` bytes (callers that need all
+  /// bytes use WriteAll). Returns the byte count actually written.
+  virtual Result<size_t> Write(int fd, const void* data, size_t size);
+  virtual Status Fsync(int fd);
+  virtual Status Close(int fd);
+  virtual Status Truncate(int fd, uint64_t size);
+  virtual Status Rename(const std::string& from, const std::string& to);
+  virtual Status Remove(const std::string& path);
+  /// Creates the directory if missing (existing directory is OK).
+  virtual Status Mkdir(const std::string& path);
+  /// Opens + fsyncs a directory, making a rename/create/unlink inside it
+  /// durable.
+  virtual Status SyncDir(const std::string& dir);
+  /// Names of the entries in `dir` (no "." / ".."), unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir);
+  /// Crash-point hook: a no-op here; FaultInjectionFileOps aborts the
+  /// process (as if SIGKILLed) when armed at `point`.
+  virtual void Crash(CrashPoint point) { (void)point; }
+
+  /// Loops Write until every byte is written or an error occurs; a short
+  /// write with no errno is reported as Unavailable.
+  Status WriteAll(int fd, const void* data, size_t size);
+
+  /// Process-wide POSIX passthrough singleton. Never null; used whenever a
+  /// caller passes ops == nullptr.
+  static FileOps* Default();
+};
+
+/// Resolves an optional override to the default passthrough.
+inline FileOps* ResolveFileOps(FileOps* ops) {
+  return ops != nullptr ? ops : FileOps::Default();
+}
+
+/// Test implementation: forwards to a base FileOps (the POSIX default
+/// unless overridden) while counting operations and injecting the armed
+/// faults. Arm/disarm and counters are thread-safe; a fault fires exactly
+/// once per arming unless `sticky` is set.
+class FaultInjectionFileOps : public FileOps {
+ public:
+  explicit FaultInjectionFileOps(FileOps* base = nullptr)
+      : base_(ResolveFileOps(base)) {}
+
+  // --- fault arming ----------------------------------------------------
+  /// Fails the Nth write from now (0 = the next one) with `error_code`
+  /// (EIO/ENOSPC). With `sticky`, every later write fails too.
+  void FailWrite(int nth, int error_code, bool sticky = false);
+  /// Fails the Nth fsync from now with `error_code`.
+  void FailFsync(int nth, int error_code, bool sticky = false);
+  /// Makes the Nth write from now a short write: only the first half of
+  /// the buffer reaches the file and the syscall "succeeds" short.
+  void ShortWrite(int nth);
+  /// Fails every Truncate (the append-rollback path) with `error_code`.
+  void FailTruncate(int error_code);
+  /// Aborts the process (via _exit, no flushing — a simulated SIGKILL) the
+  /// Nth time `point` is reached.
+  void CrashAt(CrashPoint point, int nth = 0);
+  /// Clears every armed fault.
+  void Disarm();
+
+  // --- counters --------------------------------------------------------
+  uint64_t writes() const { return writes_.load(); }
+  uint64_t fsyncs() const { return fsyncs_.load(); }
+  uint64_t dir_syncs() const { return dir_syncs_.load(); }
+  uint64_t renames() const { return renames_.load(); }
+  uint64_t removes() const { return removes_.load(); }
+
+  // --- FileOps ---------------------------------------------------------
+  Result<int> Open(const std::string& path, int flags, int mode) override;
+  Result<size_t> Write(int fd, const void* data, size_t size) override;
+  Status Fsync(int fd) override;
+  Status Close(int fd) override;
+  Status Truncate(int fd, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Mkdir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  void Crash(CrashPoint point) override;
+
+ private:
+  /// One countdown-armed fault. `remaining` < 0 = disarmed; 0 = fires on
+  /// the next hit.
+  struct Countdown {
+    std::atomic<int> remaining{-1};
+    int error_code = 0;
+    bool sticky = false;
+
+    /// Atomically decides whether this hit fires the fault.
+    bool Fire();
+  };
+
+  FileOps* base_;
+  Countdown fail_write_, fail_fsync_, short_write_;
+  std::atomic<int> fail_truncate_errno_{0};
+  std::atomic<int> crash_point_{0};
+  std::atomic<int> crash_countdown_{0};
+  std::atomic<uint64_t> writes_{0}, fsyncs_{0}, dir_syncs_{0}, renames_{0},
+      removes_{0};
+};
+
+}  // namespace sparqluo

@@ -28,6 +28,11 @@ enum class StatusCode {
   /// blowing a row/deadline guard — so front-ends can map overload to a
   /// retryable HTTP 503 while in-flight aborts map to 408.
   kOverloaded,
+  /// A durable-I/O failure (fsync/write returning EIO/ENOSPC, a failed WAL
+  /// append). The operation did not take effect and may succeed on retry
+  /// once the underlying condition clears; front-ends map it to HTTP 503
+  /// while read paths keep serving.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -43,6 +48,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -82,6 +88,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

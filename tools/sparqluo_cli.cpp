@@ -42,6 +42,15 @@
 //   --update-file FILE        apply SPARQL INSERT DATA / DELETE DATA
 //                             blocks (blank-line separated) after loading,
 //                             each block committed as one version
+//   --wal-dir DIR             durable commits: every update is written to
+//                             a write-ahead log in DIR before it becomes
+//                             visible, and opening replays whatever the
+//                             log holds past the loaded snapshot
+//                             (docs/durability.md). --save-snapshot
+//                             checkpoints the log.
+//   --fsync always|off|N      WAL durability policy (default always):
+//                             fsync before acknowledging each commit, never,
+//                             or in the background every N milliseconds
 //   --serve PORT              serve the loaded data over HTTP as a SPARQL
 //                             Protocol endpoint (docs/http_endpoint.md):
 //                             GET/POST /sparql, POST /update, /metrics,
@@ -119,6 +128,8 @@ struct CliOptions {
   std::string query;
   std::string query_file;
   std::string update_file;
+  std::string wal_dir;
+  std::string fsync = "always";
   long serve_port = -1;  ///< >= 0 switches to HTTP serving (0 = ephemeral).
   std::string bind_address = "127.0.0.1";
 };
@@ -241,8 +252,8 @@ int Usage(const char* argv0) {
                "[--max-rows N] [--parallelism N] [--concurrency N] "
                "[--repeat K] [--deadline-ms N] [--slow-query-ms N] "
                "[--slow-query-sample K] [--no-plan-cache] "
-               "[--update-file FILE] [--serve PORT [--bind ADDR]] "
-               "[QUERY | UPDATE]\n";
+               "[--update-file FILE] [--wal-dir DIR [--fsync always|off|N]] "
+               "[--serve PORT [--bind ADDR]] [QUERY | UPDATE]\n";
   return 2;
 }
 
@@ -365,6 +376,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->update_file = v;
+    } else if (arg == "--wal-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opts->wal_dir = v;
+    } else if (arg == "--fsync") {
+      const char* v = next();
+      if (!v) return false;
+      opts->fsync = v;
     } else if (arg == "--serve") {
       const char* v = next();
       if (!v) return false;
@@ -522,6 +541,14 @@ int RunServe(Database& db, const CliOptions& opts) {
   // then the service (drains in-flight queries).
   endpoint.Stop();
   service.Shutdown();
+  // With all writers drained, make every acknowledged commit durable and
+  // release the active segment before exiting.
+  if (Wal* wal = db.wal()) {
+    if (Status st = wal->Close(); !st.ok())
+      std::cerr << "# wal close failed: " << st.ToString() << "\n";
+    else
+      std::cerr << "# wal flushed and closed\n";
+  }
   ServiceStatsSnapshot stats = service.Stats();
   std::cerr << "# served " << stats.completed << " queries ("
             << stats.failed << " failed, " << stats.rejected
@@ -656,6 +683,34 @@ int main(int argc, char** argv) {
   std::cerr << "# " << db.size() << " triples ready in "
             << load_timer.ElapsedMillis() << " ms (engine "
             << db.engine().name() << ", mode " << opts.exec.Name() << ")\n";
+
+  // Durable commits: attach the write-ahead log and replay whatever it
+  // holds past the loaded snapshot before anything can observe the store.
+  if (!opts.wal_dir.empty()) {
+    Wal::Options wopts;
+    Result<FsyncPolicy> policy = ParseFsyncPolicy(opts.fsync, &wopts.interval_ms);
+    if (!policy.ok()) {
+      std::cerr << "bad --fsync: " << policy.status().ToString() << "\n";
+      return 1;
+    }
+    wopts.fsync = *policy;
+    Result<WalRecoveryInfo> recovered = db.OpenWal(opts.wal_dir, wopts);
+    if (!recovered.ok()) {
+      std::cerr << "wal recovery failed: " << recovered.status().ToString()
+                << "\n";
+      return 1;
+    }
+    std::cerr << "# wal: " << opts.wal_dir << " (fsync " << opts.fsync
+              << "), checkpoint v" << recovered->checkpoint_version
+              << ", replayed " << recovered->records_replayed
+              << " record(s) from " << recovered->segments_scanned
+              << " segment(s)";
+    if (recovered->torn_tail_truncated)
+      std::cerr << ", truncated torn tail (" << recovered->truncated_bytes
+                << " bytes)";
+    std::cerr << "; store at v" << db.version() << " with " << db.size()
+              << " triples\n";
+  }
 
   // Apply update batches before snapshotting or serving queries: each
   // blank-line-separated block in the file commits as one version.
