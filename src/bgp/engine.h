@@ -26,12 +26,19 @@ struct BgpEvalCounters {
   uint64_t index_probes = 0;       ///< Store scans issued.
   uint64_t candidates_pruned = 0;  ///< Extensions rejected by candidate sets.
   uint64_t morsels = 0;            ///< Morsel tasks run by parallel paths.
+  /// Per-BGP engine decisions made by the adaptive engine (both stay 0
+  /// under a fixed engine). The executor diffs these around each BGP to
+  /// stamp the chosen engine on the BGP's trace span.
+  uint64_t wco_evals = 0;
+  uint64_t hashjoin_evals = 0;
 
   void Merge(const BgpEvalCounters& other) {
     rows_materialized += other.rows_materialized;
     index_probes += other.index_probes;
     candidates_pruned += other.candidates_pruned;
     morsels += other.morsels;
+    wco_evals += other.wco_evals;
+    hashjoin_evals += other.hashjoin_evals;
   }
 };
 
@@ -85,10 +92,12 @@ class BgpEngine {
   virtual const CardinalityEstimator& estimator() const = 0;
 };
 
-/// Which host system's BGP engine to instantiate.
-enum class EngineKind { kWco, kHashJoin };
+/// Which host system's BGP engine to instantiate. kAdaptive holds both and
+/// picks the cheaper per BGP from the engines' own cost models (the
+/// cardinality pilot the planner already runs).
+enum class EngineKind { kWco, kHashJoin, kAdaptive };
 
-/// Human-readable engine name ("gStore-WCO" / "Jena-HashJoin").
+/// Human-readable engine name ("gStore-WCO" / "Jena-HashJoin" / "Adaptive").
 const char* EngineKindName(EngineKind kind);
 
 /// Creates an engine bound to the given store/dictionary/statistics. All

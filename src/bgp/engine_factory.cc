@@ -1,3 +1,4 @@
+#include "bgp/adaptive_engine.h"
 #include "bgp/engine.h"
 #include "bgp/hashjoin_engine.h"
 #include "bgp/wco_engine.h"
@@ -8,6 +9,7 @@ const char* EngineKindName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kWco: return "gStore-WCO";
     case EngineKind::kHashJoin: return "Jena-HashJoin";
+    case EngineKind::kAdaptive: return "Adaptive";
   }
   return "?";
 }
@@ -20,6 +22,8 @@ std::unique_ptr<BgpEngine> MakeEngine(EngineKind kind, const TripleStore& store,
       return std::make_unique<WcoEngine>(store, dict, stats);
     case EngineKind::kHashJoin:
       return std::make_unique<HashJoinEngine>(store, dict, stats);
+    case EngineKind::kAdaptive:
+      return std::make_unique<AdaptiveEngine>(store, dict, stats);
   }
   return nullptr;
 }

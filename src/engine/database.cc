@@ -185,6 +185,15 @@ Wal* Database::wal() const {
   return finalized() ? versions_->wal() : nullptr;
 }
 
+uint64_t Database::AddCommitListener(
+    std::function<void(uint64_t)> listener) const {
+  return versions_->AddCommitListener(std::move(listener));
+}
+
+void Database::RemoveCommitListener(uint64_t id) const {
+  versions_->RemoveCommitListener(id);
+}
+
 uint64_t Database::version() const {
   return finalized() ? versions_->version() : 0;
 }

@@ -104,6 +104,14 @@ class Database {
   /// The attached write-ahead log, or null when none is open.
   Wal* wal() const;
 
+  /// Registers a post-commit hook on the versioned store (valid after
+  /// Finalize); see VersionedStore::AddCommitListener for the invocation
+  /// contract. Const because listeners observe commits without mutating
+  /// data — a read-side consumer (cache invalidation) registers against a
+  /// database whose writes happen elsewhere.
+  uint64_t AddCommitListener(std::function<void(uint64_t version)> listener) const;
+  void RemoveCommitListener(uint64_t id) const;
+
   /// Current committed version id (0 right after Finalize).
   uint64_t version() const;
 

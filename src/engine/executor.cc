@@ -155,6 +155,14 @@ class TreeEvaluator {
     bgp_span.Attr("patterns", std::to_string(bgp.triples.size()));
     bgp_span.Attr("rows", std::to_string(res.size()));
     bgp_span.Attr("pruned", cands_ptr != nullptr ? "true" : "false");
+    // The engine that evaluated this BGP: under the adaptive engine the
+    // per-BGP decision counters say which host engine was delegated to
+    // (counters are fresh per BGP, so a nonzero count is this BGP's
+    // choice); a fixed engine reports its own name.
+    bgp_span.Attr("engine", counters.wco_evals + counters.hashjoin_evals > 0
+                                ? (counters.wco_evals > 0 ? "gStore-WCO"
+                                                          : "Jena-HashJoin")
+                                : engine_.name());
     if (metrics_) metrics_->bgp.Merge(counters);
     return res;
   }

@@ -55,11 +55,15 @@ const char* HttpStatusReason(int status) {
 /// Wakes the event thread from other threads. Owns the eventfd, and is
 /// held via shared_ptr by the server AND every connection, so a producer
 /// notifying after the server object is gone still writes a live fd.
+/// `pending` holds weak refs: connections are owned by the server's map,
+/// and a strong back-reference here would cycle with HttpConnection's
+/// waker pointer, leaking any connection notified but never drained
+/// (e.g. when the event loop stops with wakeups still queued).
 struct HttpWaker {
   int efd = -1;
   std::thread::id event_thread;  ///< Set once, before any dispatch.
   std::mutex mu;
-  std::vector<std::shared_ptr<HttpConnection>> pending;
+  std::vector<std::weak_ptr<HttpConnection>> pending;
 
   HttpWaker() : efd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {}
   ~HttpWaker() {
@@ -72,10 +76,10 @@ struct HttpWaker {
     (void)rc;  // EAGAIN just means a wakeup is already pending
   }
 
-  void Notify(std::shared_ptr<HttpConnection> conn) {
+  void Notify(const std::shared_ptr<HttpConnection>& conn) {
     {
       std::lock_guard<std::mutex> lk(mu);
-      pending.push_back(std::move(conn));
+      pending.push_back(conn);
     }
     Ping();
   }
@@ -84,8 +88,16 @@ struct HttpWaker {
     uint64_t buf;
     while (::read(efd, &buf, sizeof(buf)) > 0) {
     }
-    std::lock_guard<std::mutex> lk(mu);
-    return std::exchange(pending, {});
+    std::vector<std::weak_ptr<HttpConnection>> taken;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      taken = std::exchange(pending, {});
+    }
+    std::vector<std::shared_ptr<HttpConnection>> live;
+    live.reserve(taken.size());
+    for (const auto& weak : taken)
+      if (auto conn = weak.lock()) live.push_back(std::move(conn));
+    return live;
   }
 };
 

@@ -33,13 +33,29 @@ QueryService::QueryService(const Database& db, Options options)
     : db_(db),
       options_(options),
       cache_(options.plan_cache_capacity, options.plan_cache_shards),
+      // A disabled result cache gets a zero byte budget: every Put is a
+      // no-op, Get always misses, and the sweep walks empty shards.
+      result_cache_(options.enable_result_cache ? options.result_cache_bytes
+                                                : 0,
+                    options.result_cache_shards),
       stats_(options.enable_metrics) {
   assert(db.finalized() && "QueryService requires a finalized Database");
   if (options_.enable_metrics) {
-    pinned_gauge_ = MetricRegistry::Global().GetGauge(
+    MetricRegistry& reg = MetricRegistry::Global();
+    pinned_gauge_ = reg.GetGauge(
         "sparqluo_pinned_versions",
-        "Database versions currently pinned by in-flight requests");
+        "Distinct database versions currently pinned by in-flight requests");
+    pinned_requests_gauge_ = reg.GetGauge(
+        "sparqluo_pinned_requests",
+        "In-flight requests currently holding a version pin");
+    dedup_leaders_metric_ = reg.GetCounter(
+        "sparqluo_dedup_leaders_total",
+        "Executions whose result was shared with at least one follower");
   }
+  // Cache invalidation is driven by the store itself: every published
+  // version sweeps both caches, no matter which path committed it.
+  commit_listener_ =
+      db_.AddCommitListener([this](uint64_t v) { InvalidateCaches(v); });
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -58,7 +74,13 @@ QueryService::QueryService(Database& db, Options options)
   updatable_db_ = &db;
 }
 
-QueryService::~QueryService() { Shutdown(); }
+QueryService::~QueryService() {
+  Shutdown();
+  // After the listener is removed it can never fire again (removal blocks
+  // on an in-flight invocation), so the caches it touches are safe to
+  // destroy.
+  db_.RemoveCommitListener(commit_listener_);
+}
 
 void QueryService::Shutdown() {
   {
@@ -127,7 +149,8 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
       response.status = Status::Internal("query threw an unknown exception");
     }
     stats_.RecordFinished(response.status, response.metrics, response.total_ms,
-                          response.plan_cache_hit, response.rows.size());
+                          response.plan_cache_hit, response.rows.size(),
+                          response.result_cache_hit, response.deduped);
     if (options_.slow_query_ms > 0 &&
         response.total_ms >= options_.slow_query_ms) {
       stats_.RecordSlowQuery();
@@ -206,9 +229,7 @@ QueryService::VersionPin::VersionPin(
   *snap = service_->db_.Snapshot();
   version_ = (*snap)->id;
   service_->pinned_versions_.insert(version_);
-  if (service_->pinned_gauge_ != nullptr)
-    service_->pinned_gauge_->Set(
-        static_cast<int64_t>(service_->pinned_versions_.size()));
+  service_->UpdatePinnedGaugesLocked();
 }
 
 QueryService::VersionPin::~VersionPin() {
@@ -216,9 +237,40 @@ QueryService::VersionPin::~VersionPin() {
   auto it = service_->pinned_versions_.find(version_);
   if (it != service_->pinned_versions_.end())
     service_->pinned_versions_.erase(it);
-  if (service_->pinned_gauge_ != nullptr)
-    service_->pinned_gauge_->Set(
-        static_cast<int64_t>(service_->pinned_versions_.size()));
+  service_->UpdatePinnedGaugesLocked();
+}
+
+void QueryService::UpdatePinnedGaugesLocked() {
+  if (pinned_gauge_ == nullptr) return;
+  // pinned_versions_ is a multiset (one pin per in-flight request), so its
+  // size() is the pin count, not the version count: N concurrent requests
+  // on one version are one pinned version. Walk the distinct keys —
+  // requests cluster on the current version, so this is O(distinct
+  // versions), typically 1-2 steps.
+  size_t distinct = 0;
+  for (auto it = pinned_versions_.begin(); it != pinned_versions_.end();
+       it = pinned_versions_.upper_bound(*it))
+    ++distinct;
+  pinned_gauge_->Set(static_cast<int64_t>(distinct));
+  pinned_requests_gauge_->Set(
+      static_cast<int64_t>(pinned_versions_.size()));
+}
+
+void QueryService::InvalidateCaches(uint64_t current_version) {
+  std::vector<uint64_t> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned.assign(pinned_versions_.begin(), pinned_versions_.end());
+  }
+  // EvictUnreachable wants sorted distinct versions; the multiset copy is
+  // sorted already.
+  pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
+  // Both sweeps run unconditionally: gating on enable_plan_cache (as the
+  // pre-result-cache code did) would leave a plan-cache-disabled service's
+  // result cache accumulating entries for dead versions forever. Disabled
+  // caches are empty, so the extra sweep costs a few empty-shard locks.
+  cache_.EvictUnreachable(current_version, pinned);
+  result_cache_.EvictUnreachable(current_version, pinned);
 }
 
 UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
@@ -237,22 +289,14 @@ UpdateResponse QueryService::ProcessUpdate(const UpdateRequest& request) {
   response.status = commit.status();
   if (commit.ok()) {
     response.commit = *commit;
-    // Version-scoped eviction: entries reachable by no reader — neither
-    // keyed at the just-committed version nor at a version an in-flight
-    // request still pins — can never hit again, so drop them. Plans for
-    // pinned older versions survive the commit (a queued request that
-    // snapshotted just before it still gets its cache hit), while
-    // intermediate versions a long-running pin would otherwise keep
-    // alive are reclaimed exactly.
-    if (options_.enable_plan_cache) {
-      std::vector<uint64_t> pinned;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        pinned.assign(pinned_versions_.begin(), pinned_versions_.end());
-      }
-      pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
-      cache_.EvictUnreachable(response.commit.version, pinned);
-    }
+    // Version-scoped cache eviction happens inside the commit itself: the
+    // store's commit listener runs InvalidateCaches for every published
+    // version (see the constructor), so entries reachable by no reader —
+    // neither keyed at the just-committed version nor at a version an
+    // in-flight request still pins — are already gone by the time the
+    // commit result reaches us. Plans and results for pinned older
+    // versions survive (a queued request that snapshotted just before the
+    // commit still gets its cache hit).
   }
   response.total_ms = timer.ElapsedMillis();
   return response;
@@ -294,6 +338,8 @@ QueryResponse QueryService::Process(Task& task) {
     if (trace == nullptr) return;
     trace->AddAttr(root, "version", std::to_string(r.version));
     trace->AddAttr(root, "cache_hit", r.plan_cache_hit ? "true" : "false");
+    if (r.result_cache_hit) trace->AddAttr(root, "result_cache_hit", "true");
+    if (r.deduped) trace->AddAttr(root, "deduped", "true");
     trace->AddAttr(root, "rows", std::to_string(r.rows.size()));
     trace->AddAttr(root, "status", r.status.ok() ? "ok" : r.status.ToString());
     trace->EndSpan(root);
@@ -336,11 +382,128 @@ QueryResponse QueryService::Process(Task& task) {
   VersionPin pin(this, &snap);
   response.version = snap->id;
 
-  std::shared_ptr<const CachedPlan> plan;
+  // One key serves all three sharing layers: it carries the query form,
+  // the normalized text, the plan-relevant option toggles and the pinned
+  // version, so anything it matches is byte-identical by construction.
+  const bool want_key = options_.enable_plan_cache ||
+                        options_.enable_result_cache || options_.enable_dedup;
   std::string key;
+  if (want_key) key = PlanCache::MakeKey(req.text, options, snap->id);
+
+  // Result cache: a hit is the whole response — rows and the plan that
+  // produced them — with zero engine work.
+  if (options_.enable_result_cache) {
+    ScopedSpan lookup_span(trace, "result_cache_lookup", root);
+    std::shared_ptr<const CachedResult> hit = result_cache_.Get(key);
+    lookup_span.Attr("hit", hit != nullptr ? "true" : "false");
+    if (hit != nullptr) {
+      response.rows = hit->rows;  // copy; the entry stays shared in cache
+      response.plan = hit->plan;
+      response.result_cache_hit = true;
+      response.total_ms = elapsed_ms();
+      finish_trace(response);
+      return response;
+    }
+  }
+
+  // In-flight dedup: if an identical (key, version) query is already
+  // executing, wait for its result instead of executing again. The leader
+  // is by definition already running on a worker, so a follower blocking
+  // here can never deadlock the leader — and the leader's own morsels
+  // stay live even on a saturated pool because ParallelFor lets the
+  // calling thread drain its morsel queue itself.
+  std::shared_ptr<InflightQuery> inflight;
+  bool leader = false;
+  if (options_.enable_dedup) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<InflightQuery>();
+      it->second->future = it->second->promise.get_future().share();
+      leader = true;
+    }
+    inflight = it->second;
+  }
+  if (inflight != nullptr && !leader) {
+    // Follower: wait on the leader with this request's OWN deadline and
+    // cancellation. The leader's token is untouched — a follower giving
+    // up never cancels the leader (other followers may still want the
+    // result), and a leader failing never turns into a follower error:
+    // the published null makes the follower fall through and execute for
+    // itself, so errors are never shared, let alone cached.
+    inflight->waiters.fetch_add(1, std::memory_order_relaxed);
+    stats_.RecordDedupFollower();
+    ScopedSpan wait_span(trace, "dedup_wait", root);
+    std::shared_ptr<const CachedResult> shared;
+    bool resolved = false;
+    bool expired = false;
+    while (true) {
+      if (cancel != nullptr &&
+          (cancel->cancel_requested() || cancel->Expired())) {
+        expired = !cancel->cancel_requested();
+        break;
+      }
+      if (inflight->future.wait_for(std::chrono::milliseconds(2)) ==
+          std::future_status::ready) {
+        shared = inflight->future.get();
+        resolved = true;
+        break;
+      }
+    }
+    wait_span.Attr("outcome", !resolved ? (expired ? "deadline" : "cancelled")
+                                        : (shared != nullptr
+                                               ? "shared"
+                                               : "leader_failed"));
+    if (resolved && shared != nullptr) {
+      response.rows = shared->rows;
+      response.plan = shared->plan;
+      response.deduped = true;
+      response.total_ms = elapsed_ms();
+      finish_trace(response);
+      return response;
+    }
+    if (!resolved) {
+      // The follower's own deadline/cancel fired first. Mirror the abort
+      // shape the executor produces so the HTTP layer maps it the same
+      // way (408 for deadline, etc.).
+      response.metrics.aborted = true;
+      response.metrics.abort_reason =
+          expired ? AbortReason::kDeadline : AbortReason::kCancelled;
+      response.status = expired
+                            ? Status::ResourceExhausted("query deadline exceeded")
+                            : Status::ResourceExhausted("query cancelled");
+      response.total_ms = elapsed_ms();
+      finish_trace(response);
+      return response;
+    }
+    // Leader failed: fall through and execute this request normally.
+    inflight = nullptr;
+  }
+  // Leader (or dedup disabled / leader-failure fallthrough): execute, and
+  // publish the outcome to any followers no matter how this scope exits.
+  // The guard's destructor publishes null on exceptional exits so
+  // followers never hang on a leader that threw.
+  struct InflightGuard {
+    QueryService* service;
+    const std::string* key;
+    std::shared_ptr<InflightQuery> entry;
+    void Publish(std::shared_ptr<const CachedResult> result) {
+      if (entry == nullptr) return;
+      {
+        std::lock_guard<std::mutex> lock(service->inflight_mu_);
+        service->inflight_.erase(*key);
+      }
+      // Unregistered before resolving: a submission arriving now becomes
+      // a fresh leader instead of joining a finished one.
+      entry->promise.set_value(std::move(result));
+      entry = nullptr;
+    }
+    ~InflightGuard() { Publish(nullptr); }
+  } publish{this, &key, leader ? inflight : nullptr};
+
+  std::shared_ptr<const CachedPlan> plan;
   if (options_.enable_plan_cache) {
     ScopedSpan lookup_span(trace, "plan_cache_lookup", root);
-    key = PlanCache::MakeKey(req.text, options, snap->id);
     plan = cache_.Get(key);
     lookup_span.Attr("hit", plan != nullptr ? "true" : "false");
   }
@@ -384,6 +547,26 @@ QueryResponse QueryService::Process(Task& task) {
   // Hand the plan back so consumers can serialize `rows` (variable names
   // and the SELECT/ASK form live in plan->query).
   response.plan = std::move(plan);
+
+  if (response.status.ok() &&
+      (options_.enable_result_cache || publish.entry != nullptr)) {
+    // One shared immutable copy serves both sharing layers: the result
+    // cache keeps it for future requests, and waiting followers copy
+    // their rows out of it. Only successful responses are ever published
+    // or cached — failures and aborts always stay private to the request
+    // that suffered them.
+    auto shared = std::make_shared<CachedResult>();
+    shared->rows = response.rows;
+    shared->plan = response.plan;
+    if (options_.enable_result_cache)
+      result_cache_.Put(key, shared, snap->id);
+    if (publish.entry != nullptr) {
+      if (publish.entry->waiters.load(std::memory_order_relaxed) > 0 &&
+          dedup_leaders_metric_ != nullptr)
+        dedup_leaders_metric_->Increment();
+      publish.Publish(std::move(shared));
+    }
+  }
   response.total_ms = elapsed_ms();
   finish_trace(response);
   return response;

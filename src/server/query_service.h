@@ -23,6 +23,18 @@
 //     cached plan (after each commit, eviction is version-scoped: entries
 //     for the new current version or a version an in-flight request still
 //     pins survive, every unreachable entry is dropped),
+//   - a byte-budgeted result cache (server/result_cache.h) one level up:
+//     repeat queries against an unchanged version are served their full
+//     finished rows without touching the engines, invalidated by the same
+//     post-commit version-reachability sweep as the plan cache — both run
+//     from one InvalidateCaches hook registered as a store commit
+//     listener, so every published version sweeps both caches no matter
+//     which code path committed it,
+//   - in-flight dedup: a submission identical to one already executing
+//     (same normalized text, options and pinned version) waits on the
+//     leader's shared future instead of executing; the follower's
+//     deadline/cancellation never touches the leader, and a failed leader
+//     makes followers execute for themselves — errors are never shared,
 //   - serialized, admission-controlled updates (SubmitUpdate) that report
 //     per-commit stats into the service counters,
 //   - thread-safe aggregation of per-query ExecMetrics/BgpEvalCounters into
@@ -41,9 +53,11 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "engine/database.h"
 #include "server/plan_cache.h"
+#include "server/result_cache.h"
 #include "server/service_stats.h"
 #include "util/executor_pool.h"
 
@@ -91,6 +105,13 @@ struct QueryResponse {
   BindingSet rows;          ///< Valid when status.ok().
   ExecMetrics metrics;
   bool plan_cache_hit = false;
+  /// Rows served straight from the result cache — no parsing, planning or
+  /// engine work happened on this request (metrics are all zero).
+  bool result_cache_hit = false;
+  /// Rows copied from an identical in-flight leader request instead of
+  /// executing (in-flight dedup). Like a result-cache hit, metrics stay
+  /// zero: the engine work was the leader's, already recorded there.
+  bool deduped = false;
   double total_ms = 0.0;    ///< Queue wait + parse/plan + execution.
   uint64_t version = 0;     ///< Database version the query executed on.
   /// The request's trace (or the service-created one when
@@ -131,6 +152,20 @@ class QueryService {
     bool enable_plan_cache = true;
     size_t plan_cache_capacity = 512;
     size_t plan_cache_shards = 8;
+    /// Result cache: successful responses keyed by (normalized text,
+    /// plan-relevant options, database version) are served without
+    /// touching the engines. Invalidated by the same post-commit
+    /// version-reachability sweep as the plan cache (InvalidateCaches).
+    bool enable_result_cache = true;
+    /// Total result-cache payload budget in bytes, split across shards.
+    size_t result_cache_bytes = 64ull << 20;
+    size_t result_cache_shards = 8;
+    /// In-flight dedup: a submission whose cache key matches one already
+    /// executing waits on the leader's result instead of executing. The
+    /// follower's deadline/cancellation applies only to its own wait (it
+    /// never cancels the leader), and a failed leader makes followers
+    /// execute for themselves — errors are never shared or cached.
+    bool enable_dedup = true;
     /// Applied to requests that do not set their own deadline; <= 0 means
     /// unbounded.
     std::chrono::milliseconds default_deadline{0};
@@ -201,6 +236,9 @@ class QueryService {
 
   ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   PlanCache::Stats CacheStats() const { return cache_.GetStats(); }
+  ResultCache::Stats ResultCacheStats() const {
+    return result_cache_.GetStats();
+  }
   size_t num_threads() const { return pool_->num_threads(); }
   const std::shared_ptr<ExecutorPool>& pool() const { return pool_; }
 
@@ -231,6 +269,19 @@ class QueryService {
     uint64_t version_;
   };
 
+  /// One in-flight leader execution that identical submissions wait on.
+  /// The future resolves to the leader's successful result — shared with
+  /// the result cache's entry type, so publishing costs one rows copy —
+  /// or to null when the leader failed (followers then execute for
+  /// themselves rather than inherit the error).
+  struct InflightQuery {
+    std::promise<std::shared_ptr<const CachedResult>> promise;
+    std::shared_future<std::shared_ptr<const CachedResult>> future;
+    /// Followers currently (or ever) waiting; lets the leader count
+    /// dedup fan-in without a map scan.
+    std::atomic<uint64_t> waiters{0};
+  };
+
   QueryResponse Process(Task& task);
   UpdateResponse ProcessUpdate(const UpdateRequest& request);
 
@@ -239,16 +290,35 @@ class QueryService {
   /// SubmitUpdate.
   bool Admit(Status* reject);
 
+  /// Post-commit sweep over both caches: drops every plan-cache and
+  /// result-cache entry whose version is neither `current_version` nor
+  /// pinned by an in-flight request. Runs unconditionally — registered as
+  /// a VersionedStore commit listener, so it fires for every published
+  /// version whichever path committed it (this service's SubmitUpdate, a
+  /// sibling service sharing the database, or Database::Apply directly),
+  /// and regardless of which caches are enabled.
+  void InvalidateCaches(uint64_t current_version);
+
+  /// Recomputes both pin gauges from pinned_versions_. Caller holds mu_.
+  void UpdatePinnedGaugesLocked();
+
   const Database& db_;
   Database* updatable_db_ = nullptr;  ///< Null for read-only services.
   Options options_;
   PlanCache cache_;
+  ResultCache result_cache_;
   ServiceStats stats_;
   /// Slow queries seen so far; drives every-Nth log sampling.
   std::atomic<uint64_t> slow_seen_{0};
-  /// Versions currently pinned by in-flight requests (obs/metrics.h);
-  /// null when Options::enable_metrics is false.
+  /// Distinct versions currently pinned by in-flight requests
+  /// (obs/metrics.h); null when Options::enable_metrics is false. N
+  /// requests pinning one version count as one pinned version here;
+  /// pinned_requests_gauge_ carries the total pin count.
   Gauge* pinned_gauge_ = nullptr;
+  Gauge* pinned_requests_gauge_ = nullptr;
+  Counter* dedup_leaders_metric_ = nullptr;
+  /// Token for the registered commit listener (InvalidateCaches).
+  uint64_t commit_listener_ = 0;
 
   std::shared_ptr<ExecutorPool> pool_;
   bool owns_pool_ = false;
@@ -260,6 +330,12 @@ class QueryService {
   /// Versions pinned by in-flight queries; the minimum is the eviction
   /// floor after commits. Guarded by mu_.
   std::multiset<uint64_t> pinned_versions_;
+
+  /// In-flight dedup table: cache key -> the leader execution identical
+  /// submissions wait on. Its own mutex (not mu_): followers take it on
+  /// the hot path while commits hold mu_ for pin collection.
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InflightQuery>> inflight_;
 };
 
 }  // namespace sparqluo

@@ -21,6 +21,12 @@ ServiceStats::ServiceStats(bool enable_metrics)
                                 "Result rows returned by completed queries");
   slow_metric_ = reg.GetCounter("sparqluo_slow_queries_total",
                                 "Queries at or over the slow-query threshold");
+  dedup_followers_metric_ =
+      reg.GetCounter("sparqluo_dedup_followers_total",
+                     "Queries that joined an identical in-flight leader");
+  deduped_metric_ =
+      reg.GetCounter("sparqluo_dedup_served_total",
+                     "Queries resolved with a deduped leader's rows");
   latency_metric_ = reg.GetHistogram(
       "sparqluo_query_latency_ms",
       "End-to-end query latency (queue wait included) in milliseconds");

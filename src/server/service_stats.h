@@ -37,6 +37,11 @@ struct ServiceStatsSnapshot {
   uint64_t aborted_row_limit = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t result_cache_hits = 0;  ///< Served straight from the result cache.
+  /// Requests that joined an identical in-flight leader (counted when the
+  /// wait starts, whether or not the leader's result was ultimately used).
+  uint64_t dedup_followers = 0;
+  uint64_t deduped = 0;            ///< Requests resolved with a leader's rows.
   uint64_t rows_returned = 0;
   uint64_t slow_queries = 0;    ///< total_ms >= the service's slow threshold.
   BgpEvalCounters bgp;          ///< Merged engine counters.
@@ -79,10 +84,21 @@ class ServiceStats {
     if (enabled_) rejected_metric_->Increment();
   }
 
+  /// A request that started waiting on an identical in-flight leader.
+  /// Recorded at wait start (not resolution) so tests and dashboards can
+  /// observe fan-in while the leader is still running.
+  void RecordDedupFollower() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++snap_.dedup_followers;
+    if (enabled_) dedup_followers_metric_->Increment();
+  }
+
   /// One finished request: its status-derived outcome, metrics, end-to-end
-  /// latency and whether the plan came from the cache.
+  /// latency and whether the plan/result came from a cache or a deduped
+  /// leader.
   void RecordFinished(const Status& status, const ExecMetrics& metrics,
-                      double latency_ms, bool cache_hit, size_t rows) {
+                      double latency_ms, bool cache_hit, size_t rows,
+                      bool result_cache_hit = false, bool deduped = false) {
     std::lock_guard<std::mutex> lock(mu_);
     if (status.ok()) {
       ++snap_.completed;
@@ -106,6 +122,11 @@ class ServiceStats {
       ++snap_.cache_hits;
     } else {
       ++snap_.cache_misses;
+    }
+    if (result_cache_hit) ++snap_.result_cache_hits;
+    if (deduped) {
+      ++snap_.deduped;
+      if (enabled_) deduped_metric_->Increment();
     }
     snap_.bgp.Merge(metrics.bgp);
     snap_.total_exec_ms += metrics.exec_ms;
@@ -165,6 +186,8 @@ class ServiceStats {
   Counter* aborted_metric_ = nullptr;
   Counter* rows_metric_ = nullptr;
   Counter* slow_metric_ = nullptr;
+  Counter* dedup_followers_metric_ = nullptr;
+  Counter* deduped_metric_ = nullptr;
   Histogram* latency_metric_ = nullptr;
 };
 

@@ -1,5 +1,6 @@
 #include "server/sparql_endpoint.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 #include <vector>
@@ -93,12 +94,26 @@ void ObserveLatency(SteadyClock::time_point start, bool enabled) {
   }
 }
 
+/// Ceiling for the client-supplied `timeout` parameter. Values above this are
+/// clamped rather than rejected: a huge timeout means "don't time me out",
+/// and feeding it verbatim into steady_clock arithmetic can overflow the
+/// deadline into the past, aborting the query instantly with a spurious 408.
+constexpr std::chrono::milliseconds kMaxClientTimeout{
+    std::chrono::hours(24)};
+
 /// Parses the `timeout` parameter (non-negative integer milliseconds).
+/// Well-formed values larger than kMaxClientTimeout clamp to it.
 bool ParseTimeoutMs(const std::string& value, std::chrono::milliseconds* out) {
-  if (value.empty() || value.size() > 12) return false;
+  if (value.empty()) return false;
   for (char c : value)
     if (c < '0' || c > '9') return false;
-  *out = std::chrono::milliseconds(std::strtoll(value.c_str(), nullptr, 10));
+  if (value.size() > 18) {  // > 18 digits overflows int64 and the ceiling
+    *out = kMaxClientTimeout;
+    return true;
+  }
+  auto parsed = std::chrono::milliseconds(
+      std::strtoll(value.c_str(), nullptr, 10));
+  *out = std::min(parsed, kMaxClientTimeout);
   return true;
 }
 

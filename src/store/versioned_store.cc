@@ -146,7 +146,33 @@ Result<CommitStats> VersionedStore::CommitLocked(bool log_to_wal) {
       ->Set(static_cast<int64_t>(stats.version));
   reg.GetGauge("sparqluo_store_triples", "Triples in the current version")
       ->Set(static_cast<int64_t>(stats.store_size));
+  {
+    // Still inside the writer critical section: every listener sees each
+    // published version exactly once, in commit order, before the next
+    // commit can start. listeners_mu_ is held across the calls so
+    // RemoveCommitListener can synchronize with an in-flight invocation.
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    for (const auto& [id, listener] : listeners_) listener(stats.version);
+  }
   return stats;
+}
+
+uint64_t VersionedStore::AddCommitListener(
+    std::function<void(uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void VersionedStore::RemoveCommitListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 Result<WalRecoveryInfo> VersionedStore::AttachWal(std::unique_ptr<Wal> wal) {

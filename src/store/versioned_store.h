@@ -117,6 +117,23 @@ class VersionedStore {
   /// shutdown; lifetime is the store's.
   Wal* wal() const { return wal_.get(); }
 
+  /// Registers a hook invoked after every successful commit publishes a
+  /// new version, with the just-published version id. Hooks fire inside
+  /// the writer critical section — serialized with commits, each published
+  /// version observed exactly once, and never concurrently with
+  /// themselves — so they must be short and must not commit or register/
+  /// unregister listeners. QueryService uses this as the cache
+  /// invalidation point: it covers commits made directly through
+  /// Database::Apply/Update as well, not just the service's own
+  /// SubmitUpdate path. Returns a token for RemoveCommitListener.
+  uint64_t AddCommitListener(std::function<void(uint64_t version)> listener);
+
+  /// Unregisters a commit listener. Blocks while the listener is being
+  /// invoked by a concurrent commit, so after this returns the listener
+  /// will never run again — safe to destroy its captured state. Unknown
+  /// ids are ignored.
+  void RemoveCommitListener(uint64_t id);
+
  private:
   std::shared_ptr<const DatabaseVersion> MakeVersion(
       uint64_t id, std::shared_ptr<const TripleStore> store,
@@ -140,6 +157,12 @@ class VersionedStore {
   /// Guarded by writer_mu_; maintained only while a WAL is attached.
   std::vector<UpdateOp> pending_ops_;
   std::unique_ptr<Wal> wal_;  ///< Null until AttachWal.
+
+  /// Post-commit hooks; guarded by listeners_mu_, which is held across
+  /// invocation so removal synchronizes with in-flight calls.
+  mutable std::mutex listeners_mu_;
+  uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void(uint64_t)>>> listeners_;
 };
 
 }  // namespace sparqluo

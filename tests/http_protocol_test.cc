@@ -299,6 +299,66 @@ TEST_F(HttpProtocolTest, DeadlineAbortMapsTo408) {
   EXPECT_EQ(r.status, 408);
 }
 
+// Regression: a huge-but-well-formed timeout used to be fed verbatim into
+// steady_clock deadline arithmetic; the overflow put the deadline in the
+// past and a trivially-cheap query came back as a spurious instant 408.
+// Any all-digit timeout must clamp to the server's ceiling and succeed.
+TEST_F(HttpProtocolTest, HugeTimeoutClampsInsteadOfInstant408) {
+  Endpoint ep(*db_);
+  // 12 digits: accepted by the old length check, overflowed the deadline.
+  Response r =
+      Fetch(ep.port(), SparqlGet(kSimpleQuery, "", "timeout=999999999999"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200) << r.body;
+
+  // 19 digits (> int64 max milliseconds): clamped, not rejected.
+  r = Fetch(ep.port(),
+            SparqlGet(kSimpleQuery, "", "timeout=9999999999999999999"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200) << r.body;
+
+  // 40 digits: still well-formed, still clamped.
+  std::string forty(40, '9');
+  r = Fetch(ep.port(), SparqlGet(kSimpleQuery, "", "timeout=" + forty));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200) << r.body;
+
+  // Non-digit values stay rejected.
+  r = Fetch(ep.port(), SparqlGet(kSimpleQuery, "", "timeout=1e9"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 400);
+}
+
+// A repeat of an identical query is served from the result cache with a
+// byte-identical body, in both negotiated formats.
+TEST_F(HttpProtocolTest, ResultCacheRepeatBodiesAreIdentical) {
+  Endpoint ep(*db_);
+  for (const char* accept :
+       {"application/sparql-results+json", "text/tab-separated-values"}) {
+    Response cold = Fetch(ep.port(), SparqlGet(kSimpleQuery, accept));
+    ASSERT_TRUE(cold.ok);
+    ASSERT_EQ(cold.status, 200);
+    Response warm = Fetch(ep.port(), SparqlGet(kSimpleQuery, accept));
+    ASSERT_TRUE(warm.ok);
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_EQ(warm.body, cold.body) << accept;
+  }
+  EXPECT_GT(ep.service.ResultCacheStats().hits, 0u);
+
+  // The new cache/dedup metric families render on /metrics.
+  Response metrics = Fetch(ep.port(),
+                           "GET /metrics HTTP/1.1\r\nHost: t\r\n"
+                           "Connection: close\r\n\r\n");
+  ASSERT_TRUE(metrics.ok);
+  for (const char* family :
+       {"sparqluo_result_cache_hits_total", "sparqluo_result_cache_misses_total",
+        "sparqluo_result_cache_bytes", "sparqluo_dedup_followers_total",
+        "sparqluo_dedup_served_total", "sparqluo_pinned_requests"}) {
+    EXPECT_NE(metrics.body.find(family), std::string::npos)
+        << family << " missing from /metrics";
+  }
+}
+
 // --- Updates ------------------------------------------------------------
 
 TEST_F(HttpProtocolTest, UpdateRoundTripAndReadOnly) {

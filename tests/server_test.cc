@@ -141,6 +141,9 @@ TEST_P(QueryServiceTest, ExplicitCancellationAborts) {
 TEST_P(QueryServiceTest, PlanCacheHitSkipsTransformAndMatches) {
   QueryService::Options sopts;
   sopts.num_threads = 1;  // serialize so hit/miss order is deterministic
+  // This test exercises the plan-cache layer; without this the repeat is
+  // served from the result cache and never consults the plan cache.
+  sopts.enable_result_cache = false;
   QueryService service(db_, sopts);
 
   const std::string q = LubmPaperQueries()[0].sparql;
@@ -402,6 +405,8 @@ TEST(QueryServiceUpdateCacheTest, CommitEvictsOnlyUnreachableVersions) {
 
   QueryService::Options options;
   options.num_threads = 2;
+  // Plan-cache-layer test: keep repeats off the result-cache fast path.
+  options.enable_result_cache = false;
   QueryService service(db, options);
   const std::string q = "SELECT ?s WHERE { ?s <http://ex.org/p> ?o }";
 

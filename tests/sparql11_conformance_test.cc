@@ -431,6 +431,8 @@ TEST(PlanCacheConformance, ServiceServesFormsFromDistinctEntries) {
   Fixture fx(EngineKind::kWco);
   QueryService::Options sopts;
   sopts.num_threads = 2;
+  // Plan-cache-layer test: keep repeats off the result-cache fast path.
+  sopts.enable_result_cache = false;
   QueryService service(static_cast<const Database&>(fx.db), sopts);
   std::string where = "WHERE { ?s " + I("type") + " ?t }";
   std::string select = "SELECT ?s ?t " + where;
@@ -535,7 +537,10 @@ TEST(CancellationConformance, AbortedPathQueryReleasesPinnedVersion) {
       << "aborted query leaked a pinned version";
 
   // The service stays healthy: a cheap query on the same version succeeds.
+  // Override the 3ms service default so scheduling jitter under a loaded
+  // test runner cannot deadline this trivially-cheap ASK.
   QueryRequest ok_req;
+  ok_req.deadline = std::chrono::milliseconds(30000);
   ok_req.text = "ASK { <http://ex.org/n0> <http://ex.org/knows> ?y }";
   auto ok_resp = service.Submit(std::move(ok_req)).get();
   EXPECT_TRUE(ok_resp.status.ok()) << ok_resp.status.ToString();

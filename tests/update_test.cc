@@ -636,6 +636,8 @@ TEST_P(UpdateServiceTest, PlanCacheInvalidatedAcrossVersions) {
   const std::string q = Workload()[0];
   QueryService::Options sopts;
   sopts.num_threads = 2;
+  // Plan-cache-layer test: keep repeats off the result-cache fast path.
+  sopts.enable_result_cache = false;
   QueryService service(db_, sopts);
 
   QueryRequest req;

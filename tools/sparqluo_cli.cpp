@@ -12,7 +12,8 @@
 //                             mmap section format; v1 = data-only records,
 //                             see docs/snapshot_format.md). --snapshot
 //                             loads either format, auto-detected.
-//   --engine wco|hashjoin     BGP engine (default wco)
+//   --engine auto|wco|hashjoin  BGP engine (default wco; auto picks per BGP
+//                             by estimated cost)
 //   --mode base|tt|cp|full    optimization level (default full)
 //   --format tsv|csv|json|nt  output format (default tsv; CONSTRUCT
 //                             queries default to nt = N-Triples)
@@ -39,6 +40,10 @@
 //   --repeat K                submit each query K times (batch serving)
 //   --deadline-ms N           per-query deadline in milliseconds
 //   --no-plan-cache           disable the shared plan cache (batch serving)
+//   --result-cache-mb N       byte budget for the version-keyed result
+//                             cache in MiB (default 64; batch serving)
+//   --no-result-cache         disable the result cache and in-flight
+//                             query dedup (batch serving)
 //   --update-file FILE        apply SPARQL INSERT DATA / DELETE DATA
 //                             blocks (blank-line separated) after loading,
 //                             each block committed as one version
@@ -125,6 +130,8 @@ struct CliOptions {
   size_t repeat = 1;
   long deadline_ms = 0;
   bool plan_cache = true;
+  bool result_cache = true;
+  size_t result_cache_mb = 64;
   std::string query;
   std::string query_file;
   std::string update_file;
@@ -246,12 +253,13 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--data FILE.nt | --lubm N | --dbpedia N | --snapshot FILE) "
                "[--save-snapshot FILE] [--snapshot-format v1|v2] [--engine "
-               "wco|hashjoin] [--mode base|tt|cp|full] [--format "
+               "auto|wco|hashjoin] [--mode base|tt|cp|full] [--format "
                "tsv|csv|json|nt] [--explain] [--explain-analyze] [--trace-out "
                "FILE] [--metrics-out FILE] [--paper-queries] [--stats] "
                "[--max-rows N] [--parallelism N] [--concurrency N] "
                "[--repeat K] [--deadline-ms N] [--slow-query-ms N] "
                "[--slow-query-sample K] [--no-plan-cache] "
+               "[--result-cache-mb N] [--no-result-cache] "
                "[--update-file FILE] [--wal-dir DIR [--fsync always|off|N]] "
                "[--serve PORT [--bind ADDR]] [QUERY | UPDATE]\n";
   return 2;
@@ -300,6 +308,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         opts->engine = EngineKind::kWco;
       } else if (std::strcmp(v, "hashjoin") == 0) {
         opts->engine = EngineKind::kHashJoin;
+      } else if (std::strcmp(v, "auto") == 0) {
+        opts->engine = EngineKind::kAdaptive;
       } else {
         return false;
       }
@@ -368,6 +378,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->deadline_ms = std::atol(v);
     } else if (arg == "--no-plan-cache") {
       opts->plan_cache = false;
+    } else if (arg == "--no-result-cache") {
+      opts->result_cache = false;
+    } else if (arg == "--result-cache-mb") {
+      const char* v = next();
+      if (!v) return false;
+      opts->result_cache_mb = static_cast<size_t>(std::atol(v));
     } else if (arg == "--query-file") {
       const char* v = next();
       if (!v) return false;
@@ -414,6 +430,9 @@ int RunService(Database& db, const CliOptions& opts,
   QueryService::Options sopts;
   sopts.num_threads = opts.concurrency;
   sopts.enable_plan_cache = opts.plan_cache;
+  sopts.enable_result_cache = opts.result_cache;
+  sopts.enable_dedup = opts.result_cache;
+  sopts.result_cache_bytes = opts.result_cache_mb << 20;
   sopts.intra_query_parallelism = opts.parallelism;
   sopts.trace_queries = sink->collect || opts.explain_analyze;
   sopts.slow_query_ms = opts.slow_query_ms;
@@ -512,6 +531,9 @@ int RunServe(Database& db, const CliOptions& opts) {
   QueryService::Options sopts;
   sopts.num_threads = opts.concurrency;  // 0 = hardware threads
   sopts.enable_plan_cache = opts.plan_cache;
+  sopts.enable_result_cache = opts.result_cache;
+  sopts.enable_dedup = opts.result_cache;
+  sopts.result_cache_bytes = opts.result_cache_mb << 20;
   sopts.intra_query_parallelism = opts.parallelism;
   sopts.slow_query_ms = opts.slow_query_ms;
   sopts.slow_query_sample = opts.slow_query_sample;
